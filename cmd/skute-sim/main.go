@@ -1,0 +1,77 @@
+// Command skute-sim runs the paper's evaluation experiments (Figs. 2-5 of
+// ICDE 2010 "Cost-efficient and Differentiated Data Availability
+// Guarantees in Data Clouds") plus the ablation studies, printing the
+// series each figure plots.
+//
+// Usage:
+//
+//	skute-sim -experiment fig2 -scale paper
+//	skute-sim -experiment all -scale quick -csv out/
+//	skute-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"skute"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
+		scale      = flag.String("scale", "quick", "\"quick\" (seconds) or \"paper\" (full Section III-A setup)")
+		csvDir     = flag.String("csv", "", "directory to write full per-epoch CSV series into (optional)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range skute.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	paper := false
+	switch *scale {
+	case "paper":
+		paper = true
+	case "quick":
+	default:
+		fmt.Fprintf(os.Stderr, "skute-sim: unknown scale %q (want quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = skute.Experiments()
+	}
+	for _, id := range ids {
+		res, err := skute.RunExperiment(id, paper)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skute-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (scale: %s) ==\n\n", res.ID, res.Title, *scale)
+		fmt.Println(res.Rendered)
+		for _, n := range res.Notes {
+			fmt.Printf("  * %s\n", n)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "skute-sim: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, fmt.Sprintf("%s-%s.csv", res.ID, *scale))
+			if err := os.WriteFile(path, []byte(res.CSV), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "skute-sim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s (%d rows)\n\n", path, strings.Count(res.CSV, "\n")-1)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command skutectl is the client CLI of the Skute prototype store: it
+// connects to any node of a cmd/skuted deployment and issues quorum
+// reads, writes and deletes.
+//
+// Usage:
+//
+//	skutectl -addr 127.0.0.1:7000 -app app1 -class gold get user:42
+//	skutectl -addr 127.0.0.1:7000 -app app1 -class gold put user:42 '{"name":"x"}'
+//	skutectl -addr 127.0.0.1:7000 -app app1 -class gold del user:42
+//
+// Writes read the current causal context first, so a plain put behaves as
+// a read-modify-write and never creates gratuitous siblings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skute/internal/cluster"
+	"skute/internal/ring"
+	"skute/internal/transport"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7000", "address of any cluster node")
+		app   = flag.String("app", "app1", "application name")
+		class = flag.String("class", "gold", "availability class")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: skutectl [flags] get|put|del <key> [value]")
+		os.Exit(2)
+	}
+	op, key := args[0], args[1]
+	id := ring.RingID{App: *app, Class: *class}
+	client := cluster.NewClient(transport.NewTCP(), *addr)
+
+	switch op {
+	case "get":
+		values, _, err := client.Get(id, key)
+		if err != nil {
+			fail(err)
+		}
+		if len(values) == 0 {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		for i, v := range values {
+			if len(values) > 1 {
+				fmt.Printf("sibling %d: ", i)
+			}
+			fmt.Println(string(v))
+		}
+	case "put":
+		if len(args) < 3 {
+			fmt.Fprintln(os.Stderr, "skutectl: put needs a value")
+			os.Exit(2)
+		}
+		_, ctx, err := client.Get(id, key) // read-modify-write context
+		if err != nil {
+			fail(err)
+		}
+		if err := client.Put(id, key, []byte(args[2]), ctx); err != nil {
+			fail(err)
+		}
+		fmt.Println("ok")
+	case "del":
+		_, ctx, err := client.Get(id, key)
+		if err != nil {
+			fail(err)
+		}
+		if err := client.Delete(id, key, ctx); err != nil {
+			fail(err)
+		}
+		fmt.Println("ok")
+	default:
+		fmt.Fprintf(os.Stderr, "skutectl: unknown op %q\n", op)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "skutectl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command skuted runs one Skute prototype store node over TCP: quorum
+// reads/writes with read repair, Merkle anti-entropy, heartbeat failure
+// detection and economy-driven replica management, recovering its state
+// from a write-ahead log on restart.
+//
+// All nodes boot from the same JSON descriptor:
+//
+//	{
+//	  "Nodes": [
+//	    {"Name":"n0","Addr":"127.0.0.1:7000","LocPath":"eu/ch/dc0/r0/k0/s0",
+//	     "Confidence":1,"MonthlyRent":100,"Capacity":17179869184,"QueryCapacity":10000},
+//	    ...
+//	  ],
+//	  "Rings": [{"App":"app1","Class":"gold","Partitions":32,"Replicas":2}]
+//	}
+//
+// Usage:
+//
+//	skuted -config cluster.json -name n0 -wal /var/lib/skute/n0.wal \
+//	       -heartbeat 2s -epoch 30s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"skute/internal/agent"
+	"skute/internal/cluster"
+	"skute/internal/economy"
+	"skute/internal/httpadmin"
+	"skute/internal/store"
+	"skute/internal/transport"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "path to the shared cluster descriptor (JSON)")
+		name       = flag.String("name", "", "this node's name in the descriptor")
+		walPath    = flag.String("wal", "", "write-ahead log path (empty = volatile in-memory engine)")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval")
+		epoch      = flag.Duration("epoch", 30*time.Second, "economic epoch length (0 disables the economy)")
+		antiEnt    = flag.Duration("anti-entropy", time.Minute, "anti-entropy round interval (0 disables)")
+		admin      = flag.String("admin", "", "admin HTTP address for /healthz and /stats (empty disables)")
+	)
+	flag.Parse()
+	if *configPath == "" || *name == "" {
+		fmt.Fprintln(os.Stderr, "skuted: -config and -name are required")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		log.Fatalf("skuted: %v", err)
+	}
+	var cfg cluster.Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		log.Fatalf("skuted: parse %s: %v", *configPath, err)
+	}
+
+	eng := store.NewMemory()
+	if *walPath != "" {
+		eng, err = store.Open(*walPath)
+		if err != nil {
+			log.Fatalf("skuted: open wal: %v", err)
+		}
+		defer eng.Close()
+	}
+
+	tr := transport.NewTCP()
+	defer tr.Close()
+	node, err := cluster.NewNode(cfg, *name, tr, eng)
+	if err != nil {
+		log.Fatalf("skuted: %v", err)
+	}
+	log.Printf("skuted: node %s serving (keys recovered: %d)", *name, eng.Len())
+
+	if *admin != "" {
+		adminErrs := make(chan error, 1)
+		srv := httpadmin.Serve(*admin, httpadmin.StatsFunc(func() any { return node.Stats() }), adminErrs)
+		defer srv.Close()
+		go func() {
+			if err := <-adminErrs; err != nil {
+				log.Printf("skuted: admin endpoint: %v", err)
+			}
+		}()
+		log.Printf("skuted: admin endpoint on %s", *admin)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	hbTick := time.NewTicker(*heartbeat)
+	defer hbTick.Stop()
+	var epochC <-chan time.Time
+	if *epoch > 0 {
+		t := time.NewTicker(*epoch)
+		defer t.Stop()
+		epochC = t.C
+	}
+	var aeC <-chan time.Time
+	if *antiEnt > 0 {
+		t := time.NewTicker(*antiEnt)
+		defer t.Stop()
+		aeC = t.C
+	}
+	agentParams := agent.DefaultParams()
+	rentParams := economy.DefaultRentParams()
+	aeRound := 0
+
+	for {
+		select {
+		case <-hbTick.C:
+			node.SendHeartbeats()
+		case <-aeC:
+			repaired, err := node.RunAntiEntropy(aeRound)
+			aeRound++
+			if err != nil {
+				log.Printf("skuted: anti-entropy: %v", err)
+			} else if repaired > 0 {
+				log.Printf("skuted: anti-entropy repaired %d keys", repaired)
+			}
+		case <-epochC:
+			if _, _, err := node.AnnounceRent(rentParams); err != nil {
+				log.Printf("skuted: announce rent: %v", err)
+				continue
+			}
+			rep, err := node.RunEconomicEpoch(agentParams, rentParams)
+			if err != nil {
+				log.Printf("skuted: economic epoch: %v", err)
+				continue
+			}
+			if rep.Repairs+rep.Replications+rep.Migrations+rep.Suicides > 0 {
+				log.Printf("skuted: epoch board=%s rent=%.2f repairs=%d repl=%d migr=%d suicides=%d",
+					rep.Board, rep.Rent, rep.Repairs, rep.Replications, rep.Migrations, rep.Suicides)
+			}
+		case <-stop:
+			log.Printf("skuted: shutting down")
+			return
+		}
+	}
+}

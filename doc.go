@@ -1,0 +1,21 @@
+// Package skute is a self-managed, scattered key-value store with
+// cost-efficient and differentiated data availability guarantees — a
+// reproduction of Bonvin, Papaioannou and Aberer, "Cost-efficient and
+// Differentiated Data Availability Guarantees in Data Clouds" (ICDE 2010).
+//
+// Skute rents a cloud of geographically distributed servers to several
+// applications at once. Each application gets its own virtual rings — one
+// per availability class it requires — and every data-partition replica is
+// managed by an autonomous economic agent that replicates, migrates or
+// deletes itself to keep the partition's availability above its SLA at the
+// minimum rent cost (see DESIGN.md for the full model).
+//
+// The package offers two front doors:
+//
+//   - Cluster: an embeddable replicated key-value store (the paper's
+//     "future work" prototype) with quorum reads/writes, read repair,
+//     Merkle anti-entropy and economy-driven replica management. See
+//     examples/quickstart.
+//   - RunExperiment: the discrete-epoch simulator behind every figure of
+//     the paper's evaluation. See cmd/skute-sim and EXPERIMENTS.md.
+package skute

@@ -1,0 +1,28 @@
+// Saturation: reproduce the storage-saturation experiment of the paper
+// (Fig. 5, Section III-E). A constant stream of Pareto-distributed
+// inserts fills the cloud; the economy keeps migrating partitions toward
+// emptier (cheaper) servers, so insert failures only appear when the
+// cloud as a whole is nearly full.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"skute"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "run the full 200-server paper setup (slower)")
+	flag.Parse()
+
+	res := skute.MustRunExperiment("fig5", *paper)
+	fmt.Printf("%s\n\n", res.Title)
+	fmt.Println(res.Rendered)
+	fmt.Println("Observations:")
+	for _, n := range res.Notes {
+		fmt.Printf("  * %s\n", n)
+	}
+	fmt.Println("\nColumns: total used capacity fraction, cumulative failed inserts and")
+	fmt.Println("the coefficient of variation of per-server storage usage (balance).")
+}

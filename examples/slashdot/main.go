@@ -1,0 +1,28 @@
+// Slashdot: reproduce the load-spike experiment of the paper (Fig. 4,
+// Section III-D). The mean query rate explodes ~60x within a few epochs;
+// popular partitions replicate themselves for profit, spreading the load,
+// and the surplus replicas suicide once the wave has passed.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"skute"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "run the full 200-server paper setup (slower)")
+	flag.Parse()
+
+	res := skute.MustRunExperiment("fig4", *paper)
+	fmt.Printf("%s\n\n", res.Title)
+	fmt.Println(res.Rendered)
+	fmt.Println("Observations:")
+	for _, n := range res.Notes {
+		fmt.Printf("  * %s\n", n)
+	}
+	fmt.Println("\nColumns: per-server query load of each application's ring; the paper")
+	fmt.Println("splits the total load 4:2:1 across the three applications and expects")
+	fmt.Println("the per-server load to stay balanced through the spike.")
+}

@@ -1,0 +1,353 @@
+package agent
+
+import (
+	"testing"
+
+	"skute/internal/availability"
+	"skute/internal/economy"
+	"skute/internal/ring"
+	"skute/internal/topology"
+)
+
+func host(id int, cont string) availability.Host {
+	return availability.Host{
+		ID:   ring.ServerID(id),
+		Conf: 1,
+		Loc:  topology.Qualified(cont, "cn", "dc", "rm", "rk", "sv"),
+	}
+}
+
+func cand(id int, cont string, rent float64) availability.Candidate {
+	return availability.Candidate{Host: host(id, cont), Rent: rent, G: 1}
+}
+
+func params() Params {
+	return Params{F: 2, Utility: economy.UtilityParams{ValuePerQuery: 1}, ReplicationSurplus: 1.5}
+}
+
+func TestActionString(t *testing.T) {
+	want := map[Action]string{Hold: "hold", Replicate: "replicate", Migrate: "migrate", Suicide: "suicide", Action(9): "action(9)"}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{F: 0, Utility: economy.UtilityParams{ValuePerQuery: 1}, ReplicationSurplus: 1},
+		{F: 1, Utility: economy.UtilityParams{ValuePerQuery: 1}, ReplicationSurplus: 0.5},
+		{F: 1, Utility: economy.UtilityParams{ValuePerQuery: 0}, ReplicationSurplus: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestAvailabilityRepairHasPriority(t *testing.T) {
+	v := &VNode{Server: 1}
+	in := Inputs{
+		Threshold:  availability.ThresholdForReplicas(2), // needs 2 replicas
+		Hosts:      []availability.Host{host(1, "eu")},   // only self
+		Candidates: []availability.Candidate{cand(2, "eu", 1), cand(3, "us", 5)},
+		Queries:    0, Rent: 100, MinRent: 1, G: 1,
+	}
+	d := v.Decide(params(), in)
+	if d.Action != Replicate {
+		t.Fatalf("action = %v, want replicate", d.Action)
+	}
+	if d.Target != 3 {
+		t.Errorf("target = %d, want the cross-continent server 3", d.Target)
+	}
+	// The repair path must not touch the ledger.
+	if v.Ledger.NegativeRun() != 0 {
+		t.Error("repair decision pushed a balance")
+	}
+}
+
+func TestAvailabilityRepairStarved(t *testing.T) {
+	v := &VNode{Server: 1}
+	in := Inputs{
+		Threshold: availability.ThresholdForReplicas(2),
+		Hosts:     []availability.Host{host(1, "eu")},
+	}
+	if d := v.Decide(params(), in); d.Action != Hold {
+		t.Errorf("no candidates: action = %v, want hold", d.Action)
+	}
+}
+
+func TestSuicideWhenRedundant(t *testing.T) {
+	v := &VNode{Server: 3}
+	// Three cross-continent replicas, threshold for 2: removing self keeps
+	// availability at 63 >= 59.85.
+	hosts := []availability.Host{host(1, "eu"), host(2, "us"), host(3, "ap")}
+	in := Inputs{
+		Threshold: availability.ThresholdForReplicas(2),
+		Hosts:     hosts,
+		Queries:   0, G: 1,
+		Rent:    10,
+		MinRent: 1, // utility floors at 1, balance = 1-10 = -9
+	}
+	p := params()
+	d := v.Decide(p, in)
+	if d.Action != Hold {
+		t.Fatalf("first deficit epoch: %v, want hold", d.Action)
+	}
+	d = v.Decide(p, in)
+	if d.Action != Suicide {
+		t.Fatalf("after F deficits: %v, want suicide", d.Action)
+	}
+}
+
+func TestMigrateWhenNeededElsewhere(t *testing.T) {
+	v := &VNode{Server: 2}
+	// Two replicas, threshold 2: removing self would violate, so the
+	// deficit node must migrate, and only to a cheaper server.
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	in := Inputs{
+		Threshold:  availability.ThresholdForReplicas(2),
+		Hosts:      hosts,
+		Candidates: []availability.Candidate{cand(5, "ap", 4), cand(6, "af", 20)},
+		Queries:    0, G: 1,
+		Rent:    10,
+		MinRent: 1,
+	}
+	p := params()
+	_ = v.Decide(p, in)
+	d := v.Decide(p, in)
+	if d.Action != Migrate {
+		t.Fatalf("action = %v, want migrate", d.Action)
+	}
+	if d.Target != 5 {
+		t.Errorf("target = %d, want cheaper server 5 (rent 4 < 10)", d.Target)
+	}
+}
+
+func TestNoMigrationWithoutCheaperServer(t *testing.T) {
+	v := &VNode{Server: 2}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	in := Inputs{
+		Threshold:  availability.ThresholdForReplicas(2),
+		Hosts:      hosts,
+		Candidates: []availability.Candidate{cand(5, "ap", 50)}, // more expensive
+		Queries:    0, G: 1,
+		Rent:    10,
+		MinRent: 1,
+	}
+	p := params()
+	_ = v.Decide(p, in)
+	if d := v.Decide(p, in); d.Action != Hold {
+		t.Errorf("no cheaper candidate: %v, want hold", d.Action)
+	}
+}
+
+func TestUtilityFloorPreventsChurn(t *testing.T) {
+	// A node on the cheapest server with zero queries floors its utility
+	// at the min rent: balance 0, never a deficit, never migrates.
+	v := &VNode{Server: 1}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	in := Inputs{
+		Threshold:  availability.ThresholdForReplicas(2),
+		Hosts:      hosts,
+		Candidates: []availability.Candidate{cand(5, "ap", 0.5)},
+		Queries:    0, G: 1,
+		Rent:    2,
+		MinRent: 2, // this is the cheapest server
+	}
+	p := params()
+	for i := 0; i < 10; i++ {
+		if d := v.Decide(p, in); d.Action != Hold {
+			t.Fatalf("epoch %d: %v, want hold", i, d.Action)
+		}
+	}
+	if v.Ledger.NegativeRun() != 0 {
+		t.Error("floored node accumulated deficits")
+	}
+}
+
+func TestProfitReplication(t *testing.T) {
+	v := &VNode{Server: 1}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	in := Inputs{
+		Threshold:       availability.ThresholdForReplicas(2),
+		Hosts:           hosts,
+		Candidates:      []availability.Candidate{cand(5, "ap", 4)},
+		Queries:         100, // utility 100
+		G:               1,
+		Rent:            10,
+		MinRent:         1,
+		ConsistencyCost: 2,
+	}
+	p := params()
+	d := v.Decide(p, in)
+	if d.Action != Hold {
+		t.Fatalf("first profit epoch: %v, want hold (hysteresis)", d.Action)
+	}
+	d = v.Decide(p, in)
+	if d.Action != Replicate || d.Target != 5 {
+		t.Fatalf("after F profits: %v -> %d, want replicate -> 5", d.Action, d.Target)
+	}
+	if d.Balance != 90 {
+		t.Errorf("balance = %v, want 90", d.Balance)
+	}
+}
+
+func TestProfitReplicationRequiresSurplus(t *testing.T) {
+	v := &VNode{Server: 1}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	in := Inputs{
+		Threshold:       availability.ThresholdForReplicas(2),
+		Hosts:           hosts,
+		Candidates:      []availability.Candidate{cand(5, "ap", 9)},
+		Queries:         12, // utility 12 < 1.5*(9+2)=16.5
+		G:               1,
+		Rent:            10,
+		MinRent:         1,
+		ConsistencyCost: 2,
+	}
+	p := params()
+	_ = v.Decide(p, in)
+	if d := v.Decide(p, in); d.Action != Hold {
+		t.Errorf("insufficient surplus: %v, want hold", d.Action)
+	}
+}
+
+func TestMixedBalancesResetHysteresis(t *testing.T) {
+	v := &VNode{Server: 1}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	p := params()
+	deficit := Inputs{
+		Threshold: availability.ThresholdForReplicas(2),
+		Hosts:     hosts, Rent: 10, MinRent: 1, G: 1,
+	}
+	profit := deficit
+	profit.Queries = 100
+	_ = v.Decide(p, deficit)
+	_ = v.Decide(p, profit) // breaks the deficit run
+	if d := v.Decide(p, deficit); d.Action != Hold {
+		t.Errorf("after run break: %v, want hold", d.Action)
+	}
+}
+
+func TestEmergencyEvictionBypassesHysteresis(t *testing.T) {
+	v := &VNode{Server: 2}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	p := params()
+	p.EvictionPressure = 0.9
+	in := Inputs{
+		Threshold:       availability.ThresholdForReplicas(2),
+		Hosts:           hosts,
+		Candidates:      []availability.Candidate{cand(5, "ap", 4)},
+		Queries:         1000, // wildly profitable — eviction must still win
+		G:               1,
+		Rent:            10,
+		MinRent:         1,
+		StoragePressure: 0.95,
+	}
+	d := v.Decide(p, in)
+	if d.Action != Migrate || d.Target != 5 {
+		t.Fatalf("under storage pressure: %v -> %d, want migrate -> 5", d.Action, d.Target)
+	}
+	// Below the pressure threshold the same node holds (first profitable
+	// epoch, hysteresis).
+	in.StoragePressure = 0.5
+	if d := v.Decide(p, in); d.Action != Hold {
+		t.Errorf("below pressure: %v, want hold", d.Action)
+	}
+}
+
+func TestEvictionDisabledByZeroPressure(t *testing.T) {
+	v := &VNode{Server: 2}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	p := params() // EvictionPressure unset -> disabled
+	in := Inputs{
+		Threshold:       availability.ThresholdForReplicas(2),
+		Hosts:           hosts,
+		Candidates:      []availability.Candidate{cand(5, "ap", 4)},
+		Queries:         1000,
+		G:               1,
+		Rent:            10,
+		MinRent:         1,
+		StoragePressure: 1.0,
+	}
+	if d := v.Decide(p, in); d.Action != Hold {
+		t.Errorf("eviction disabled: %v, want hold", d.Action)
+	}
+}
+
+func TestEvictionRespectsAvailability(t *testing.T) {
+	v := &VNode{Server: 2}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	p := params()
+	p.EvictionPressure = 0.9
+	// Only candidate shares the remaining replica's continent: moving
+	// there would break the threshold, so the node must stay put.
+	in := Inputs{
+		Threshold:       availability.ThresholdForReplicas(2),
+		Hosts:           hosts,
+		Candidates:      []availability.Candidate{cand(5, "eu", 1)},
+		StoragePressure: 0.99,
+		G:               1, Rent: 10, MinRent: 1,
+	}
+	if d := v.Decide(p, in); d.Action == Migrate {
+		t.Error("eviction migrated into an SLA violation")
+	}
+}
+
+func TestSelfLookup(t *testing.T) {
+	v := &VNode{Server: 7}
+	hosts := []availability.Host{host(7, "eu"), host(2, "us")}
+	if h, ok := v.Self(hosts); !ok || h.ID != 7 {
+		t.Error("Self failed to find the node")
+	}
+	if _, ok := v.Self(hosts[1:]); ok {
+		t.Error("Self found a node that is not in the view")
+	}
+	if id := v.ID(); id == "" {
+		t.Error("empty vnode id")
+	}
+}
+
+func TestDecisionBalanceReported(t *testing.T) {
+	v := &VNode{Server: 1}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us")}
+	in := Inputs{
+		Threshold: availability.ThresholdForReplicas(2),
+		Hosts:     hosts,
+		Queries:   30, G: 0.5, Rent: 5, MinRent: 1,
+	}
+	d := v.Decide(params(), in)
+	if d.Balance != 10 { // 30*0.5*1(value) - 5
+		t.Errorf("balance = %v, want 10", d.Balance)
+	}
+	if v.Ledger.Wealth() != 10 {
+		t.Errorf("wealth = %v, want 10", v.Ledger.Wealth())
+	}
+}
+
+func BenchmarkDecideHold(b *testing.B) {
+	v := &VNode{Server: 1}
+	hosts := []availability.Host{host(1, "eu"), host(2, "us"), host(3, "ap")}
+	cands := make([]availability.Candidate, 50)
+	for i := range cands {
+		cands[i] = cand(10+i, "af", float64(i))
+	}
+	in := Inputs{
+		Threshold: availability.ThresholdForReplicas(2),
+		Hosts:     hosts, Candidates: cands,
+		Queries: 10, G: 1, Rent: 5, MinRent: 1,
+	}
+	p := params()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Decide(p, in)
+		v.Ledger.Reset()
+	}
+}

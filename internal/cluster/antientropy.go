@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+
+	"skute/internal/merkle"
+	"skute/internal/ring"
+	"skute/internal/transport"
+)
+
+// handleLeaves serves the Merkle leaves of a partition's local data.
+func (n *Node) handleLeaves(req leavesReq) (transport.Envelope, error) {
+	leaves := n.partitionLeaves(req.Ring, req.Part)
+	resp := leavesResp{}
+	for _, l := range leaves {
+		resp.Keys = append(resp.Keys, l.Key)
+		h := make([]byte, len(l.Hash))
+		copy(h, l.Hash[:])
+		resp.Hashes = append(resp.Hashes, h)
+	}
+	return transport.Envelope{Kind: "ok", Payload: encode(resp)}, nil
+}
+
+// partitionLeaves exports the Merkle leaves of the partition's local keys.
+func (n *Node) partitionLeaves(id ring.RingID, part int) []merkle.Leaf {
+	_, p, err := n.partition(id, part)
+	if err != nil {
+		return nil
+	}
+	prefix := id.App + "/" + id.Class + "/"
+	return n.eng.MerkleLeaves(func(sk string) bool {
+		if len(sk) <= len(prefix) || sk[:len(prefix)] != prefix {
+			return false
+		}
+		return p.Contains(ring.HashKey(sk[len(prefix):]))
+	})
+}
+
+// handleFetchPartition streams every key/version of a partition.
+func (n *Node) handleFetchPartition(req fetchPartReq) (transport.Envelope, error) {
+	var resp fetchPartResp
+	for _, sk := range n.keysOfPartition(req.Ring, req.Part) {
+		resp.Items = append(resp.Items, kv{Key: sk, Versions: n.eng.Get(sk)})
+	}
+	return transport.Envelope{Kind: "ok", Payload: encode(resp)}, nil
+}
+
+// handleAdopt makes this node a replica of the partition: it pulls the
+// data from the donor address, stores it and joins the replica set. The
+// caller is responsible for broadcasting the assignment change.
+func (n *Node) handleAdopt(req adoptReq) (transport.Envelope, error) {
+	resp, err := n.tr.Call(req.FromAddr, transport.Envelope{
+		Kind:    kindFetchPart,
+		Payload: encode(fetchPartReq{Ring: req.Ring, Part: req.Part}),
+	})
+	if err != nil {
+		return transport.Envelope{}, fmt.Errorf("cluster: adopt fetch from %s: %w", req.FromAddr, err)
+	}
+	var fetched fetchPartResp
+	if err := decode(resp.Payload, &fetched); err != nil {
+		return transport.Envelope{}, err
+	}
+	for _, item := range fetched.Items {
+		for _, v := range item.Versions {
+			if _, err := n.eng.Put(item.Key, v); err != nil {
+				return transport.Envelope{}, err
+			}
+		}
+	}
+	n.applyAssign(assignReq{Ring: req.Ring, Part: req.Part, Add: n.self.Name})
+	return transport.Envelope{Kind: "ok"}, nil
+}
+
+// SyncPartition runs one round of Merkle anti-entropy between this node
+// and the named peer for a partition both replicate: it exchanges trees,
+// walks the differing keys and converges both sides. It returns the
+// number of keys repaired.
+func (n *Node) SyncPartition(id ring.RingID, part int, peer string) (int, error) {
+	info, ok := n.info(peer)
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	local := merkle.Build(n.partitionLeaves(id, part))
+
+	resp, err := n.tr.Call(info.Addr, transport.Envelope{
+		Kind:    kindLeaves,
+		Payload: encode(leavesReq{Ring: id, Part: part}),
+	})
+	if err != nil {
+		return 0, err
+	}
+	var lr leavesResp
+	if err := decode(resp.Payload, &lr); err != nil {
+		return 0, err
+	}
+	remoteLeaves := make([]merkle.Leaf, len(lr.Keys))
+	for i, k := range lr.Keys {
+		remoteLeaves[i].Key = k
+		copy(remoteLeaves[i].Hash[:], lr.Hashes[i])
+	}
+	remote := merkle.Build(remoteLeaves)
+
+	diff := merkle.DiffKeys(local, remote)
+	repaired := 0
+	for _, sk := range diff {
+		// Pull the peer's versions and merge them locally.
+		var gr getResp
+		userKey, rid := splitStorageKey(sk)
+		if rid != id {
+			continue
+		}
+		r, err := n.tr.Call(info.Addr, transport.Envelope{
+			Kind:    kindGet,
+			Payload: encode(getReq{Ring: id, Key: userKey}),
+		})
+		if err != nil {
+			continue
+		}
+		if err := decode(r.Payload, &gr); err != nil {
+			continue
+		}
+		for _, v := range gr.Versions {
+			_, _ = n.eng.Put(sk, v)
+		}
+		// Push the merged set back so the peer converges too.
+		for _, v := range n.eng.Get(sk) {
+			_, _ = n.tr.Call(info.Addr, transport.Envelope{
+				Kind:    kindPut,
+				Payload: encode(putReq{Ring: id, Key: userKey, Version: v}),
+			})
+		}
+		repaired++
+	}
+	return repaired, nil
+}
+
+// RunAntiEntropy performs one anti-entropy round: for every partition
+// this node replicates, it synchronizes with one alive peer replica
+// (rotating deterministically by round). It returns the total keys
+// repaired. cmd/skuted calls this on a timer.
+func (n *Node) RunAntiEntropy(round int) (int, error) {
+	type job struct {
+		id   ring.RingID
+		part int
+		peer string
+	}
+	var jobs []job
+	n.mu.Lock()
+	for _, rid := range n.rings.IDs() {
+		for _, p := range n.rings.Ring(rid).Partitions() {
+			if !p.HasReplica(ring.ServerID(n.selfI)) || len(p.Replicas) < 2 {
+				continue
+			}
+			peers := make([]string, 0, len(p.Replicas)-1)
+			for _, id := range p.Replicas {
+				if int(id) != n.selfI {
+					peers = append(peers, n.nodeName(id))
+				}
+			}
+			jobs = append(jobs, job{rid, p.ID, peers[round%len(peers)]})
+		}
+	}
+	n.mu.Unlock()
+
+	total := 0
+	var firstErr error
+	for _, j := range jobs {
+		if !n.alive(j.peer) {
+			continue
+		}
+		repaired, err := n.SyncPartition(j.id, j.part, j.peer)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		total += repaired
+	}
+	return total, firstErr
+}
+
+// splitStorageKey recovers (user key, ring id) from a storage key of the
+// form app/class/key. Keys containing slashes survive because only the
+// first two segments are ring metadata.
+func splitStorageKey(sk string) (string, ring.RingID) {
+	var id ring.RingID
+	i := indexByte(sk, '/')
+	if i < 0 {
+		return sk, id
+	}
+	id.App = sk[:i]
+	rest := sk[i+1:]
+	j := indexByte(rest, '/')
+	if j < 0 {
+		return sk, ring.RingID{}
+	}
+	id.Class = rest[:j]
+	return rest[j+1:], id
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

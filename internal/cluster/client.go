@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"skute/internal/ring"
+	"skute/internal/transport"
+	"skute/internal/vclock"
+)
+
+// Client talks to one cluster node over a transport and has the node
+// coordinate quorum operations on its behalf. It is what cmd/skutectl
+// uses against a live cmd/skuted deployment.
+type Client struct {
+	tr   transport.Transport
+	addr string
+}
+
+// NewClient returns a client bound to the node at addr.
+func NewClient(tr transport.Transport, addr string) *Client {
+	return &Client{tr: tr, addr: addr}
+}
+
+// Get reads a key through the node: sibling values plus causal context.
+func (c *Client) Get(id ring.RingID, key string) ([][]byte, vclock.VC, error) {
+	resp, err := c.tr.Call(c.addr, transport.Envelope{
+		Kind:    kindClientGet,
+		Payload: encode(clientGetReq{Ring: id, Key: key}),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var r clientGetResp
+	if err := decode(resp.Payload, &r); err != nil {
+		return nil, nil, err
+	}
+	return r.Values, r.Context, nil
+}
+
+// Put writes a value through the node.
+func (c *Client) Put(id ring.RingID, key string, value []byte, ctx vclock.VC) error {
+	_, err := c.tr.Call(c.addr, transport.Envelope{
+		Kind:    kindClientPut,
+		Payload: encode(clientPutReq{Ring: id, Key: key, Value: value, Context: ctx}),
+	})
+	return err
+}
+
+// Delete tombstones a key through the node.
+func (c *Client) Delete(id ring.RingID, key string, ctx vclock.VC) error {
+	_, err := c.tr.Call(c.addr, transport.Envelope{
+		Kind:    kindClientDel,
+		Payload: encode(clientPutReq{Ring: id, Key: key, Delete: true, Context: ctx}),
+	})
+	return err
+}

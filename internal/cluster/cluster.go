@@ -1,0 +1,189 @@
+// Package cluster implements the Skute prototype store the paper lists as
+// future work: a replicated key-value cluster whose replica placement is
+// driven by the same virtual economy as the simulator.
+//
+// Each Node serves reads and writes with configurable R/W quorums over the
+// multi-ring partition layout, performs read repair, synchronizes replicas
+// with Merkle-tree anti-entropy, detects failed peers through heartbeats,
+// and — at the end of each economic epoch — runs the Section II-C agent
+// for every virtual node it hosts, replicating, migrating or deleting
+// partition replicas across the cluster accordingly. Rents are announced
+// to a board node elected as the lowest-named alive member.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"skute/internal/availability"
+	"skute/internal/ring"
+	"skute/internal/topology"
+)
+
+// NodeInfo describes one member of the cluster. Locations travel as
+// slash-separated 6-level paths (see topology.ParsePath) so that the
+// descriptor is plainly serializable.
+type NodeInfo struct {
+	Name        string
+	Addr        string
+	LocPath     string
+	Confidence  float64
+	MonthlyRent float64
+	// Capacity is the storage capacity in bytes used for the rent's
+	// storage_usage term.
+	Capacity int64
+	// QueryCapacity is the per-epoch query capacity for the rent's
+	// query_load term.
+	QueryCapacity float64
+}
+
+// Loc parses the node's location path.
+func (n NodeInfo) Loc() (topology.Location, error) { return topology.ParsePath(n.LocPath) }
+
+// RingSpec declares one virtual ring: an application's availability class
+// with its partition count and SLA replica target.
+type RingSpec struct {
+	App        string
+	Class      string
+	Partitions int
+	// Replicas is the SLA target; the availability threshold is
+	// availability.ThresholdForReplicas(Replicas).
+	Replicas int
+}
+
+// ID returns the ring identity.
+func (r RingSpec) ID() ring.RingID { return ring.RingID{App: r.App, Class: r.Class} }
+
+// Config is the static cluster descriptor every node boots from.
+type Config struct {
+	Nodes []NodeInfo
+	Rings []RingSpec
+	// ReadQuorum/WriteQuorum are the R/W parameters; both default to a
+	// majority of the smallest ring's replica target when zero.
+	ReadQuorum  int
+	WriteQuorum int
+	// SuspectAfter is the heartbeat staleness after which a peer counts
+	// as failed (default 10s).
+	SuspectAfter time.Duration
+}
+
+// Validate rejects unusable descriptors.
+func (c Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: no nodes")
+	}
+	seenName := map[string]bool{}
+	seenAddr := map[string]bool{}
+	for i, n := range c.Nodes {
+		if n.Name == "" || n.Addr == "" {
+			return fmt.Errorf("cluster: node %d needs a name and an address", i)
+		}
+		if seenName[n.Name] || seenAddr[n.Addr] {
+			return fmt.Errorf("cluster: duplicate node name or address %q/%q", n.Name, n.Addr)
+		}
+		seenName[n.Name] = true
+		seenAddr[n.Addr] = true
+		if _, err := n.Loc(); err != nil {
+			return fmt.Errorf("cluster: node %s: %w", n.Name, err)
+		}
+		if n.Confidence < 0 || n.Confidence > 1 {
+			return fmt.Errorf("cluster: node %s confidence %v outside [0,1]", n.Name, n.Confidence)
+		}
+		if n.MonthlyRent <= 0 || n.Capacity <= 0 || n.QueryCapacity <= 0 {
+			return fmt.Errorf("cluster: node %s needs positive rent, capacity and query capacity", n.Name)
+		}
+	}
+	if len(c.Rings) == 0 {
+		return fmt.Errorf("cluster: no rings")
+	}
+	for i, r := range c.Rings {
+		if r.App == "" || r.Class == "" {
+			return fmt.Errorf("cluster: ring %d needs app and class", i)
+		}
+		if r.Partitions < 1 {
+			return fmt.Errorf("cluster: ring %s needs partitions", r.ID())
+		}
+		if r.Replicas < 1 || r.Replicas > len(c.Nodes) {
+			return fmt.Errorf("cluster: ring %s replica target %d outside [1,%d]", r.ID(), r.Replicas, len(c.Nodes))
+		}
+	}
+	if c.ReadQuorum < 0 || c.WriteQuorum < 0 {
+		return fmt.Errorf("cluster: negative quorum")
+	}
+	return nil
+}
+
+// quorums resolves the effective R/W values for a ring target.
+func (c Config) quorums(target int) (r, w int) {
+	r, w = c.ReadQuorum, c.WriteQuorum
+	if r == 0 {
+		r = target/2 + 1
+	}
+	if w == 0 {
+		w = target/2 + 1
+	}
+	if r > target {
+		r = target
+	}
+	if w > target {
+		w = target
+	}
+	return r, w
+}
+
+// buildLayout constructs the multi-ring with a deterministic,
+// diversity-aware initial placement: every node derives the identical
+// layout from the descriptor, so no coordination is needed at bootstrap.
+// Placement seeds each partition on a node chosen round-robin and greedily
+// adds the replica maximizing Eq. 3 (pure diversity at bootstrap: equal
+// rents, g = 1) until the SLA target is met.
+func buildLayout(cfg Config) (*ring.MultiRing, map[ring.RingID]RingSpec, error) {
+	hosts := make([]availability.Host, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		loc, err := n.Loc()
+		if err != nil {
+			return nil, nil, err
+		}
+		hosts[i] = availability.Host{ID: ring.ServerID(i), Loc: loc, Conf: n.Confidence}
+	}
+	mr := ring.NewMultiRing()
+	specs := make(map[ring.RingID]RingSpec, len(cfg.Rings))
+	for _, spec := range cfg.Rings {
+		r, err := mr.Add(spec.ID(), spec.Partitions)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs[spec.ID()] = spec
+		for pi, p := range r.Partitions() {
+			seed := hosts[pi%len(hosts)]
+			p.AddReplica(seed.ID)
+			current := []availability.Host{seed}
+			for len(current) < spec.Replicas {
+				var cands []availability.Candidate
+				for _, h := range hosts {
+					if !p.HasReplica(h.ID) {
+						cands = append(cands, availability.Candidate{Host: h, G: 1})
+					}
+				}
+				best, ok := availability.Best(current, cands)
+				if !ok {
+					break
+				}
+				p.AddReplica(best.ID)
+				current = append(current, best.Host)
+			}
+		}
+	}
+	return mr, specs, nil
+}
+
+// boardOf elects the board: the lowest-named alive node.
+func boardOf(alive []string) (string, bool) {
+	if len(alive) == 0 {
+		return "", false
+	}
+	sorted := append([]string(nil), alive...)
+	sort.Strings(sorted)
+	return sorted[0], true
+}

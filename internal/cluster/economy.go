@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"skute/internal/agent"
+	"skute/internal/availability"
+	"skute/internal/economy"
+	"skute/internal/ring"
+	"skute/internal/transport"
+)
+
+// EpochReport summarizes what one economic epoch did on this node.
+type EpochReport struct {
+	Board        string
+	Rent         float64
+	Replications int
+	Migrations   int
+	Suicides     int
+	Repairs      int // availability-driven replications
+}
+
+// AnnounceRent computes this node's virtual rent (Eq. 1) from its storage
+// usage and the query traffic since the last epoch, and announces it to
+// the board (the lowest-named alive node). It returns the rent and the
+// board's name.
+func (n *Node) AnnounceRent(params economy.RentParams) (float64, string, error) {
+	board, ok := boardOf(n.aliveNames())
+	if !ok {
+		return 0, "", fmt.Errorf("cluster: no alive nodes to elect a board")
+	}
+	n.mu.Lock()
+	var q float64
+	for _, c := range n.queries {
+		q += c
+	}
+	n.mu.Unlock()
+	usage := float64(n.eng.Bytes()) / float64(n.self.Capacity)
+	load := q / n.self.QueryCapacity
+	rent := params.Rent(params.UsagePrice(n.self.MonthlyRent), usage, load)
+
+	env := transport.Envelope{Kind: kindAnnounce, Payload: encode(announceReq{Node: n.self.Name, Rent: rent})}
+	if board == n.self.Name {
+		n.mu.Lock()
+		n.rents[n.self.Name] = rent
+		n.mu.Unlock()
+	} else {
+		info, _ := n.info(board)
+		if _, err := n.tr.Call(info.Addr, env); err != nil {
+			return rent, board, fmt.Errorf("cluster: announce to board %s: %w", board, err)
+		}
+	}
+	return rent, board, nil
+}
+
+// fetchRents pulls the rent board.
+func (n *Node) fetchRents() (map[string]float64, string, error) {
+	board, ok := boardOf(n.aliveNames())
+	if !ok {
+		return nil, "", fmt.Errorf("cluster: no alive nodes to elect a board")
+	}
+	if board == n.self.Name {
+		n.mu.Lock()
+		out := make(map[string]float64, len(n.rents))
+		for k, v := range n.rents {
+			out[k] = v
+		}
+		n.mu.Unlock()
+		return out, board, nil
+	}
+	info, _ := n.info(board)
+	resp, err := n.tr.Call(info.Addr, transport.Envelope{Kind: kindRents})
+	if err != nil {
+		return nil, board, err
+	}
+	var rr rentsResp
+	if err := decode(resp.Payload, &rr); err != nil {
+		return nil, board, err
+	}
+	return rr.Rents, board, nil
+}
+
+// RunEconomicEpoch closes the epoch on this node: it runs the Section
+// II-C decision process for every virtual node hosted here, using the
+// rents on the board, and executes the decisions across the cluster
+// (replicate = adopt on the target, migrate = adopt + local drop, suicide
+// = local drop), broadcasting replica-set changes. Query counters reset
+// afterwards. Callers should AnnounceRent on every node first.
+func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentParams) (EpochReport, error) {
+	rents, board, err := n.fetchRents()
+	if err != nil {
+		return EpochReport{}, err
+	}
+	rep := EpochReport{Board: board}
+	rep.Rent = rents[n.self.Name]
+	minRent := 0.0
+	first := true
+	for _, r := range rents {
+		if first || r < minRent {
+			minRent, first = r, false
+		}
+	}
+
+	// Deterministic iteration over hosted vnodes.
+	type hosted struct {
+		id   ring.RingID
+		part int
+	}
+	var mine []hosted
+	n.mu.Lock()
+	for _, rid := range n.rings.IDs() {
+		r := n.rings.Ring(rid)
+		for _, p := range r.Partitions() {
+			if p.HasReplica(ring.ServerID(n.selfI)) {
+				mine = append(mine, hosted{rid, p.ID})
+			}
+		}
+	}
+	n.mu.Unlock()
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].id != mine[j].id {
+			return mine[i].id.String() < mine[j].id.String()
+		}
+		return mine[i].part < mine[j].part
+	})
+
+	for _, h := range mine {
+		_, p, err := n.partition(h.id, h.part)
+		if err != nil {
+			continue
+		}
+		spec := n.specs[h.id]
+		hosts := n.hostsOf(p)
+		cands := n.candidatesFor(p, rents)
+		key := vnodeKey(h.id, h.part)
+		n.mu.Lock()
+		st, ok := n.ledgers[key]
+		if !ok {
+			st = &ledgerState{}
+			n.ledgers[key] = st
+		}
+		queries := n.queries[key]
+		n.mu.Unlock()
+
+		v := agent.VNode{
+			Ring: h.id, Partition: h.part, Server: ring.ServerID(n.selfI),
+			Ledger: st.ledger,
+		}
+		d := v.Decide(params, agent.Inputs{
+			Threshold:       availability.ThresholdForReplicas(spec.Replicas),
+			Hosts:           hosts,
+			Candidates:      cands,
+			Queries:         queries,
+			StoragePressure: float64(n.eng.Bytes()) / float64(n.self.Capacity),
+			G:               1,
+			Rent:            rents[n.self.Name],
+			MinRent:         minRent,
+			ConsistencyCost: 0.1 * float64(len(hosts)),
+		})
+		st.ledger = v.Ledger
+
+		switch d.Action {
+		case agent.Replicate:
+			repair := availability.Of(hosts) < availability.ThresholdForReplicas(spec.Replicas)
+			if err := n.executeAdopt(h.id, h.part, d.Target); err == nil {
+				if repair {
+					rep.Repairs++
+				} else {
+					rep.Replications++
+				}
+				st.ledger.Reset()
+			}
+		case agent.Migrate:
+			if err := n.executeAdopt(h.id, h.part, d.Target); err == nil {
+				n.dropPartitionData(h.id, h.part)
+				n.broadcastAssign(assignReq{Ring: h.id, Part: h.part, Remove: n.self.Name})
+				n.mu.Lock()
+				delete(n.ledgers, key)
+				n.mu.Unlock()
+				rep.Migrations++
+			}
+		case agent.Suicide:
+			if len(p.Replicas) > 1 {
+				n.dropPartitionData(h.id, h.part)
+				n.broadcastAssign(assignReq{Ring: h.id, Part: h.part, Remove: n.self.Name})
+				n.mu.Lock()
+				delete(n.ledgers, key)
+				n.mu.Unlock()
+				rep.Suicides++
+			}
+		}
+	}
+
+	n.mu.Lock()
+	n.queries = make(map[string]float64)
+	n.mu.Unlock()
+	return rep, nil
+}
+
+// executeAdopt asks the target node to pull a replica of the partition
+// from this node and broadcasts the assignment.
+func (n *Node) executeAdopt(id ring.RingID, part int, target ring.ServerID) error {
+	name := n.nodeName(target)
+	if !n.alive(name) {
+		return fmt.Errorf("cluster: adopt target %s down", name)
+	}
+	info, _ := n.info(name)
+	_, err := n.tr.Call(info.Addr, transport.Envelope{
+		Kind:    kindAdopt,
+		Payload: encode(adoptReq{Ring: id, Part: part, FromAddr: n.self.Addr}),
+	})
+	if err != nil {
+		return err
+	}
+	n.broadcastAssign(assignReq{Ring: id, Part: part, Add: name})
+	return nil
+}
+
+// hostsOf builds the availability view of a partition's replica set,
+// excluding replicas on peers the failure detector considers dead: a
+// failed server no longer contributes diversity, which is exactly what
+// drives the repair replication of Section II-C.
+func (n *Node) hostsOf(p *ring.Partition) []availability.Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	hosts := make([]availability.Host, 0, len(p.Replicas))
+	for _, id := range p.Replicas {
+		if !n.alive(n.nodeName(id)) {
+			continue
+		}
+		hosts = append(hosts, availability.Host{
+			ID:   id,
+			Loc:  n.loc(id),
+			Conf: n.cfg.Nodes[int(id)].Confidence,
+		})
+	}
+	return hosts
+}
+
+// candidatesFor lists alive peers not hosting the partition, priced from
+// the board (peers without an announced rent are skipped).
+func (n *Node) candidatesFor(p *ring.Partition, rents map[string]float64) []availability.Candidate {
+	var cands []availability.Candidate
+	for i, peer := range n.cfg.Nodes {
+		id := ring.ServerID(i)
+		if p.HasReplica(id) || !n.alive(peer.Name) {
+			continue
+		}
+		rent, ok := rents[peer.Name]
+		if !ok {
+			continue
+		}
+		cands = append(cands, availability.Candidate{
+			Host: availability.Host{ID: id, Loc: n.loc(id), Conf: peer.Confidence},
+			Rent: rent,
+			G:    1,
+		})
+	}
+	return cands
+}
+
+// Availability reports Eq. 2 for every partition of a ring, as seen from
+// this node's replica table.
+func (n *Node) Availability(id ring.RingID) (map[int]float64, error) {
+	n.mu.Lock()
+	r := n.rings.Ring(id)
+	n.mu.Unlock()
+	if r == nil {
+		return nil, fmt.Errorf("cluster: unknown ring %s", id)
+	}
+	out := make(map[int]float64, r.Len())
+	for _, p := range r.Partitions() {
+		out[p.ID] = availability.Of(n.hostsOf(p))
+	}
+	return out, nil
+}
+
+// Stats is an observability snapshot of one node.
+type Stats struct {
+	Name        string
+	Keys        int
+	Bytes       int64
+	Capacity    int64
+	AlivePeers  []string
+	Hosted      int
+	Rings       []RingStats
+	MonthlyRent float64
+}
+
+// RingStats summarizes one ring from this node's replica table.
+type RingStats struct {
+	App        string
+	Class      string
+	Partitions int
+	Replicas   int // SLA target
+	Threshold  float64
+	Violations int
+	MinAvail   float64
+}
+
+// Stats gathers the node's observability snapshot.
+func (n *Node) Stats() Stats {
+	st := Stats{
+		Name:        n.self.Name,
+		Keys:        n.eng.Len(),
+		Bytes:       n.eng.Bytes(),
+		Capacity:    n.self.Capacity,
+		AlivePeers:  n.aliveNames(),
+		MonthlyRent: n.self.MonthlyRent,
+	}
+	st.Hosted, _ = n.HostedCount(n.self.Name)
+	for _, spec := range n.cfg.Rings {
+		rs := RingStats{
+			App: spec.App, Class: spec.Class,
+			Replicas:  spec.Replicas,
+			Threshold: availability.ThresholdForReplicas(spec.Replicas),
+			MinAvail:  -1,
+		}
+		avails, err := n.Availability(spec.ID())
+		if err == nil {
+			for _, av := range avails {
+				rs.Partitions++
+				if av < rs.Threshold {
+					rs.Violations++
+				}
+				if rs.MinAvail < 0 || av < rs.MinAvail {
+					rs.MinAvail = av
+				}
+			}
+		}
+		st.Rings = append(st.Rings, rs)
+	}
+	return st
+}
+
+// HostedCount reports how many partition replicas across all rings are
+// currently assigned to the named peer, per this node's replica table.
+func (n *Node) HostedCount(name string) (int, error) {
+	id, ok := n.nodeID(name)
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown node %q", name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, rid := range n.rings.IDs() {
+		for _, p := range n.rings.Ring(rid).Partitions() {
+			if p.HasReplica(id) {
+				total++
+			}
+		}
+	}
+	return total, nil
+}
+
+// Replicas exposes the replica names of the partition holding a key —
+// observability for tests and the CLI.
+func (n *Node) Replicas(id ring.RingID, key string) ([]string, error) {
+	n.mu.Lock()
+	r := n.rings.Ring(id)
+	n.mu.Unlock()
+	if r == nil {
+		return nil, fmt.Errorf("cluster: unknown ring %s", id)
+	}
+	n.mu.Lock()
+	p := r.Lookup(ring.HashKey(key))
+	n.mu.Unlock()
+	return n.replicasOf(p), nil
+}

@@ -1,0 +1,490 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"skute/internal/economy"
+	"skute/internal/gossip"
+	"skute/internal/ring"
+	"skute/internal/store"
+	"skute/internal/topology"
+	"skute/internal/transport"
+)
+
+// Message kinds on the wire.
+const (
+	kindGet       = "get"
+	kindPut       = "put"
+	kindHeartbeat = "heartbeat"
+	kindLeaves    = "merkle-leaves"
+	kindFetchPart = "fetch-partition"
+	kindAdopt     = "adopt"
+	kindAssign    = "assign"
+	kindAnnounce  = "rent-announce"
+	kindRents     = "rent-list"
+	kindDropPart  = "drop-partition"
+	// Client-facing kinds: the receiving node coordinates the quorum
+	// operation on the caller's behalf (cmd/skutectl uses these).
+	kindClientGet = "client-get"
+	kindClientPut = "client-put"
+	kindClientDel = "client-del"
+)
+
+// Wire payloads (gob encoded inside transport.Envelope.Payload).
+type (
+	getReq struct {
+		Ring ring.RingID
+		Key  string
+	}
+	getResp struct {
+		Versions []store.Version
+	}
+	putReq struct {
+		Ring    ring.RingID
+		Key     string
+		Version store.Version
+	}
+	putResp struct {
+		Accepted bool
+	}
+	heartbeatReq struct {
+		From string
+	}
+	leavesReq struct {
+		Ring ring.RingID
+		Part int
+	}
+	leavesResp struct {
+		Keys   []string
+		Hashes [][]byte
+	}
+	fetchPartReq struct {
+		Ring ring.RingID
+		Part int
+	}
+	kv struct {
+		Key      string
+		Versions []store.Version
+	}
+	fetchPartResp struct {
+		Items []kv
+	}
+	adoptReq struct {
+		Ring     ring.RingID
+		Part     int
+		FromAddr string
+	}
+	assignReq struct {
+		Ring   ring.RingID
+		Part   int
+		Add    string // node name to add ("" = none)
+		Remove string // node name to remove ("" = none)
+	}
+	announceReq struct {
+		Node string
+		Rent float64
+	}
+	rentsResp struct {
+		Rents map[string]float64
+	}
+	dropPartReq struct {
+		Ring ring.RingID
+		Part int
+	}
+	clientGetReq struct {
+		Ring ring.RingID
+		Key  string
+	}
+	clientGetResp struct {
+		Values  [][]byte
+		Context map[string]uint64
+	}
+	clientPutReq struct {
+		Ring    ring.RingID
+		Key     string
+		Value   []byte
+		Delete  bool
+		Context map[string]uint64
+	}
+)
+
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("cluster: encode %T: %v", v, err)) // all payloads are gob-safe by construction
+	}
+	return buf.Bytes()
+}
+
+func decode(p []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(p)).Decode(v)
+}
+
+// Node is one prototype server.
+type Node struct {
+	cfg   Config
+	self  NodeInfo
+	selfI int
+	tr    transport.Transport
+	eng   *store.Engine
+	det   *gossip.Detector
+	// Now is the clock source; overridable in tests.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	rings   *ring.MultiRing
+	specs   map[ring.RingID]RingSpec
+	ledgers map[string]*ledgerState // per hosted vnode, keyed ring/part
+	queries map[string]float64      // per hosted vnode epoch query count
+	rents   map[string]float64      // board copy (only used on the board node)
+	rng     *rand.Rand
+}
+
+// ledgerState is a hosted vnode's economic memory.
+type ledgerState struct {
+	ledger economyLedger
+}
+
+// economyLedger aliases the economy ledger to keep the import local.
+type economyLedger = economy.Ledger
+
+// NewNode boots a node from the shared descriptor. The engine may be a
+// fresh in-memory engine or one recovered from a WAL.
+func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	selfI := -1
+	for i, n := range cfg.Nodes {
+		if n.Name == name {
+			selfI = i
+			break
+		}
+	}
+	if selfI < 0 {
+		return nil, fmt.Errorf("cluster: node %q not in descriptor", name)
+	}
+	rings, specs, err := buildLayout(cfg)
+	if err != nil {
+		return nil, err
+	}
+	suspect := cfg.SuspectAfter
+	if suspect == 0 {
+		suspect = 10 * time.Second
+	}
+	n := &Node{
+		cfg:     cfg,
+		self:    cfg.Nodes[selfI],
+		selfI:   selfI,
+		tr:      tr,
+		eng:     eng,
+		det:     gossip.NewDetector(suspect),
+		Now:     time.Now,
+		rings:   rings,
+		specs:   specs,
+		ledgers: make(map[string]*ledgerState),
+		queries: make(map[string]float64),
+		rents:   make(map[string]float64),
+		rng:     rand.New(rand.NewSource(int64(selfI) + 1)),
+	}
+	// Optimistic bootstrap: all peers start alive; real liveness takes
+	// over as heartbeats (or their absence) arrive.
+	now := n.Now()
+	for _, p := range cfg.Nodes {
+		n.det.Heartbeat(p.Name, now)
+	}
+	if err := tr.Serve(n.self.Addr, n.handle); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.self.Name }
+
+// Engine exposes the local storage engine (read-mostly introspection).
+func (n *Node) Engine() *store.Engine { return n.eng }
+
+// Detector exposes the failure detector (tests drive time through it).
+func (n *Node) Detector() *gossip.Detector { return n.det }
+
+// info returns the NodeInfo of a named peer.
+func (n *Node) info(name string) (NodeInfo, bool) {
+	for _, p := range n.cfg.Nodes {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return NodeInfo{}, false
+}
+
+// nodeName maps a ring.ServerID (descriptor index) to the node name.
+func (n *Node) nodeName(id ring.ServerID) string { return n.cfg.Nodes[int(id)].Name }
+
+// nodeID maps a name back to its descriptor index.
+func (n *Node) nodeID(name string) (ring.ServerID, bool) {
+	for i, p := range n.cfg.Nodes {
+		if p.Name == name {
+			return ring.ServerID(i), true
+		}
+	}
+	return 0, false
+}
+
+// loc returns the location of a descriptor index.
+func (n *Node) loc(id ring.ServerID) topology.Location {
+	l, err := n.cfg.Nodes[int(id)].Loc()
+	if err != nil {
+		panic(err) // validated at construction
+	}
+	return l
+}
+
+// alive reports liveness; a node always trusts itself.
+func (n *Node) alive(name string) bool {
+	return name == n.self.Name || n.det.Alive(name, n.Now())
+}
+
+// aliveNames returns the names of peers (including self) currently alive.
+func (n *Node) aliveNames() []string {
+	var out []string
+	for _, p := range n.cfg.Nodes {
+		if n.alive(p.Name) {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// storageKey namespaces a user key by ring.
+func storageKey(id ring.RingID, key string) string {
+	return id.App + "/" + id.Class + "/" + key
+}
+
+// SendHeartbeats announces this node to every peer; unreachable peers
+// simply miss the beat and will fade in their detectors.
+func (n *Node) SendHeartbeats() {
+	req := transport.Envelope{Kind: kindHeartbeat, Payload: encode(heartbeatReq{From: n.self.Name})}
+	for _, p := range n.cfg.Nodes {
+		if p.Name == n.self.Name {
+			continue
+		}
+		_, _ = n.tr.Call(p.Addr, req) // best effort
+	}
+}
+
+// handle dispatches one incoming request.
+func (n *Node) handle(req transport.Envelope) (transport.Envelope, error) {
+	switch req.Kind {
+	case kindHeartbeat:
+		var hb heartbeatReq
+		if err := decode(req.Payload, &hb); err != nil {
+			return transport.Envelope{}, err
+		}
+		n.det.Heartbeat(hb.From, n.Now())
+		return transport.Envelope{Kind: "ok"}, nil
+
+	case kindGet:
+		var g getReq
+		if err := decode(req.Payload, &g); err != nil {
+			return transport.Envelope{}, err
+		}
+		vs := n.eng.Get(storageKey(g.Ring, g.Key))
+		return transport.Envelope{Kind: "ok", Payload: encode(getResp{Versions: vs})}, nil
+
+	case kindPut:
+		var p putReq
+		if err := decode(req.Payload, &p); err != nil {
+			return transport.Envelope{}, err
+		}
+		acc, err := n.eng.Put(storageKey(p.Ring, p.Key), p.Version)
+		if err != nil {
+			return transport.Envelope{}, err
+		}
+		return transport.Envelope{Kind: "ok", Payload: encode(putResp{Accepted: acc})}, nil
+
+	case kindLeaves:
+		var l leavesReq
+		if err := decode(req.Payload, &l); err != nil {
+			return transport.Envelope{}, err
+		}
+		return n.handleLeaves(l)
+
+	case kindFetchPart:
+		var f fetchPartReq
+		if err := decode(req.Payload, &f); err != nil {
+			return transport.Envelope{}, err
+		}
+		return n.handleFetchPartition(f)
+
+	case kindAdopt:
+		var a adoptReq
+		if err := decode(req.Payload, &a); err != nil {
+			return transport.Envelope{}, err
+		}
+		return n.handleAdopt(a)
+
+	case kindAssign:
+		var a assignReq
+		if err := decode(req.Payload, &a); err != nil {
+			return transport.Envelope{}, err
+		}
+		n.applyAssign(a)
+		return transport.Envelope{Kind: "ok"}, nil
+
+	case kindDropPart:
+		var d dropPartReq
+		if err := decode(req.Payload, &d); err != nil {
+			return transport.Envelope{}, err
+		}
+		n.dropPartitionData(d.Ring, d.Part)
+		return transport.Envelope{Kind: "ok"}, nil
+
+	case kindAnnounce:
+		var a announceReq
+		if err := decode(req.Payload, &a); err != nil {
+			return transport.Envelope{}, err
+		}
+		n.mu.Lock()
+		n.rents[a.Node] = a.Rent
+		n.mu.Unlock()
+		return transport.Envelope{Kind: "ok"}, nil
+
+	case kindRents:
+		n.mu.Lock()
+		out := make(map[string]float64, len(n.rents))
+		for k, v := range n.rents {
+			out[k] = v
+		}
+		n.mu.Unlock()
+		return transport.Envelope{Kind: "ok", Payload: encode(rentsResp{Rents: out})}, nil
+
+	case kindClientGet:
+		var g clientGetReq
+		if err := decode(req.Payload, &g); err != nil {
+			return transport.Envelope{}, err
+		}
+		res, err := n.Get(g.Ring, g.Key)
+		if err != nil {
+			return transport.Envelope{}, err
+		}
+		return transport.Envelope{Kind: "ok", Payload: encode(clientGetResp{
+			Values:  res.Values,
+			Context: res.Context,
+		})}, nil
+
+	case kindClientPut, kindClientDel:
+		var p clientPutReq
+		if err := decode(req.Payload, &p); err != nil {
+			return transport.Envelope{}, err
+		}
+		var err error
+		if req.Kind == kindClientDel || p.Delete {
+			err = n.Delete(p.Ring, p.Key, p.Context)
+		} else {
+			err = n.Put(p.Ring, p.Key, p.Value, p.Context)
+		}
+		if err != nil {
+			return transport.Envelope{}, err
+		}
+		return transport.Envelope{Kind: "ok"}, nil
+
+	default:
+		return transport.Envelope{}, fmt.Errorf("cluster: unknown message kind %q", req.Kind)
+	}
+}
+
+// partition returns the ring and partition for a ring id + partition id.
+func (n *Node) partition(id ring.RingID, part int) (*ring.Ring, *ring.Partition, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r := n.rings.Ring(id)
+	if r == nil {
+		return nil, nil, fmt.Errorf("cluster: unknown ring %s", id)
+	}
+	p := r.Get(part)
+	if p == nil {
+		return nil, nil, fmt.Errorf("cluster: ring %s has no partition %d", id, part)
+	}
+	return r, p, nil
+}
+
+// replicasOf snapshots the replica names of a partition.
+func (n *Node) replicasOf(p *ring.Partition) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(p.Replicas))
+	for i, id := range p.Replicas {
+		out[i] = n.nodeName(id)
+	}
+	return out
+}
+
+// applyAssign applies a replica-set change broadcast.
+func (n *Node) applyAssign(a assignReq) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r := n.rings.Ring(a.Ring)
+	if r == nil {
+		return
+	}
+	p := r.Get(a.Part)
+	if p == nil {
+		return
+	}
+	if a.Add != "" {
+		if id, ok := n.nodeID(a.Add); ok {
+			p.AddReplica(id)
+		}
+	}
+	if a.Remove != "" {
+		if id, ok := n.nodeID(a.Remove); ok {
+			p.RemoveReplica(id)
+		}
+	}
+}
+
+// broadcastAssign tells every alive peer (and self) about a replica-set
+// change.
+func (n *Node) broadcastAssign(a assignReq) {
+	n.applyAssign(a)
+	env := transport.Envelope{Kind: kindAssign, Payload: encode(a)}
+	for _, p := range n.cfg.Nodes {
+		if p.Name == n.self.Name || !n.alive(p.Name) {
+			continue
+		}
+		_, _ = n.tr.Call(p.Addr, env) // best effort; anti-entropy heals stragglers
+	}
+}
+
+// keysOfPartition lists local storage keys belonging to the partition.
+func (n *Node) keysOfPartition(id ring.RingID, part int) []string {
+	_, p, err := n.partition(id, part)
+	if err != nil {
+		return nil
+	}
+	prefix := id.App + "/" + id.Class + "/"
+	var out []string
+	for _, sk := range n.eng.Keys() {
+		if len(sk) <= len(prefix) || sk[:len(prefix)] != prefix {
+			continue
+		}
+		user := sk[len(prefix):]
+		if p.Contains(ring.HashKey(user)) {
+			out = append(out, sk)
+		}
+	}
+	return out
+}
+
+// dropPartitionData removes the local data of a partition.
+func (n *Node) dropPartitionData(id ring.RingID, part int) {
+	for _, sk := range n.keysOfPartition(id, part) {
+		_, _ = n.eng.Drop(sk)
+	}
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+
+	"skute/internal/ring"
+	"skute/internal/store"
+	"skute/internal/transport"
+	"skute/internal/vclock"
+)
+
+// GetResult is the outcome of a quorum read: the surviving sibling values
+// and the causal context to pass back into Put for a read-modify-write.
+type GetResult struct {
+	// Values are the concurrent sibling values (one element in the common
+	// no-conflict case). Empty means not found.
+	Values [][]byte
+	// Context is the merged clock of everything observed; a Put carrying
+	// it supersedes all read siblings.
+	Context vclock.VC
+	// Replied is how many replicas answered.
+	Replied int
+}
+
+// Get performs a quorum read of the key on its partition's replicas,
+// merges the versions under vector-clock causality, read-repairs stale
+// replicas and returns the surviving siblings.
+func (n *Node) Get(id ring.RingID, key string) (GetResult, error) {
+	spec, ok := n.specs[id]
+	if !ok {
+		return GetResult{}, fmt.Errorf("cluster: unknown ring %s", id)
+	}
+	n.mu.Lock()
+	r := n.rings.Ring(id)
+	p := r.Lookup(ring.HashKey(key))
+	part := p.ID
+	n.mu.Unlock()
+	replicas := n.replicasOf(p)
+	readQ, _ := n.cfg.quorums(spec.Replicas)
+
+	n.countQuery(id, part)
+
+	var gathered []store.Version
+	var responders []string
+	env := transport.Envelope{Kind: kindGet, Payload: encode(getReq{Ring: id, Key: key})}
+	for _, name := range replicas {
+		if !n.alive(name) {
+			continue
+		}
+		var vs []store.Version
+		if name == n.self.Name {
+			vs = n.eng.Get(storageKey(id, key))
+		} else {
+			info, _ := n.info(name)
+			resp, err := n.tr.Call(info.Addr, env)
+			if err != nil {
+				continue
+			}
+			var gr getResp
+			if err := decode(resp.Payload, &gr); err != nil {
+				continue
+			}
+			vs = gr.Versions
+		}
+		gathered = append(gathered, vs...)
+		responders = append(responders, name)
+		if len(responders) >= readQ+1 { // over-read slightly to improve repair
+			break
+		}
+	}
+	if len(responders) < readQ {
+		return GetResult{}, fmt.Errorf("cluster: read quorum not met for %s/%s: %d/%d replicas answered",
+			id, key, len(responders), readQ)
+	}
+
+	merged := store.MergeSiblings(gathered)
+	// Read repair: push the merged set back to the responders; engines
+	// reject anything they already dominate, so this is idempotent.
+	for _, v := range merged {
+		n.fanoutPut(id, key, v, responders)
+	}
+
+	res := GetResult{Replied: len(responders), Context: vclock.New()}
+	for _, v := range merged {
+		res.Context = vclock.Merge(res.Context, v.Clock)
+		if !v.Tombstone {
+			res.Values = append(res.Values, v.Value)
+		}
+	}
+	return res, nil
+}
+
+// Put writes the value under a clock derived from the read context,
+// requiring the write quorum of live replicas to acknowledge.
+func (n *Node) Put(id ring.RingID, key string, value []byte, context vclock.VC) error {
+	return n.write(id, key, store.Version{Value: value, Clock: context.Clone().Tick(n.self.Name)})
+}
+
+// Delete writes a tombstone derived from the read context.
+func (n *Node) Delete(id ring.RingID, key string, context vclock.VC) error {
+	return n.write(id, key, store.Version{Tombstone: true, Clock: context.Clone().Tick(n.self.Name)})
+}
+
+// write fans a version out to the partition's replicas.
+func (n *Node) write(id ring.RingID, key string, v store.Version) error {
+	spec, ok := n.specs[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown ring %s", id)
+	}
+	n.mu.Lock()
+	r := n.rings.Ring(id)
+	p := r.Lookup(ring.HashKey(key))
+	part := p.ID
+	n.mu.Unlock()
+	replicas := n.replicasOf(p)
+	_, writeQ := n.cfg.quorums(spec.Replicas)
+
+	n.countQuery(id, part)
+
+	acks := n.fanoutPut(id, key, v, replicas)
+	if acks < writeQ {
+		return fmt.Errorf("cluster: write quorum not met for %s/%s: %d/%d acks", id, key, acks, writeQ)
+	}
+	return nil
+}
+
+// fanoutPut stores the version on every named alive replica and returns
+// the ack count.
+func (n *Node) fanoutPut(id ring.RingID, key string, v store.Version, replicas []string) int {
+	env := transport.Envelope{Kind: kindPut, Payload: encode(putReq{Ring: id, Key: key, Version: v})}
+	acks := 0
+	for _, name := range replicas {
+		if !n.alive(name) {
+			continue
+		}
+		if name == n.self.Name {
+			if _, err := n.eng.Put(storageKey(id, key), v); err == nil {
+				acks++
+			}
+			continue
+		}
+		info, _ := n.info(name)
+		if _, err := n.tr.Call(info.Addr, env); err == nil {
+			acks++
+		}
+	}
+	return acks
+}
+
+// countQuery accounts one query against the vnode hosting the partition
+// locally (if any), feeding the economy.
+func (n *Node) countQuery(id ring.RingID, part int) {
+	n.mu.Lock()
+	n.queries[vnodeKey(id, part)]++
+	n.mu.Unlock()
+}
+
+// vnodeKey names a hosted vnode for the ledgers/queries maps.
+func vnodeKey(id ring.RingID, part int) string {
+	return fmt.Sprintf("%s#%d", id, part)
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"skute/internal/store"
+	"skute/internal/transport"
+)
+
+// TestWALRecoveryRejoinsCluster restarts a node from its write-ahead log
+// and verifies its data survives the crash and anti-entropy pulls in
+// whatever it missed while down.
+func TestWALRecoveryRejoinsCluster(t *testing.T) {
+	dir := t.TempDir()
+	mesh := transport.NewMemory()
+	defer mesh.Close()
+	cfg := testConfig()
+	// Sloppy quorums (R=W=1) so the cluster keeps serving with one of two
+	// gold replicas down; anti-entropy converges the stragglers.
+	cfg.ReadQuorum, cfg.WriteQuorum = 1, 1
+
+	nodes := make(map[string]*Node)
+	engines := make(map[string]*store.Engine)
+	for _, ni := range cfg.Nodes {
+		eng, err := store.Open(filepath.Join(dir, ni.Name+".wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[ni.Name] = eng
+		n, err := NewNode(cfg, ni.Name, mesh, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[ni.Name] = n
+	}
+
+	for i := 0; i < 12; i++ {
+		if err := nodes["n0"].Put(goldRing, fmt.Sprintf("durable-%d", i), []byte("v1"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash n1: mesh down, detectors notified, engine closed (flushes the
+	// log).
+	mesh.SetDown("mem-n1", true)
+	for _, n := range nodes {
+		n.Detector().Forget("n1")
+	}
+	if err := engines["n1"].Close(); err != nil {
+		t.Fatal(err)
+	}
+	preBytes := engines["n1"].Bytes()
+
+	// Writes continue while n1 is down (quorums tolerate one failure on
+	// the 2- and 3-replica rings as long as another replica answers).
+	for i := 0; i < 12; i++ {
+		_ = nodes["n0"].Put(goldRing, fmt.Sprintf("durable-%d", i), []byte("v2"), mustCtx(t, nodes["n0"], fmt.Sprintf("durable-%d", i)))
+	}
+
+	// Restart n1 from its WAL on the same address.
+	recovered, err := store.Open(filepath.Join(dir, "n1.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if recovered.Bytes() != preBytes {
+		t.Fatalf("recovered %d bytes, wal had %d at crash", recovered.Bytes(), preBytes)
+	}
+	mesh.SetDown("mem-n1", false)
+	n1, err := NewNode(cfg, "n1", mesh, recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Anti-entropy rounds pull in the writes n1 missed.
+	if _, err := n1.RunAntiEntropy(0); err != nil {
+		t.Fatalf("anti-entropy: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		sk := storageKey(goldRing, fmt.Sprintf("durable-%d", i))
+		vs := recovered.Get(sk)
+		if len(vs) == 0 {
+			continue // n1 may not replicate this partition
+		}
+		if string(vs[0].Value) != "v2" {
+			t.Errorf("key %d on recovered node = %q, want v2", i, vs[0].Value)
+		}
+	}
+}
+
+// mustCtx reads the current context of a key.
+func mustCtx(t *testing.T, n *Node, key string) map[string]uint64 {
+	t.Helper()
+	res, err := n.Get(goldRing, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Context
+}
+
+func TestRunAntiEntropyCleanCluster(t *testing.T) {
+	_, nodes := testCluster(t)
+	for i := 0; i < 10; i++ {
+		if err := nodes[0].Put(platRing, fmt.Sprintf("k%d", i), []byte("v"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A converged cluster repairs nothing.
+	for round, n := range nodes {
+		repaired, err := n.RunAntiEntropy(round)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		if repaired != 0 {
+			t.Errorf("%s repaired %d keys on a converged cluster", n.Name(), repaired)
+		}
+	}
+}

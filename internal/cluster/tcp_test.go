@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"skute/internal/ring"
+	"skute/internal/store"
+	"skute/internal/transport"
+)
+
+// TestTCPEndToEnd boots a 3-node cluster over real sockets — the same
+// code path as cmd/skuted — and drives it through the Client used by
+// cmd/skutectl.
+func TestTCPEndToEnd(t *testing.T) {
+	// Bind three listeners first to learn their ports, then build the
+	// descriptor around them.
+	trs := make([]*transport.TCP, 3)
+	addrs := make([]string, 3)
+	for i := range trs {
+		trs[i] = transport.NewTCP()
+		defer trs[i].Close()
+		// Bind a throwaway handler to allocate the port, then the real
+		// node re-serves on the same transport at the same address.
+		if err := trs[i].Serve("127.0.0.1:0", func(transport.Envelope) (transport.Envelope, error) {
+			return transport.Envelope{}, fmt.Errorf("not ready")
+		}); err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = trs[i].Addrs()[0]
+	}
+
+	cfg := Config{
+		Rings: []RingSpec{{App: "app1", Class: "gold", Partitions: 4, Replicas: 2}},
+	}
+	conts := []string{"eu", "us", "ap"}
+	for i := range trs {
+		cfg.Nodes = append(cfg.Nodes, NodeInfo{
+			Name:          fmt.Sprintf("n%d", i),
+			Addr:          addrs[i],
+			LocPath:       fmt.Sprintf("%s/c/dc0/r0/k0/s%d", conts[i], i),
+			Confidence:    1,
+			MonthlyRent:   100,
+			Capacity:      1 << 30,
+			QueryCapacity: 1000,
+		})
+	}
+
+	nodes := make([]*Node, 3)
+	for i := range trs {
+		// A second Serve on the same TCP transport binds a new port; for
+		// the test we want the node on the already-bound address, so use
+		// a fresh transport per node bound to the reserved address. The
+		// original listener must be released first.
+		trs[i].Close()
+		nt := transport.NewTCP()
+		defer nt.Close()
+		var err error
+		nodes[i], err = NewNode(cfg, fmt.Sprintf("n%d", i), &fixedAddrTCP{TCP: nt, addr: addrs[i]}, store.NewMemory())
+		if err != nil {
+			t.Fatalf("NewNode over TCP: %v", err)
+		}
+	}
+
+	id := ring.RingID{App: "app1", Class: "gold"}
+	client := NewClient(transport.NewTCP(), addrs[0])
+	if err := client.Put(id, "greeting", []byte("hello tcp"), nil); err != nil {
+		t.Fatalf("client put: %v", err)
+	}
+	// Read through a different node.
+	client2 := NewClient(transport.NewTCP(), addrs[2])
+	values, ctx, err := client2.Get(id, "greeting")
+	if err != nil {
+		t.Fatalf("client get: %v", err)
+	}
+	if len(values) != 1 || string(values[0]) != "hello tcp" {
+		t.Fatalf("get = %q", values)
+	}
+	if err := client2.Put(id, "greeting", []byte("v2"), ctx); err != nil {
+		t.Fatal(err)
+	}
+	values, ctx, _ = client.Get(id, "greeting")
+	if len(values) != 1 || string(values[0]) != "v2" {
+		t.Fatalf("after rmw: %q", values)
+	}
+	if err := client.Delete(id, "greeting", ctx); err != nil {
+		t.Fatal(err)
+	}
+	values, _, _ = client.Get(id, "greeting")
+	if len(values) != 0 {
+		t.Fatalf("after delete: %q", values)
+	}
+	// Heartbeats flow over TCP too.
+	for _, n := range nodes {
+		n.SendHeartbeats()
+	}
+	for _, n := range nodes {
+		for _, p := range nodes {
+			if !n.alive(p.Name()) {
+				t.Errorf("%s sees %s dead over TCP", n.Name(), p.Name())
+			}
+		}
+	}
+}
+
+// fixedAddrTCP redirects Serve to a predetermined address so the
+// descriptor (written before the nodes boot) stays accurate.
+type fixedAddrTCP struct {
+	*transport.TCP
+	addr string
+}
+
+func (f *fixedAddrTCP) Serve(_ string, h transport.Handler) error {
+	return f.TCP.Serve(f.addr, h)
+}

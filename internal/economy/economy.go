@@ -1,0 +1,197 @@
+// Package economy implements the virtual economy of Skute: the per-epoch
+// virtual rent of a server (Eq. 1), the board where rents are announced,
+// the utility a virtual node earns from queries, and the balance ledger
+// that drives the replicate/migrate/suicide decisions (Eq. 5).
+//
+// Monetary units are abstract: the virtual rent approximates the epoch
+// share of the real monthly rent the data owner pays, and utility is query
+// traffic "normalized to monetary units" through a configurable value per
+// query.
+package economy
+
+import (
+	"fmt"
+	"math"
+
+	"skute/internal/ring"
+)
+
+// RentParams hold the normalizing factors of Eq. 1 and the epoch/month
+// conversion used to derive the marginal usage price from the real monthly
+// rent.
+type RentParams struct {
+	Alpha          float64 // weight of storage usage in the rent
+	Beta           float64 // weight of query load in the rent
+	EpochsPerMonth float64 // how many epochs one real billing month spans
+	// PriceTick quantizes announced rents to multiples of this amount
+	// (0 = continuous prices). Ticked prices give the cheap end of the
+	// market a shared minimum, which is what lets the utility floor of
+	// Section II-C pin unpopular virtual nodes instead of letting them
+	// chase epsilon-cheaper servers forever.
+	PriceTick float64
+}
+
+// DefaultRentParams returns the parameters used by the paper-scale
+// simulations: alpha and beta chosen so that a full server roughly doubles
+// its rent, 30 epochs per month (an epoch "day"), and a 0.25 price tick.
+func DefaultRentParams() RentParams {
+	return RentParams{Alpha: 1, Beta: 1, EpochsPerMonth: 30, PriceTick: 0.25}
+}
+
+// Validate reports an error for non-positive or negative parameters.
+func (p RentParams) Validate() error {
+	if p.Alpha < 0 || p.Beta < 0 {
+		return fmt.Errorf("economy: alpha/beta must be non-negative: %+v", p)
+	}
+	if p.EpochsPerMonth <= 0 {
+		return fmt.Errorf("economy: epochs per month must be positive: %+v", p)
+	}
+	if p.PriceTick < 0 {
+		return fmt.Errorf("economy: price tick must be non-negative: %+v", p)
+	}
+	return nil
+}
+
+// UsagePrice is the marginal usage price "up" of Eq. 1: the epoch share of
+// the server's real monthly rent.
+func (p RentParams) UsagePrice(monthlyRent float64) float64 {
+	return monthlyRent / p.EpochsPerMonth
+}
+
+// Rent computes Eq. 1: c = up * (1 + alpha*storage_usage + beta*query_load),
+// rounded up to the next price tick when one is configured. Usage and load
+// are clamped below at 0 so that accounting glitches can never produce a
+// rent below the usage price.
+func (p RentParams) Rent(usagePrice, storageUsage, queryLoad float64) float64 {
+	if storageUsage < 0 {
+		storageUsage = 0
+	}
+	if queryLoad < 0 {
+		queryLoad = 0
+	}
+	c := usagePrice * (1 + p.Alpha*storageUsage + p.Beta*queryLoad)
+	if p.PriceTick > 0 {
+		c = math.Ceil(c/p.PriceTick) * p.PriceTick
+	}
+	return c
+}
+
+// UtilityParams convert query traffic into monetary utility.
+type UtilityParams struct {
+	// ValuePerQuery is the utility of one answered query at geographic
+	// preference g = 1 (clients next door).
+	ValuePerQuery float64
+}
+
+// DefaultUtilityParams calibrates the value per query so that a partition
+// receiving the mean paper load (3000 queries / 200 partitions = 15
+// queries/epoch) roughly pays the cheap server's base rent
+// (100$/30 epochs ~ 3.33): slightly popular partitions profit, unpopular
+// ones run a deficit — the tension the economy needs.
+func DefaultUtilityParams() UtilityParams {
+	return UtilityParams{ValuePerQuery: 0.25}
+}
+
+// Utility computes u(pop, g): the epoch query load of the partition scaled
+// by the geographic preference g of the serving node and normalized to
+// monetary units. Replies served near the clients (g -> 1) are worth their
+// full value; distant replicas earn proportionally less, mirroring the
+// paper's "inversely proportional to the average distance of the client
+// locations" utility.
+func (p UtilityParams) Utility(queries, g float64) float64 {
+	if queries < 0 || g < 0 {
+		return 0
+	}
+	return p.ValuePerQuery * queries * g
+}
+
+// Board is the per-cloud blackboard (an elected server in the paper) where
+// every server's virtual rent for the next epoch is announced. The board
+// also exposes the cheapest announced rent, which the agents use as the
+// utility floor that stops unpopular virtual nodes from migrating forever.
+type Board struct {
+	rents map[ring.ServerID]float64
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board {
+	return &Board{rents: make(map[ring.ServerID]float64)}
+}
+
+// Announce publishes the rent of a server for the coming epoch.
+func (b *Board) Announce(id ring.ServerID, rent float64) {
+	b.rents[id] = rent
+}
+
+// Forget removes a server (failed or decommissioned) from the board.
+func (b *Board) Forget(id ring.ServerID) {
+	delete(b.rents, id)
+}
+
+// Rent returns the announced rent of the server.
+func (b *Board) Rent(id ring.ServerID) (float64, bool) {
+	r, ok := b.rents[id]
+	return r, ok
+}
+
+// Len returns the number of announced servers.
+func (b *Board) Len() int { return len(b.rents) }
+
+// MinRent returns the cheapest announced rent, or 0 when the board is
+// empty.
+func (b *Board) MinRent() float64 {
+	if len(b.rents) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, r := range b.rents {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// Ledger tracks a virtual node's balance history: its cumulative wealth
+// and the lengths of the current positive and negative balance runs, which
+// implement the "for the last f epochs" hysteresis of Section II-C.
+type Ledger struct {
+	wealth float64
+	posRun int
+	negRun int
+}
+
+// Push records the net balance of one epoch.
+func (l *Ledger) Push(balance float64) {
+	l.wealth += balance
+	switch {
+	case balance > 0:
+		l.posRun++
+		l.negRun = 0
+	case balance < 0:
+		l.negRun++
+		l.posRun = 0
+	default:
+		l.posRun = 0
+		l.negRun = 0
+	}
+}
+
+// Wealth returns the cumulative net benefit of the node's lifetime.
+func (l *Ledger) Wealth() float64 { return l.wealth }
+
+// NegativeRun returns the number of consecutive trailing epochs with a
+// negative balance.
+func (l *Ledger) NegativeRun() int { return l.negRun }
+
+// PositiveRun returns the number of consecutive trailing epochs with a
+// positive balance.
+func (l *Ledger) PositiveRun() int { return l.posRun }
+
+// Reset clears the runs but keeps the wealth; used after a migration or a
+// replication so that the fresh placement gets a full observation window
+// before the next decision.
+func (l *Ledger) Reset() {
+	l.posRun = 0
+	l.negRun = 0
+}

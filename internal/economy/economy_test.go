@@ -1,0 +1,155 @@
+package economy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRentParamsValidate(t *testing.T) {
+	if err := DefaultRentParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []RentParams{
+		{Alpha: -1, Beta: 1, EpochsPerMonth: 30},
+		{Alpha: 1, Beta: -1, EpochsPerMonth: 30},
+		{Alpha: 1, Beta: 1, EpochsPerMonth: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v): want error", p)
+		}
+	}
+}
+
+func TestUsagePrice(t *testing.T) {
+	p := RentParams{Alpha: 1, Beta: 1, EpochsPerMonth: 30}
+	if got := p.UsagePrice(100); math.Abs(got-100.0/30) > 1e-12 {
+		t.Errorf("UsagePrice(100) = %v", got)
+	}
+}
+
+func TestRentEquationOne(t *testing.T) {
+	p := RentParams{Alpha: 2, Beta: 3, EpochsPerMonth: 30}
+	// c = up * (1 + 2*0.5 + 3*0.25) = up * 2.75
+	got := p.Rent(4, 0.5, 0.25)
+	if math.Abs(got-11) > 1e-12 {
+		t.Errorf("Rent = %v, want 11", got)
+	}
+	// An idle empty server pays exactly the usage price.
+	if got := p.Rent(4, 0, 0); got != 4 {
+		t.Errorf("idle rent = %v, want 4", got)
+	}
+	// Negative inputs clamp to zero rather than discounting the rent.
+	if got := p.Rent(4, -1, -1); got != 4 {
+		t.Errorf("clamped rent = %v, want 4", got)
+	}
+}
+
+func TestRentMonotonicProperty(t *testing.T) {
+	p := DefaultRentParams()
+	f := func(su, ql, dsu, dql float64) bool {
+		su, ql = math.Abs(math.Mod(su, 10)), math.Abs(math.Mod(ql, 10))
+		dsu, dql = math.Abs(math.Mod(dsu, 10)), math.Abs(math.Mod(dql, 10))
+		base := p.Rent(3, su, ql)
+		return p.Rent(3, su+dsu, ql+dql) >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtility(t *testing.T) {
+	u := UtilityParams{ValuePerQuery: 0.5}
+	if got := u.Utility(100, 1); got != 50 {
+		t.Errorf("Utility(100,1) = %v", got)
+	}
+	if got := u.Utility(100, 0.5); got != 25 {
+		t.Errorf("Utility(100,0.5) = %v", got)
+	}
+	if u.Utility(-5, 1) != 0 || u.Utility(5, -1) != 0 {
+		t.Error("negative inputs must yield zero utility")
+	}
+}
+
+func TestBoard(t *testing.T) {
+	b := NewBoard()
+	if b.MinRent() != 0 || b.Len() != 0 {
+		t.Error("empty board state wrong")
+	}
+	b.Announce(1, 5)
+	b.Announce(2, 3)
+	b.Announce(3, 9)
+	if b.Len() != 3 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if r, ok := b.Rent(2); !ok || r != 3 {
+		t.Errorf("Rent(2) = %v, %v", r, ok)
+	}
+	if _, ok := b.Rent(42); ok {
+		t.Error("Rent of unknown server reported ok")
+	}
+	if b.MinRent() != 3 {
+		t.Errorf("MinRent = %v", b.MinRent())
+	}
+	b.Forget(2)
+	if b.MinRent() != 5 {
+		t.Errorf("MinRent after Forget = %v", b.MinRent())
+	}
+	// Re-announcing overwrites.
+	b.Announce(1, 1)
+	if b.MinRent() != 1 {
+		t.Errorf("MinRent after re-announce = %v", b.MinRent())
+	}
+}
+
+func TestLedgerRuns(t *testing.T) {
+	var l Ledger
+	for i := 0; i < 3; i++ {
+		l.Push(-1)
+	}
+	if l.NegativeRun() != 3 || l.PositiveRun() != 0 {
+		t.Errorf("runs = +%d/-%d", l.PositiveRun(), l.NegativeRun())
+	}
+	l.Push(2)
+	if l.NegativeRun() != 0 || l.PositiveRun() != 1 {
+		t.Errorf("after positive: +%d/-%d", l.PositiveRun(), l.NegativeRun())
+	}
+	if math.Abs(l.Wealth()-(-1)) > 1e-12 {
+		t.Errorf("wealth = %v, want -1", l.Wealth())
+	}
+	l.Push(0)
+	if l.NegativeRun() != 0 || l.PositiveRun() != 0 {
+		t.Error("zero balance must reset both runs")
+	}
+	l.Push(5)
+	l.Reset()
+	if l.PositiveRun() != 0 {
+		t.Error("Reset did not clear runs")
+	}
+	if math.Abs(l.Wealth()-4) > 1e-12 {
+		t.Errorf("Reset must keep wealth, got %v", l.Wealth())
+	}
+}
+
+func TestLedgerRunProperty(t *testing.T) {
+	// After any sequence, at most one of the runs is non-zero.
+	f := func(balances []float64) bool {
+		var l Ledger
+		for _, b := range balances {
+			l.Push(b)
+		}
+		return l.PositiveRun() == 0 || l.NegativeRun() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRent(b *testing.B) {
+	p := DefaultRentParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Rent(3.33, 0.4, 0.7)
+	}
+}

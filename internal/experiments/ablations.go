@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"skute/internal/sim"
+	"skute/internal/topology"
+)
+
+// AblationPlacement compares the virtual economy against the
+// RandomPlacement baseline at identical seeds and horizons: both maintain
+// the SLA replica counts, but the economy concentrates replicas on cheap
+// servers, lowering the data owner's real monthly bill, while random
+// placement rents servers indiscriminately.
+func AblationPlacement(s Scale) (*Result, error) {
+	epochs := horizon(s, 200)
+	res := &Result{ID: "ablation-placement", Title: "Economy vs. random placement: monthly cost and SLA compliance"}
+	res.Table = newFigTable()
+
+	run := func(policy sim.PolicyKind, label string) (*sim.Cloud, error) {
+		cfg := baseConfig(s)
+		cfg.Policy = policy
+		c, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Run(epochs, func(c *sim.Cloud) {
+			res.Table.Series("cost_" + label).Add(c.MonthlyCost())
+		})
+		return c, nil
+	}
+
+	eco, err := run(sim.Economic, "economy")
+	if err != nil {
+		return nil, err
+	}
+	rnd, err := run(sim.RandomPlacement, "random")
+	if err != nil {
+		return nil, err
+	}
+
+	ecoCost, rndCost := eco.MonthlyCost(), rnd.MonthlyCost()
+	res.notef("final monthly cost: economy %.0f$ vs random %.0f$", ecoCost, rndCost)
+	// Per-replica economics: the economy may keep more replicas (popular
+	// partitions replicate for profit), so compare the price mix too.
+	ev, rv := eco.VNodeCounts(), rnd.VNodeCounts()
+	res.notef("vnodes per cheap/expensive server: economy %.1f/%.1f, random %.1f/%.1f",
+		ev.Cheap.Mean, ev.Expensive.Mean, rv.Cheap.Mean, rv.Expensive.Mean)
+	for i, a := range eco.AvailabilityStats() {
+		b := rnd.AvailabilityStats()[i]
+		res.notef("ring %d violations: economy %d/%d, random %d/%d", i, a.Violations, a.Partitions, b.Violations, b.Partitions)
+	}
+	return res, nil
+}
+
+// AblationDiversity compares diversity-aware placement (Eq. 2/Eq. 3)
+// against the CountOnly baseline under a correlated zone failure: a whole
+// datacenter goes down mid-run. Count-only placement satisfies replica
+// counts but co-locates replicas, so the zone failure destroys partitions
+// or leaves them exposed; diversity-aware placement spreads replicas so
+// the same failure loses nothing.
+func AblationDiversity(s Scale) (*Result, error) {
+	epochs := horizon(s, 200)
+	failAt := epochs / 2
+	res := &Result{ID: "ablation-diversity", Title: "Diversity-aware vs. count-only placement under a datacenter failure"}
+	res.Table = newFigTable()
+
+	run := func(policy sim.PolicyKind, label string) (*sim.Cloud, error) {
+		cfg := baseConfig(s)
+		cfg.Policy = policy
+		cfg.Events = []sim.Event{{Epoch: failAt, Kind: sim.FailZone, Zone: topology.Datacenter}}
+		c, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Run(epochs, func(c *sim.Cloud) {
+			viol := 0
+			for _, a := range c.AvailabilityStats() {
+				viol += a.Violations
+			}
+			res.Table.Series("violations_" + label).Add(float64(viol))
+			res.Table.Series("lost_" + label).Add(float64(c.Ops().LostPartitions))
+		})
+		return c, nil
+	}
+
+	div, err := run(sim.Economic, "diversity")
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := run(sim.CountOnly, "countonly")
+	if err != nil {
+		return nil, err
+	}
+
+	res.notef("partitions lost to the datacenter failure: diversity-aware %d, count-only %d",
+		div.Ops().LostPartitions, cnt.Ops().LostPartitions)
+	dv, cv := 0, 0
+	for _, a := range div.AvailabilityStats() {
+		dv += a.Violations
+	}
+	for _, a := range cnt.AvailabilityStats() {
+		cv += a.Violations
+	}
+	res.notef("final availability violations: diversity-aware %d, count-only %d", dv, cv)
+	return res, nil
+}
+
+// AblationFloor measures the anti-churn effect of the utility floor
+// (Section II-C: "sets lowest utility value to the current lowest virtual
+// rent price to prevent unpopular nodes from migrating indefinitely"):
+// with the floor disabled, unpopular virtual nodes run perpetual deficits
+// and keep migrating toward ever-cheaper servers.
+func AblationFloor(s Scale) (*Result, error) {
+	epochs := horizon(s, 200)
+	res := &Result{ID: "ablation-floor", Title: "Utility floor on/off: migration churn of unpopular virtual nodes"}
+	res.Table = newFigTable()
+
+	run := func(noFloor bool, label string) (*sim.Cloud, error) {
+		cfg := baseConfig(s)
+		cfg.Agent.NoUtilityFloor = noFloor
+		c, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Run(epochs, func(c *sim.Cloud) {
+			res.Table.Series("migrations_" + label).Add(float64(c.Ops().Migrations))
+		})
+		return c, nil
+	}
+
+	floored, err := run(false, "floor")
+	if err != nil {
+		return nil, err
+	}
+	unfloored, err := run(true, "nofloor")
+	if err != nil {
+		return nil, err
+	}
+
+	fm, um := floored.Ops().Migrations, unfloored.Ops().Migrations
+	res.notef("total migrations over %d epochs: floor %d vs no floor %d", epochs, fm, um)
+	// Churn rate over the second half, after startup transients.
+	half := epochs / 2
+	fRate := float64(fm-int64(res.Table.Series("migrations_floor").At(half))) / float64(epochs-half)
+	uRate := float64(um-int64(res.Table.Series("migrations_nofloor").At(half))) / float64(epochs-half)
+	res.notef("steady-state migrations/epoch: floor %.2f vs no floor %.2f", fRate, uRate)
+	return res, nil
+}

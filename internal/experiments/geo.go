@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"skute/internal/sim"
+	"skute/internal/topology"
+	"skute/internal/workload"
+)
+
+// Geo demonstrates the second advantage the paper claims for per-
+// application virtual rings (Section I): geographical data placement.
+// One application's clients sit almost entirely in Europe while another's
+// sit in Asia; Eq. 4 weights candidate servers by client proximity, so
+// each application's replicas drift toward its own region without
+// affecting the other — impossible if both shared one ring.
+func Geo(s Scale) (*Result, error) {
+	cfg := baseConfig(s)
+	// Two applications with identical SLAs but opposite client bases.
+	cfg.Apps = cfg.Apps[:2]
+	euClients, err := workload.NewRegionClients(
+		[]topology.Location{
+			topology.Qualified("ct0", "clients", "x", "x", "x", "x"), // continent ct0 = "Europe"
+			topology.Qualified("ct2", "clients", "x", "x", "x", "x"),
+		},
+		[]float64{95, 5},
+	)
+	if err != nil {
+		return nil, err
+	}
+	apClients, err := workload.NewRegionClients(
+		[]topology.Location{
+			topology.Qualified("ct2", "clients", "x", "x", "x", "x"), // continent ct2 = "Asia"
+			topology.Qualified("ct0", "clients", "x", "x", "x", "x"),
+		},
+		[]float64{95, 5},
+	)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Apps[0].Name, cfg.Apps[0].Clients, cfg.Apps[0].LoadShare = "eu-app", euClients, 0.5
+	cfg.Apps[1].Name, cfg.Apps[1].Clients, cfg.Apps[1].LoadShare = "ap-app", apClients, 0.5
+	// Geography only matters economically when query utility is material:
+	// run a hot, steady load so a replica far from the clients visibly
+	// underearns its near siblings (Eq. 4 routing + utility).
+	if s == Paper {
+		cfg.Profile = workload.Constant(30000)
+	} else {
+		cfg.Profile = workload.Constant(3000)
+	}
+
+	c, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "geo", Title: "Geographic placement: replicas drift toward each application's clients"}
+	res.Table = newFigTable()
+
+	epochs := horizon(s, 240)
+	c.Run(epochs, func(c *sim.Cloud) {
+		for ai, frac := range regionFractions(c) {
+			res.Table.Series(fmt.Sprintf("%s_home_fraction", cfg.Apps[ai].Name)).Add(frac)
+		}
+	})
+
+	final := regionFractions(c)
+	// The SLA itself caps the home fraction: a k-replica partition must
+	// spread its replicas over k continents, so at most 1/k of them can
+	// sit with the clients (50% for eu-app's 2 replicas, 33% for ap-app's
+	// 3). A uniform placement over 5 continents would give ~20%.
+	maxEU := 1.0 / float64(cfg.Apps[0].TargetReplicas)
+	maxAP := 1.0 / float64(cfg.Apps[1].TargetReplicas)
+	res.notef("replicas on the home continent: eu-app %.0f%% (SLA cap %.0f%%), ap-app %.0f%% (cap %.0f%%); uniform placement would give ~20%%",
+		final[0]*100, maxEU*100, final[1]*100, maxAP*100)
+	res.fact("eu_home_fraction", final[0])
+	res.fact("ap_home_fraction", final[1])
+	res.fact("eu_home_cap", maxEU)
+	res.fact("ap_home_cap", maxAP)
+	viol := 0
+	for _, a := range c.AvailabilityStats() {
+		viol += a.Violations
+	}
+	res.fact("final_violations", float64(viol))
+	res.notef("availability violations at the end: %d (geo attraction must not break the SLAs)", viol)
+	return res, nil
+}
+
+// regionFractions reports, per app, the fraction of its replicas hosted
+// on the app's home continent (ct0 for app 0, ct2 for app 1).
+func regionFractions(c *sim.Cloud) []float64 {
+	homes := []string{"ct0", "ct2"}
+	out := make([]float64, 2)
+	counts := c.ReplicaContinents()
+	for ai := range out {
+		var home, total float64
+		for cont, n := range counts[ai] {
+			total += float64(n)
+			if cont == homes[ai] {
+				home += float64(n)
+			}
+		}
+		if total > 0 {
+			out[ai] = home / total
+		}
+	}
+	return out
+}

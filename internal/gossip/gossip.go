@@ -1,0 +1,99 @@
+// Package gossip implements the heartbeat-based membership and failure
+// detection of the Skute prototype: every node periodically announces
+// itself to a few random peers; a node whose heartbeat has not been seen
+// within the suspicion timeout is treated as down, and replica placement
+// routes around it until it returns.
+package gossip
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Detector tracks last-seen heartbeats. The clock is injected so tests
+// and simulations can drive time deterministically.
+type Detector struct {
+	mu sync.RWMutex
+	// lastSeen maps node name to the last heartbeat time.
+	lastSeen map[string]time.Time
+	// suspectAfter is how long a silent node stays "alive".
+	suspectAfter time.Duration
+}
+
+// NewDetector returns a detector with the given suspicion timeout.
+func NewDetector(suspectAfter time.Duration) *Detector {
+	return &Detector{
+		lastSeen:     make(map[string]time.Time),
+		suspectAfter: suspectAfter,
+	}
+}
+
+// Heartbeat records a sighting of the node at the given time. Heartbeats
+// never move time backwards.
+func (d *Detector) Heartbeat(node string, at time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if prev, ok := d.lastSeen[node]; !ok || at.After(prev) {
+		d.lastSeen[node] = at
+	}
+}
+
+// Alive reports whether the node's heartbeat is fresh at time now. An
+// unknown node is not alive.
+func (d *Detector) Alive(node string, now time.Time) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	seen, ok := d.lastSeen[node]
+	return ok && now.Sub(seen) <= d.suspectAfter
+}
+
+// Forget drops a node from the table (graceful leave).
+func (d *Detector) Forget(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.lastSeen, node)
+}
+
+// Members returns every known node sorted by name and whether it is alive
+// at time now.
+func (d *Detector) Members(now time.Time) map[string]bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[string]bool, len(d.lastSeen))
+	for n, seen := range d.lastSeen {
+		out[n] = now.Sub(seen) <= d.suspectAfter
+	}
+	return out
+}
+
+// AliveList returns the alive node names sorted.
+func (d *Detector) AliveList(now time.Time) []string {
+	members := d.Members(now)
+	out := make([]string, 0, len(members))
+	for n, alive := range members {
+		if alive {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PickPeers selects up to k distinct alive peers other than self, for
+// heartbeat fan-out. The rng makes peer selection deterministic in tests.
+func (d *Detector) PickPeers(self string, k int, now time.Time, rng *rand.Rand) []string {
+	alive := d.AliveList(now)
+	candidates := alive[:0:0]
+	for _, n := range alive {
+		if n != self {
+			candidates = append(candidates, n)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	return candidates[:k]
+}

@@ -1,0 +1,91 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAliveWindow(t *testing.T) {
+	d := NewDetector(10 * time.Second)
+	if d.Alive("a", t0) {
+		t.Error("unknown node alive")
+	}
+	d.Heartbeat("a", t0)
+	if !d.Alive("a", t0.Add(10*time.Second)) {
+		t.Error("node dead within the window")
+	}
+	if d.Alive("a", t0.Add(11*time.Second)) {
+		t.Error("node alive past the window")
+	}
+	// A fresh heartbeat extends the lease.
+	d.Heartbeat("a", t0.Add(8*time.Second))
+	if !d.Alive("a", t0.Add(15*time.Second)) {
+		t.Error("heartbeat did not extend liveness")
+	}
+}
+
+func TestHeartbeatNeverRewinds(t *testing.T) {
+	d := NewDetector(10 * time.Second)
+	d.Heartbeat("a", t0.Add(time.Minute))
+	d.Heartbeat("a", t0) // stale: ignored
+	if !d.Alive("a", t0.Add(time.Minute+5*time.Second)) {
+		t.Error("stale heartbeat rewound the lease")
+	}
+}
+
+func TestForget(t *testing.T) {
+	d := NewDetector(time.Minute)
+	d.Heartbeat("a", t0)
+	d.Forget("a")
+	if d.Alive("a", t0) {
+		t.Error("forgotten node alive")
+	}
+	if len(d.Members(t0)) != 0 {
+		t.Error("forgotten node in members")
+	}
+}
+
+func TestMembersAndAliveList(t *testing.T) {
+	d := NewDetector(10 * time.Second)
+	d.Heartbeat("b", t0)
+	d.Heartbeat("a", t0)
+	d.Heartbeat("stale", t0.Add(-time.Minute))
+	m := d.Members(t0)
+	if len(m) != 3 || !m["a"] || !m["b"] || m["stale"] {
+		t.Errorf("members = %v", m)
+	}
+	al := d.AliveList(t0)
+	if len(al) != 2 || al[0] != "a" || al[1] != "b" {
+		t.Errorf("alive = %v", al)
+	}
+}
+
+func TestPickPeers(t *testing.T) {
+	d := NewDetector(time.Minute)
+	for _, n := range []string{"self", "a", "b", "c", "d"} {
+		d.Heartbeat(n, t0)
+	}
+	rng := rand.New(rand.NewSource(1))
+	peers := d.PickPeers("self", 3, t0, rng)
+	if len(peers) != 3 {
+		t.Fatalf("peers = %v", peers)
+	}
+	seen := map[string]bool{}
+	for _, p := range peers {
+		if p == "self" {
+			t.Error("picked self")
+		}
+		if seen[p] {
+			t.Error("duplicate peer")
+		}
+		seen[p] = true
+	}
+	// Asking for more peers than exist returns all of them.
+	all := d.PickPeers("self", 100, t0, rng)
+	if len(all) != 4 {
+		t.Errorf("all peers = %v", all)
+	}
+}

@@ -1,0 +1,56 @@
+// Package httpadmin exposes a Skute prototype node's observability
+// snapshot over HTTP: /healthz for liveness probes and /stats for the
+// full JSON snapshot (storage, membership, per-ring SLA compliance).
+// cmd/skuted mounts it behind the -admin flag.
+package httpadmin
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// StatsSource abstracts the node so the package does not import cluster
+// types directly (and tests can fake it).
+type StatsSource interface {
+	// Stats returns any JSON-encodable snapshot.
+	Stats() any
+}
+
+// StatsFunc adapts a function to StatsSource.
+type StatsFunc func() any
+
+// Stats implements StatsSource.
+func (f StatsFunc) Stats() any { return f() }
+
+// Handler returns the admin mux: GET /healthz -> 200 "ok", GET /stats ->
+// the JSON snapshot.
+func Handler(src StatsSource) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(src.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Serve starts the admin endpoint on addr in a goroutine and returns the
+// server for shutdown. Errors after startup are delivered to errs if
+// non-nil.
+func Serve(addr string, src StatsSource, errs chan<- error) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: Handler(src)}
+	go func() {
+		err := srv.ListenAndServe()
+		if err != nil && err != http.ErrServerClosed && errs != nil {
+			errs <- err
+		}
+	}()
+	return srv
+}

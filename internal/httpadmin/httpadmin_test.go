@@ -1,0 +1,89 @@
+package httpadmin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+type snapshot struct {
+	Name string
+	Keys int
+}
+
+func testHandler() http.Handler {
+	return Handler(StatsFunc(func() any { return snapshot{Name: "n0", Keys: 42} }))
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "ok\n" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var got snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "n0" || got.Keys != 42 {
+		t.Errorf("snapshot = %+v", got)
+	}
+}
+
+func TestUnknownPathAndMethod(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+	post, err := http.Post(srv.URL+"/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats status = %d", post.StatusCode)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	errs := make(chan error, 1)
+	srv := Serve("127.0.0.1:0", StatsFunc(func() any { return 1 }), errs)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		t.Fatalf("unexpected error: %v", err)
+	default:
+	}
+}

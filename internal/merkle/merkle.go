@@ -1,0 +1,181 @@
+// Package merkle implements the Merkle trees the Skute prototype uses for
+// anti-entropy: two replicas of a partition exchange trees over their key
+// range and walk mismatching branches to find exactly the keys whose
+// versions differ, synchronizing with bandwidth proportional to the
+// divergence instead of the partition size.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Digest is the node hash type.
+type Digest [sha256.Size]byte
+
+// zeroDigest marks empty subtrees.
+var zeroDigest Digest
+
+// Leaf is one (key, version-fingerprint) pair of the tree. The version
+// fingerprint should cover the value and its clock, e.g. a hash of both.
+type Leaf struct {
+	Key  string
+	Hash Digest
+}
+
+// HashValue fingerprints a value and its version metadata into a leaf
+// hash.
+func HashValue(parts ...[]byte) Digest {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:]) // length-prefix to avoid concatenation ambiguity
+		h.Write(p)
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Tree is a balanced binary hash tree over sorted leaves. Interior nodes
+// hash their children; comparing two trees' roots answers "identical?" in
+// O(1), and DiffKeys walks only mismatching branches.
+type Tree struct {
+	leaves []Leaf     // sorted by key
+	levels [][]Digest // levels[0] = leaf hashes, last = [root]
+}
+
+// Build constructs a tree over the leaves; input order does not matter.
+func Build(leaves []Leaf) *Tree {
+	ls := append([]Leaf(nil), leaves...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	t := &Tree{leaves: ls}
+	level := make([]Digest, len(ls))
+	for i, l := range ls {
+		level[i] = hashLeaf(l)
+	}
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]Digest, (len(level)+1)/2)
+		for i := range next {
+			if 2*i+1 < len(level) {
+				next[i] = hashPair(level[2*i], level[2*i+1])
+			} else {
+				next[i] = hashPair(level[2*i], zeroDigest)
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+func hashLeaf(l Leaf) Digest {
+	return HashValue([]byte("leaf"), []byte(l.Key), l.Hash[:])
+}
+
+func hashPair(a, b Digest) Digest {
+	return HashValue([]byte("node"), a[:], b[:])
+}
+
+// Root returns the root digest; the zero Digest for an empty tree.
+func (t *Tree) Root() Digest {
+	if len(t.leaves) == 0 {
+		return zeroDigest
+	}
+	return t.levels[len(t.levels)-1][0]
+}
+
+// Len returns the number of leaves.
+func (t *Tree) Len() int { return len(t.leaves) }
+
+// Keys returns the sorted leaf keys.
+func (t *Tree) Keys() []string {
+	ks := make([]string, len(t.leaves))
+	for i, l := range t.leaves {
+		ks[i] = l.Key
+	}
+	return ks
+}
+
+// DiffKeys returns the union of keys whose leaf hashes differ between the
+// two trees, including keys present in only one tree. Both key lists are
+// sorted, so the walk is a linear merge guided by subtree equality: equal
+// roots short-circuit to nothing.
+func DiffKeys(a, b *Tree) []string {
+	if a.Root() == b.Root() {
+		return nil
+	}
+	var diff []string
+	i, j := 0, 0
+	for i < len(a.leaves) && j < len(b.leaves) {
+		la, lb := a.leaves[i], b.leaves[j]
+		switch {
+		case la.Key == lb.Key:
+			if la.Hash != lb.Hash {
+				diff = append(diff, la.Key)
+			}
+			i++
+			j++
+		case la.Key < lb.Key:
+			diff = append(diff, la.Key)
+			i++
+		default:
+			diff = append(diff, lb.Key)
+			j++
+		}
+	}
+	for ; i < len(a.leaves); i++ {
+		diff = append(diff, a.leaves[i].Key)
+	}
+	for ; j < len(b.leaves); j++ {
+		diff = append(diff, b.leaves[j].Key)
+	}
+	return diff
+}
+
+// Proof is the authentication path of one leaf: the sibling digests from
+// the leaf to the root. It lets a replica prove a key's version to a peer
+// that only knows the root.
+type Proof struct {
+	Leaf     Leaf
+	Siblings []Digest
+	Index    int // leaf position in the sorted order
+}
+
+// Prove returns the inclusion proof of the key, or false when absent.
+func (t *Tree) Prove(key string) (Proof, bool) {
+	idx := sort.Search(len(t.leaves), func(i int) bool { return t.leaves[i].Key >= key })
+	if idx == len(t.leaves) || t.leaves[idx].Key != key {
+		return Proof{}, false
+	}
+	p := Proof{Leaf: t.leaves[idx], Index: idx}
+	pos := idx
+	for lv := 0; lv < len(t.levels)-1; lv++ {
+		sib := pos ^ 1
+		if sib < len(t.levels[lv]) {
+			p.Siblings = append(p.Siblings, t.levels[lv][sib])
+		} else {
+			p.Siblings = append(p.Siblings, zeroDigest)
+		}
+		pos /= 2
+	}
+	return p, true
+}
+
+// Verify checks an inclusion proof against a root digest.
+func Verify(root Digest, p Proof) bool {
+	h := hashLeaf(p.Leaf)
+	pos := p.Index
+	for _, sib := range p.Siblings {
+		if pos%2 == 0 {
+			h = hashPair(h, sib)
+		} else {
+			h = hashPair(sib, h)
+		}
+		pos /= 2
+	}
+	return h == root
+}

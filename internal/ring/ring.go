@@ -1,0 +1,221 @@
+// Package ring implements the token-based consistent-hashing layer of
+// Skute: an O(1)-hop DHT in the style of Dynamo where the 64-bit key space
+// is split into partitions and a *virtual node* is responsible for the keys
+// in (previous token, token].
+//
+// Skute's novelty over a single ring is the *multi-ring*: every application
+// owns one virtual ring per availability level it requires, so that
+// replica-management decisions of one application never constrain another
+// (see MultiRing). The ring itself is only a routing structure; replica
+// placement is decided by the economic agents in internal/agent and
+// recorded here as the partition's replica set.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// KeyHash is a position on the 64-bit ring.
+type KeyHash uint64
+
+// HashKey maps a key to its ring position using FNV-1a, which is
+// allocation-free and good enough for uniform partitioning of
+// non-adversarial keys.
+func HashKey(key string) KeyHash {
+	h := fnv.New64a()
+	// Write never fails on fnv.
+	_, _ = h.Write([]byte(key))
+	return KeyHash(h.Sum64())
+}
+
+// ServerID identifies a physical server of the cloud.
+type ServerID int
+
+// Partition is one virtual-node key range of a ring: the keys in
+// (Prev, Token], wrapping around zero for the partition with the smallest
+// token. Replicas lists the servers currently holding a copy of the
+// partition's data; the slice is owned by the ring's owner (the simulator
+// or the cluster coordinator) and is not synchronized here.
+type Partition struct {
+	ID    int     // unique within the ring, never reused
+	Token KeyHash // inclusive upper bound of the range
+	prev  KeyHash // exclusive lower bound, maintained by the ring
+
+	Replicas []ServerID
+}
+
+// Prev returns the exclusive lower bound of the partition's range.
+func (p *Partition) Prev() KeyHash { return p.prev }
+
+// Contains reports whether the key hash falls in (Prev, Token], taking the
+// zero-crossing wrap of the first partition into account.
+func (p *Partition) Contains(h KeyHash) bool {
+	if p.prev < p.Token {
+		return h > p.prev && h <= p.Token
+	}
+	// Wrapped range: (prev, 2^64) U [0, token].
+	return h > p.prev || h <= p.Token
+}
+
+// Span returns the number of hash positions the partition covers. A
+// single-partition ring spans the full space, which overflows to 0; Span
+// reports 1<<64-1 in that case (off by one, irrelevant for sizing).
+func (p *Partition) Span() uint64 {
+	span := uint64(p.Token - p.prev) // wraps correctly in modular arithmetic
+	if span == 0 {
+		return ^uint64(0)
+	}
+	return span
+}
+
+// HasReplica reports whether the server currently holds a replica.
+func (p *Partition) HasReplica(s ServerID) bool {
+	for _, r := range p.Replicas {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}
+
+// AddReplica records a replica on the server; it is a no-op when the
+// server already holds one.
+func (p *Partition) AddReplica(s ServerID) {
+	if !p.HasReplica(s) {
+		p.Replicas = append(p.Replicas, s)
+	}
+}
+
+// RemoveReplica drops the server from the replica set and reports whether
+// it was present.
+func (p *Partition) RemoveReplica(s ServerID) bool {
+	for i, r := range p.Replicas {
+		if r == s {
+			p.Replicas = append(p.Replicas[:i], p.Replicas[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceReplica atomically swaps one replica location for another
+// (a migration); it reports whether the old server held a replica.
+func (p *Partition) ReplaceReplica(old, new ServerID) bool {
+	for i, r := range p.Replicas {
+		if r == old {
+			p.Replicas[i] = new
+			return true
+		}
+	}
+	return false
+}
+
+// Ring is a single virtual ring: an ordered set of tokens partitioning the
+// key space. It is not safe for concurrent mutation.
+type Ring struct {
+	name   string
+	parts  []*Partition // sorted by Token
+	byID   map[int]*Partition
+	nextID int
+}
+
+// New creates a ring with m equally sized partitions. Tokens are placed at
+// (i+1) * floor(2^64 / m) so that partition i covers an equal share; the
+// remainder goes to the last partition.
+func New(name string, m int) (*Ring, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("ring %q: need at least 1 partition, got %d", name, m)
+	}
+	r := &Ring{name: name, byID: make(map[int]*Partition, m)}
+	step := ^uint64(0) / uint64(m)
+	for i := 0; i < m; i++ {
+		tok := KeyHash(step * uint64(i+1))
+		if i == m-1 {
+			tok = KeyHash(^uint64(0)) // last token closes the circle
+		}
+		p := &Partition{ID: r.nextID, Token: tok}
+		r.parts = append(r.parts, p)
+		r.byID[p.ID] = p
+		r.nextID++
+	}
+	r.relink()
+	return r, nil
+}
+
+// MustNew is New that panics on invalid input.
+func MustNew(name string, m int) *Ring {
+	r, err := New(name, m)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the ring's name.
+func (r *Ring) Name() string { return r.name }
+
+// Len returns the number of partitions.
+func (r *Ring) Len() int { return len(r.parts) }
+
+// Partitions returns the partitions ordered by token. The slice is shared;
+// callers must not modify it.
+func (r *Ring) Partitions() []*Partition { return r.parts }
+
+// relink recomputes every partition's predecessor token after a structural
+// change.
+func (r *Ring) relink() {
+	sort.Slice(r.parts, func(i, j int) bool { return r.parts[i].Token < r.parts[j].Token })
+	for i, p := range r.parts {
+		if i == 0 {
+			p.prev = r.parts[len(r.parts)-1].Token
+		} else {
+			p.prev = r.parts[i-1].Token
+		}
+	}
+}
+
+// Lookup returns the partition responsible for the hash: the one whose
+// token is the first token >= h, wrapping to the smallest token when h is
+// beyond the largest.
+func (r *Ring) Lookup(h KeyHash) *Partition {
+	i := sort.Search(len(r.parts), func(i int) bool { return r.parts[i].Token >= h })
+	if i == len(r.parts) {
+		i = 0
+	}
+	return r.parts[i]
+}
+
+// LookupKey is Lookup(HashKey(key)).
+func (r *Ring) LookupKey(key string) *Partition { return r.Lookup(HashKey(key)) }
+
+// Get returns the partition with the given ID, or nil.
+func (r *Ring) Get(id int) *Partition { return r.byID[id] }
+
+// Split divides the partition in two at the midpoint of its range, as the
+// simulator does when a partition exceeds its capacity (256 MB in the
+// paper). The existing partition keeps the upper half (its token); the new
+// partition takes the lower half and inherits the replica set, since the
+// split data stays on the same servers until the agents decide otherwise.
+// It returns the new partition.
+func (r *Ring) Split(p *Partition) (*Partition, error) {
+	if r.Get(p.ID) != p {
+		return nil, fmt.Errorf("ring %q: partition %d is not part of this ring", r.name, p.ID)
+	}
+	span := p.Span()
+	if span < 2 {
+		return nil, fmt.Errorf("ring %q: partition %d spans %d hash positions and cannot split", r.name, p.ID, span)
+	}
+	mid := KeyHash(uint64(p.prev) + span/2) // modular arithmetic handles wrap
+	np := &Partition{
+		ID:       r.nextID,
+		Token:    mid,
+		Replicas: append([]ServerID(nil), p.Replicas...),
+	}
+	r.nextID++
+	r.parts = append(r.parts, np)
+	r.byID[np.ID] = np
+	r.relink()
+	return np, nil
+}

@@ -1,0 +1,213 @@
+// Package server models the physical servers of the data cloud: their
+// location and confidence, their real monthly rent, and the per-epoch
+// resource budgets the paper fixes in Section III-A — storage capacity,
+// reserved replication bandwidth (300 MB/epoch), reserved migration
+// bandwidth (100 MB/epoch) and query-serving capacity.
+//
+// Servers only do accounting; all placement intelligence lives in the
+// virtual-node agents. A server can fail and come back, matching the
+// upgrade/failure experiment of Section III-C.
+package server
+
+import (
+	"fmt"
+
+	"skute/internal/ring"
+	"skute/internal/topology"
+)
+
+// Capacities are the per-server resource limits.
+type Capacities struct {
+	Storage       int64   // bytes of usable storage
+	ReplBandwidth int64   // bytes/epoch reserved for incoming replications
+	MigrBandwidth int64   // bytes/epoch reserved for incoming migrations
+	QueryCapacity float64 // queries/epoch the server can absorb at load 1.0
+}
+
+// PaperCapacities mirrors Section III-A: 300 MB/epoch replication budget,
+// 100 MB/epoch migration budget, plus storage and query capacity sized for
+// the 200-server evaluation cloud (fixed but not numerically specified in
+// the paper).
+func PaperCapacities() Capacities {
+	return Capacities{
+		Storage:       16 << 30, // 16 GiB per server
+		ReplBandwidth: 300 << 20,
+		MigrBandwidth: 100 << 20,
+		QueryCapacity: 2000,
+	}
+}
+
+// Validate reports an error for non-positive limits.
+func (c Capacities) Validate() error {
+	if c.Storage <= 0 || c.ReplBandwidth <= 0 || c.MigrBandwidth <= 0 || c.QueryCapacity <= 0 {
+		return fmt.Errorf("server: capacities must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Server is one physical node of the cloud.
+type Server struct {
+	id         ring.ServerID
+	loc        topology.Location
+	confidence float64
+	rent       float64 // real monthly rent in dollars
+	caps       Capacities
+
+	alive       bool
+	usedStorage int64
+
+	// Per-epoch budgets and counters, reset by BeginEpoch.
+	replBudget int64
+	migrBudget int64
+	queries    float64
+}
+
+// New creates an alive server.
+func New(id ring.ServerID, loc topology.Location, confidence, monthlyRent float64, caps Capacities) (*Server, error) {
+	if err := caps.Validate(); err != nil {
+		return nil, err
+	}
+	if confidence < 0 || confidence > 1 {
+		return nil, fmt.Errorf("server %d: confidence %v outside [0,1]", id, confidence)
+	}
+	if monthlyRent <= 0 {
+		return nil, fmt.Errorf("server %d: monthly rent %v must be positive", id, monthlyRent)
+	}
+	return &Server{
+		id:         id,
+		loc:        loc,
+		confidence: confidence,
+		rent:       monthlyRent,
+		caps:       caps,
+		alive:      true,
+		replBudget: caps.ReplBandwidth,
+		migrBudget: caps.MigrBandwidth,
+	}, nil
+}
+
+// ID returns the server's identity.
+func (s *Server) ID() ring.ServerID { return s.id }
+
+// Location returns the server's position in the topology.
+func (s *Server) Location() topology.Location { return s.loc }
+
+// Confidence returns the subjective reliability estimate in [0,1].
+func (s *Server) Confidence() float64 { return s.confidence }
+
+// MonthlyRent returns the real monthly rent in dollars.
+func (s *Server) MonthlyRent() float64 { return s.rent }
+
+// Capacities returns the resource limits.
+func (s *Server) Capacities() Capacities { return s.caps }
+
+// Alive reports whether the server is up.
+func (s *Server) Alive() bool { return s.alive }
+
+// Fail takes the server down: its budgets drop to zero and its data is
+// gone (the simulator removes the replicas). Storage accounting is reset
+// because a failed server's disks are considered lost.
+func (s *Server) Fail() {
+	s.alive = false
+	s.usedStorage = 0
+	s.replBudget = 0
+	s.migrBudget = 0
+	s.queries = 0
+}
+
+// Revive brings a failed server back, empty.
+func (s *Server) Revive() {
+	s.alive = true
+	s.usedStorage = 0
+}
+
+// BeginEpoch resets the per-epoch bandwidth budgets and the query counter.
+func (s *Server) BeginEpoch() {
+	if !s.alive {
+		return
+	}
+	s.replBudget = s.caps.ReplBandwidth
+	s.migrBudget = s.caps.MigrBandwidth
+	s.queries = 0
+}
+
+// AddQueries accounts incoming query traffic for the current epoch.
+func (s *Server) AddQueries(n float64) {
+	if s.alive && n > 0 {
+		s.queries += n
+	}
+}
+
+// Queries returns the query traffic of the current epoch.
+func (s *Server) Queries() float64 { return s.queries }
+
+// QueryLoad is the query traffic normalized by the query capacity; it is
+// the query_load term of the rent formula (Eq. 1). It can exceed 1 when a
+// server is overloaded.
+func (s *Server) QueryLoad() float64 { return s.queries / s.caps.QueryCapacity }
+
+// StorageUsage is used/capacity in [0,1+]; the storage_usage term of
+// Eq. 1.
+func (s *Server) StorageUsage() float64 {
+	return float64(s.usedStorage) / float64(s.caps.Storage)
+}
+
+// UsedStorage returns the bytes currently stored.
+func (s *Server) UsedStorage() int64 { return s.usedStorage }
+
+// FreeStorage returns the bytes still available.
+func (s *Server) FreeStorage() int64 { return s.caps.Storage - s.usedStorage }
+
+// CanHost reports whether the server is alive and has room for size bytes.
+func (s *Server) CanHost(size int64) bool {
+	return s.alive && s.usedStorage+size <= s.caps.Storage
+}
+
+// Store accounts size bytes of partition data; it fails when the server is
+// down or full, leaving the accounting untouched.
+func (s *Server) Store(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("server %d: negative store size %d", s.id, size)
+	}
+	if !s.alive {
+		return fmt.Errorf("server %d: down", s.id)
+	}
+	if s.usedStorage+size > s.caps.Storage {
+		return fmt.Errorf("server %d: storage full (%d used + %d requested > %d)", s.id, s.usedStorage, size, s.caps.Storage)
+	}
+	s.usedStorage += size
+	return nil
+}
+
+// Release frees size bytes; freeing more than is used clamps to zero.
+func (s *Server) Release(size int64) {
+	s.usedStorage -= size
+	if s.usedStorage < 0 {
+		s.usedStorage = 0
+	}
+}
+
+// ReserveReplication consumes incoming replication bandwidth for the
+// epoch; it reports false (reserving nothing) when the remaining budget is
+// insufficient.
+func (s *Server) ReserveReplication(bytes int64) bool {
+	if !s.alive || bytes < 0 || bytes > s.replBudget {
+		return false
+	}
+	s.replBudget -= bytes
+	return true
+}
+
+// ReserveMigration consumes incoming migration bandwidth for the epoch.
+func (s *Server) ReserveMigration(bytes int64) bool {
+	if !s.alive || bytes < 0 || bytes > s.migrBudget {
+		return false
+	}
+	s.migrBudget -= bytes
+	return true
+}
+
+// ReplBudget returns the remaining replication bandwidth of the epoch.
+func (s *Server) ReplBudget() int64 { return s.replBudget }
+
+// MigrBudget returns the remaining migration bandwidth of the epoch.
+func (s *Server) MigrBudget() int64 { return s.migrBudget }

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"testing"
+
+	"skute/internal/topology"
+)
+
+func loc() topology.Location {
+	return topology.Qualified("eu", "ch", "dc0", "room0", "rack0", "srv0")
+}
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	caps := Capacities{Storage: 1000, ReplBandwidth: 300, MigrBandwidth: 100, QueryCapacity: 50}
+	s, err := New(1, loc(), 1, 100, caps)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	caps := PaperCapacities()
+	if err := caps.Validate(); err != nil {
+		t.Fatalf("paper capacities invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		fn   func() (*Server, error)
+	}{
+		{"bad storage", func() (*Server, error) {
+			c := caps
+			c.Storage = 0
+			return New(1, loc(), 1, 100, c)
+		}},
+		{"bad confidence", func() (*Server, error) { return New(1, loc(), 1.5, 100, caps) }},
+		{"negative confidence", func() (*Server, error) { return New(1, loc(), -0.1, 100, caps) }},
+		{"bad rent", func() (*Server, error) { return New(1, loc(), 1, 0, caps) }},
+	}
+	for _, c := range cases {
+		if _, err := c.fn(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := newTestServer(t)
+	if s.ID() != 1 || s.Location() != loc() || s.Confidence() != 1 || s.MonthlyRent() != 100 {
+		t.Error("accessors wrong")
+	}
+	if !s.Alive() {
+		t.Error("new server not alive")
+	}
+	if s.Capacities().Storage != 1000 {
+		t.Error("capacities not preserved")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Store(400); err != nil {
+		t.Fatalf("Store(400): %v", err)
+	}
+	if s.UsedStorage() != 400 || s.FreeStorage() != 600 {
+		t.Errorf("used/free = %d/%d", s.UsedStorage(), s.FreeStorage())
+	}
+	if got := s.StorageUsage(); got != 0.4 {
+		t.Errorf("StorageUsage = %v", got)
+	}
+	if !s.CanHost(600) || s.CanHost(601) {
+		t.Error("CanHost boundary wrong")
+	}
+	if err := s.Store(601); err == nil {
+		t.Error("Store beyond capacity: want error")
+	}
+	if s.UsedStorage() != 400 {
+		t.Error("failed Store changed accounting")
+	}
+	if err := s.Store(-1); err == nil {
+		t.Error("negative Store: want error")
+	}
+	s.Release(100)
+	if s.UsedStorage() != 300 {
+		t.Errorf("after Release: %d", s.UsedStorage())
+	}
+	s.Release(10000)
+	if s.UsedStorage() != 0 {
+		t.Error("Release did not clamp at zero")
+	}
+}
+
+func TestQueryAccounting(t *testing.T) {
+	s := newTestServer(t)
+	s.AddQueries(25)
+	s.AddQueries(-5) // ignored
+	if s.Queries() != 25 {
+		t.Errorf("Queries = %v", s.Queries())
+	}
+	if s.QueryLoad() != 0.5 {
+		t.Errorf("QueryLoad = %v", s.QueryLoad())
+	}
+	s.BeginEpoch()
+	if s.Queries() != 0 {
+		t.Error("BeginEpoch did not reset queries")
+	}
+}
+
+func TestBandwidthBudgets(t *testing.T) {
+	s := newTestServer(t)
+	if !s.ReserveReplication(200) {
+		t.Fatal("ReserveReplication(200) failed")
+	}
+	if s.ReplBudget() != 100 {
+		t.Errorf("ReplBudget = %d", s.ReplBudget())
+	}
+	if s.ReserveReplication(101) {
+		t.Error("over-budget replication reserved")
+	}
+	if !s.ReserveReplication(100) {
+		t.Error("exact budget refused")
+	}
+	if s.ReserveReplication(1) {
+		t.Error("empty budget reserved")
+	}
+	if s.ReserveMigration(-1) {
+		t.Error("negative reservation accepted")
+	}
+	if !s.ReserveMigration(100) || s.MigrBudget() != 0 {
+		t.Error("migration budget wrong")
+	}
+	s.BeginEpoch()
+	if s.ReplBudget() != 300 || s.MigrBudget() != 100 {
+		t.Error("BeginEpoch did not reset budgets")
+	}
+}
+
+func TestFailAndRevive(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Store(500); err != nil {
+		t.Fatal(err)
+	}
+	s.AddQueries(10)
+	s.Fail()
+	if s.Alive() {
+		t.Fatal("server alive after Fail")
+	}
+	if s.UsedStorage() != 0 || s.Queries() != 0 {
+		t.Error("Fail did not clear state")
+	}
+	if err := s.Store(1); err == nil {
+		t.Error("Store on dead server: want error")
+	}
+	if s.CanHost(1) {
+		t.Error("dead server CanHost")
+	}
+	if s.ReserveReplication(1) || s.ReserveMigration(1) {
+		t.Error("dead server reserved bandwidth")
+	}
+	s.AddQueries(5)
+	if s.Queries() != 0 {
+		t.Error("dead server accumulated queries")
+	}
+	s.BeginEpoch() // must be a no-op on a dead server
+	if s.ReplBudget() != 0 {
+		t.Error("BeginEpoch revived budgets of dead server")
+	}
+	s.Revive()
+	if !s.Alive() || s.UsedStorage() != 0 {
+		t.Error("Revive state wrong")
+	}
+	s.BeginEpoch()
+	if s.ReplBudget() != 300 {
+		t.Error("budgets not restored after revive")
+	}
+}

@@ -1,0 +1,220 @@
+// Package sim is the discrete-epoch simulator of the paper's evaluation
+// (Section III): a cloud of geographically distributed servers, several
+// applications with differentiated availability SLAs, Pareto/Poisson query
+// workloads, and the per-epoch virtual-node decision loop. All experiments
+// of the paper (Figs. 2-5) run on this simulator through the drivers in
+// internal/experiments.
+package sim
+
+import (
+	"fmt"
+
+	"skute/internal/agent"
+	"skute/internal/economy"
+	"skute/internal/ring"
+	"skute/internal/server"
+	"skute/internal/topology"
+	"skute/internal/workload"
+)
+
+// AppSpec describes one application (data owner) renting the cloud: its
+// availability class and the workload its data attracts.
+type AppSpec struct {
+	Name string
+	// Class names the availability level (one virtual ring per class).
+	Class string
+	// TargetReplicas sizes the availability threshold: the SLA is
+	// satisfied by this many geographically well-spread replicas
+	// (2, 3 and 4 for the paper's three applications).
+	TargetReplicas int
+	// Partitions is the initial number of data partitions (200 in the
+	// paper).
+	Partitions int
+	// PartitionSize is the initial bytes per partition.
+	PartitionSize int64
+	// LoadShare is the fraction of the global query load attracted by
+	// this application (4/7, 2/7, 1/7 in the Slashdot experiment).
+	LoadShare float64
+	// Popularity draws the per-partition query weights.
+	Popularity workload.Pareto
+	// PopClamp truncates popularity draws at PopClamp*scale (0 = none).
+	PopClamp float64
+	// Clients is the geographic distribution of this application's query
+	// clients; nil means the paper's uniform assumption (g = 1).
+	Clients workload.ClientDist
+}
+
+// RingID returns the virtual ring identity of the application.
+func (a AppSpec) RingID() ring.RingID { return ring.RingID{App: a.Name, Class: a.Class} }
+
+// EventKind distinguishes the cloud events of Section III-C.
+type EventKind int
+
+// Event kinds.
+const (
+	AddServers  EventKind = iota // resource upgrade: new servers join
+	FailServers                  // correlated failure: random servers vanish
+	FailZone                     // correlated failure: one whole zone goes down
+)
+
+// Event is a scheduled change of the cloud at the start of an epoch.
+// FailZone ignores Count and fails every server sharing the Zone level
+// (e.g. a rack or a datacenter) of a randomly chosen alive server — the
+// PDU/rack failure scenario of the paper's introduction.
+type Event struct {
+	Epoch int
+	Kind  EventKind
+	Count int
+	Zone  topology.Level
+}
+
+// PolicyKind selects the replica-management policy; the non-economic ones
+// exist as baselines for the ablation experiments.
+type PolicyKind int
+
+// Policies.
+const (
+	// Economic is Skute's virtual economy (Section II).
+	Economic PolicyKind = iota
+	// RandomPlacement keeps TargetReplicas copies per partition, placing
+	// each on a random capable server; no migration, no economics.
+	RandomPlacement
+	// CountOnly keeps TargetReplicas copies per partition on the cheapest
+	// capable servers, ignoring geographic diversity.
+	CountOnly
+)
+
+// Config assembles a full simulation.
+type Config struct {
+	Seed int64
+
+	Topology   topology.Spec
+	Capacities server.Capacities
+
+	Rent  economy.RentParams
+	Agent agent.Params
+
+	// CheapRent/ExpensiveRent are the two real monthly price classes
+	// (100$ and 125$ in the paper); ExpensiveFraction of the servers get
+	// the expensive one (0.3 in the paper).
+	CheapRent         float64
+	ExpensiveRent     float64
+	ExpensiveFraction float64
+
+	Apps    []AppSpec
+	Profile workload.Profile
+
+	// Inserts, when PerEpoch > 0, runs the storage-saturation workload of
+	// Section III-E.
+	Inserts workload.InsertStream
+
+	// MaxPartitionSize splits a partition in two when its data exceeds it
+	// (256 MB in the paper).
+	MaxPartitionSize int64
+
+	// ConsistencyCost is the extra per-epoch cost of keeping one more
+	// replica consistent, charged against profit-driven replication.
+	ConsistencyCost float64
+
+	// Policy selects the replica-management policy (default Economic).
+	Policy PolicyKind
+
+	Events []Event
+}
+
+// PaperConfig returns the evaluation setup of Section III-A: 200 servers
+// over 10 countries, 3 applications with availability levels satisfied by
+// 2, 3 and 4 replicas, 200 partitions each, Pareto(1,50) popularity,
+// Poisson(3000) queries/epoch, uniform clients, 70%/30% price classes.
+// The load shares default to the Slashdot experiment's 4/7, 2/7, 1/7.
+func PaperConfig() Config {
+	apps := make([]AppSpec, 3)
+	shares := []float64{4.0 / 7, 2.0 / 7, 1.0 / 7}
+	for i := range apps {
+		apps[i] = AppSpec{
+			Name:           fmt.Sprintf("app%d", i+1),
+			Class:          fmt.Sprintf("ring%d", i),
+			TargetReplicas: i + 2,
+			Partitions:     200,
+			PartitionSize:  80 << 20, // fits both bandwidth budgets (300/100 MB per epoch)
+			LoadShare:      shares[i],
+			Popularity:     workload.PaperPopularity(),
+			PopClamp:       1000,
+			Clients:        workload.UniformClients{},
+		}
+	}
+	return Config{
+		Seed:              1,
+		Topology:          topology.PaperSpec(),
+		Capacities:        server.PaperCapacities(),
+		Rent:              economy.DefaultRentParams(),
+		Agent:             agent.DefaultParams(),
+		CheapRent:         100,
+		ExpensiveRent:     125,
+		ExpensiveFraction: 0.3,
+		Apps:              apps,
+		Profile:           workload.Constant(3000),
+		MaxPartitionSize:  256 << 20,
+		ConsistencyCost:   0.5,
+	}
+}
+
+// Validate rejects configurations the simulator cannot run.
+func (c Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if err := c.Capacities.Validate(); err != nil {
+		return err
+	}
+	if err := c.Rent.Validate(); err != nil {
+		return err
+	}
+	if err := c.Agent.Validate(); err != nil {
+		return err
+	}
+	if c.CheapRent <= 0 || c.ExpensiveRent <= 0 {
+		return fmt.Errorf("sim: rents must be positive (%v, %v)", c.CheapRent, c.ExpensiveRent)
+	}
+	if c.ExpensiveFraction < 0 || c.ExpensiveFraction > 1 {
+		return fmt.Errorf("sim: expensive fraction %v outside [0,1]", c.ExpensiveFraction)
+	}
+	if len(c.Apps) == 0 {
+		return fmt.Errorf("sim: need at least one application")
+	}
+	for i, a := range c.Apps {
+		if a.Name == "" || a.Class == "" {
+			return fmt.Errorf("sim: app %d needs a name and a class", i)
+		}
+		if a.TargetReplicas < 1 {
+			return fmt.Errorf("sim: app %q target replicas %d < 1", a.Name, a.TargetReplicas)
+		}
+		if a.Partitions < 1 {
+			return fmt.Errorf("sim: app %q needs at least one partition", a.Name)
+		}
+		if a.PartitionSize <= 0 {
+			return fmt.Errorf("sim: app %q partition size must be positive", a.Name)
+		}
+		if a.LoadShare < 0 {
+			return fmt.Errorf("sim: app %q negative load share", a.Name)
+		}
+		if err := a.Popularity.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Profile == nil {
+		return fmt.Errorf("sim: nil query profile")
+	}
+	if c.MaxPartitionSize <= 0 {
+		return fmt.Errorf("sim: max partition size must be positive")
+	}
+	if c.ConsistencyCost < 0 {
+		return fmt.Errorf("sim: negative consistency cost")
+	}
+	for _, e := range c.Events {
+		if e.Epoch < 0 || e.Count < 0 {
+			return fmt.Errorf("sim: malformed event %+v", e)
+		}
+	}
+	return nil
+}

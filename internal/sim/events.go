@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+
+	"skute/internal/ring"
+	"skute/internal/server"
+	"skute/internal/topology"
+)
+
+// applyEvents executes the cloud events scheduled for the current epoch.
+func (c *Cloud) applyEvents() {
+	for _, e := range c.cfg.Events {
+		if e.Epoch != c.epoch {
+			continue
+		}
+		switch e.Kind {
+		case AddServers:
+			for i := 0; i < e.Count; i++ {
+				c.addServer()
+			}
+		case FailServers:
+			c.failServers(e.Count)
+		case FailZone:
+			c.failZone(e.Zone)
+		}
+	}
+}
+
+// addServer racks a brand-new server into a random existing rack (a
+// resource upgrade, Section III-C), assigns its price class with the
+// configured probability and announces its idle rent so that agents can
+// immediately consider it.
+func (c *Cloud) addServer() {
+	// Borrow the rack path of a random existing server.
+	donor := c.servers[c.rng.Intn(len(c.servers))]
+	loc := donor.Location()
+	id := ring.ServerID(len(c.servers))
+	newLoc := loc.WithLevel(topology.Server, loc.At(topology.Rack)+"/"+fmt.Sprintf("srv-up%d", c.addSeq))
+	c.addSeq++
+
+	rent := c.cfg.CheapRent
+	if c.rng.Float64() < c.cfg.ExpensiveFraction {
+		rent = c.cfg.ExpensiveRent
+	}
+	srv, err := server.New(id, newLoc, donor.Confidence(), rent, c.cfg.Capacities)
+	if err != nil {
+		panic(err) // capacities were validated at construction
+	}
+	c.servers = append(c.servers, srv)
+	up := c.cfg.Rent.UsagePrice(srv.MonthlyRent())
+	c.board.Announce(id, c.cfg.Rent.Rent(up, 0, 0))
+}
+
+// failServers takes count random alive servers down. All replicas they
+// hosted vanish; partitions that lose their last replica are counted as
+// lost (the situation the availability SLAs exist to prevent).
+func (c *Cloud) failServers(count int) {
+	alive := make([]*server.Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		if s.Alive() {
+			alive = append(alive, s)
+		}
+	}
+	if count > len(alive) {
+		count = len(alive)
+	}
+	perm := c.rng.Perm(len(alive))
+	for i := 0; i < count; i++ {
+		c.failOne(alive[perm[i]])
+	}
+}
+
+// failOne takes a single server down and strips its replicas.
+func (c *Cloud) failOne(s *server.Server) {
+	s.Fail()
+	c.board.Forget(s.ID())
+	for _, st := range c.apps {
+		for _, p := range st.ring.Partitions() {
+			if p.RemoveReplica(s.ID()) {
+				delete(st.vnodes, vkey{p.ID, s.ID()})
+				if len(p.Replicas) == 0 {
+					c.lostPartitions++
+				}
+			}
+		}
+	}
+}
+
+// failZone picks a random alive server and fails every alive server that
+// shares its location label at the given level — e.g. FailZone(Rack)
+// models the "rack failure: 40-80 machines instantly go down" scenario of
+// the paper's introduction.
+func (c *Cloud) failZone(level topology.Level) {
+	var alive []*server.Server
+	for _, s := range c.servers {
+		if s.Alive() {
+			alive = append(alive, s)
+		}
+	}
+	if len(alive) == 0 {
+		return
+	}
+	anchor := alive[c.rng.Intn(len(alive))]
+	for _, s := range alive {
+		if topology.SameAt(s.Location(), anchor.Location(), level) {
+			c.failOne(s)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"skute/internal/topology"
+)
+
+func TestRandomPlacementPolicyKeepsCounts(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Policy = RandomPlacement
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(30, nil)
+	for ai, st := range c.apps {
+		target := st.spec.TargetReplicas
+		for _, p := range st.ring.Partitions() {
+			if len(p.Replicas) != target {
+				t.Errorf("app %d partition %d: %d replicas, want exactly %d", ai, p.ID, len(p.Replicas), target)
+			}
+		}
+	}
+	// Random placement never migrates or suicides.
+	ops := c.Ops()
+	if ops.Migrations != 0 || ops.Suicides != 0 {
+		t.Errorf("random placement performed %d migrations / %d suicides", ops.Migrations, ops.Suicides)
+	}
+	assertStorageConsistent(t, c)
+}
+
+func TestCountOnlyPolicyIgnoresDiversity(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Policy = CountOnly
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(30, nil)
+	// Counts are met...
+	for ai, st := range c.apps {
+		for _, p := range st.ring.Partitions() {
+			if len(p.Replicas) != st.spec.TargetReplicas {
+				t.Errorf("app %d partition %d: %d replicas", ai, p.ID, len(p.Replicas))
+			}
+		}
+	}
+	// ...but cheapest-first placement co-locates replicas, so at least
+	// some partitions must violate the diversity threshold (with 20
+	// servers and cheap ones clustered, co-location is guaranteed for
+	// the 3-replica ring).
+	viol := 0
+	for _, a := range c.AvailabilityStats() {
+		viol += a.Violations
+	}
+	if viol == 0 {
+		t.Error("count-only placement satisfied every diversity threshold; ablation has no teeth")
+	}
+}
+
+func TestFailZoneTakesDownWholeRack(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Events = []Event{{Epoch: 10, Kind: FailZone, Zone: topology.Rack}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(11, nil)
+	// smallConfig has 2 servers per rack: exactly one rack (2 servers)
+	// must be down.
+	if got := c.AliveServers(); got != 18 {
+		t.Errorf("alive after rack failure = %d, want 18", got)
+	}
+	// The two dead servers share a rack.
+	var downLocs []string
+	for _, s := range c.Servers() {
+		if !s.Alive() {
+			downLocs = append(downLocs, s.Location().At(topology.Rack))
+		}
+	}
+	if len(downLocs) != 2 || downLocs[0] != downLocs[1] {
+		t.Errorf("dead servers not rack-correlated: %v", downLocs)
+	}
+}
+
+func TestFailZoneDatacenterRecovery(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Events = []Event{{Epoch: 20, Kind: FailZone, Zone: topology.Datacenter}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(60, nil)
+	// Diversity-aware placement never co-locates a whole partition in one
+	// datacenter, so a DC failure must lose nothing and recover fully.
+	if lost := c.Ops().LostPartitions; lost != 0 {
+		t.Errorf("datacenter failure lost %d partitions despite diversity placement", lost)
+	}
+	for i, a := range c.AvailabilityStats() {
+		if a.Violations != 0 {
+			t.Errorf("ring %d: %d violations after DC failure recovery", i, a.Violations)
+		}
+	}
+}

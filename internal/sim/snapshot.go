@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"skute/internal/availability"
+	"skute/internal/metrics"
+	"skute/internal/ring"
+	"skute/internal/topology"
+)
+
+// VNodeCounts reports how many virtual nodes each alive server hosts,
+// split by price class — the quantity behind Fig. 2 ("number of virtual
+// nodes per server").
+type VNodeCounts struct {
+	PerServer map[ring.ServerID]int
+	Cheap     metrics.Summary // summary over cheap (100$) servers
+	Expensive metrics.Summary // summary over expensive (125$) servers
+}
+
+// VNodeCounts computes the current per-server virtual-node census.
+func (c *Cloud) VNodeCounts() VNodeCounts {
+	per := make(map[ring.ServerID]int)
+	for _, st := range c.apps {
+		for k := range st.vnodes {
+			per[k.srv]++
+		}
+	}
+	var cheap, exp []float64
+	for _, s := range c.servers {
+		if !s.Alive() {
+			continue
+		}
+		n := float64(per[s.ID()])
+		if s.MonthlyRent() > c.cfg.CheapRent {
+			exp = append(exp, n)
+		} else {
+			cheap = append(cheap, n)
+		}
+	}
+	return VNodeCounts{
+		PerServer: per,
+		Cheap:     metrics.Summarize(cheap),
+		Expensive: metrics.Summarize(exp),
+	}
+}
+
+// VNodesPerRing returns the total virtual nodes of each ring in the order
+// of Config.Apps — Fig. 3's series.
+func (c *Cloud) VNodesPerRing() []int {
+	out := make([]int, len(c.apps))
+	for i, st := range c.apps {
+		out[i] = len(st.vnodes)
+	}
+	return out
+}
+
+// RingLoadStats summarizes the per-server query load of one ring in the
+// current epoch — Fig. 4's series ("average query load per virtual ring
+// per server"). Servers with zero traffic of the ring are included so the
+// average reflects the whole alive cloud.
+func (c *Cloud) RingLoadStats() []metrics.Summary {
+	out := make([]metrics.Summary, len(c.apps))
+	for i, st := range c.apps {
+		var loads []float64
+		for _, s := range c.servers {
+			if s.Alive() {
+				loads = append(loads, st.serverLoad[s.ID()])
+			}
+		}
+		out[i] = metrics.Summarize(loads)
+	}
+	return out
+}
+
+// StorageStats aggregates cloud storage — Fig. 5's series.
+type StorageStats struct {
+	UsedBytes      int64
+	CapacityBytes  int64
+	UsedFraction   float64
+	InsertAttempts int64
+	InsertFailures int64
+	// PerServerUsage summarizes the per-alive-server usage fractions;
+	// its CV is the storage balance metric.
+	PerServerUsage metrics.Summary
+}
+
+// StorageStats computes the current storage aggregate over alive servers.
+func (c *Cloud) StorageStats() StorageStats {
+	var st StorageStats
+	var fracs []float64
+	for _, s := range c.servers {
+		if !s.Alive() {
+			continue
+		}
+		st.UsedBytes += s.UsedStorage()
+		st.CapacityBytes += s.Capacities().Storage
+		fracs = append(fracs, s.StorageUsage())
+	}
+	if st.CapacityBytes > 0 {
+		st.UsedFraction = float64(st.UsedBytes) / float64(st.CapacityBytes)
+	}
+	st.InsertAttempts = c.insertAttempts
+	st.InsertFailures = c.insertFailures
+	st.PerServerUsage = metrics.Summarize(fracs)
+	return st
+}
+
+// AvailabilityStats reports SLA compliance for one ring: how many
+// partitions currently satisfy their availability threshold.
+type AvailabilityStats struct {
+	Partitions int
+	Violations int
+	MinAvail   float64
+	Threshold  float64
+}
+
+// AvailabilityStats evaluates Eq. 2 for every partition of every ring, in
+// the order of Config.Apps.
+func (c *Cloud) AvailabilityStats() []AvailabilityStats {
+	out := make([]AvailabilityStats, len(c.apps))
+	for i, st := range c.apps {
+		a := AvailabilityStats{Threshold: st.threshold, MinAvail: -1}
+		for _, p := range st.ring.Partitions() {
+			a.Partitions++
+			av := availability.Of(c.hostsOf(p))
+			if av < st.threshold {
+				a.Violations++
+			}
+			if a.MinAvail < 0 || av < a.MinAvail {
+				a.MinAvail = av
+			}
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// Ops reports the cumulative structural operations the economy performed.
+type Ops struct {
+	Replications   int64
+	Migrations     int64
+	Suicides       int64
+	LostPartitions int64
+}
+
+// Ops returns the cumulative operation counters.
+func (c *Cloud) Ops() Ops {
+	return Ops{
+		Replications:   c.replications,
+		Migrations:     c.migrations,
+		Suicides:       c.suicides,
+		LostPartitions: c.lostPartitions,
+	}
+}
+
+// ReplicaContinents counts, per application (in Config.Apps order), how
+// many partition replicas sit on each continent — the geographic
+// placement metric of the "geo" experiment.
+func (c *Cloud) ReplicaContinents() []map[string]int {
+	out := make([]map[string]int, len(c.apps))
+	for ai, st := range c.apps {
+		counts := make(map[string]int)
+		for k := range st.vnodes {
+			counts[c.server(k.srv).Location().At(topology.Continent)]++
+		}
+		out[ai] = counts
+	}
+	return out
+}
+
+// MonthlyCost returns the data owner's current real monthly bill: the sum
+// of the monthly rents of every server hosting at least one replica —
+// the quantity the economy minimizes subject to the SLAs.
+func (c *Cloud) MonthlyCost() float64 {
+	hosting := make(map[ring.ServerID]bool)
+	for _, st := range c.apps {
+		for k := range st.vnodes {
+			hosting[k.srv] = true
+		}
+	}
+	var cost float64
+	for id := range hosting {
+		cost += c.server(id).MonthlyRent()
+	}
+	return cost
+}
+
+// AliveServers counts the servers currently up.
+func (c *Cloud) AliveServers() int {
+	n := 0
+	for _, s := range c.servers {
+		if s.Alive() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,263 @@
+// Package store implements the versioned in-memory key-value engine of
+// one Skute prototype node: multi-version values ordered by vector clocks
+// (concurrent writes become siblings, as in Dynamo), tombstoned deletes,
+// byte-accurate size accounting for the economy, optional write-ahead
+// logging for crash recovery, and Merkle-leaf export for anti-entropy.
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"skute/internal/merkle"
+	"skute/internal/vclock"
+	"skute/internal/wal"
+)
+
+// Version is one causally distinct value of a key.
+type Version struct {
+	Value     []byte
+	Clock     vclock.VC
+	Tombstone bool
+}
+
+// fingerprint hashes the version for Merkle leaves.
+func (v Version) fingerprint() merkle.Digest {
+	tomb := []byte{0}
+	if v.Tombstone {
+		tomb[0] = 1
+	}
+	return merkle.HashValue(v.Value, []byte(v.Clock.String()), tomb)
+}
+
+// Engine is the storage engine of one node. It is safe for concurrent
+// use.
+type Engine struct {
+	mu    sync.RWMutex
+	data  map[string][]Version
+	bytes int64
+	log   *wal.Log // nil for a purely in-memory engine
+}
+
+// NewMemory returns an engine without a write-ahead log.
+func NewMemory() *Engine {
+	return &Engine{data: make(map[string][]Version)}
+}
+
+// walRecord is the gob frame appended to the log per accepted write. Drop
+// records remove the key outright (replica handoff, not a user delete).
+type walRecord struct {
+	Key     string
+	Version Version
+	Drop    bool
+}
+
+// Open returns an engine backed by the write-ahead log at path, replaying
+// any existing records.
+func Open(path string) (*Engine, error) {
+	e := &Engine{data: make(map[string][]Version)}
+	l, err := wal.Open(path, func(payload []byte) error {
+		var rec walRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return fmt.Errorf("store: decode wal record: %w", err)
+		}
+		if rec.Drop {
+			e.dropLocked(rec.Key)
+		} else {
+			e.applyLocked(rec.Key, rec.Version)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.log = l
+	return e, nil
+}
+
+// Close closes the underlying log, if any.
+func (e *Engine) Close() error {
+	if e.log != nil {
+		return e.log.Close()
+	}
+	return nil
+}
+
+// Get returns the current sibling set of the key (no tombstones filtered;
+// callers decide). The returned slice is a copy.
+func (e *Engine) Get(key string) []Version {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	vs := e.data[key]
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]Version, len(vs))
+	copy(out, vs)
+	return out
+}
+
+// Put applies a version to the key under vector-clock causality: versions
+// dominated by the new clock are dropped, a version dominating the new
+// one makes the put a no-op, and concurrent versions coexist as siblings.
+// It reports whether the version was accepted (i.e. changed state).
+func (e *Engine) Put(key string, v Version) (bool, error) {
+	e.mu.Lock()
+	accepted := e.applyLocked(key, v)
+	e.mu.Unlock()
+	if accepted && e.log != nil {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Version: v}); err != nil {
+			return accepted, fmt.Errorf("store: encode wal record: %w", err)
+		}
+		if err := e.log.Append(buf.Bytes()); err != nil {
+			return accepted, err
+		}
+	}
+	return accepted, nil
+}
+
+// applyLocked merges the version into the sibling set; caller holds mu.
+func (e *Engine) applyLocked(key string, v Version) bool {
+	old := e.data[key]
+	kept := old[:0:0]
+	for _, o := range old {
+		switch v.Clock.Compare(o.Clock) {
+		case vclock.After:
+			// new version supersedes o: drop o
+			e.bytes -= int64(len(o.Value))
+		case vclock.Equal, vclock.Before:
+			// existing state already covers the write
+			return false
+		default: // concurrent: keep as sibling
+			kept = append(kept, o)
+		}
+	}
+	kept = append(kept, v)
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Clock.String() < kept[j].Clock.String() })
+	e.data[key] = kept
+	e.bytes += int64(len(v.Value))
+	return true
+}
+
+// Drop removes a key and all its versions outright — used when a replica
+// hands its partition off to another node, as opposed to a user-visible
+// delete (which writes a tombstone through Put). It returns the bytes
+// freed.
+func (e *Engine) Drop(key string) (int64, error) {
+	e.mu.Lock()
+	freed := e.dropLocked(key)
+	e.mu.Unlock()
+	if freed > 0 && e.log != nil {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Drop: true}); err != nil {
+			return freed, fmt.Errorf("store: encode drop record: %w", err)
+		}
+		if err := e.log.Append(buf.Bytes()); err != nil {
+			return freed, err
+		}
+	}
+	return freed, nil
+}
+
+// dropLocked removes the key; caller holds mu.
+func (e *Engine) dropLocked(key string) int64 {
+	var freed int64
+	for _, v := range e.data[key] {
+		freed += int64(len(v.Value))
+	}
+	delete(e.data, key)
+	e.bytes -= freed
+	return freed
+}
+
+// MergeSiblings folds a set of versions gathered from several replicas
+// into the minimal causally consistent sibling set: versions dominated by
+// another version are dropped, duplicates collapse, concurrent versions
+// survive.
+func MergeSiblings(versions []Version) []Version {
+	var out []Version
+	for _, v := range versions {
+		dominated := false
+		kept := out[:0] // in-place filter; writes trail the read index
+		for _, o := range out {
+			switch v.Clock.Compare(o.Clock) {
+			case vclock.After:
+				continue // o dominated: drop
+			case vclock.Equal, vclock.Before:
+				dominated = true
+			}
+			kept = append(kept, o)
+		}
+		out = kept
+		if !dominated {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Clock.String() < out[j].Clock.String() })
+	return out
+}
+
+// Keys returns all keys (including tombstoned ones), sorted.
+func (e *Engine) Keys() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ks := make([]string, 0, len(e.data))
+	for k := range e.data {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Len returns the number of live keys.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.data)
+}
+
+// Bytes returns the stored value bytes (the economy's storage usage).
+func (e *Engine) Bytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.bytes
+}
+
+// MerkleLeaves exports one leaf per key in the half-open hash range
+// filter (nil filter = all keys), fingerprinting the full sibling set, for
+// anti-entropy tree building.
+func (e *Engine) MerkleLeaves(filter func(key string) bool) []merkle.Leaf {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	leaves := make([]merkle.Leaf, 0, len(e.data))
+	for k, vs := range e.data {
+		if filter != nil && !filter(k) {
+			continue
+		}
+		parts := make([][]byte, 0, len(vs))
+		for _, v := range vs {
+			d := v.fingerprint()
+			parts = append(parts, d[:])
+		}
+		leaves = append(leaves, merkle.Leaf{Key: k, Hash: merkle.HashValue(parts...)})
+	}
+	return leaves
+}
+
+// Resolve returns the visible value of a sibling set after last-writer
+// convention is NOT applied: if exactly one non-tombstone version exists
+// it is returned; multiple concurrent versions are all returned for the
+// client to reconcile. ok is false when the key is absent or fully
+// tombstoned.
+func Resolve(vs []Version) (values [][]byte, ok bool) {
+	for _, v := range vs {
+		if !v.Tombstone {
+			values = append(values, v.Value)
+		}
+	}
+	return values, len(values) > 0
+}

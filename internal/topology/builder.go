@@ -1,0 +1,117 @@
+package topology
+
+import "fmt"
+
+// Spec describes a regular cloud layout: how many children each level of
+// the hierarchy has. The paper's evaluation uses 10 countries spread over
+// continents with 2 datacenters per country, 1 room per datacenter,
+// 2 racks per room and 5 servers per rack (200 servers).
+type Spec struct {
+	Continents          int
+	CountriesPerCont    int
+	DCsPerCountry       int
+	RoomsPerDC          int
+	RacksPerRoom        int
+	ServersPerRack      int
+	ConfidenceByCountry map[string]float64 // optional; default confidence is 1
+}
+
+// PaperSpec returns the layout of Section III-A: 200 servers in 10
+// countries (5 continents x 2 countries), 2 datacenters per country, 1 room
+// per datacenter, 2 racks per room, 5 servers per rack.
+func PaperSpec() Spec {
+	return Spec{
+		Continents:       5,
+		CountriesPerCont: 2,
+		DCsPerCountry:    2,
+		RoomsPerDC:       1,
+		RacksPerRoom:     2,
+		ServersPerRack:   5,
+	}
+}
+
+// TotalServers returns the number of servers the spec generates.
+func (s Spec) TotalServers() int {
+	return s.Continents * s.CountriesPerCont * s.DCsPerCountry * s.RoomsPerDC * s.RacksPerRoom * s.ServersPerRack
+}
+
+// Validate reports a descriptive error when any branching factor is not
+// positive.
+func (s Spec) Validate() error {
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"continents", s.Continents},
+		{"countries per continent", s.CountriesPerCont},
+		{"datacenters per country", s.DCsPerCountry},
+		{"rooms per datacenter", s.RoomsPerDC},
+		{"racks per room", s.RacksPerRoom},
+		{"servers per rack", s.ServersPerRack},
+	}
+	for _, c := range checks {
+		if c.v <= 0 {
+			return fmt.Errorf("topology: spec has %d %s, need at least 1", c.v, c.name)
+		}
+	}
+	return nil
+}
+
+// Site is one generated server slot: a location plus the subjective
+// confidence of the hosting site (Eq. 2's conf terms).
+type Site struct {
+	Index      int // dense index in generation order
+	Loc        Location
+	Confidence float64
+}
+
+// Build enumerates every server slot of the spec in a deterministic order
+// (continent-major). Confidence defaults to 1 and can be overridden per
+// country through Spec.ConfidenceByCountry keyed by the short country name
+// (e.g. "ct0.cn1").
+func Build(s Spec) ([]Site, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sites := make([]Site, 0, s.TotalServers())
+	idx := 0
+	for ct := 0; ct < s.Continents; ct++ {
+		ctName := fmt.Sprintf("ct%d", ct)
+		for cn := 0; cn < s.CountriesPerCont; cn++ {
+			cnName := fmt.Sprintf("%s.cn%d", ctName, cn)
+			conf := 1.0
+			if c, ok := s.ConfidenceByCountry[cnName]; ok {
+				conf = c
+			}
+			for dc := 0; dc < s.DCsPerCountry; dc++ {
+				dcName := fmt.Sprintf("dc%d", dc)
+				for rm := 0; rm < s.RoomsPerDC; rm++ {
+					rmName := fmt.Sprintf("room%d", rm)
+					for rk := 0; rk < s.RacksPerRoom; rk++ {
+						rkName := fmt.Sprintf("rack%d", rk)
+						for sv := 0; sv < s.ServersPerRack; sv++ {
+							svName := fmt.Sprintf("srv%d", idx)
+							sites = append(sites, Site{
+								Index:      idx,
+								Loc:        Qualified(ctName, cnName, dcName, rmName, rkName, svName),
+								Confidence: conf,
+							})
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return sites, nil
+}
+
+// MustBuild is Build that panics on an invalid spec; for tests and fixed
+// literals such as PaperSpec().
+func MustBuild(s Spec) []Site {
+	sites, err := Build(s)
+	if err != nil {
+		panic(err)
+	}
+	return sites
+}

@@ -1,0 +1,195 @@
+// Package topology models the 6-level geographic hierarchy of Skute
+// (ICDE 2010): continent, country, datacenter, room, rack, server.
+//
+// The paper encodes the geographic distance between two servers as a 6-bit
+// word. Each bit corresponds to one level of the hierarchy with the
+// continent carrying the leftmost (most significant) bit. Comparing the
+// location parts of two servers level by level yields a *similarity* word
+// (bit set when the parts are equal); the bitwise NOT of the similarity is
+// the *diversity* value used by the availability estimate (Eq. 2) and the
+// replica-placement score (Eq. 3). Two servers in the same rack have
+// diversity 1, two servers on different continents have diversity 63.
+//
+// Locations must be built through Qualified, ParsePath or WithLevel: the
+// constructors intern every label into a process-wide table so that the
+// diversity of two locations — evaluated millions of times per simulated
+// epoch — reduces to six integer comparisons.
+package topology
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// NumLevels is the number of levels in the location hierarchy.
+const NumLevels = 6
+
+// Level identifies one tier of the geographic hierarchy, ordered from the
+// coarsest (Continent) to the finest (Server).
+type Level int
+
+// Hierarchy levels, coarsest first. The continent contributes the most
+// significant bit of the similarity/diversity words.
+const (
+	Continent Level = iota
+	Country
+	Datacenter
+	Room
+	Rack
+	Server
+)
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	switch l {
+	case Continent:
+		return "continent"
+	case Country:
+		return "country"
+	case Datacenter:
+		return "datacenter"
+	case Room:
+		return "room"
+	case Rack:
+		return "rack"
+	case Server:
+		return "server"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Bit returns the weight of the level inside a similarity or diversity
+// word. Continent is the leftmost bit (weight 32), Server the rightmost
+// (weight 1).
+func (l Level) Bit() uint8 {
+	return 1 << uint(NumLevels-1-int(l))
+}
+
+// intern maps every distinct label to a small integer, so label equality
+// becomes integer equality, and keeps the reverse table for display. The
+// tables only grow at topology-construction time; the hot comparison path
+// never touches them.
+var (
+	internMu sync.RWMutex
+	byLabel  = map[string]uint32{}
+	labels   = []string{""} // id 0 is the empty label of the zero Location
+)
+
+func intern(label string) uint32 {
+	internMu.Lock()
+	defer internMu.Unlock()
+	if id, ok := byLabel[label]; ok {
+		return id
+	}
+	id := uint32(len(labels))
+	byLabel[label] = id
+	labels = append(labels, label)
+	return id
+}
+
+func labelOf(id uint32) string {
+	internMu.RLock()
+	defer internMu.RUnlock()
+	return labels[id]
+}
+
+// Location places a server inside the hierarchy. Labels are opaque; two
+// locations are compared label by label, so labels only need to be unique
+// among the children of one parent. The constructors in this package
+// always produce fully qualified labels ("eu", "eu/ch", "eu/ch/dc0", ...)
+// which makes per-level comparison equivalent to hierarchical comparison
+// even when sibling subtrees reuse child names.
+//
+// Location stores only the interned label ids (24 bytes), so it is cheap
+// to copy and compare. It is a comparable value type: two locations built
+// from the same labels compare equal, and the zero Location is valid and
+// compares different from every constructed one.
+type Location struct {
+	ids [NumLevels]uint32
+}
+
+// At reports the label of the given level.
+func (loc Location) At(l Level) string { return labelOf(loc.ids[l]) }
+
+// WithLevel returns a copy of the location with one level's label
+// replaced (and interned).
+func (loc Location) WithLevel(l Level, label string) Location {
+	loc.ids[l] = intern(label)
+	return loc
+}
+
+// Path renders the location as a slash-separated path, e.g.
+// "eu/ch/dc1/room0/rack2/srv42", showing only the last component of each
+// fully qualified label to keep the output readable.
+func (loc Location) Path() string {
+	parts := make([]string, NumLevels)
+	for i := range loc.ids {
+		p := labelOf(loc.ids[i])
+		if idx := strings.LastIndexByte(p, '/'); idx >= 0 {
+			p = p[idx+1:]
+		}
+		parts[i] = p
+	}
+	return strings.Join(parts[:], "/")
+}
+
+// String implements fmt.Stringer.
+func (loc Location) String() string { return loc.Path() }
+
+// ParsePath parses a slash-separated path with exactly six components into
+// a Location with fully qualified labels, so that sibling subtrees reusing
+// component names (e.g. every datacenter having a "room0") still compare
+// as different at the deeper levels.
+func ParsePath(path string) (Location, error) {
+	comps := strings.Split(path, "/")
+	if len(comps) != NumLevels {
+		return Location{}, fmt.Errorf("topology: path %q must have %d components, has %d", path, NumLevels, len(comps))
+	}
+	var loc Location
+	qualified := ""
+	for i, c := range comps {
+		if c == "" {
+			return Location{}, fmt.Errorf("topology: path %q has an empty component at level %s", path, Level(i))
+		}
+		if i == 0 {
+			qualified = c
+		} else {
+			qualified += "/" + c
+		}
+		loc.ids[i] = intern(qualified)
+	}
+	return loc, nil
+}
+
+// MustParsePath is ParsePath that panics on malformed input. Intended for
+// tests and literals.
+func MustParsePath(path string) Location {
+	loc, err := ParsePath(path)
+	if err != nil {
+		panic(err)
+	}
+	return loc
+}
+
+// Qualified builds a Location from six per-level short names, qualifying
+// each label with its ancestors. It is the canonical constructor used by
+// the topology builder.
+func Qualified(continent, country, datacenter, room, rack, server string) Location {
+	var loc Location
+	names := [NumLevels]string{continent, country, datacenter, room, rack, server}
+	qualified := ""
+	for i, n := range names {
+		if i == 0 {
+			qualified = n
+		} else {
+			qualified += "/" + n
+		}
+		loc.ids[i] = intern(qualified)
+	}
+	return loc
+}
+
+// SameAt reports whether the two locations share the label at level l.
+func SameAt(a, b Location, l Level) bool { return a.ids[l] == b.ids[l] }

@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is a Transport over real sockets with a gob wire codec. Addresses
+// are host:port strings. Each Call opens a fresh connection — simple and
+// adequate for the prototype's request rates; a production deployment
+// would pool connections.
+type TCP struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// CallTimeout bounds a full request/response exchange (default 10s).
+	CallTimeout time.Duration
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	closed    bool
+}
+
+// NewTCP returns a TCP transport with default timeouts.
+func NewTCP() *TCP {
+	return &TCP{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second}
+}
+
+// wireRequest/wireResponse are the gob frames on the socket.
+type wireRequest struct {
+	Env Envelope
+}
+
+type wireResponse struct {
+	Env Envelope
+	Err string
+}
+
+// Serve implements Transport: it binds the address and serves requests
+// until Close. The returned error covers bind failures only; per-
+// connection errors are contained.
+func (t *TCP) Serve(addr string, h Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return errors.New("transport: tcp transport closed")
+	}
+	t.listeners = append(t.listeners, ln)
+	t.mu.Unlock()
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go t.serveConn(conn, h)
+		}
+	}()
+	return nil
+}
+
+// serveConn answers sequential requests on one connection.
+func (t *TCP) serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp wireResponse
+		env, err := h(req.Env)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Env = env
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Call implements Transport.
+func (t *TCP) Call(addr string, req Envelope) (Envelope, error) {
+	dialTO, callTO := t.DialTimeout, t.CallTimeout
+	if dialTO == 0 {
+		dialTO = 2 * time.Second
+	}
+	if callTO == 0 {
+		callTO = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTO)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(callTO)); err != nil {
+		return Envelope{}, err
+	}
+	if err := gob.NewEncoder(conn).Encode(wireRequest{Env: req}); err != nil {
+		return Envelope{}, fmt.Errorf("transport: encode to %s: %w", addr, err)
+	}
+	var resp wireResponse
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return Envelope{}, fmt.Errorf("transport: decode from %s: %w", addr, err)
+	}
+	if resp.Err != "" {
+		return Envelope{}, errors.New(resp.Err)
+	}
+	return resp.Env, nil
+}
+
+// Addrs returns the bound listener addresses (useful with ":0").
+func (t *TCP) Addrs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.listeners))
+	for i, ln := range t.listeners {
+		out[i] = ln.Addr().String()
+	}
+	return out
+}
+
+// Close stops all listeners.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	var first error
+	for _, ln := range t.listeners {
+		if err := ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.listeners = nil
+	return first
+}

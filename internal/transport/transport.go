@@ -1,0 +1,90 @@
+// Package transport provides the message plane of the Skute prototype
+// store: a tiny request/response RPC with two interchangeable
+// implementations — an in-memory mesh for tests and simulations (with
+// failure injection) and a TCP transport with a gob wire codec for real
+// deployments (cmd/skuted).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Envelope is the unit of exchange: a kind tag and an opaque payload the
+// cluster layer encodes with gob.
+type Envelope struct {
+	Kind    string
+	Payload []byte
+}
+
+// Handler serves one request.
+type Handler func(Envelope) (Envelope, error)
+
+// Transport connects named endpoints.
+type Transport interface {
+	// Serve registers the handler for the address; it replaces any
+	// previous handler at that address.
+	Serve(addr string, h Handler) error
+	// Call sends the envelope to the address and waits for the reply.
+	Call(addr string, req Envelope) (Envelope, error)
+	// Close releases resources; subsequent calls fail.
+	Close() error
+}
+
+// ErrUnreachable is returned for addresses with no live endpoint.
+var ErrUnreachable = errors.New("transport: endpoint unreachable")
+
+// Memory is an in-process transport: addresses are plain strings and
+// calls are direct function invocations. Partition sets can be injected
+// to simulate network failures.
+type Memory struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	down     map[string]bool
+	closed   bool
+}
+
+// NewMemory returns an empty in-memory mesh.
+func NewMemory() *Memory {
+	return &Memory{handlers: make(map[string]Handler), down: make(map[string]bool)}
+}
+
+// Serve implements Transport.
+func (m *Memory) Serve(addr string, h Handler) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("transport: memory mesh closed")
+	}
+	m.handlers[addr] = h
+	return nil
+}
+
+// Call implements Transport.
+func (m *Memory) Call(addr string, req Envelope) (Envelope, error) {
+	m.mu.RLock()
+	h, ok := m.handlers[addr]
+	down := m.down[addr] || m.closed
+	m.mu.RUnlock()
+	if !ok || down {
+		return Envelope{}, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	return h(req)
+}
+
+// SetDown injects (or heals) a failure of the address: calls fail with
+// ErrUnreachable while down.
+func (m *Memory) SetDown(addr string, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[addr] = down
+}
+
+// Close implements Transport.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

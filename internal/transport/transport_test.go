@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func echoHandler(prefix string) Handler {
+	return func(req Envelope) (Envelope, error) {
+		if req.Kind == "boom" {
+			return Envelope{}, fmt.Errorf("%s: handler error", prefix)
+		}
+		return Envelope{Kind: req.Kind + "-reply", Payload: append([]byte(prefix+":"), req.Payload...)}, nil
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	defer m.Close()
+	if err := m.Serve("a", echoHandler("A")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.Call("a", Envelope{Kind: "ping", Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "ping-reply" || string(resp.Payload) != "A:x" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestMemoryUnreachable(t *testing.T) {
+	m := NewMemory()
+	defer m.Close()
+	if _, err := m.Call("ghost", Envelope{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+	m.Serve("a", echoHandler("A"))
+	m.SetDown("a", true)
+	if _, err := m.Call("a", Envelope{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("down endpoint err = %v", err)
+	}
+	m.SetDown("a", false)
+	if _, err := m.Call("a", Envelope{Kind: "k"}); err != nil {
+		t.Errorf("healed endpoint err = %v", err)
+	}
+}
+
+func TestMemoryHandlerError(t *testing.T) {
+	m := NewMemory()
+	defer m.Close()
+	m.Serve("a", echoHandler("A"))
+	if _, err := m.Call("a", Envelope{Kind: "boom"}); err == nil || !strings.Contains(err.Error(), "handler error") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMemoryClosed(t *testing.T) {
+	m := NewMemory()
+	m.Serve("a", echoHandler("A"))
+	m.Close()
+	if _, err := m.Call("a", Envelope{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("call after close: %v", err)
+	}
+	if err := m.Serve("b", echoHandler("B")); err == nil {
+		t.Error("serve after close accepted")
+	}
+}
+
+func TestMemoryConcurrentCalls(t *testing.T) {
+	m := NewMemory()
+	defer m.Close()
+	m.Serve("a", echoHandler("A"))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := m.Call("a", Envelope{Kind: "k"}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	if err := tr.Serve("127.0.0.1:0", echoHandler("S")); err != nil {
+		t.Fatal(err)
+	}
+	addrs := tr.Addrs()
+	if len(addrs) != 1 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	resp, err := tr.Call(addrs[0], Envelope{Kind: "ping", Payload: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "ping-reply" || string(resp.Payload) != "S:hello" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestTCPHandlerErrorPropagates(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	if err := tr.Serve("127.0.0.1:0", echoHandler("S")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tr.Call(tr.Addrs()[0], Envelope{Kind: "boom"})
+	if err == nil || !strings.Contains(err.Error(), "handler error") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	if _, err := tr.Call("127.0.0.1:1", Envelope{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	if err := tr.Serve("127.0.0.1:0", echoHandler("S")); err != nil {
+		t.Fatal(err)
+	}
+	addr := tr.Addrs()[0]
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := tr.Call(addr, Envelope{Kind: "k"}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTCPCloseStopsServing(t *testing.T) {
+	tr := NewTCP()
+	if err := tr.Serve("127.0.0.1:0", echoHandler("S")); err != nil {
+		t.Fatal(err)
+	}
+	addr := tr.Addrs()[0]
+	tr.Close()
+	if _, err := tr.Call(addr, Envelope{Kind: "k"}); err == nil {
+		t.Error("call succeeded after close")
+	}
+	if err := tr.Serve("127.0.0.1:0", echoHandler("S")); err == nil {
+		t.Error("serve after close accepted")
+	}
+}
+
+func BenchmarkMemoryCall(b *testing.B) {
+	m := NewMemory()
+	defer m.Close()
+	m.Serve("a", echoHandler("A"))
+	env := Envelope{Kind: "k", Payload: []byte("payload")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Call("a", env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

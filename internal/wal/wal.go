@@ -1,0 +1,159 @@
+// Package wal implements the append-only, CRC-checked write-ahead log of
+// the Skute prototype store. Every mutation is framed and flushed before
+// it is acknowledged; on restart the log is replayed to rebuild the
+// in-memory engine, truncating at the first torn or corrupt frame (the
+// standard crash-consistency contract of database logs).
+//
+// Frame layout (little endian):
+//
+//	magic   uint32  0x534b5457 ("SKTW")
+//	length  uint32  payload bytes
+//	crc32   uint32  IEEE CRC of the payload
+//	payload []byte
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const magic uint32 = 0x534b5457
+
+// headerSize is the frame header length in bytes.
+const headerSize = 12
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// MaxRecordSize bounds a single record (64 MiB); larger appends fail and
+// larger lengths found during replay are treated as corruption.
+const MaxRecordSize = 64 << 20
+
+// Log is an append-only record log backed by a single file. Append is
+// safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+	// records counts appended + replayed records, for observability.
+	records int64
+}
+
+// Open opens (creating if needed) the log at path, replays every intact
+// record into the replay callback and truncates trailing corruption. The
+// callback must not retain the byte slice.
+func Open(path string, replay func(payload []byte) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f}
+	valid, err := l.replay(replay)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate torn/corrupt tail and position for appends.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// replay scans the file from the start, invoking cb for each intact
+// record, and returns the offset of the first invalid byte.
+func (l *Log) replay(cb func([]byte) error) (int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	var (
+		offset int64
+		hdr    [headerSize]byte
+	)
+	r := io.Reader(l.f)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return offset, nil // clean EOF or torn header: stop here
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+			return offset, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxRecordSize {
+			return offset, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return offset, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[8:12]) {
+			return offset, nil // corrupt payload
+		}
+		if cb != nil {
+			if err := cb(payload); err != nil {
+				return 0, fmt.Errorf("wal: replay callback: %w", err)
+			}
+		}
+		l.records++
+		offset += headerSize + int64(length)
+	}
+}
+
+// Append frames, writes and syncs one record.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecordSize {
+		return fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), MaxRecordSize)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: write payload: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.records++
+	return nil
+}
+
+// Records returns the number of records appended plus replayed.
+func (l *Log) Records() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Close syncs and closes the file. Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

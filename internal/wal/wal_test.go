@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openCollect(t *testing.T, path string) (*Log, [][]byte) {
+	t.Helper()
+	var got [][]byte
+	l, err := Open(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, got := openCollect(t, path)
+	if len(got) != 0 {
+		t.Fatal("fresh log replayed records")
+	}
+	records := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four4")}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if l.Records() != 4 {
+		t.Errorf("Records = %d", l.Records())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, got := openCollect(t, path)
+	defer l2.Close()
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], records[i])
+		}
+	}
+	if l2.Records() != 4 {
+		t.Errorf("Records after replay = %d", l2.Records())
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, path)
+	if err := l.Append([]byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("will-be-torn")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the last record by chopping bytes off the end.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := openCollect(t, path)
+	if len(got) != 1 || string(got[0]) != "intact" {
+		t.Fatalf("replayed %v, want just [intact]", got)
+	}
+	// The log must now be appendable and the torn record gone for good.
+	if err := l2.Append([]byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	l3, got := openCollect(t, path)
+	defer l3.Close()
+	if len(got) != 2 || string(got[1]) != "after-recovery" {
+		t.Fatalf("after recovery replayed %q", got)
+	}
+}
+
+func TestCorruptPayloadTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, path)
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("bad-payload")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Flip a byte inside the second record's payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := openCollect(t, path)
+	defer l2.Close()
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("replayed %q, want [good]", got)
+	}
+}
+
+func TestGarbageFileReplaysNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, []byte("this is not a wal file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, got := openCollect(t, path)
+	defer l.Close()
+	if len(got) != 0 {
+		t.Fatalf("garbage replayed %d records", len(got))
+	}
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, path)
+	defer l.Close()
+	big := make([]byte, MaxRecordSize+1)
+	if err := l.Append(big); err == nil {
+		t.Error("oversize append accepted")
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, path)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := l.Append([]byte("x")); err != ErrClosed {
+		t.Errorf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, path)
+	l.Append([]byte("x"))
+	l.Close()
+	_, err := Open(path, func([]byte) error { return fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("replay error not propagated")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, path)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if err := l.Append([]byte(fmt.Sprintf("g%d-%d", n, j))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	l.Close()
+	l2, got := openCollect(t, path)
+	defer l2.Close()
+	if len(got) != 200 {
+		t.Fatalf("replayed %d records, want 200", len(got))
+	}
+}
+
+func BenchmarkAppend1KB(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "wal")
+	l, err := Open(path, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

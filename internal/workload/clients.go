@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+
+	"skute/internal/topology"
+)
+
+// ClientDist models where the query clients of one partition sit. It
+// drives Eq. 4 of the paper,
+//
+//	g_j = (sum_l q_l) / (1 + sum_l q_l * diversity(l, s_j)),
+//
+// the geographic preference of candidate server j: servers close to the
+// bulk of the clients get g close to 1, far servers get g close to 0.
+type ClientDist interface {
+	// G returns the geographic preference weight of a server at the given
+	// location, in (0, 1].
+	G(server topology.Location) float64
+}
+
+// UniformClients is the paper's evaluation assumption (Section III-A):
+// query clients uniformly spread over the world, for which the paper takes
+// g_j = 1 for every server.
+type UniformClients struct{}
+
+// G implements ClientDist.
+func (UniformClients) G(topology.Location) float64 { return 1 }
+
+// RegionClients places query traffic at explicit client locations with
+// per-location query counts and evaluates Eq. 4 exactly. Client locations
+// are expressed as topology locations (a client "at" a country is a
+// location whose finer levels never match any server, which Eq. 4 handles
+// through the diversity term).
+type RegionClients struct {
+	locs    []topology.Location
+	queries []float64
+	total   float64
+}
+
+// NewRegionClients builds a distribution from parallel slices of client
+// locations and their query counts.
+func NewRegionClients(locs []topology.Location, queries []float64) (*RegionClients, error) {
+	if len(locs) != len(queries) {
+		return nil, fmt.Errorf("workload: %d locations but %d query counts", len(locs), len(queries))
+	}
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("workload: region client distribution needs at least one location")
+	}
+	rc := &RegionClients{
+		locs:    append([]topology.Location(nil), locs...),
+		queries: append([]float64(nil), queries...),
+	}
+	for _, q := range queries {
+		if q < 0 {
+			return nil, fmt.Errorf("workload: negative query count %v", q)
+		}
+		rc.total += q
+	}
+	if rc.total == 0 {
+		return nil, fmt.Errorf("workload: region client distribution has zero total queries")
+	}
+	return rc, nil
+}
+
+// G implements ClientDist with Eq. 4.
+func (rc *RegionClients) G(server topology.Location) float64 {
+	var weighted float64
+	for i, l := range rc.locs {
+		weighted += rc.queries[i] * float64(topology.Diversity(l, server))
+	}
+	return rc.total / (1 + weighted)
+}
+
+// Total returns the total query count across client locations.
+func (rc *RegionClients) Total() float64 { return rc.total }

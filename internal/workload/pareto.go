@@ -1,0 +1,74 @@
+// Package workload provides the synthetic workload generators of the
+// paper's evaluation (Section III-A): Pareto-distributed partition
+// popularity, Poisson query arrivals, the Slashdot load spike, the
+// saturation insert stream, and the geographic distribution of query
+// clients (Eq. 4).
+//
+// All generators draw from a caller-supplied *rand.Rand so that every
+// experiment is reproducible from its seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Pareto samples a Pareto Type I distribution with the given shape and
+// scale: P(X > x) = (Scale/x)^Shape for x >= Scale. The paper distributes
+// partition popularity as Pareto(1, 50), i.e. shape 1 and scale 50: a
+// heavy-tailed popularity profile where a few partitions attract most of
+// the query load.
+type Pareto struct {
+	Shape float64 // tail index alpha > 0; smaller = heavier tail
+	Scale float64 // minimum value x_m > 0
+}
+
+// PaperPopularity is the Pareto(1, 50) popularity distribution of
+// Section III-A.
+func PaperPopularity() Pareto { return Pareto{Shape: 1, Scale: 50} }
+
+// Validate reports an error for non-positive parameters.
+func (p Pareto) Validate() error {
+	if p.Shape <= 0 || p.Scale <= 0 {
+		return fmt.Errorf("workload: Pareto(shape=%v, scale=%v) requires positive parameters", p.Shape, p.Scale)
+	}
+	return nil
+}
+
+// Sample draws one value by inversion: x = scale / U^(1/shape).
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 { // avoid +Inf
+		u = rng.Float64()
+	}
+	return p.Scale / math.Pow(u, 1/p.Shape)
+}
+
+// Weights draws n popularity weights and normalizes them to sum to 1.
+// Shape 1 has infinite mean, so individual draws are clamped to
+// maxRatio times the scale (a standard truncation that keeps a single
+// partition from absorbing essentially the whole workload while preserving
+// the heavy tail). maxRatio <= 0 means no clamping.
+func (p Pareto) Weights(rng *rand.Rand, n int, maxRatio float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need a positive number of weights, got %d", n)
+	}
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		x := p.Sample(rng)
+		if maxRatio > 0 && x > p.Scale*maxRatio {
+			x = p.Scale * maxRatio
+		}
+		w[i] = x
+		sum += x
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w, nil
+}

@@ -1,0 +1,64 @@
+package workload
+
+// Profile yields the mean total query rate for an epoch. It abstracts the
+// global load shape of an experiment; per-partition rates are obtained by
+// multiplying with the partitions' popularity weights.
+type Profile interface {
+	// Rate returns the mean number of queries in the given epoch.
+	Rate(epoch int) float64
+}
+
+// Constant is a flat query profile (the paper's default: Poisson with mean
+// 3000 queries/epoch).
+type Constant float64
+
+// Rate implements Profile.
+func (c Constant) Rate(int) float64 { return float64(c) }
+
+// Slashdot models the load peak of Section III-D: the mean rate climbs
+// linearly from Base to Peak over RampEpochs starting at StartEpoch, then
+// decreases linearly back to Base over DecayEpochs.
+type Slashdot struct {
+	Base        float64 // steady-state rate (3000 in the paper)
+	Peak        float64 // spike rate (183000 in the paper)
+	StartEpoch  int     // first epoch of the ramp (100 in the paper)
+	RampEpochs  int     // epochs to reach the peak (25 in the paper)
+	DecayEpochs int     // epochs to fall back to Base (250 in the paper)
+}
+
+// PaperSlashdot returns the exact spike of Section III-D.
+func PaperSlashdot() Slashdot {
+	return Slashdot{Base: 3000, Peak: 183000, StartEpoch: 100, RampEpochs: 25, DecayEpochs: 250}
+}
+
+// Rate implements Profile.
+func (s Slashdot) Rate(epoch int) float64 {
+	switch {
+	case epoch < s.StartEpoch:
+		return s.Base
+	case epoch < s.StartEpoch+s.RampEpochs:
+		frac := float64(epoch-s.StartEpoch+1) / float64(s.RampEpochs)
+		return s.Base + (s.Peak-s.Base)*frac
+	case epoch < s.StartEpoch+s.RampEpochs+s.DecayEpochs:
+		frac := float64(epoch-s.StartEpoch-s.RampEpochs+1) / float64(s.DecayEpochs)
+		return s.Peak - (s.Peak-s.Base)*frac
+	default:
+		return s.Base
+	}
+}
+
+// InsertStream describes the storage-saturation workload of Section III-E:
+// a constant stream of fixed-size inserts whose target partitions follow
+// the popularity weights (Pareto-distributed, like the read load).
+type InsertStream struct {
+	PerEpoch  int   // inserts per epoch (2000 in the paper)
+	ValueSize int64 // bytes per insert (500 KB in the paper)
+}
+
+// PaperInsertStream returns Section III-E's 2000 x 500 KB inserts/epoch.
+func PaperInsertStream() InsertStream {
+	return InsertStream{PerEpoch: 2000, ValueSize: 500 << 10}
+}
+
+// BytesPerEpoch is PerEpoch * ValueSize.
+func (s InsertStream) BytesPerEpoch() int64 { return int64(s.PerEpoch) * s.ValueSize }

@@ -1,0 +1,61 @@
+package skute
+
+import (
+	"fmt"
+
+	"skute/internal/experiments"
+)
+
+// ExperimentResult is the outcome of one paper experiment: the series the
+// corresponding figure plots plus headline observations.
+type ExperimentResult struct {
+	ID    string
+	Title string
+	// CSV holds the full series, one row per epoch.
+	CSV string
+	// Rendered is an aligned text table (sampled rows).
+	Rendered string
+	// Notes are the headline observations (who wins, where the knees are).
+	Notes []string
+	// Facts are machine-readable headline numbers.
+	Facts map[string]float64
+}
+
+// Experiments lists the runnable experiment ids: fig2..fig5 reproduce the
+// evaluation figures of the paper, ablation-* probe the design choices.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment reproduces one experiment. paperScale runs the full
+// Section III-A setup (200 servers, minutes); otherwise a proportionally
+// scaled-down cloud runs in seconds with the same curve shapes.
+func RunExperiment(id string, paperScale bool) (*ExperimentResult, error) {
+	scale := experiments.Quick
+	if paperScale {
+		scale = experiments.Paper
+	}
+	res, err := experiments.Run(id, scale)
+	if err != nil {
+		return nil, err
+	}
+	every := res.Table.Rows() / 25
+	if every < 1 {
+		every = 1
+	}
+	return &ExperimentResult{
+		ID:       res.ID,
+		Title:    res.Title,
+		CSV:      res.Table.CSV(),
+		Rendered: res.Table.Render(every),
+		Notes:    res.Notes,
+		Facts:    res.Facts,
+	}, nil
+}
+
+// MustRunExperiment is RunExperiment that panics on error; for examples.
+func MustRunExperiment(id string, paperScale bool) *ExperimentResult {
+	res, err := RunExperiment(id, paperScale)
+	if err != nil {
+		panic(fmt.Sprintf("skute: experiment %s: %v", id, err))
+	}
+	return res
+}

@@ -1,0 +1,325 @@
+package skute
+
+import (
+	"fmt"
+
+	"skute/internal/agent"
+	"skute/internal/availability"
+	"skute/internal/cluster"
+	"skute/internal/economy"
+	"skute/internal/ring"
+	"skute/internal/store"
+	"skute/internal/transport"
+	"skute/internal/vclock"
+)
+
+// SLA names an availability class in terms of the number of
+// geographically well-spread replicas that satisfies it (the paper's three
+// applications use 2, 3 and 4).
+type SLA struct {
+	Class    string
+	Replicas int
+}
+
+// Threshold returns the Eq. 2 availability threshold of the SLA.
+func (s SLA) Threshold() float64 { return availability.ThresholdForReplicas(s.Replicas) }
+
+// Server describes one storage server of the cluster.
+type Server struct {
+	// Name is the unique node name.
+	Name string
+	// Location is a 6-level path "continent/country/datacenter/room/rack/server".
+	Location string
+	// MonthlyRent is the real monthly price of the server in dollars.
+	MonthlyRent float64
+	// Confidence in [0,1]; 0 defaults to 1.
+	Confidence float64
+	// Capacity in bytes; 0 defaults to 16 GiB.
+	Capacity int64
+	// QueryCapacity per epoch; 0 defaults to 10000.
+	QueryCapacity float64
+}
+
+// App declares one application renting the cluster.
+type App struct {
+	Name string
+	SLA  SLA
+	// Partitions is the number of data partitions (0 defaults to 16).
+	Partitions int
+}
+
+// Options configure an embedded cluster.
+type Options struct {
+	Servers []Server
+	Apps    []App
+	// ReadQuorum/WriteQuorum override the default majority quorums.
+	ReadQuorum  int
+	WriteQuorum int
+}
+
+// Context carries the causal version context from a Get into a dependent
+// Put or Delete.
+type Context = vclock.VC
+
+// Cluster is an embedded Skute store: every server runs in-process over
+// an in-memory transport (cmd/skuted runs the identical node logic over
+// TCP). All methods are safe for concurrent use.
+type Cluster struct {
+	mesh   *transport.Memory
+	cfg    cluster.Config
+	nodes  map[string]*cluster.Node
+	order  []string
+	apps   map[string]ring.RingID
+	downed map[string]bool
+
+	agentParams agent.Params
+	rentParams  economy.RentParams
+}
+
+// NewCluster boots an in-process cluster: it derives the shared
+// descriptor, starts one node per server and places every partition with
+// the diversity-aware initial placement.
+func NewCluster(opts Options) (*Cluster, error) {
+	if len(opts.Servers) == 0 {
+		return nil, fmt.Errorf("skute: need at least one server")
+	}
+	if len(opts.Apps) == 0 {
+		return nil, fmt.Errorf("skute: need at least one app")
+	}
+	cfg := cluster.Config{ReadQuorum: opts.ReadQuorum, WriteQuorum: opts.WriteQuorum}
+	for _, s := range opts.Servers {
+		conf := s.Confidence
+		if conf == 0 {
+			conf = 1
+		}
+		capacity := s.Capacity
+		if capacity == 0 {
+			capacity = 16 << 30
+		}
+		qcap := s.QueryCapacity
+		if qcap == 0 {
+			qcap = 10000
+		}
+		cfg.Nodes = append(cfg.Nodes, cluster.NodeInfo{
+			Name:          s.Name,
+			Addr:          "mem://" + s.Name,
+			LocPath:       s.Location,
+			Confidence:    conf,
+			MonthlyRent:   s.MonthlyRent,
+			Capacity:      capacity,
+			QueryCapacity: qcap,
+		})
+	}
+	apps := make(map[string]ring.RingID, len(opts.Apps))
+	for _, a := range opts.Apps {
+		parts := a.Partitions
+		if parts == 0 {
+			parts = 16
+		}
+		if a.SLA.Replicas < 1 {
+			return nil, fmt.Errorf("skute: app %q needs an SLA with at least 1 replica", a.Name)
+		}
+		class := a.SLA.Class
+		if class == "" {
+			class = fmt.Sprintf("r%d", a.SLA.Replicas)
+		}
+		spec := cluster.RingSpec{App: a.Name, Class: class, Partitions: parts, Replicas: a.SLA.Replicas}
+		cfg.Rings = append(cfg.Rings, spec)
+		apps[a.Name] = spec.ID()
+	}
+
+	c := &Cluster{
+		mesh:        transport.NewMemory(),
+		cfg:         cfg,
+		nodes:       make(map[string]*cluster.Node, len(cfg.Nodes)),
+		apps:        apps,
+		downed:      make(map[string]bool),
+		agentParams: agent.DefaultParams(),
+		rentParams:  economy.DefaultRentParams(),
+	}
+	for _, ni := range cfg.Nodes {
+		n, err := cluster.NewNode(cfg, ni.Name, c.mesh, store.NewMemory())
+		if err != nil {
+			c.mesh.Close()
+			return nil, err
+		}
+		c.nodes[ni.Name] = n
+		c.order = append(c.order, ni.Name)
+	}
+	return c, nil
+}
+
+// Close shuts the in-memory mesh down.
+func (c *Cluster) Close() error { return c.mesh.Close() }
+
+// ringOf resolves an app name.
+func (c *Cluster) ringOf(app string) (ring.RingID, error) {
+	id, ok := c.apps[app]
+	if !ok {
+		return ring.RingID{}, fmt.Errorf("skute: unknown app %q", app)
+	}
+	return id, nil
+}
+
+// coordinator picks an alive node to coordinate a request.
+func (c *Cluster) coordinator() (*cluster.Node, error) {
+	for _, name := range c.order {
+		n := c.nodes[name]
+		if c.alive(name) {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("skute: no alive servers")
+}
+
+// alive consults the mesh failure injection and the node map.
+func (c *Cluster) alive(name string) bool {
+	_, ok := c.nodes[name]
+	return ok && !c.downed[name]
+}
+
+// Get reads a key: the remaining concurrent values (one, normally) plus
+// the causal context for a follow-up Put.
+func (c *Cluster) Get(app, key string) ([][]byte, Context, error) {
+	id, err := c.ringOf(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := c.coordinator()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := n.Get(id, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Values, res.Context, nil
+}
+
+// Put writes a value. Pass the Context of a preceding Get for
+// read-modify-write; nil for a blind write (concurrent blind writes
+// surface as siblings on the next Get).
+func (c *Cluster) Put(app, key string, value []byte, ctx Context) error {
+	id, err := c.ringOf(app)
+	if err != nil {
+		return err
+	}
+	n, err := c.coordinator()
+	if err != nil {
+		return err
+	}
+	return n.Put(id, key, value, ctx)
+}
+
+// Delete tombstones a key.
+func (c *Cluster) Delete(app, key string, ctx Context) error {
+	id, err := c.ringOf(app)
+	if err != nil {
+		return err
+	}
+	n, err := c.coordinator()
+	if err != nil {
+		return err
+	}
+	return n.Delete(id, key, ctx)
+}
+
+// Replicas reports which servers hold the partition of a key.
+func (c *Cluster) Replicas(app, key string) ([]string, error) {
+	id, err := c.ringOf(app)
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.coordinator()
+	if err != nil {
+		return nil, err
+	}
+	return n.Replicas(id, key)
+}
+
+// Availability reports the Eq. 2 availability of every partition of the
+// app alongside its SLA threshold.
+func (c *Cluster) Availability(app string) (map[int]float64, float64, error) {
+	id, err := c.ringOf(app)
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := c.coordinator()
+	if err != nil {
+		return nil, 0, err
+	}
+	av, err := n.Availability(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	var th float64
+	for _, r := range c.cfg.Rings {
+		if r.ID() == id {
+			th = availability.ThresholdForReplicas(r.Replicas)
+		}
+	}
+	return av, th, nil
+}
+
+// RunEpoch closes one economic epoch cluster-wide: every alive server
+// announces its rent, then runs its virtual-node agents. It returns the
+// aggregate operations performed.
+func (c *Cluster) RunEpoch() (EpochOps, error) {
+	var ops EpochOps
+	for _, name := range c.order {
+		if !c.alive(name) {
+			continue
+		}
+		if _, _, err := c.nodes[name].AnnounceRent(c.rentParams); err != nil {
+			return ops, err
+		}
+	}
+	for _, name := range c.order {
+		if !c.alive(name) {
+			continue
+		}
+		rep, err := c.nodes[name].RunEconomicEpoch(c.agentParams, c.rentParams)
+		if err != nil {
+			return ops, err
+		}
+		ops.Replications += rep.Replications + rep.Repairs
+		ops.Migrations += rep.Migrations
+		ops.Suicides += rep.Suicides
+	}
+	return ops, nil
+}
+
+// EpochOps aggregates the structural operations of one economic epoch.
+type EpochOps struct {
+	Replications int
+	Migrations   int
+	Suicides     int
+}
+
+// FailServer simulates a hard failure of the named server: it becomes
+// unreachable and every peer's failure detector forgets it immediately
+// (in a real deployment the heartbeat timeout does this).
+func (c *Cluster) FailServer(name string) error {
+	if _, ok := c.nodes[name]; !ok {
+		return fmt.Errorf("skute: unknown server %q", name)
+	}
+	c.mesh.SetDown("mem://"+name, true)
+	c.downed[name] = true
+	for _, peer := range c.nodes {
+		peer.Detector().Forget(name)
+	}
+	return nil
+}
+
+// Servers lists the server names in descriptor order.
+func (c *Cluster) Servers() []string { return append([]string(nil), c.order...) }
+
+// VNodesOn counts the partition replicas currently assigned to a server,
+// as seen from an alive coordinator's replica table.
+func (c *Cluster) VNodesOn(name string) (int, error) {
+	n, err := c.coordinator()
+	if err != nil {
+		return 0, err
+	}
+	return n.HostedCount(name)
+}

@@ -1,0 +1,223 @@
+package skute
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func testOptions() Options {
+	return Options{
+		Servers: []Server{
+			{Name: "zurich-1", Location: "eu/ch/dc0/r0/k0/s0", MonthlyRent: 100},
+			{Name: "zurich-2", Location: "eu/ch/dc0/r0/k1/s1", MonthlyRent: 100},
+			{Name: "virginia-1", Location: "us/us-east/dc0/r0/k0/s2", MonthlyRent: 100},
+			{Name: "virginia-2", Location: "us/us-east/dc0/r0/k1/s3", MonthlyRent: 100},
+			{Name: "tokyo-1", Location: "ap/jp/dc0/r0/k0/s4", MonthlyRent: 125},
+			{Name: "tokyo-2", Location: "ap/jp/dc0/r0/k1/s5", MonthlyRent: 125},
+		},
+		Apps: []App{
+			{Name: "photos", SLA: SLA{Class: "standard", Replicas: 2}, Partitions: 8},
+			{Name: "billing", SLA: SLA{Class: "critical", Replicas: 3}, Partitions: 8},
+		},
+	}
+}
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(testOptions())
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Options{}); err == nil {
+		t.Error("empty options accepted")
+	}
+	opts := testOptions()
+	opts.Apps = nil
+	if _, err := NewCluster(opts); err == nil {
+		t.Error("no apps accepted")
+	}
+	opts = testOptions()
+	opts.Apps[0].SLA.Replicas = 0
+	if _, err := NewCluster(opts); err == nil {
+		t.Error("zero-replica SLA accepted")
+	}
+	opts = testOptions()
+	opts.Servers[0].Location = "nonsense"
+	if _, err := NewCluster(opts); err == nil {
+		t.Error("bad location accepted")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.Put("photos", "cat.jpg", []byte("bytes"), nil); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	vals, ctx, err := c.Get("photos", "cat.jpg")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if len(vals) != 1 || string(vals[0]) != "bytes" {
+		t.Fatalf("Get = %q", vals)
+	}
+	if err := c.Put("photos", "cat.jpg", []byte("v2"), ctx); err != nil {
+		t.Fatal(err)
+	}
+	vals, ctx, _ = c.Get("photos", "cat.jpg")
+	if len(vals) != 1 || string(vals[0]) != "v2" {
+		t.Fatalf("after update: %q", vals)
+	}
+	if err := c.Delete("photos", "cat.jpg", ctx); err != nil {
+		t.Fatal(err)
+	}
+	vals, _, _ = c.Get("photos", "cat.jpg")
+	if len(vals) != 0 {
+		t.Fatalf("after delete: %q", vals)
+	}
+}
+
+func TestAppsIsolated(t *testing.T) {
+	c := newTestCluster(t)
+	c.Put("photos", "k", []byte("photo-value"), nil)
+	c.Put("billing", "k", []byte("billing-value"), nil)
+	pv, _, _ := c.Get("photos", "k")
+	bv, _, _ := c.Get("billing", "k")
+	if string(pv[0]) == string(bv[0]) {
+		t.Error("apps share a namespace")
+	}
+	if _, _, err := c.Get("ghost-app", "k"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestSLAPlacement(t *testing.T) {
+	c := newTestCluster(t)
+	reps, err := c.Replicas("photos", "any-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Errorf("photos replicas = %v, want 2", reps)
+	}
+	reps, _ = c.Replicas("billing", "any-key")
+	if len(reps) != 3 {
+		t.Errorf("billing replicas = %v, want 3", reps)
+	}
+	// SLA thresholds are met from the start.
+	for _, app := range []string{"photos", "billing"} {
+		av, th, err := c.Availability(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for part, a := range av {
+			if a < th {
+				t.Errorf("%s partition %d: availability %.1f < threshold %.1f", app, part, a, th)
+			}
+		}
+	}
+}
+
+func TestSLAThresholds(t *testing.T) {
+	if (SLA{Replicas: 2}).Threshold() >= (SLA{Replicas: 3}).Threshold() {
+		t.Error("thresholds not increasing in replica count")
+	}
+}
+
+func TestFailureRecoveryThroughEpochs(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 24; i++ {
+		if err := c.Put("billing", fmt.Sprintf("invoice-%d", i), []byte("x"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FailServer("virginia-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailServer("no-such"); err == nil {
+		t.Error("failing unknown server accepted")
+	}
+	var ops EpochOps
+	for i := 0; i < 3; i++ {
+		o, err := c.RunEpoch()
+		if err != nil {
+			t.Fatalf("RunEpoch: %v", err)
+		}
+		ops.Replications += o.Replications
+	}
+	if ops.Replications == 0 {
+		t.Error("no repair replications after failure")
+	}
+	av, th, _ := c.Availability("billing")
+	for part, a := range av {
+		if a < th {
+			t.Errorf("billing partition %d not repaired: %.1f < %.1f", part, a, th)
+		}
+	}
+	// Data survives.
+	for i := 0; i < 24; i++ {
+		vals, _, err := c.Get("billing", fmt.Sprintf("invoice-%d", i))
+		if err != nil {
+			t.Fatalf("Get after failure: %v", err)
+		}
+		if len(vals) != 1 {
+			t.Fatalf("invoice-%d lost", i)
+		}
+	}
+}
+
+func TestVNodesOnAndServers(t *testing.T) {
+	c := newTestCluster(t)
+	if got := c.Servers(); len(got) != 6 || got[0] != "zurich-1" {
+		t.Errorf("Servers = %v", got)
+	}
+	total := 0
+	for _, s := range c.Servers() {
+		n, err := c.VNodesOn(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	// 8 partitions x 2 replicas + 8 x 3 replicas = 40 vnodes.
+	if total != 40 {
+		t.Errorf("total vnodes = %d, want 40", total)
+	}
+	if _, err := c.VNodesOn("ghost"); err == nil {
+		t.Error("unknown server accepted")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	res, err := RunExperiment("fig2", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig2" || res.CSV == "" || res.Rendered == "" || len(res.Notes) == 0 {
+		t.Errorf("result incomplete: %+v", res)
+	}
+	if !strings.HasPrefix(res.CSV, "epoch,") {
+		t.Errorf("CSV header: %q", res.CSV[:20])
+	}
+	if _, err := RunExperiment("nope", false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	ids := Experiments()
+	if len(ids) != 8 {
+		t.Errorf("Experiments = %v", ids)
+	}
+}
+
+func TestMustRunExperimentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown experiment")
+		}
+	}()
+	MustRunExperiment("does-not-exist", false)
+}
