@@ -1,0 +1,3 @@
+module skute
+
+go 1.24
