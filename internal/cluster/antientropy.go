@@ -145,7 +145,7 @@ func (n *Node) RunAntiEntropy(round int) (int, error) {
 		peer string
 	}
 	var jobs []job
-	n.mu.Lock()
+	n.mu.RLock()
 	for _, rid := range n.rings.IDs() {
 		for _, p := range n.rings.Ring(rid).Partitions() {
 			if !p.HasReplica(ring.ServerID(n.selfI)) || len(p.Replicas) < 2 {
@@ -160,7 +160,7 @@ func (n *Node) RunAntiEntropy(round int) (int, error) {
 			jobs = append(jobs, job{rid, p.ID, peers[round%len(peers)]})
 		}
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 
 	total := 0
 	var firstErr error

@@ -66,6 +66,10 @@ type Config struct {
 	// SuspectAfter is the heartbeat staleness after which a peer counts
 	// as failed (default 10s).
 	SuspectAfter time.Duration
+	// EpochWorkers bounds the worker pool RunEconomicEpoch uses to run
+	// hosted virtual-node decisions concurrently; 0 selects GOMAXPROCS,
+	// negative is invalid.
+	EpochWorkers int
 }
 
 // Validate rejects unusable descriptors.
@@ -110,6 +114,9 @@ func (c Config) Validate() error {
 	}
 	if c.ReadQuorum < 0 || c.WriteQuorum < 0 {
 		return fmt.Errorf("cluster: negative quorum")
+	}
+	if c.EpochWorkers < 0 {
+		return fmt.Errorf("cluster: negative epoch workers")
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"skute/internal/agent"
 	"skute/internal/availability"
 	"skute/internal/economy"
+	"skute/internal/parallel"
 	"skute/internal/ring"
 	"skute/internal/transport"
 )
@@ -30,12 +31,12 @@ func (n *Node) AnnounceRent(params economy.RentParams) (float64, string, error) 
 	if !ok {
 		return 0, "", fmt.Errorf("cluster: no alive nodes to elect a board")
 	}
-	n.mu.Lock()
+	n.qmu.Lock()
 	var q float64
 	for _, c := range n.queries {
 		q += c
 	}
-	n.mu.Unlock()
+	n.qmu.Unlock()
 	usage := float64(n.eng.Bytes()) / float64(n.self.Capacity)
 	load := q / n.self.QueryCapacity
 	rent := params.Rent(params.UsagePrice(n.self.MonthlyRent), usage, load)
@@ -61,12 +62,12 @@ func (n *Node) fetchRents() (map[string]float64, string, error) {
 		return nil, "", fmt.Errorf("cluster: no alive nodes to elect a board")
 	}
 	if board == n.self.Name {
-		n.mu.Lock()
+		n.mu.RLock()
 		out := make(map[string]float64, len(n.rents))
 		for k, v := range n.rents {
 			out[k] = v
 		}
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return out, board, nil
 	}
 	info, _ := n.info(board)
@@ -87,6 +88,10 @@ func (n *Node) fetchRents() (map[string]float64, string, error) {
 // (replicate = adopt on the target, migrate = adopt + local drop, suicide
 // = local drop), broadcasting replica-set changes. Query counters reset
 // afterwards. Callers should AnnounceRent on every node first.
+//
+// Hosted vnodes manage disjoint partitions, so their decisions run
+// concurrently on a pool of Config.EpochWorkers workers; replica-table
+// mutations stay serialized behind the node lock.
 func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentParams) (EpochReport, error) {
 	rents, board, err := n.fetchRents()
 	if err != nil {
@@ -102,13 +107,13 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 		}
 	}
 
-	// Deterministic iteration over hosted vnodes.
+	// Deterministic enumeration of hosted vnodes.
 	type hosted struct {
 		id   ring.RingID
 		part int
 	}
 	var mine []hosted
-	n.mu.Lock()
+	n.mu.RLock()
 	for _, rid := range n.rings.IDs() {
 		r := n.rings.Ring(rid)
 		for _, p := range r.Partitions() {
@@ -117,7 +122,7 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 			}
 		}
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	sort.Slice(mine, func(i, j int) bool {
 		if mine[i].id != mine[j].id {
 			return mine[i].id.String() < mine[j].id.String()
@@ -125,10 +130,14 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 		return mine[i].part < mine[j].part
 	})
 
-	for _, h := range mine {
+	// One result slot per vnode: workers never contend on the report.
+	type outcome struct{ repairs, replications, migrations, suicides int }
+	outcomes := make([]outcome, len(mine))
+	parallel.ForEach(len(mine), n.epochWorkers, func(i int) {
+		h := mine[i]
 		_, p, err := n.partition(h.id, h.part)
 		if err != nil {
-			continue
+			return
 		}
 		spec := n.specs[h.id]
 		hosts := n.hostsOf(p)
@@ -140,8 +149,10 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 			st = &ledgerState{}
 			n.ledgers[key] = st
 		}
-		queries := n.queries[key]
 		n.mu.Unlock()
+		n.qmu.Lock()
+		queries := n.queries[key]
+		n.qmu.Unlock()
 
 		v := agent.VNode{
 			Ring: h.id, Partition: h.part, Server: ring.ServerID(n.selfI),
@@ -152,6 +163,10 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 			Hosts:           hosts,
 			Candidates:      cands,
 			Queries:         queries,
+			// Read per decision, not hoisted: vnodes that already shed
+			// data this epoch relieve the pressure later deciders see,
+			// the same feedback the sequential loop had (Bytes is an
+			// atomic sum, so this stays cheap).
 			StoragePressure: float64(n.eng.Bytes()) / float64(n.self.Capacity),
 			G:               1,
 			Rent:            rents[n.self.Name],
@@ -165,9 +180,9 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 			repair := availability.Of(hosts) < availability.ThresholdForReplicas(spec.Replicas)
 			if err := n.executeAdopt(h.id, h.part, d.Target); err == nil {
 				if repair {
-					rep.Repairs++
+					outcomes[i].repairs = 1
 				} else {
-					rep.Replications++
+					outcomes[i].replications = 1
 				}
 				st.ledger.Reset()
 			}
@@ -178,23 +193,32 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 				n.mu.Lock()
 				delete(n.ledgers, key)
 				n.mu.Unlock()
-				rep.Migrations++
+				outcomes[i].migrations = 1
 			}
 		case agent.Suicide:
-			if len(p.Replicas) > 1 {
+			n.mu.RLock()
+			lone := len(p.Replicas) <= 1
+			n.mu.RUnlock()
+			if !lone {
 				n.dropPartitionData(h.id, h.part)
 				n.broadcastAssign(assignReq{Ring: h.id, Part: h.part, Remove: n.self.Name})
 				n.mu.Lock()
 				delete(n.ledgers, key)
 				n.mu.Unlock()
-				rep.Suicides++
+				outcomes[i].suicides = 1
 			}
 		}
+	})
+	for _, o := range outcomes {
+		rep.Repairs += o.repairs
+		rep.Replications += o.replications
+		rep.Migrations += o.migrations
+		rep.Suicides += o.suicides
 	}
 
-	n.mu.Lock()
+	n.qmu.Lock()
 	n.queries = make(map[string]float64)
-	n.mu.Unlock()
+	n.qmu.Unlock()
 	return rep, nil
 }
 
@@ -222,8 +246,8 @@ func (n *Node) executeAdopt(id ring.RingID, part int, target ring.ServerID) erro
 // failed server no longer contributes diversity, which is exactly what
 // drives the repair replication of Section II-C.
 func (n *Node) hostsOf(p *ring.Partition) []availability.Host {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	hosts := make([]availability.Host, 0, len(p.Replicas))
 	for _, id := range p.Replicas {
 		if !n.alive(n.nodeName(id)) {
@@ -239,8 +263,12 @@ func (n *Node) hostsOf(p *ring.Partition) []availability.Host {
 }
 
 // candidatesFor lists alive peers not hosting the partition, priced from
-// the board (peers without an announced rent are skipped).
+// the board (peers without an announced rent are skipped). The replica
+// table is read under the node lock: peers broadcast assignment changes
+// concurrently with epoch decisions.
 func (n *Node) candidatesFor(p *ring.Partition, rents map[string]float64) []availability.Candidate {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	var cands []availability.Candidate
 	for i, peer := range n.cfg.Nodes {
 		id := ring.ServerID(i)
@@ -263,9 +291,9 @@ func (n *Node) candidatesFor(p *ring.Partition, rents map[string]float64) []avai
 // Availability reports Eq. 2 for every partition of a ring, as seen from
 // this node's replica table.
 func (n *Node) Availability(id ring.RingID) (map[int]float64, error) {
-	n.mu.Lock()
+	n.mu.RLock()
 	r := n.rings.Ring(id)
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	if r == nil {
 		return nil, fmt.Errorf("cluster: unknown ring %s", id)
 	}
@@ -341,8 +369,8 @@ func (n *Node) HostedCount(name string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("cluster: unknown node %q", name)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	total := 0
 	for _, rid := range n.rings.IDs() {
 		for _, p := range n.rings.Ring(rid).Partitions() {
@@ -357,14 +385,14 @@ func (n *Node) HostedCount(name string) (int, error) {
 // Replicas exposes the replica names of the partition holding a key —
 // observability for tests and the CLI.
 func (n *Node) Replicas(id ring.RingID, key string) ([]string, error) {
-	n.mu.Lock()
+	n.mu.RLock()
 	r := n.rings.Ring(id)
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	if r == nil {
 		return nil, fmt.Errorf("cluster: unknown ring %s", id)
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	p := r.Lookup(ring.HashKey(key))
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	return n.replicasOf(p), nil
 }

@@ -135,14 +135,25 @@ type Node struct {
 	det   *gossip.Detector
 	// Now is the clock source; overridable in tests.
 	Now func() time.Time
+	// epochWorkers bounds the economic-epoch worker pool (see
+	// Config.EpochWorkers).
+	epochWorkers int
 
-	mu      sync.Mutex
+	// mu guards the ring layout, ledgers and the board copy. The quorum
+	// read/write path only ever read-locks it, so data-plane traffic does
+	// not serialize behind control-plane updates.
+	mu      sync.RWMutex
 	rings   *ring.MultiRing
 	specs   map[ring.RingID]RingSpec
 	ledgers map[string]*ledgerState // per hosted vnode, keyed ring/part
-	queries map[string]float64      // per hosted vnode epoch query count
 	rents   map[string]float64      // board copy (only used on the board node)
 	rng     *rand.Rand
+
+	// qmu guards only the per-vnode query counters, which every quorum
+	// operation bumps; keeping them off mu removes the last exclusive
+	// lock from the hot path.
+	qmu     sync.Mutex
+	queries map[string]float64 // per hosted vnode epoch query count
 }
 
 // ledgerState is a hosted vnode's economic memory.
@@ -178,19 +189,20 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 		suspect = 10 * time.Second
 	}
 	n := &Node{
-		cfg:     cfg,
-		self:    cfg.Nodes[selfI],
-		selfI:   selfI,
-		tr:      tr,
-		eng:     eng,
-		det:     gossip.NewDetector(suspect),
-		Now:     time.Now,
-		rings:   rings,
-		specs:   specs,
-		ledgers: make(map[string]*ledgerState),
-		queries: make(map[string]float64),
-		rents:   make(map[string]float64),
-		rng:     rand.New(rand.NewSource(int64(selfI) + 1)),
+		cfg:          cfg,
+		self:         cfg.Nodes[selfI],
+		selfI:        selfI,
+		tr:           tr,
+		eng:          eng,
+		det:          gossip.NewDetector(suspect),
+		Now:          time.Now,
+		epochWorkers: cfg.EpochWorkers,
+		rings:        rings,
+		specs:        specs,
+		ledgers:      make(map[string]*ledgerState),
+		queries:      make(map[string]float64),
+		rents:        make(map[string]float64),
+		rng:          rand.New(rand.NewSource(int64(selfI) + 1)),
 	}
 	// Optimistic bootstrap: all peers start alive; real liveness takes
 	// over as heartbeats (or their absence) arrive.
@@ -356,12 +368,12 @@ func (n *Node) handle(req transport.Envelope) (transport.Envelope, error) {
 		return transport.Envelope{Kind: "ok"}, nil
 
 	case kindRents:
-		n.mu.Lock()
+		n.mu.RLock()
 		out := make(map[string]float64, len(n.rents))
 		for k, v := range n.rents {
 			out[k] = v
 		}
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return transport.Envelope{Kind: "ok", Payload: encode(rentsResp{Rents: out})}, nil
 
 	case kindClientGet:
@@ -401,8 +413,8 @@ func (n *Node) handle(req transport.Envelope) (transport.Envelope, error) {
 
 // partition returns the ring and partition for a ring id + partition id.
 func (n *Node) partition(id ring.RingID, part int) (*ring.Ring, *ring.Partition, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	r := n.rings.Ring(id)
 	if r == nil {
 		return nil, nil, fmt.Errorf("cluster: unknown ring %s", id)
@@ -416,8 +428,8 @@ func (n *Node) partition(id ring.RingID, part int) (*ring.Ring, *ring.Partition,
 
 // replicasOf snapshots the replica names of a partition.
 func (n *Node) replicasOf(p *ring.Partition) []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]string, len(p.Replicas))
 	for i, id := range p.Replicas {
 		out[i] = n.nodeName(id)

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"skute/internal/ring"
 	"skute/internal/store"
@@ -30,42 +32,78 @@ func (n *Node) Get(id ring.RingID, key string) (GetResult, error) {
 	if !ok {
 		return GetResult{}, fmt.Errorf("cluster: unknown ring %s", id)
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	r := n.rings.Ring(id)
 	p := r.Lookup(ring.HashKey(key))
 	part := p.ID
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	replicas := n.replicasOf(p)
 	readQ, _ := n.cfg.quorums(spec.Replicas)
 
 	n.countQuery(id, part)
 
-	var gathered []store.Version
-	var responders []string
-	env := transport.Envelope{Kind: kindGet, Payload: encode(getReq{Ring: id, Key: key})}
+	// Query readQ+1 replicas concurrently (the +1 over-read improves
+	// repair, matching the old sequential loop's contact count) and
+	// return as soon as that many answered: one hung-but-not-yet-
+	// suspected replica must not pin every read to the transport timeout
+	// when a quorum already responded. A failure launches the next
+	// standby replica; stragglers complete into the buffered channel and
+	// are discarded. The sibling merge below is order-independent.
+	alive := replicas[:0:0]
 	for _, name := range replicas {
-		if !n.alive(name) {
-			continue
+		if n.alive(name) {
+			alive = append(alive, name)
 		}
-		var vs []store.Version
+	}
+	type replicaResp struct {
+		name string
+		vs   []store.Version
+		ok   bool
+	}
+	resps := make(chan replicaResp, len(alive))
+	env := transport.Envelope{Kind: kindGet, Payload: encode(getReq{Ring: id, Key: key})}
+	target := readQ + 1
+	if target > len(alive) {
+		target = len(alive)
+	}
+	next, inflight := 0, 0
+	startNext := func() {
+		name := alive[next]
+		next++
+		inflight++
 		if name == n.self.Name {
-			vs = n.eng.Get(storageKey(id, key))
-		} else {
+			resps <- replicaResp{name: name, vs: n.eng.Get(storageKey(id, key)), ok: true}
+			return
+		}
+		go func(name string) {
 			info, _ := n.info(name)
 			resp, err := n.tr.Call(info.Addr, env)
 			if err != nil {
-				continue
+				resps <- replicaResp{name: name}
+				return
 			}
 			var gr getResp
 			if err := decode(resp.Payload, &gr); err != nil {
-				continue
+				resps <- replicaResp{name: name}
+				return
 			}
-			vs = gr.Versions
-		}
-		gathered = append(gathered, vs...)
-		responders = append(responders, name)
-		if len(responders) >= readQ+1 { // over-read slightly to improve repair
-			break
+			resps <- replicaResp{name: name, vs: gr.Versions, ok: true}
+		}(name)
+	}
+	for next < target {
+		startNext()
+	}
+
+	var gathered []store.Version
+	var responders []string
+	for inflight > 0 && len(responders) < target {
+		r := <-resps
+		inflight--
+		if r.ok {
+			gathered = append(gathered, r.vs...)
+			responders = append(responders, r.name)
+		} else if next < len(alive) {
+			startNext()
 		}
 	}
 	if len(responders) < readQ {
@@ -107,11 +145,11 @@ func (n *Node) write(id ring.RingID, key string, v store.Version) error {
 	if !ok {
 		return fmt.Errorf("cluster: unknown ring %s", id)
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	r := n.rings.Ring(id)
 	p := r.Lookup(ring.HashKey(key))
 	part := p.ID
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	replicas := n.replicasOf(p)
 	_, writeQ := n.cfg.quorums(spec.Replicas)
 
@@ -124,11 +162,11 @@ func (n *Node) write(id ring.RingID, key string, v store.Version) error {
 	return nil
 }
 
-// fanoutPut stores the version on every named alive replica and returns
-// the ack count.
+// fanoutPut stores the version on every named alive replica concurrently
+// and returns the ack count.
 func (n *Node) fanoutPut(id ring.RingID, key string, v store.Version, replicas []string) int {
-	env := transport.Envelope{Kind: kindPut, Payload: encode(putReq{Ring: id, Key: key, Version: v})}
 	acks := 0
+	var remotes []string
 	for _, name := range replicas {
 		if !n.alive(name) {
 			continue
@@ -139,20 +177,41 @@ func (n *Node) fanoutPut(id ring.RingID, key string, v store.Version, replicas [
 			}
 			continue
 		}
-		info, _ := n.info(name)
+		remotes = append(remotes, name)
+	}
+	if len(remotes) == 0 {
+		return acks
+	}
+	env := transport.Envelope{Kind: kindPut, Payload: encode(putReq{Ring: id, Key: key, Version: v})}
+	if len(remotes) == 1 { // skip the pool for the common R=2 local-write case
+		info, _ := n.info(remotes[0])
 		if _, err := n.tr.Call(info.Addr, env); err == nil {
 			acks++
 		}
+		return acks
 	}
-	return acks
+	var remoteAcks int32
+	var wg sync.WaitGroup
+	for _, name := range remotes {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			info, _ := n.info(name)
+			if _, err := n.tr.Call(info.Addr, env); err == nil {
+				atomic.AddInt32(&remoteAcks, 1)
+			}
+		}(name)
+	}
+	wg.Wait()
+	return acks + int(remoteAcks)
 }
 
 // countQuery accounts one query against the vnode hosting the partition
 // locally (if any), feeding the economy.
 func (n *Node) countQuery(id ring.RingID, part int) {
-	n.mu.Lock()
+	n.qmu.Lock()
 	n.queries[vnodeKey(id, part)]++
-	n.mu.Unlock()
+	n.qmu.Unlock()
 }
 
 // vnodeKey names a hosted vnode for the ledgers/queries maps.

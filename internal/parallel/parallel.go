@@ -1,0 +1,52 @@
+// Package parallel provides the bounded fork-join helper shared by the
+// hot paths that fan independent work out over a worker pool: the cluster
+// economic epoch, the simulator's snapshot statistics and the storage
+// benchmarks.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns when all calls have finished. workers <= 0 selects
+// GOMAXPROCS. Small inputs (n <= 1, or workers resolving to 1) run inline
+// on the caller's goroutine, so the helper is safe to use unconditionally
+// on hot paths.
+//
+// fn must be safe to call concurrently; iteration order is unspecified.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 1 || workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

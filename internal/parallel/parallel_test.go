@@ -1,0 +1,33 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	ForEach(-3, 4, func(int) { t.Fatal("fn called for n<0") })
+}
+
+func TestForEachInlineForSingleItem(t *testing.T) {
+	// n == 1 must run on the caller's goroutine (no pool spin-up).
+	ran := false
+	ForEach(1, 8, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("fn not called for n=1")
+	}
+}

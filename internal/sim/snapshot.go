@@ -3,6 +3,7 @@ package sim
 import (
 	"skute/internal/availability"
 	"skute/internal/metrics"
+	"skute/internal/parallel"
 	"skute/internal/ring"
 	"skute/internal/topology"
 )
@@ -114,14 +115,21 @@ type AvailabilityStats struct {
 }
 
 // AvailabilityStats evaluates Eq. 2 for every partition of every ring, in
-// the order of Config.Apps.
+// the order of Config.Apps. Eq. 2 is quadratic in the replica count and
+// runs over every partition (hundreds at paper scale), so the per-
+// partition evaluations — pure reads of the replica table — are spread
+// over a worker pool; the reduction stays sequential and deterministic.
 func (c *Cloud) AvailabilityStats() []AvailabilityStats {
 	out := make([]AvailabilityStats, len(c.apps))
 	for i, st := range c.apps {
 		a := AvailabilityStats{Threshold: st.threshold, MinAvail: -1}
-		for _, p := range st.ring.Partitions() {
+		parts := st.ring.Partitions()
+		avs := make([]float64, len(parts))
+		parallel.ForEach(len(parts), 0, func(j int) {
+			avs[j] = availability.Of(c.hostsOf(parts[j]))
+		})
+		for _, av := range avs {
 			a.Partitions++
-			av := availability.Of(c.hostsOf(p))
 			if av < st.threshold {
 				a.Violations++
 			}

@@ -3,6 +3,10 @@
 // (concurrent writes become siblings, as in Dynamo), tombstoned deletes,
 // byte-accurate size accounting for the economy, optional write-ahead
 // logging for crash recovery, and Merkle-leaf export for anti-entropy.
+//
+// The engine is sharded: keys hash (FNV-1a) onto a fixed set of shards,
+// each with its own lock and byte accounting, so concurrent readers and
+// writers of different keys proceed without contending on a global lock.
 package store
 
 import (
@@ -11,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"skute/internal/merkle"
 	"skute/internal/vclock"
@@ -33,18 +38,51 @@ func (v Version) fingerprint() merkle.Digest {
 	return merkle.HashValue(v.Value, []byte(v.Clock.String()), tomb)
 }
 
+// clone returns a version sharing no mutable state with v.
+func (v Version) clone() Version {
+	c := Version{Clock: v.Clock.Clone(), Tombstone: v.Tombstone}
+	if v.Value != nil {
+		c.Value = append([]byte(nil), v.Value...)
+	}
+	return c
+}
+
+// shardCount is the number of engine shards; a power of two so the shard
+// index is a mask of the key hash.
+const shardCount = 32
+
+// shard holds one slice of the key space under its own lock.
+type shard struct {
+	mu   sync.RWMutex
+	data map[string][]Version
+	// bytes is updated under mu but read lock-free by Engine.Bytes.
+	bytes atomic.Int64
+}
+
 // Engine is the storage engine of one node. It is safe for concurrent
-// use.
+// use: keys are spread over shardCount independently locked shards.
 type Engine struct {
-	mu    sync.RWMutex
-	data  map[string][]Version
-	bytes int64
-	log   *wal.Log // nil for a purely in-memory engine
+	shards [shardCount]shard
+	log    *wal.Log // nil for a purely in-memory engine
+}
+
+// shardOf maps a key to its shard by FNV-1a hash.
+func (e *Engine) shardOf(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &e.shards[h&(shardCount-1)]
 }
 
 // NewMemory returns an engine without a write-ahead log.
 func NewMemory() *Engine {
-	return &Engine{data: make(map[string][]Version)}
+	e := &Engine{}
+	for i := range e.shards {
+		e.shards[i].data = make(map[string][]Version)
+	}
+	return e
 }
 
 // walRecord is the gob frame appended to the log per accepted write. Drop
@@ -58,16 +96,18 @@ type walRecord struct {
 // Open returns an engine backed by the write-ahead log at path, replaying
 // any existing records.
 func Open(path string) (*Engine, error) {
-	e := &Engine{data: make(map[string][]Version)}
+	e := NewMemory()
 	l, err := wal.Open(path, func(payload []byte) error {
 		var rec walRecord
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
 			return fmt.Errorf("store: decode wal record: %w", err)
 		}
+		s := e.shardOf(rec.Key)
 		if rec.Drop {
-			e.dropLocked(rec.Key)
+			s.drop(rec.Key)
 		} else {
-			e.applyLocked(rec.Key, rec.Version)
+			// Freshly gob-decoded, uniquely owned: no defensive copy.
+			s.apply(rec.Key, rec.Version, false)
 		}
 		return nil
 	})
@@ -87,16 +127,20 @@ func (e *Engine) Close() error {
 }
 
 // Get returns the current sibling set of the key (no tombstones filtered;
-// callers decide). The returned slice is a copy.
+// callers decide). The result is a deep copy: mutating the returned
+// values or clocks cannot corrupt engine state.
 func (e *Engine) Get(key string) []Version {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	vs := e.data[key]
+	s := e.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.data[key]
 	if len(vs) == 0 {
 		return nil
 	}
 	out := make([]Version, len(vs))
-	copy(out, vs)
+	for i, v := range vs {
+		out[i] = v.clone()
+	}
 	return out
 }
 
@@ -104,31 +148,46 @@ func (e *Engine) Get(key string) []Version {
 // dominated by the new clock are dropped, a version dominating the new
 // one makes the put a no-op, and concurrent versions coexist as siblings.
 // It reports whether the version was accepted (i.e. changed state).
+//
+// The WAL record is enqueued under the shard lock — pinning the log order
+// of same-key records to the order they were applied, so a crash replay
+// reconstructs the exact engine state — but the fsync wait (group commit)
+// happens after the lock is released, so readers of the shard never stall
+// behind a write's disk flush. Records of different keys commute on
+// replay, so cross-shard ordering is unconstrained.
 func (e *Engine) Put(key string, v Version) (bool, error) {
-	e.mu.Lock()
-	accepted := e.applyLocked(key, v)
-	e.mu.Unlock()
-	if accepted && e.log != nil {
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Version: v}); err != nil {
-			return accepted, fmt.Errorf("store: encode wal record: %w", err)
-		}
-		if err := e.log.Append(buf.Bytes()); err != nil {
-			return accepted, err
-		}
+	s := e.shardOf(key)
+	s.mu.Lock()
+	accepted := s.apply(key, v, true)
+	if !accepted || e.log == nil {
+		s.mu.Unlock()
+		return accepted, nil
 	}
-	return accepted, nil
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Version: v}); err != nil {
+		s.mu.Unlock()
+		return accepted, fmt.Errorf("store: encode wal record: %w", err)
+	}
+	t, err := e.log.Enqueue(buf.Bytes())
+	s.mu.Unlock()
+	if err != nil {
+		return accepted, err
+	}
+	return accepted, e.log.Commit(t)
 }
 
-// applyLocked merges the version into the sibling set; caller holds mu.
-func (e *Engine) applyLocked(key string, v Version) bool {
-	old := e.data[key]
+// apply merges the version into the sibling set; caller holds mu. With
+// copyIn, the stored version is a private deep copy, so later caller-side
+// mutation of the value or clock cannot reach in; WAL replay passes false
+// because decoded records are already uniquely owned.
+func (s *shard) apply(key string, v Version, copyIn bool) bool {
+	old := s.data[key]
 	kept := old[:0:0]
 	for _, o := range old {
 		switch v.Clock.Compare(o.Clock) {
 		case vclock.After:
 			// new version supersedes o: drop o
-			e.bytes -= int64(len(o.Value))
+			s.bytes.Add(-int64(len(o.Value)))
 		case vclock.Equal, vclock.Before:
 			// existing state already covers the write
 			return false
@@ -136,48 +195,58 @@ func (e *Engine) applyLocked(key string, v Version) bool {
 			kept = append(kept, o)
 		}
 	}
+	if copyIn {
+		v = v.clone()
+	}
 	kept = append(kept, v)
 	sort.Slice(kept, func(i, j int) bool { return kept[i].Clock.String() < kept[j].Clock.String() })
-	e.data[key] = kept
-	e.bytes += int64(len(v.Value))
+	s.data[key] = kept
+	s.bytes.Add(int64(len(v.Value)))
 	return true
 }
 
 // Drop removes a key and all its versions outright — used when a replica
 // hands its partition off to another node, as opposed to a user-visible
 // delete (which writes a tombstone through Put). It returns the bytes
-// freed.
+// freed. Like Put, the WAL record is enqueued under the shard lock (log
+// order = apply order) and committed outside it.
 func (e *Engine) Drop(key string) (int64, error) {
-	e.mu.Lock()
-	freed := e.dropLocked(key)
-	e.mu.Unlock()
-	if freed > 0 && e.log != nil {
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Drop: true}); err != nil {
-			return freed, fmt.Errorf("store: encode drop record: %w", err)
-		}
-		if err := e.log.Append(buf.Bytes()); err != nil {
-			return freed, err
-		}
+	s := e.shardOf(key)
+	s.mu.Lock()
+	freed := s.drop(key)
+	if freed == 0 || e.log == nil {
+		s.mu.Unlock()
+		return freed, nil
 	}
-	return freed, nil
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Drop: true}); err != nil {
+		s.mu.Unlock()
+		return freed, fmt.Errorf("store: encode drop record: %w", err)
+	}
+	t, err := e.log.Enqueue(buf.Bytes())
+	s.mu.Unlock()
+	if err != nil {
+		return freed, err
+	}
+	return freed, e.log.Commit(t)
 }
 
-// dropLocked removes the key; caller holds mu.
-func (e *Engine) dropLocked(key string) int64 {
+// drop removes the key; caller holds mu.
+func (s *shard) drop(key string) int64 {
 	var freed int64
-	for _, v := range e.data[key] {
+	for _, v := range s.data[key] {
 		freed += int64(len(v.Value))
 	}
-	delete(e.data, key)
-	e.bytes -= freed
+	delete(s.data, key)
+	s.bytes.Add(-freed)
 	return freed
 }
 
 // MergeSiblings folds a set of versions gathered from several replicas
 // into the minimal causally consistent sibling set: versions dominated by
 // another version are dropped, duplicates collapse, concurrent versions
-// survive.
+// survive. The output aliases the input versions — it is a pure function
+// over caller-owned data, never over engine internals.
 func MergeSiblings(versions []Version) []Version {
 	var out []Version
 	for _, v := range versions {
@@ -203,11 +272,14 @@ func MergeSiblings(versions []Version) []Version {
 
 // Keys returns all keys (including tombstoned ones), sorted.
 func (e *Engine) Keys() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	ks := make([]string, 0, len(e.data))
-	for k := range e.data {
-		ks = append(ks, k)
+	var ks []string
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		for k := range s.data {
+			ks = append(ks, k)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(ks)
 	return ks
@@ -215,35 +287,48 @@ func (e *Engine) Keys() []string {
 
 // Len returns the number of live keys.
 func (e *Engine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.data)
+	n := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		n += len(s.data)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// Bytes returns the stored value bytes (the economy's storage usage).
+// Bytes returns the stored value bytes (the economy's storage usage). It
+// sums the per-shard counters without taking any lock, so a read racing
+// concurrent writes sees some interleaving of them — exact whenever the
+// engine is quiescent, which is when the economy reads it.
 func (e *Engine) Bytes() int64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.bytes
+	var total int64
+	for i := range e.shards {
+		total += e.shards[i].bytes.Load()
+	}
+	return total
 }
 
 // MerkleLeaves exports one leaf per key in the half-open hash range
 // filter (nil filter = all keys), fingerprinting the full sibling set, for
 // anti-entropy tree building.
 func (e *Engine) MerkleLeaves(filter func(key string) bool) []merkle.Leaf {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	leaves := make([]merkle.Leaf, 0, len(e.data))
-	for k, vs := range e.data {
-		if filter != nil && !filter(k) {
-			continue
+	var leaves []merkle.Leaf
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		for k, vs := range s.data {
+			if filter != nil && !filter(k) {
+				continue
+			}
+			parts := make([][]byte, 0, len(vs))
+			for _, v := range vs {
+				d := v.fingerprint()
+				parts = append(parts, d[:])
+			}
+			leaves = append(leaves, merkle.Leaf{Key: k, Hash: merkle.HashValue(parts...)})
 		}
-		parts := make([][]byte, 0, len(vs))
-		for _, v := range vs {
-			d := v.fingerprint()
-			parts = append(parts, d[:])
-		}
-		leaves = append(leaves, merkle.Leaf{Key: k, Hash: merkle.HashValue(parts...)})
+		s.mu.RUnlock()
 	}
 	return leaves
 }
@@ -252,7 +337,8 @@ func (e *Engine) MerkleLeaves(filter func(key string) bool) []merkle.Leaf {
 // convention is NOT applied: if exactly one non-tombstone version exists
 // it is returned; multiple concurrent versions are all returned for the
 // client to reconcile. ok is false when the key is absent or fully
-// tombstoned.
+// tombstoned. The values alias the input versions (which Engine.Get
+// already deep-copied).
 func Resolve(vs []Version) (values [][]byte, ok bool) {
 	for _, v := range vs {
 		if !v.Tombstone {

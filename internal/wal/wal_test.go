@@ -196,6 +196,72 @@ func TestConcurrentAppends(t *testing.T) {
 	}
 }
 
+// TestGroupCommitDurabilityAndOrder drives many concurrent appenders and
+// checks the group-commit invariants: every acknowledged record survives
+// replay, each goroutine's records appear in its append order (an append
+// returns only after its record is durable), and the log never issued
+// more fsyncs than records.
+func TestGroupCommitDurabilityAndOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, path)
+	const goroutines, perG = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				if err := l.Append([]byte(fmt.Sprintf("g%d-%d", g, j))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Records() != goroutines*perG {
+		t.Errorf("Records = %d, want %d", l.Records(), goroutines*perG)
+	}
+	if s := l.Syncs(); s < 1 || s > l.Records() {
+		t.Errorf("Syncs = %d outside [1, %d]", s, l.Records())
+	}
+	l.Close()
+
+	l2, got := openCollect(t, path)
+	defer l2.Close()
+	if len(got) != goroutines*perG {
+		t.Fatalf("replayed %d records, want %d", len(got), goroutines*perG)
+	}
+	next := make([]int, goroutines)
+	for _, rec := range got {
+		var g, j int
+		if _, err := fmt.Sscanf(string(rec), "g%d-%d", &g, &j); err != nil {
+			t.Fatalf("unparseable record %q", rec)
+		}
+		if j != next[g] {
+			t.Fatalf("goroutine %d records out of order: got %d, want %d", g, j, next[g])
+		}
+		next[g]++
+	}
+}
+
+func TestCloseDrainsEnqueuedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, path)
+	if _, err := l.Enqueue([]byte("parked")); err != nil {
+		t.Fatal(err)
+	}
+	// Close before anyone Commits: the record must still be flushed.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, path)
+	defer l2.Close()
+	if len(got) != 1 || string(got[0]) != "parked" {
+		t.Fatalf("replayed %q, want [parked]", got)
+	}
+}
+
 func BenchmarkAppend1KB(b *testing.B) {
 	path := filepath.Join(b.TempDir(), "wal")
 	l, err := Open(path, nil)
