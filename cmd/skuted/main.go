@@ -1,7 +1,11 @@
 // Command skuted runs one Skute prototype store node over TCP: quorum
 // reads/writes with read repair, Merkle anti-entropy, heartbeat failure
-// detection and economy-driven replica management, recovering its state
-// from a write-ahead log on restart.
+// detection and economy-driven replica management. State is durable and
+// recovery is bounded: the node recovers from its newest snapshot plus
+// the write-ahead-log tail on restart, checkpoints itself periodically
+// and on SIGTERM, and truncates the log segments each checkpoint covers,
+// so neither the disk footprint nor the restart time grows with write
+// history (see DESIGN.md, "Durability").
 //
 // All nodes boot from the same JSON descriptor:
 //
@@ -17,7 +21,8 @@
 // Usage:
 //
 //	skuted -config cluster.json -name n0 -wal /var/lib/skute/n0.wal \
-//	       -heartbeat 2s -epoch 30s
+//	       -snapshot-dir /var/lib/skute/n0.snaps -checkpoint 5m \
+//	       -heartbeat 2s -epoch 30s -admin 127.0.0.1:7070
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"skute/internal/cluster"
 	"skute/internal/economy"
 	"skute/internal/httpadmin"
+	"skute/internal/metrics"
 	"skute/internal/store"
 	"skute/internal/transport"
 )
@@ -42,15 +48,21 @@ func main() {
 	var (
 		configPath = flag.String("config", "", "path to the shared cluster descriptor (JSON)")
 		name       = flag.String("name", "", "this node's name in the descriptor")
-		walPath    = flag.String("wal", "", "write-ahead log path (empty = volatile in-memory engine)")
+		walPath    = flag.String("wal", "", "write-ahead log directory (empty = volatile in-memory engine)")
+		snapDir    = flag.String("snapshot-dir", "", "snapshot directory for bounded recovery (empty disables checkpoints; requires -wal)")
+		ckptEvery  = flag.Duration("checkpoint", 5*time.Minute, "periodic checkpoint interval (0 disables the ticker; SIGTERM still checkpoints)")
 		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval")
 		epoch      = flag.Duration("epoch", 30*time.Second, "economic epoch length (0 disables the economy)")
 		antiEnt    = flag.Duration("anti-entropy", time.Minute, "anti-entropy round interval (0 disables)")
-		admin      = flag.String("admin", "", "admin HTTP address for /healthz and /stats (empty disables)")
+		admin      = flag.String("admin", "", "admin HTTP address for /healthz, /stats and /counters (empty disables)")
 	)
 	flag.Parse()
 	if *configPath == "" || *name == "" {
 		fmt.Fprintln(os.Stderr, "skuted: -config and -name are required")
+		os.Exit(2)
+	}
+	if *snapDir != "" && *walPath == "" {
+		fmt.Fprintln(os.Stderr, "skuted: -snapshot-dir requires -wal")
 		os.Exit(2)
 	}
 
@@ -65,9 +77,9 @@ func main() {
 
 	eng := store.NewMemory()
 	if *walPath != "" {
-		eng, err = store.Open(*walPath)
+		eng, err = store.Restore(*walPath, *snapDir)
 		if err != nil {
-			log.Fatalf("skuted: open wal: %v", err)
+			log.Fatalf("skuted: restore: %v", err)
 		}
 		defer eng.Close()
 	}
@@ -78,11 +90,53 @@ func main() {
 	if err != nil {
 		log.Fatalf("skuted: %v", err)
 	}
-	log.Printf("skuted: node %s serving (keys recovered: %d)", *name, eng.Len())
+	if d := eng.Durability(); d.SnapshotSeq > 0 || d.TailRecords > 0 {
+		log.Printf("skuted: node %s recovered %d keys (snapshot seq %d + %d wal records, %d bytes replayed)",
+			*name, eng.Len(), d.SnapshotSeq, d.TailRecords, d.TailBytes)
+	} else {
+		log.Printf("skuted: node %s serving (keys recovered: %d)", *name, eng.Len())
+	}
+
+	// checkpoint runs one checkpoint and keeps the counters honest; it is
+	// called from the ticker and from the SIGTERM path.
+	ckptErrors := new(metrics.Counter)
+	checkpoint := func(reason string) {
+		if *snapDir == "" {
+			return
+		}
+		start := time.Now()
+		seq, err := eng.Checkpoint(*snapDir)
+		if err != nil {
+			ckptErrors.Inc()
+			log.Printf("skuted: checkpoint (%s): %v", reason, err)
+			return
+		}
+		d := eng.Durability()
+		log.Printf("skuted: checkpoint (%s) covered seq %d in %v (%d bytes, %d wal segments live)",
+			reason, seq, time.Since(start).Round(time.Millisecond), d.LastCheckpointBytes, d.WALSegments)
+	}
 
 	if *admin != "" {
+		reg := metrics.NewRegistry()
+		durGauge := func(pick func(store.DurabilityStats) int64) func() int64 {
+			return func() int64 { return pick(eng.Durability()) }
+		}
+		reg.Gauge("wal_records_total", durGauge(func(d store.DurabilityStats) int64 { return d.WALRecords }))
+		reg.Gauge("wal_syncs_total", durGauge(func(d store.DurabilityStats) int64 { return d.WALSyncs }))
+		reg.Gauge("wal_segments", durGauge(func(d store.DurabilityStats) int64 { return int64(d.WALSegments) }))
+		reg.Gauge("checkpoints_total", durGauge(func(d store.DurabilityStats) int64 { return d.Checkpoints }))
+		reg.Gauge("checkpoint_last_seq", durGauge(func(d store.DurabilityStats) int64 { return int64(d.LastCheckpointSeq) }))
+		reg.Gauge("checkpoint_last_bytes", durGauge(func(d store.DurabilityStats) int64 { return d.LastCheckpointBytes }))
+		reg.Gauge("wal_segments_reclaimed_total", durGauge(func(d store.DurabilityStats) int64 { return d.SegmentsReclaimed }))
+		reg.Gauge("recovery_snapshot_seq", durGauge(func(d store.DurabilityStats) int64 { return int64(d.SnapshotSeq) }))
+		reg.Gauge("recovery_tail_records", durGauge(func(d store.DurabilityStats) int64 { return d.TailRecords }))
+		reg.Gauge("recovery_tail_bytes", durGauge(func(d store.DurabilityStats) int64 { return d.TailBytes }))
+		reg.Gauge("checkpoint_errors_total", ckptErrors.Value)
+		reg.Gauge("store_bytes", eng.Bytes)
+		reg.Gauge("store_keys", func() int64 { return int64(eng.Len()) })
+
 		adminErrs := make(chan error, 1)
-		srv := httpadmin.Serve(*admin, httpadmin.StatsFunc(func() any { return node.Stats() }), adminErrs)
+		srv := httpadmin.Serve(*admin, httpadmin.StatsFunc(func() any { return node.Stats() }), reg, adminErrs)
 		defer srv.Close()
 		go func() {
 			if err := <-adminErrs; err != nil {
@@ -109,6 +163,12 @@ func main() {
 		defer t.Stop()
 		aeC = t.C
 	}
+	var ckptC <-chan time.Time
+	if *snapDir != "" && *ckptEvery > 0 {
+		t := time.NewTicker(*ckptEvery)
+		defer t.Stop()
+		ckptC = t.C
+	}
 	agentParams := agent.DefaultParams()
 	rentParams := economy.DefaultRentParams()
 	aeRound := 0
@@ -117,6 +177,8 @@ func main() {
 		select {
 		case <-hbTick.C:
 			node.SendHeartbeats()
+		case <-ckptC:
+			checkpoint("periodic")
 		case <-aeC:
 			repaired, err := node.RunAntiEntropy(aeRound)
 			aeRound++
@@ -140,6 +202,9 @@ func main() {
 					rep.Board, rep.Rent, rep.Repairs, rep.Replications, rep.Migrations, rep.Suicides)
 			}
 		case <-stop:
+			// A final checkpoint makes the next boot read only the
+			// snapshot, no tail at all.
+			checkpoint("shutdown")
 			log.Printf("skuted: shutting down")
 			return
 		}

@@ -14,8 +14,14 @@
 //
 //   - Cluster: an embeddable replicated key-value store (the paper's
 //     "future work" prototype) with quorum reads/writes, read repair,
-//     Merkle anti-entropy and economy-driven replica management. See
-//     examples/quickstart.
+//     Merkle anti-entropy, economy-driven replica management and
+//     bounded-recovery durability (write-ahead log + checkpoint
+//     snapshots, see internal/store). See examples/quickstart; the
+//     standalone node is cmd/skuted and its client CLI cmd/skutectl.
 //   - RunExperiment: the discrete-epoch simulator behind every figure of
 //     the paper's evaluation. See cmd/skute-sim and EXPERIMENTS.md.
+//
+// README.md is the guided tour; DESIGN.md maps the paper's model onto
+// the packages and documents the concurrency and durability
+// architecture.
 package skute

@@ -1,0 +1,146 @@
+package skute
+
+// Doc-link checker: CI runs this so README/DESIGN/EXPERIMENTS references
+// to files, flags and experiment ids cannot rot silently when code moves.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the documents whose references are checked.
+var docFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+
+var backtickRe = regexp.MustCompile("`([^`\n]+)`")
+
+// backtickTokens returns every inline-code token of a markdown body.
+func backtickTokens(body string) []string {
+	var out []string
+	for _, m := range backtickRe.FindAllStringSubmatch(body, -1) {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// pathPrefixes are the directory roots whose references must resolve.
+var pathPrefixes = []string{"internal/", "cmd/", "examples/", ".github/"}
+
+// rootFileRe matches bare root-level file references like README.md or
+// doc.go.
+var rootFileRe = regexp.MustCompile(`^[A-Za-z0-9_.-]+\.(md|go|mod)$`)
+
+// TestDocFileReferencesExist checks that every backticked repo path in
+// the docs points at a file or directory that exists.
+func TestDocFileReferencesExist(t *testing.T) {
+	for _, doc := range docFiles {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, tok := range backtickTokens(string(body)) {
+			if strings.ContainsAny(tok, " *<>()${}|=:") {
+				continue // commands, globs, placeholders — not plain paths
+			}
+			isPath := rootFileRe.MatchString(tok)
+			for _, p := range pathPrefixes {
+				if strings.HasPrefix(tok, p) {
+					isPath = true
+				}
+			}
+			if !isPath {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(tok)); err != nil {
+				t.Errorf("%s references `%s` which does not exist", doc, tok)
+			}
+		}
+	}
+}
+
+var flagDefRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)\("([^"]+)"`)
+
+// definedFlags parses the flag definitions of one command's main.go.
+func definedFlags(t *testing.T, cmd string) []string {
+	t.Helper()
+	body, err := os.ReadFile(filepath.Join("cmd", cmd, "main.go"))
+	if err != nil {
+		t.Fatalf("read cmd/%s/main.go: %v", cmd, err)
+	}
+	var flags []string
+	for _, m := range flagDefRe.FindAllStringSubmatch(string(body), -1) {
+		flags = append(flags, m[1])
+	}
+	return flags
+}
+
+// TestReadmeDocumentsEveryFlag: every flag a command defines must be
+// mentioned in README.md, so adding a flag without documenting it fails
+// CI.
+func TestReadmeDocumentsEveryFlag(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{"skuted", "skutectl", "skute-sim"} {
+		flags := definedFlags(t, cmd)
+		if len(flags) == 0 {
+			t.Fatalf("no flags parsed from cmd/%s/main.go — regex rot?", cmd)
+		}
+		for _, f := range flags {
+			if !strings.Contains(string(readme), "-"+f) {
+				t.Errorf("README.md does not document cmd/%s flag -%s", cmd, f)
+			}
+		}
+	}
+}
+
+// goToolFlags are flags of go test itself that the docs may mention.
+var goToolFlags = map[string]bool{
+	"-race": true, "-bench": true, "-benchtime": true,
+	"-cpu": true, "-run": true, "-v": true,
+}
+
+var flagTokenRe = regexp.MustCompile(`^-[a-z][a-z0-9-]*$`)
+
+// TestDocFlagsAreReal: every backticked `-flag` token in the docs must be
+// a flag some command actually defines (or a go tool flag), so renaming a
+// flag without fixing the docs fails CI.
+func TestDocFlagsAreReal(t *testing.T) {
+	real := map[string]bool{}
+	for _, cmd := range []string{"skuted", "skutectl", "skute-sim"} {
+		for _, f := range definedFlags(t, cmd) {
+			real["-"+f] = true
+		}
+	}
+	for _, doc := range docFiles {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tok := range backtickTokens(string(body)) {
+			if !flagTokenRe.MatchString(tok) {
+				continue
+			}
+			if !real[tok] && !goToolFlags[tok] {
+				t.Errorf("%s mentions flag `%s`, which no command defines", doc, tok)
+			}
+		}
+	}
+}
+
+// TestExperimentsDocumentedAndReal keeps the EXPERIMENTS.md catalog and
+// the registered experiment ids in sync, both directions.
+func TestExperimentsDocumentedAndReal(t *testing.T) {
+	body, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range Experiments() {
+		if !strings.Contains(string(body), "`"+id+"`") {
+			t.Errorf("EXPERIMENTS.md does not document experiment %q", id)
+		}
+	}
+}

@@ -159,10 +159,10 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 			Ledger: st.ledger,
 		}
 		d := v.Decide(params, agent.Inputs{
-			Threshold:       availability.ThresholdForReplicas(spec.Replicas),
-			Hosts:           hosts,
-			Candidates:      cands,
-			Queries:         queries,
+			Threshold:  availability.ThresholdForReplicas(spec.Replicas),
+			Hosts:      hosts,
+			Candidates: cands,
+			Queries:    queries,
 			// Read per decision, not hoisted: vnodes that already shed
 			// data this epoch relieve the pressure later deciders see,
 			// the same feedback the sequential loop had (Bytes is an

@@ -1,0 +1,24 @@
+// Package fsutil holds the small filesystem helpers the durability layer
+// shares — currently directory fsync, which both the write-ahead log and
+// the snapshot writer need so that file creations, removals and renames
+// survive a crash.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// SyncDir fsyncs a directory so entry-level changes (create, remove,
+// rename) inside it are durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,12 +1,21 @@
 // Package httpadmin exposes a Skute prototype node's observability
-// snapshot over HTTP: /healthz for liveness probes and /stats for the
-// full JSON snapshot (storage, membership, per-ring SLA compliance).
-// cmd/skuted mounts it behind the -admin flag.
+// surface over HTTP:
+//
+//	GET /healthz   liveness probe, 200 "ok"
+//	GET /stats     full JSON snapshot (storage, membership, per-ring SLA)
+//	GET /counters  live operational counters (WAL appends and fsyncs,
+//	               checkpoints taken, recovery replay sizes) from a
+//	               metrics.Registry
+//
+// cmd/skuted mounts it behind the -admin flag. The package deliberately
+// depends on interfaces, not cluster types, so tests can fake the node.
 package httpadmin
 
 import (
 	"encoding/json"
 	"net/http"
+
+	"skute/internal/metrics"
 )
 
 // StatsSource abstracts the node so the package does not import cluster
@@ -22,30 +31,42 @@ type StatsFunc func() any
 // Stats implements StatsSource.
 func (f StatsFunc) Stats() any { return f() }
 
-// Handler returns the admin mux: GET /healthz -> 200 "ok", GET /stats ->
-// the JSON snapshot.
-func Handler(src StatsSource) http.Handler {
+// Handler returns the admin mux. reg may be nil, in which case /counters
+// serves an empty object.
+func Handler(src StatsSource, reg *metrics.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(src.Stats()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSON(w, src.Stats())
+	})
+	mux.HandleFunc("GET /counters", func(w http.ResponseWriter, r *http.Request) {
+		snap := map[string]int64{}
+		if reg != nil {
+			snap = reg.Snapshot()
 		}
+		writeJSON(w, snap)
 	})
 	return mux
+}
+
+// writeJSON renders v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // Serve starts the admin endpoint on addr in a goroutine and returns the
 // server for shutdown. Errors after startup are delivered to errs if
 // non-nil.
-func Serve(addr string, src StatsSource, errs chan<- error) *http.Server {
-	srv := &http.Server{Addr: addr, Handler: Handler(src)}
+func Serve(addr string, src StatsSource, reg *metrics.Registry, errs chan<- error) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: Handler(src, reg)}
 	go func() {
 		err := srv.ListenAndServe()
 		if err != nil && err != http.ErrServerClosed && errs != nil {

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"skute/internal/metrics"
 )
 
 type snapshot struct {
@@ -14,7 +16,10 @@ type snapshot struct {
 }
 
 func testHandler() http.Handler {
-	return Handler(StatsFunc(func() any { return snapshot{Name: "n0", Keys: 42} }))
+	reg := metrics.NewRegistry()
+	reg.Counter("checkpoints_total").Add(3)
+	reg.Gauge("wal_segments", func() int64 { return 2 })
+	return Handler(StatsFunc(func() any { return snapshot{Name: "n0", Keys: 42} }), reg)
 }
 
 func TestHealthz(t *testing.T) {
@@ -75,9 +80,43 @@ func TestUnknownPathAndMethod(t *testing.T) {
 	}
 }
 
+func TestCounters(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/counters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["checkpoints_total"] != 3 || got["wal_segments"] != 2 {
+		t.Errorf("counters = %v", got)
+	}
+}
+
+func TestCountersNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(StatsFunc(func() any { return 1 }), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/counters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("nil registry counters = %v", got)
+	}
+}
+
 func TestServeLifecycle(t *testing.T) {
 	errs := make(chan error, 1)
-	srv := Serve("127.0.0.1:0", StatsFunc(func() any { return 1 }), errs)
+	srv := Serve("127.0.0.1:0", StatsFunc(func() any { return 1 }), nil, errs)
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -118,3 +118,31 @@ func TestTableRender(t *testing.T) {
 		t.Errorf("Render(0) lines = %d, want 11", n)
 	}
 }
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("writes_total")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("writes_total") != c {
+		t.Error("Counter did not return the existing counter")
+	}
+	live := int64(7)
+	r.Gauge("live_value", func() int64 { return live })
+	snap := r.Snapshot()
+	if snap["writes_total"] != 5 || snap["live_value"] != 7 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	live = 9
+	if r.Snapshot()["live_value"] != 9 {
+		t.Error("gauge not sampled live")
+	}
+	c.Set(100)
+	if r.Snapshot()["writes_total"] != 100 {
+		t.Error("Set not visible")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "writes_total" || names[1] != "live_value" {
+		t.Errorf("names = %v", names)
+	}
+}

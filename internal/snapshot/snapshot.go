@@ -1,0 +1,299 @@
+// Package snapshot reads and writes the point-in-time checkpoint files of
+// the Skute storage engine. A snapshot captures every shard of the engine
+// at a write-ahead-log sequence number: restoring the snapshot and
+// replaying only the log records after that sequence number reproduces the
+// engine, which is what keeps a node's restart time proportional to its
+// live data instead of its whole write history (see DESIGN.md,
+// "Durability").
+//
+// Snapshot files are versioned, checksummed and crash-safe: they are
+// written to a temporary file, fsynced, and atomically renamed into place
+// as snap-<seq>.skt, so a crash mid-checkpoint leaves the previous
+// snapshot untouched. Every shard payload carries its own CRC, computed
+// and verified concurrently via internal/parallel; a corrupt newest
+// snapshot makes Latest fall back to the next older one.
+//
+// File layout (little endian):
+//
+//	magic   uint32  0x534b534e ("SKSN")
+//	version uint32  format version (currently 1)
+//	seq     uint64  WAL sequence number the snapshot covers
+//	nshards uint32  number of shard payloads
+//	crc32   uint32  IEEE CRC of the 20 header bytes above
+//	then, per shard:
+//	  length uint32
+//	  crc32  uint32  IEEE CRC of the payload
+//	  payload []byte
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"skute/internal/fsutil"
+	"skute/internal/parallel"
+)
+
+const magic uint32 = 0x534b534e
+
+// Version is the current snapshot format version.
+const Version = 1
+
+const headerSize = 24
+const shardHeaderSize = 8
+
+// MaxShardSize bounds one shard payload (1 GiB); larger lengths found
+// while reading are treated as corruption.
+const MaxShardSize = 1 << 30
+
+// ErrNoSnapshot is returned by Latest when the directory holds no valid
+// snapshot.
+var ErrNoSnapshot = errors.New("snapshot: none found")
+
+// keepSnapshots is how many generations Write retains: the one it just
+// wrote plus one fallback in case the newest is later found corrupt.
+const keepSnapshots = 2
+
+// Info describes one snapshot file.
+type Info struct {
+	Seq   uint64 // WAL sequence number the snapshot covers
+	Path  string
+	Bytes int64 // file size
+}
+
+// fileName returns the snapshot file name for a sequence number.
+func fileName(seq uint64) string {
+	return fmt.Sprintf("snap-%020d.skt", seq)
+}
+
+// parseName extracts the sequence number from a snapshot file name.
+func parseName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".skt") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len("snap-"):len(name)-len(".skt")], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// List returns the snapshot files of dir in ascending sequence order,
+// without validating their contents. A missing directory is an empty
+// list.
+func List(dir string) ([]Info, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("snapshot: read dir %s: %w", dir, err)
+	}
+	var infos []Info
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		seq, ok := parseName(e.Name())
+		if !ok {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		infos = append(infos, Info{Seq: seq, Path: filepath.Join(dir, e.Name()), Bytes: fi.Size()})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Seq < infos[j].Seq })
+	return infos, nil
+}
+
+// Write atomically writes a snapshot of the shard payloads covering the
+// given WAL sequence number, then prunes all but the newest generations.
+// Shard CRCs are computed concurrently. The returned Info points at the
+// renamed final file.
+func Write(dir string, seq uint64, shards [][]byte) (Info, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Info{}, fmt.Errorf("snapshot: mkdir %s: %w", dir, err)
+	}
+
+	crcs := make([]uint32, len(shards))
+	parallel.ForEach(len(shards), 0, func(i int) {
+		crcs[i] = crc32.ChecksumIEEE(shards[i])
+	})
+
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], Version)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(shards)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(hdr[0:20]))
+
+	final := filepath.Join(dir, fileName(seq))
+	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return Info{}, fmt.Errorf("snapshot: create temp in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	// Stream header and shards straight to the file — the payloads are
+	// already the dominant memory cost, so never concatenate a second
+	// whole-snapshot buffer.
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	total := int64(0)
+	writeAll := func(p []byte) error {
+		n, err := w.Write(p)
+		total += int64(n)
+		return err
+	}
+	werr := writeAll(hdr[:])
+	var sh [shardHeaderSize]byte
+	for i := 0; i < len(shards) && werr == nil; i++ {
+		binary.LittleEndian.PutUint32(sh[0:4], uint32(len(shards[i])))
+		binary.LittleEndian.PutUint32(sh[4:8], crcs[i])
+		if werr = writeAll(sh[:]); werr == nil {
+			werr = writeAll(shards[i])
+		}
+	}
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr != nil {
+		tmp.Close()
+		cleanup()
+		return Info{}, fmt.Errorf("snapshot: write %s: %w", tmpName, werr)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return Info{}, fmt.Errorf("snapshot: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return Info{}, fmt.Errorf("snapshot: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		cleanup()
+		return Info{}, fmt.Errorf("snapshot: rename into place: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return Info{}, err
+	}
+	if err := Prune(dir, keepSnapshots); err != nil {
+		return Info{}, err
+	}
+	return Info{Seq: seq, Path: final, Bytes: total}, nil
+}
+
+// Prune removes all but the newest keep snapshot files of dir.
+func Prune(dir string, keep int) error {
+	infos, err := List(dir)
+	if err != nil {
+		return err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	for i := 0; i+keep < len(infos); i++ {
+		if err := os.Remove(infos[i].Path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("snapshot: prune %s: %w", infos[i].Path, err)
+		}
+	}
+	return nil
+}
+
+// Latest loads the newest valid snapshot of dir, verifying the header and
+// every shard CRC (concurrently). A snapshot that fails validation is
+// skipped in favor of the next older one — the crash-window fallback —
+// and ErrNoSnapshot is returned when none validates (or none exists).
+func Latest(dir string) (Info, [][]byte, error) {
+	infos, err := List(dir)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	var lastErr error = ErrNoSnapshot
+	for i := len(infos) - 1; i >= 0; i-- {
+		shards, err := load(infos[i])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return infos[i], shards, nil
+	}
+	if !errors.Is(lastErr, ErrNoSnapshot) {
+		lastErr = fmt.Errorf("%w (newest rejected: %v)", ErrNoSnapshot, lastErr)
+	}
+	return Info{}, nil, lastErr
+}
+
+// load reads and fully validates one snapshot file.
+func load(info Info) ([][]byte, error) {
+	data, err := os.ReadFile(info.Path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read %s: %w", info.Path, err)
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("snapshot: %s truncated header", info.Path)
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != magic {
+		return nil, fmt.Errorf("snapshot: %s bad magic", info.Path)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
+		return nil, fmt.Errorf("snapshot: %s format version %d, want %d", info.Path, v, Version)
+	}
+	if crc32.ChecksumIEEE(data[0:20]) != binary.LittleEndian.Uint32(data[20:24]) {
+		return nil, fmt.Errorf("snapshot: %s corrupt header", info.Path)
+	}
+	if seq := binary.LittleEndian.Uint64(data[8:16]); seq != info.Seq {
+		return nil, fmt.Errorf("snapshot: %s header seq %d does not match file name", info.Path, seq)
+	}
+	nshards := binary.LittleEndian.Uint32(data[16:20])
+
+	shards := make([][]byte, nshards)
+	want := make([]uint32, nshards)
+	off := headerSize
+	for i := range shards {
+		if len(data)-off < shardHeaderSize {
+			return nil, fmt.Errorf("snapshot: %s truncated at shard %d", info.Path, i)
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		if length > MaxShardSize || int(length) > len(data)-off-shardHeaderSize {
+			return nil, fmt.Errorf("snapshot: %s shard %d truncated or oversized", info.Path, i)
+		}
+		want[i] = binary.LittleEndian.Uint32(data[off+4 : off+8])
+		off += shardHeaderSize
+		shards[i] = data[off : off+int(length)]
+		off += int(length)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("snapshot: %s has %d trailing bytes", info.Path, len(data)-off)
+	}
+
+	// Verify every shard CRC concurrently; any mismatch rejects the file.
+	bad := make([]bool, nshards)
+	parallel.ForEach(int(nshards), 0, func(i int) {
+		bad[i] = crc32.ChecksumIEEE(shards[i]) != want[i]
+	})
+	for i, b := range bad {
+		if b {
+			return nil, fmt.Errorf("snapshot: %s shard %d checksum mismatch", info.Path, i)
+		}
+	}
+	return shards, nil
+}
+
+// syncDir fsyncs a directory so renames survive a crash.
+func syncDir(dir string) error {
+	if err := fsutil.SyncDir(dir); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}

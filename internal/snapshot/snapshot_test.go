@@ -1,0 +1,166 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func shardsFor(n int, tag string) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-shard-%d-payload", tag, i))
+	}
+	return out
+}
+
+func TestWriteLatestRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	shards := shardsFor(8, "v1")
+	shards[3] = nil // empty shards are legal
+	info, err := Write(dir, 42, shards)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if info.Seq != 42 || info.Bytes <= 0 {
+		t.Fatalf("Write info = %+v", info)
+	}
+
+	got, loaded, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if got.Seq != 42 {
+		t.Errorf("Latest seq = %d", got.Seq)
+	}
+	if len(loaded) != len(shards) {
+		t.Fatalf("loaded %d shards, want %d", len(loaded), len(shards))
+	}
+	for i := range shards {
+		if !bytes.Equal(loaded[i], shards[i]) {
+			t.Errorf("shard %d = %q, want %q", i, loaded[i], shards[i])
+		}
+	}
+}
+
+func TestLatestPicksNewest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	if _, err := Write(dir, 10, shardsFor(4, "old")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(dir, 20, shardsFor(4, "new")); err != nil {
+		t.Fatal(err)
+	}
+	info, shards, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 20 || string(shards[0]) != "new-shard-0-payload" {
+		t.Fatalf("Latest = seq %d shard0 %q", info.Seq, shards[0])
+	}
+}
+
+func TestCorruptNewestFallsBackToOlder(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	if _, err := Write(dir, 10, shardsFor(4, "old")); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := Write(dir, 20, shardsFor(4, "new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: the shard CRC must reject the file.
+	data, err := os.ReadFile(newest.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(newest.Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	info, shards, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest with corrupt newest: %v", err)
+	}
+	if info.Seq != 10 || string(shards[0]) != "old-shard-0-payload" {
+		t.Fatalf("fallback = seq %d shard0 %q", info.Seq, shards[0])
+	}
+}
+
+func TestCorruptHeaderRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	info, err := Write(dir, 7, shardsFor(2, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(info.Path)
+	data[9] ^= 0xFF // inside the seq field, guarded by the header CRC
+	os.WriteFile(info.Path, data, 0o644)
+	if _, _, err := Latest(dir); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("Latest on corrupt header = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	info, err := Write(dir, 7, shardsFor(4, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(info.Path, info.Bytes-5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Latest(dir); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("Latest on truncated file = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestEmptyDirIsErrNoSnapshot(t *testing.T) {
+	if _, _, err := Latest(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("Latest on missing dir = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestWritePrunesOldGenerations(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := Write(dir, seq*10, shardsFor(2, "gen")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != keepSnapshots {
+		t.Fatalf("kept %d snapshots, want %d", len(infos), keepSnapshots)
+	}
+	if infos[len(infos)-1].Seq != 50 {
+		t.Errorf("newest kept = %d, want 50", infos[len(infos)-1].Seq)
+	}
+	// No temp files left behind.
+	tmps, _ := filepath.Glob(filepath.Join(dir, ".snap-*.tmp"))
+	if len(tmps) != 0 {
+		t.Errorf("leftover temp files: %v", tmps)
+	}
+}
+
+func TestCrashLeavesPreviousSnapshotIntact(t *testing.T) {
+	// Simulate a crash mid-write: a partial temp file must be invisible to
+	// Latest and not shadow the good snapshot.
+	dir := filepath.Join(t.TempDir(), "snaps")
+	if _, err := Write(dir, 10, shardsFor(2, "good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".snap-123.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := Latest(dir)
+	if err != nil || info.Seq != 10 {
+		t.Fatalf("Latest = %+v, %v", info, err)
+	}
+}

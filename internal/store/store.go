@@ -7,17 +7,30 @@
 // The engine is sharded: keys hash (FNV-1a) onto a fixed set of shards,
 // each with its own lock and byte accounting, so concurrent readers and
 // writers of different keys proceed without contending on a global lock.
+//
+// Durability is bounded: Checkpoint writes a point-in-time snapshot of
+// every shard (internal/snapshot) anchored at a write-ahead-log sequence
+// number, then truncates the log segments the snapshot covers
+// (internal/wal), so the on-disk footprint and the restart cost of
+// Restore are proportional to the live data plus the post-checkpoint log
+// tail, never to the full write history. Checkpoint does not stop the
+// world — each shard is copied under its own read lock while writers to
+// other shards proceed — and the resulting snapshot is still a consistent
+// recovery point (see DESIGN.md, "Durability").
 package store
 
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"skute/internal/merkle"
+	"skute/internal/parallel"
+	"skute/internal/snapshot"
 	"skute/internal/vclock"
 	"skute/internal/wal"
 )
@@ -64,6 +77,31 @@ type shard struct {
 type Engine struct {
 	shards [shardCount]shard
 	log    *wal.Log // nil for a purely in-memory engine
+
+	ckptMu sync.Mutex // serializes checkpoints
+	statMu sync.Mutex // guards dur
+	dur    DurabilityStats
+}
+
+// DurabilityStats are the checkpoint/recovery counters of an engine,
+// exported through the admin endpoint. The Snapshot*/Tail* fields
+// describe the last boot; the Checkpoint*/Segments* fields accumulate
+// over the engine's lifetime; the WAL* fields are read live.
+type DurabilityStats struct {
+	SnapshotSeq   uint64 // WAL seq of the snapshot loaded at boot (0 = cold boot)
+	SnapshotBytes int64  // size of that snapshot file
+	TailRecords   int64  // WAL records replayed at boot (past the snapshot)
+	TailSkipped   int64  // WAL records skipped at boot (already in the snapshot)
+	TailBytes     int64  // payload bytes replayed at boot
+
+	Checkpoints         int64  // checkpoints taken since boot
+	LastCheckpointSeq   uint64 // WAL seq the newest checkpoint covers
+	LastCheckpointBytes int64  // size of the newest snapshot file
+	SegmentsReclaimed   int64  // WAL segment files deleted by checkpoints
+
+	WALRecords  int64 // records appended + replayed (live)
+	WALSyncs    int64 // fsyncs issued by group commit (live)
+	WALSegments int   // segment files, including the active one (live)
 }
 
 // shardOf maps a key to its shard by FNV-1a hash.
@@ -93,14 +131,60 @@ type walRecord struct {
 	Drop    bool
 }
 
-// Open returns an engine backed by the write-ahead log at path, replaying
-// any existing records.
-func Open(path string) (*Engine, error) {
+// Options tunes the durable boot paths; the zero value selects the
+// defaults.
+type Options struct {
+	WAL wal.Options
+}
+
+// Open returns an engine backed by the write-ahead log directory at
+// walDir, replaying every record — Restore without a snapshot directory.
+func Open(walDir string) (*Engine, error) {
+	return RestoreOptions(walDir, "", Options{})
+}
+
+// Restore boots an engine from its snapshot directory and write-ahead
+// log: it loads the newest valid snapshot (if any) and then replays only
+// the log tail past the snapshot's sequence number, so restart cost is
+// bounded by live data plus the records written since the last
+// Checkpoint. Records the snapshot already covers are skipped by
+// sequence number; re-replaying ones the snapshot raced past is harmless
+// because vector-clock application is idempotent. An empty snapDir skips
+// snapshots entirely.
+func Restore(walDir, snapDir string) (*Engine, error) {
+	return RestoreOptions(walDir, snapDir, Options{})
+}
+
+// RestoreOptions is Restore with explicit tuning.
+func RestoreOptions(walDir, snapDir string, o Options) (*Engine, error) {
 	e := NewMemory()
-	l, err := wal.Open(path, func(payload []byte) error {
+	var snapSeq uint64
+	if snapDir != "" {
+		info, blobs, err := snapshot.Latest(snapDir)
+		switch {
+		case err == nil:
+			if err := e.loadSnapshot(blobs); err != nil {
+				return nil, err
+			}
+			snapSeq = info.Seq
+			e.dur.SnapshotSeq = info.Seq
+			e.dur.SnapshotBytes = info.Bytes
+		case errors.Is(err, snapshot.ErrNoSnapshot):
+			// Cold boot (or every snapshot generation corrupt): fall back
+			// to full WAL replay; the gap check below catches the case
+			// where the WAL alone is no longer enough.
+		default:
+			return nil, err
+		}
+	}
+	l, err := wal.OpenOptions(walDir, o.WAL, func(seq uint64, payload []byte) error {
+		if seq <= snapSeq {
+			e.dur.TailSkipped++
+			return nil
+		}
 		var rec walRecord
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return fmt.Errorf("store: decode wal record: %w", err)
+			return fmt.Errorf("store: decode wal record %d: %w", seq, err)
 		}
 		s := e.shardOf(rec.Key)
 		if rec.Drop {
@@ -109,13 +193,155 @@ func Open(path string) (*Engine, error) {
 			// Freshly gob-decoded, uniquely owned: no defensive copy.
 			s.apply(rec.Key, rec.Version, false)
 		}
+		e.dur.TailRecords++
+		e.dur.TailBytes += int64(len(payload))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	// A log whose history was truncated needs a snapshot covering the
+	// truncation point; booting without one would silently lose data.
+	if first := l.FirstSeq(); first > snapSeq+1 {
+		l.Close()
+		return nil, fmt.Errorf("store: wal starts at seq %d but newest usable snapshot covers seq %d — refusing a partial restore", first, snapSeq)
+	}
+	// Conversely, a log that sits BEHIND the snapshot (lost volume, wrong
+	// -wal path, operator wipe) would re-issue sequence numbers the
+	// snapshot already covers; the next restore would then skip those
+	// acknowledged writes as "already in the snapshot". Refuse now rather
+	// than acknowledge writes a later boot will silently drop.
+	if last := l.LastSeq(); last < snapSeq {
+		l.Close()
+		return nil, fmt.Errorf("store: wal ends at seq %d but the snapshot covers seq %d — wal and snapshot directories do not belong together", last, snapSeq)
+	}
 	e.log = l
 	return e, nil
+}
+
+// loadSnapshot fills the engine's shards from decoded snapshot payloads
+// (one gob-encoded key→sibling-set map per saved shard, decoded
+// concurrently). Keys are redistributed through shardOf, so the engine's
+// shard count may differ from the snapshot's.
+func (e *Engine) loadSnapshot(blobs [][]byte) error {
+	maps := make([]map[string][]Version, len(blobs))
+	errs := make([]error, len(blobs))
+	parallel.ForEach(len(blobs), 0, func(i int) {
+		if len(blobs[i]) == 0 {
+			return
+		}
+		if err := gob.NewDecoder(bytes.NewReader(blobs[i])).Decode(&maps[i]); err != nil {
+			errs[i] = err
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("store: decode snapshot shard %d: %w", i, err)
+		}
+	}
+	for _, m := range maps {
+		for k, vs := range m {
+			s := e.shardOf(k)
+			s.data[k] = vs
+			var b int64
+			for _, v := range vs {
+				b += int64(len(v.Value))
+			}
+			s.bytes.Add(b)
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes a snapshot of the whole engine into snapDir and
+// truncates the write-ahead log segments it covers, bounding both the
+// on-disk footprint and the next restart's replay work. It does not stop
+// the world: the snapshot anchor is the log's last assigned sequence
+// number (every record at or below it is already applied, because
+// records are enqueued under their shard's write lock after applying),
+// and each shard is then copied under its own read lock — writers to
+// other shards never block, and writers to the same shard only wait for
+// a map copy, not for encoding or disk I/O. Records that land after the
+// anchor may or may not be caught in the copies; either way replay past
+// the anchor reproduces the exact engine state because version
+// application is idempotent and replay happens in log order.
+//
+// It returns the sequence number the snapshot covers. Concurrent
+// checkpoints are serialized.
+func (e *Engine) Checkpoint(snapDir string) (uint64, error) {
+	if e.log == nil {
+		return 0, errors.New("store: checkpoint requires a write-ahead log")
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	seq := e.log.LastSeq()
+	blobs := make([][]byte, shardCount)
+	errs := make([]error, shardCount)
+	parallel.ForEach(shardCount, 0, func(i int) {
+		s := &e.shards[i]
+		// Copy-on-read: stored sibling slices are never mutated in place
+		// (apply builds fresh slices), so a shallow map copy is a stable
+		// point-in-time view and encoding can run outside the lock.
+		s.mu.RLock()
+		m := make(map[string][]Version, len(s.data))
+		for k, vs := range s.data {
+			m[k] = vs
+		}
+		s.mu.RUnlock()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+			errs[i] = err
+			return
+		}
+		blobs[i] = buf.Bytes()
+	})
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("store: encode checkpoint shard %d: %w", i, err)
+		}
+	}
+
+	info, err := snapshot.Write(snapDir, seq, blobs)
+	if err != nil {
+		return 0, err
+	}
+	// Retain the log back to the OLDEST snapshot generation still on disk,
+	// not just the one written above: if the newest snapshot is later
+	// found corrupt, Restore falls back to the previous generation, which
+	// is only usable while the log still covers the span between them.
+	anchor := seq + 1
+	if infos, lerr := snapshot.List(snapDir); lerr == nil && len(infos) > 0 {
+		anchor = infos[0].Seq + 1
+	}
+	removed, err := e.log.TruncateBefore(anchor)
+	if err != nil {
+		// The snapshot is durable; only log reclamation failed. Surface
+		// the error but report the covered sequence number.
+		return seq, fmt.Errorf("store: checkpoint written but wal truncation failed: %w", err)
+	}
+
+	e.statMu.Lock()
+	e.dur.Checkpoints++
+	e.dur.LastCheckpointSeq = seq
+	e.dur.LastCheckpointBytes = info.Bytes
+	e.dur.SegmentsReclaimed += int64(removed)
+	e.statMu.Unlock()
+	return seq, nil
+}
+
+// Durability returns the engine's checkpoint/recovery counters, with the
+// live WAL fields filled in.
+func (e *Engine) Durability() DurabilityStats {
+	e.statMu.Lock()
+	d := e.dur
+	e.statMu.Unlock()
+	if e.log != nil {
+		d.WALRecords = e.log.Records()
+		d.WALSyncs = e.log.Syncs()
+		d.WALSegments = e.log.Segments()
+	}
+	return d
 }
 
 // Close closes the underlying log, if any.

@@ -1,8 +1,17 @@
-// Package wal implements the append-only, CRC-checked write-ahead log of
-// the Skute prototype store. Every mutation is framed and flushed before
-// it is acknowledged; on restart the log is replayed to rebuild the
-// in-memory engine, truncating at the first torn or corrupt frame (the
-// standard crash-consistency contract of database logs).
+// Package wal implements the append-only, CRC-checked, segmented
+// write-ahead log of the Skute prototype store. Every mutation is framed,
+// sequence-numbered and flushed before it is acknowledged; on restart the
+// log is replayed to rebuild the in-memory engine, truncating a torn or
+// corrupt tail after the last intact frame (the standard crash-consistency
+// contract of database logs).
+//
+// The log is a directory of segment files, each named after the sequence
+// number of the first record it holds (seg-<first>.wal). The highest-named
+// segment is active and receives appends; once it grows past
+// Options.SegmentBytes it is sealed and a fresh segment is started.
+// Sealed segments below a checkpointed sequence number are reclaimed with
+// TruncateBefore, which is how the store keeps the log's size proportional
+// to the data written since the last snapshot rather than to all history.
 //
 // Appends use group commit: while one appender (the commit leader) is
 // writing and fsyncing, concurrent appenders enqueue their frames, and
@@ -16,23 +25,40 @@
 //	magic   uint32  0x534b5457 ("SKTW")
 //	length  uint32  payload bytes
 //	crc32   uint32  IEEE CRC of the payload
+//	seq     uint64  record sequence number (dense, starting at 1)
 //	payload []byte
+//
+// The payload is integrity-checked by the CRC; the sequence number is
+// integrity-checked by density — records are written with consecutive
+// sequence numbers, so replay treats any frame whose seq is not exactly
+// one past its predecessor as corruption and stops there.
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+
+	"skute/internal/fsutil"
 )
 
 const magic uint32 = 0x534b5457
 
 // headerSize is the frame header length in bytes.
-const headerSize = 12
+const headerSize = 20
+
+// DefaultSegmentBytes is the rotation threshold used when Options does not
+// override it: the active segment is sealed once it grows past this size.
+const DefaultSegmentBytes = 4 << 20
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: closed")
@@ -41,25 +67,51 @@ var ErrClosed = errors.New("wal: closed")
 // larger lengths found during replay are treated as corruption.
 const MaxRecordSize = 64 << 20
 
+// Options tunes a Log; the zero value selects the defaults.
+type Options struct {
+	// SegmentBytes seals the active segment once it grows past this many
+	// bytes; <= 0 selects DefaultSegmentBytes. Tests shrink it to exercise
+	// rotation cheaply.
+	SegmentBytes int64
+}
+
+// segment is one sealed (no longer written) segment file.
+type segment struct {
+	path        string
+	first, last uint64 // sequence numbers of its first and last record
+}
+
 // Ticket is one record enqueued for group commit; Commit waits for its
 // durability. Tickets order records: the log writes them in enqueue
 // order, so callers serializing Enqueue (e.g. under a store shard lock)
 // get matching log order without holding their lock across the fsync.
 type Ticket struct {
+	seq     uint64
 	frame   []byte
 	flushed bool
 	err     error
 }
 
-// Log is an append-only record log backed by a single file. Append is
-// safe for concurrent use.
+// Seq returns the sequence number the log assigned to this record.
+func (t *Ticket) Seq() uint64 { return t.seq }
+
+// Log is an append-only record log backed by a directory of segment
+// files. Append is safe for concurrent use.
 type Log struct {
-	mu         sync.Mutex
-	idle       sync.Cond // broadcast when a commit round finishes
-	f          *os.File
-	closed     bool
-	committing bool
-	queue      []*Ticket
+	mu          sync.Mutex
+	idle        sync.Cond // broadcast when a commit round finishes
+	dir         string
+	segBytes    int64
+	f           *os.File // active segment
+	size        int64    // bytes in the active segment
+	activeFirst uint64   // first seq the active segment may hold
+	sealed      []segment
+	nextSeq     uint64 // seq the next Enqueue will be assigned
+	lastFlushed uint64 // seq of the last durably written record
+	closed      bool
+	committing  bool
+	failed      error // sticky write/rotate failure; the log refuses new work
+	queue       []*Ticket
 	// records counts appended + replayed records, for observability.
 	records int64
 	// syncs counts fsyncs issued by commits; records/syncs is the group
@@ -67,74 +119,344 @@ type Log struct {
 	syncs int64
 }
 
-// Open opens (creating if needed) the log at path, replays every intact
-// record into the replay callback and truncates trailing corruption. The
-// callback must not retain the byte slice.
-func Open(path string, replay func(payload []byte) error) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+// segName returns the file name of the segment whose first record has the
+// given sequence number.
+func segName(first uint64) string {
+	return fmt.Sprintf("seg-%020d.wal", first)
+}
+
+// parseSegName extracts the first-record sequence number from a segment
+// file name, reporting whether the name is a well-formed segment name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
 	}
-	l := &Log{f: f}
-	l.idle.L = &l.mu
-	valid, err := l.replay(replay)
+	n, err := strconv.ParseUint(name[len("seg-"):len(name)-len(".wal")], 10, 64)
 	if err != nil {
-		f.Close()
+		return 0, false
+	}
+	return n, true
+}
+
+// legacyHeaderSize is the frame header of the pre-segmented single-file
+// log format: magic, length, crc32 — no sequence number.
+const legacyHeaderSize = 12
+
+// legacySuffix marks a single-file log parked for migration. The file is
+// only removed once the migrated directory log is fully synced, so a
+// crash at any point of the migration resumes it on the next open.
+const legacySuffix = ".legacy"
+
+// migrateLegacy converts a pre-segmented single-file log at dir into the
+// directory format: the file is atomically parked as dir+".legacy", its
+// intact frames (old format, torn tail tolerated) are rewritten as
+// segment records with sequence numbers 1..n, and the parked file is
+// deleted only after the new log is synced. A leftover .legacy file from
+// a crashed migration wins over any partially written directory.
+func migrateLegacy(dir string) error {
+	if fi, err := os.Stat(dir); err == nil && fi.Mode().IsRegular() {
+		if err := os.Rename(dir, dir+legacySuffix); err != nil {
+			return fmt.Errorf("wal: park legacy log %s: %w", dir, err)
+		}
+	}
+	data, err := os.ReadFile(dir + legacySuffix)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // nothing to migrate
+		}
+		return fmt.Errorf("wal: read legacy log: %w", err)
+	}
+	// Parse the old frame format, stopping at the first torn or corrupt
+	// frame exactly as the old replay did.
+	var records [][]byte
+	for off := 0; ; {
+		if len(data)-off < legacyHeaderSize {
+			break
+		}
+		if binary.LittleEndian.Uint32(data[off:off+4]) != magic {
+			break
+		}
+		length := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		if length > MaxRecordSize || len(data)-off-legacyHeaderSize < length {
+			break
+		}
+		payload := data[off+legacyHeaderSize : off+legacyHeaderSize+length]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+8:off+12]) {
+			break
+		}
+		records = append(records, payload)
+		off += legacyHeaderSize + length
+	}
+	// The directory (if present) is a partial earlier migration, never
+	// live data: the .legacy file is deleted before any appends can land.
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("wal: clear partial migration %s: %w", dir, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: create %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, segBytes: DefaultSegmentBytes, nextSeq: 1}
+	l.idle.L = &l.mu
+	if err := l.openActive(1); err != nil {
+		return err
+	}
+	for _, p := range records {
+		if _, err := l.Enqueue(p); err != nil {
+			l.Close()
+			return fmt.Errorf("wal: migrate legacy record: %w", err)
+		}
+	}
+	if err := l.Close(); err != nil { // drains the queue with one commit round
+		return fmt.Errorf("wal: sync migrated log: %w", err)
+	}
+	if err := os.Remove(dir + legacySuffix); err != nil {
+		return fmt.Errorf("wal: remove migrated legacy log: %w", err)
+	}
+	return syncDir(filepath.Dir(dir))
+}
+
+// Open opens (creating if needed) the log directory at dir, replays every
+// intact record into the replay callback in sequence order and truncates
+// trailing corruption of the final segment. The callback must not retain
+// the byte slice. It is equivalent to OpenOptions with zero Options.
+func Open(dir string, replay func(seq uint64, payload []byte) error) (*Log, error) {
+	return OpenOptions(dir, Options{}, replay)
+}
+
+// OpenOptions is Open with explicit tuning. A pre-segmented single-file
+// log found at dir is migrated into the directory format first, so nodes
+// upgrade in place without losing acknowledged writes.
+func OpenOptions(dir string, o Options, replay func(seq uint64, payload []byte) error) (*Log, error) {
+	segBytes := o.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := migrateLegacy(dir); err != nil {
 		return nil, err
 	}
-	// Truncate torn/corrupt tail and position for appends.
-	if err := f.Truncate(valid); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: truncate %s: %w", path, err)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s (the log is a directory of segment files): %w", dir, err)
 	}
-	if _, err := f.Seek(valid, io.SeekStart); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
 	}
+	l := &Log{dir: dir, segBytes: segBytes}
+	l.idle.L = &l.mu
+
+	if len(segs) == 0 {
+		l.nextSeq = 1
+		if err := l.openActive(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+
+	expected := segs[0].first
+	for i, s := range segs {
+		if s.first != expected {
+			return nil, fmt.Errorf("wal: segment %s starts at seq %d, want %d (gap in the log)", s.path, s.first, expected)
+		}
+		f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open segment %s: %w", s.path, err)
+		}
+		valid, last, n, err := replaySegment(f, expected, replay)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if i < len(segs)-1 {
+			// A sealed segment was fully synced before the next one was
+			// created, so trailing corruption here is not a crash artifact:
+			// refuse to silently drop the later segments' records.
+			fi, statErr := f.Stat()
+			f.Close()
+			if statErr != nil {
+				return nil, fmt.Errorf("wal: stat segment %s: %w", s.path, statErr)
+			}
+			if valid != fi.Size() || n == 0 {
+				return nil, fmt.Errorf("wal: segment %s corrupt mid-log (%d of %d bytes intact)", s.path, valid, fi.Size())
+			}
+			l.sealed = append(l.sealed, segment{path: s.path, first: s.first, last: last})
+		} else {
+			// Final segment: a torn or corrupt tail is the expected crash
+			// artifact — truncate to the last intact frame and append there.
+			if err := f.Truncate(valid); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: truncate %s: %w", s.path, err)
+			}
+			if _, err := f.Seek(valid, io.SeekStart); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: seek %s: %w", s.path, err)
+			}
+			l.f = f
+			l.size = valid
+			l.activeFirst = s.first
+		}
+		l.records += n
+		expected = last + 1
+	}
+	l.nextSeq = expected
+	l.lastFlushed = expected - 1
 	return l, nil
 }
 
-// replay scans the file from the start, invoking cb for each intact
-// record, and returns the offset of the first invalid byte.
-func (l *Log) replay(cb func([]byte) error) (int64, error) {
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return 0, err
+// listSegments returns the well-formed segment files of dir in ascending
+// first-sequence order.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir %s: %w", dir, err)
 	}
+	var segs []segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		first, ok := parseSegName(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, e.Name()), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// replaySegment scans one segment from the start, invoking cb for each
+// intact frame whose sequence number continues the dense record sequence,
+// and returns the byte offset of the first invalid byte, the last valid
+// sequence number seen (expected-1 when the segment is empty) and the
+// number of records replayed. The only error it returns is a callback
+// error; corruption just stops the scan.
+func replaySegment(f *os.File, expected uint64, cb func(uint64, []byte) error) (valid int64, last uint64, n int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: seek %s: %w", f.Name(), err)
+	}
+	r := bufio.NewReader(f)
 	var (
 		offset int64
 		hdr    [headerSize]byte
+		seq    = expected
 	)
-	r := io.Reader(l.f)
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return offset, nil // clean EOF or torn header: stop here
+			return offset, seq - 1, n, nil // clean EOF or torn header: stop here
 		}
 		if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
-			return offset, nil
+			return offset, seq - 1, n, nil
 		}
 		length := binary.LittleEndian.Uint32(hdr[4:8])
 		if length > MaxRecordSize {
-			return offset, nil
+			return offset, seq - 1, n, nil
+		}
+		if binary.LittleEndian.Uint64(hdr[12:20]) != seq {
+			return offset, seq - 1, n, nil // sequence break: corruption
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return offset, nil // torn payload
+			return offset, seq - 1, n, nil // torn payload
 		}
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[8:12]) {
-			return offset, nil // corrupt payload
+			return offset, seq - 1, n, nil // corrupt payload
 		}
 		if cb != nil {
-			if err := cb(payload); err != nil {
-				return 0, fmt.Errorf("wal: replay callback: %w", err)
+			if err := cb(seq, payload); err != nil {
+				return 0, 0, 0, fmt.Errorf("wal: replay callback: %w", err)
 			}
 		}
-		l.records++
+		n++
+		seq++
 		offset += headerSize + int64(length)
 	}
 }
 
-// frame builds the on-disk frame of a payload.
-func frame(payload []byte) []byte {
+// openActive creates the segment whose first record will have sequence
+// number first and makes it the append target. Caller holds l.mu (or is
+// Open, before the log is shared).
+func (l *Log) openActive(first uint64) error {
+	path := filepath.Join(l.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", path, err)
+	}
+	l.f = f
+	l.size = 0
+	l.activeFirst = first
+	return syncDir(l.dir)
+}
+
+// rotate seals the active segment and starts a fresh one. Caller holds
+// l.mu and guarantees the active segment's content is synced (it is —
+// rotation only runs right after a successful commit or on an idle log).
+func (l *Log) rotate() error {
+	if l.lastFlushed < l.activeFirst {
+		return nil // active segment holds no records yet
+	}
+	old := l.f
+	l.sealed = append(l.sealed, segment{
+		path:  filepath.Join(l.dir, segName(l.activeFirst)),
+		first: l.activeFirst,
+		last:  l.lastFlushed,
+	})
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("wal: close sealed segment: %w", err)
+	}
+	return l.openActive(l.lastFlushed + 1)
+}
+
+// TruncateBefore reclaims every segment all of whose records have
+// sequence numbers < seq — the store calls it after a checkpoint so the
+// log only retains the tail a restart still needs to replay. When the
+// active segment is idle and also entirely below seq it is sealed first,
+// so a fresh checkpoint shrinks the log to a single empty segment. It
+// returns the number of segment files removed.
+func (l *Log) TruncateBefore(seq uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.failed != nil {
+		return 0, l.failed
+	}
+	// Seal an idle active segment whose records are all reclaimable, so
+	// they can be deleted below instead of lingering until size rotation.
+	if !l.committing && len(l.queue) == 0 &&
+		l.lastFlushed >= l.activeFirst && l.lastFlushed < seq {
+		if err := l.rotate(); err != nil {
+			l.failed = err
+			return 0, err
+		}
+	}
+	removed := 0
+	kept := l.sealed[:0]
+	var firstErr error
+	for _, s := range l.sealed {
+		if s.last < seq && firstErr == nil {
+			if err := os.Remove(s.path); err != nil {
+				firstErr = fmt.Errorf("wal: remove segment %s: %w", s.path, err)
+				kept = append(kept, s)
+				continue
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.sealed = kept
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return removed, firstErr
+}
+
+// frameRecord builds the on-disk frame of a payload with the sequence
+// field left zero; Enqueue fills it once the log assigns the seq.
+func frameRecord(payload []byte) []byte {
 	buf := make([]byte, headerSize+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:4], magic)
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
@@ -143,31 +465,38 @@ func frame(payload []byte) []byte {
 	return buf
 }
 
-// Append frames one record and returns once it is written and synced —
-// Enqueue followed by Commit.
-func (l *Log) Append(payload []byte) error {
+// Append frames one record and returns its sequence number once it is
+// written and synced — Enqueue followed by Commit.
+func (l *Log) Append(payload []byte) (uint64, error) {
 	t, err := l.Enqueue(payload)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return l.Commit(t)
+	return t.seq, l.Commit(t)
 }
 
-// Enqueue frames the record and reserves its position in the log order.
-// It never blocks on I/O, so callers may enqueue while holding their own
-// locks (the store does, per shard, to pin log order to apply order) and
-// Commit outside them. An enqueued record becomes durable at the next
-// commit round even if the caller delays Commit.
+// Enqueue frames the record, assigns it the next sequence number and
+// reserves its position in the log order. It never blocks on I/O, so
+// callers may enqueue while holding their own locks (the store does, per
+// shard, to pin log order to apply order) and Commit outside them. An
+// enqueued record becomes durable at the next commit round even if the
+// caller delays Commit.
 func (l *Log) Enqueue(payload []byte) (*Ticket, error) {
 	if len(payload) > MaxRecordSize {
 		return nil, fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), MaxRecordSize)
 	}
-	t := &Ticket{frame: frame(payload)}
+	t := &Ticket{frame: frameRecord(payload)}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil, ErrClosed
 	}
+	if l.failed != nil {
+		return nil, l.failed
+	}
+	t.seq = l.nextSeq
+	l.nextSeq++
+	binary.LittleEndian.PutUint64(t.frame[12:20], t.seq)
 	l.queue = append(l.queue, t)
 	return t, nil
 }
@@ -203,18 +532,46 @@ func (l *Log) Commit(t *Ticket) error {
 }
 
 // flushRound commits the whole pending queue as one batch: one write,
-// one fsync. Caller holds l.mu with committing false and a non-empty
-// queue; it returns still holding l.mu.
+// one fsync, then a size-triggered rotation if the active segment is
+// full. Caller holds l.mu with committing false and a non-empty queue;
+// it returns still holding l.mu.
 func (l *Log) flushRound() {
 	l.committing = true
 	batch := l.queue
 	l.queue = nil
+	// A previous round failed mid-write: the tail of the active segment is
+	// in an unknown state, so writing new frames after the torn bytes
+	// would acknowledge records a replay can never reach. Fail the whole
+	// batch without touching the file.
+	if l.failed != nil {
+		for _, b := range batch {
+			b.flushed = true
+			b.err = l.failed
+		}
+		l.committing = false
+		l.idle.Broadcast()
+		return
+	}
 	l.mu.Unlock()
 	err := l.commit(batch)
 	l.mu.Lock()
 	if err == nil {
 		l.records += int64(len(batch))
 		l.syncs++
+		l.lastFlushed = batch[len(batch)-1].seq
+		for _, b := range batch {
+			l.size += int64(len(b.frame))
+		}
+		if l.size >= l.segBytes {
+			if rerr := l.rotate(); rerr != nil {
+				l.failed = rerr
+			}
+		}
+	} else {
+		// A failed write leaves the tail of the active segment in an
+		// unknown state; poison the log rather than risk writing later
+		// sequence numbers after a gap.
+		l.failed = err
 	}
 	for _, b := range batch {
 		b.flushed = true
@@ -263,10 +620,40 @@ func (l *Log) Syncs() int64 {
 	return l.syncs
 }
 
-// Close syncs and closes the file. Further appends fail with ErrClosed.
-// A commit in flight finishes first and enqueued-but-uncommitted records
-// are drained with a final round, so Enqueue's durability promise holds
-// across a close.
+// LastSeq returns the highest sequence number the log has assigned (0 on
+// a fresh log). Records up to LastSeq have already been applied by any
+// caller that enqueues under its own state lock, which is the anchor the
+// store's checkpoint uses.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// FirstSeq returns the sequence number of the first record the log
+// retains (the name of its oldest segment). Anything below it has been
+// reclaimed by TruncateBefore and must be covered by a snapshot; restore
+// paths compare the two to detect an unrecoverable gap.
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.sealed) > 0 {
+		return l.sealed[0].first
+	}
+	return l.activeFirst
+}
+
+// Segments returns the number of segment files, including the active one.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sealed) + 1
+}
+
+// Close syncs and closes the active segment. Further appends fail with
+// ErrClosed. A commit in flight finishes first and enqueued-but-
+// uncommitted records are drained with a final round, so Enqueue's
+// durability promise holds across a close.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -286,4 +673,13 @@ func (l *Log) Close() error {
 		return err
 	}
 	return l.f.Close()
+}
+
+// syncDir fsyncs a directory so segment creations and removals survive a
+// crash.
+func syncDir(dir string) error {
+	if err := fsutil.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
 }

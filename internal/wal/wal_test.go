@@ -2,185 +2,242 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 )
 
-func openCollect(t *testing.T, path string) (*Log, [][]byte) {
+// rec is one replayed record.
+type rec struct {
+	seq     uint64
+	payload []byte
+}
+
+func openCollect(t *testing.T, dir string) (*Log, []rec) {
 	t.Helper()
-	var got [][]byte
-	l, err := Open(path, func(p []byte) error {
-		got = append(got, append([]byte(nil), p...))
-		return nil
-	})
+	l, got, err := openCollectErr(dir, Options{})
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
 	return l, got
 }
 
+func openCollectErr(dir string, o Options) (*Log, []rec, error) {
+	var got []rec
+	l, err := OpenOptions(dir, o, func(seq uint64, p []byte) error {
+		got = append(got, rec{seq, append([]byte(nil), p...)})
+		return nil
+	})
+	return l, got, err
+}
+
+// segFiles returns the segment file paths of dir, sorted.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+// finalSegment returns the highest-named (active) segment file of dir.
+func finalSegment(t *testing.T, dir string) string {
+	t.Helper()
+	files := segFiles(t, dir)
+	if len(files) == 0 {
+		t.Fatal("no segment files")
+	}
+	return files[len(files)-1]
+}
+
 func TestAppendReplayRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	l, got := openCollect(t, path)
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, got := openCollect(t, dir)
 	if len(got) != 0 {
 		t.Fatal("fresh log replayed records")
 	}
 	records := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four4")}
-	for _, r := range records {
-		if err := l.Append(r); err != nil {
+	for i, r := range records {
+		seq, err := l.Append(r)
+		if err != nil {
 			t.Fatalf("Append: %v", err)
+		}
+		if seq != uint64(i+1) {
+			t.Errorf("Append seq = %d, want %d", seq, i+1)
 		}
 	}
 	if l.Records() != 4 {
 		t.Errorf("Records = %d", l.Records())
 	}
+	if l.LastSeq() != 4 {
+		t.Errorf("LastSeq = %d", l.LastSeq())
+	}
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
 
-	l2, got := openCollect(t, path)
+	l2, got := openCollect(t, dir)
 	defer l2.Close()
 	if len(got) != len(records) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(records))
 	}
 	for i := range records {
-		if !bytes.Equal(got[i], records[i]) {
-			t.Errorf("record %d = %q, want %q", i, got[i], records[i])
+		if !bytes.Equal(got[i].payload, records[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i].payload, records[i])
+		}
+		if got[i].seq != uint64(i+1) {
+			t.Errorf("record %d seq = %d, want %d", i, got[i].seq, i+1)
 		}
 	}
 	if l2.Records() != 4 {
 		t.Errorf("Records after replay = %d", l2.Records())
 	}
+	if l2.LastSeq() != 4 {
+		t.Errorf("LastSeq after replay = %d", l2.LastSeq())
+	}
 }
 
 func TestTornTailTruncated(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	l, _ := openCollect(t, path)
-	if err := l.Append([]byte("intact")); err != nil {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
+	if _, err := l.Append([]byte("intact")); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append([]byte("will-be-torn")); err != nil {
+	if _, err := l.Append([]byte("will-be-torn")); err != nil {
 		t.Fatal(err)
 	}
 	l.Close()
 
-	// Tear the last record by chopping bytes off the end.
-	fi, err := os.Stat(path)
+	// Tear the last record by chopping bytes off the end of the segment.
+	seg := finalSegment(t, dir)
+	fi, err := os.Stat(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(path, fi.Size()-3); err != nil {
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
 		t.Fatal(err)
 	}
 
-	l2, got := openCollect(t, path)
-	if len(got) != 1 || string(got[0]) != "intact" {
+	l2, got := openCollect(t, dir)
+	if len(got) != 1 || string(got[0].payload) != "intact" {
 		t.Fatalf("replayed %v, want just [intact]", got)
 	}
-	// The log must now be appendable and the torn record gone for good.
-	if err := l2.Append([]byte("after-recovery")); err != nil {
-		t.Fatal(err)
+	// The log must now be appendable and the torn record gone for good;
+	// its sequence number is reused by the next append.
+	if seq, err := l2.Append([]byte("after-recovery")); err != nil || seq != 2 {
+		t.Fatalf("Append after recovery: seq %d, %v", seq, err)
 	}
 	l2.Close()
 
-	l3, got := openCollect(t, path)
+	l3, got := openCollect(t, dir)
 	defer l3.Close()
-	if len(got) != 2 || string(got[1]) != "after-recovery" {
+	if len(got) != 2 || string(got[1].payload) != "after-recovery" || got[1].seq != 2 {
 		t.Fatalf("after recovery replayed %q", got)
 	}
 }
 
 func TestCorruptPayloadTruncated(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	l, _ := openCollect(t, path)
-	if err := l.Append([]byte("good")); err != nil {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
+	if _, err := l.Append([]byte("good")); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append([]byte("bad-payload")); err != nil {
+	if _, err := l.Append([]byte("bad-payload")); err != nil {
 		t.Fatal(err)
 	}
 	l.Close()
 
 	// Flip a byte inside the second record's payload.
-	data, err := os.ReadFile(path)
+	seg := finalSegment(t, dir)
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)-2] ^= 0xFF
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	l2, got := openCollect(t, path)
+	l2, got := openCollect(t, dir)
 	defer l2.Close()
-	if len(got) != 1 || string(got[0]) != "good" {
+	if len(got) != 1 || string(got[0].payload) != "good" {
 		t.Fatalf("replayed %q, want [good]", got)
 	}
 }
 
-func TestGarbageFileReplaysNothing(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	if err := os.WriteFile(path, []byte("this is not a wal file at all"), 0o644); err != nil {
+func TestGarbageSegmentReplaysNothing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	l, got := openCollect(t, path)
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte("this is not a wal segment at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, got := openCollect(t, dir)
 	defer l.Close()
 	if len(got) != 0 {
 		t.Fatalf("garbage replayed %d records", len(got))
 	}
-	if err := l.Append([]byte("fresh")); err != nil {
+	if _, err := l.Append([]byte("fresh")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestOversizeRecordRejected(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	l, _ := openCollect(t, path)
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
 	defer l.Close()
 	big := make([]byte, MaxRecordSize+1)
-	if err := l.Append(big); err == nil {
+	if _, err := l.Append(big); err == nil {
 		t.Error("oversize append accepted")
 	}
 }
 
 func TestClosedLog(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	l, _ := openCollect(t, path)
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
 		t.Errorf("double close: %v", err)
 	}
-	if err := l.Append([]byte("x")); err != ErrClosed {
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
 		t.Errorf("append after close: %v, want ErrClosed", err)
+	}
+	if _, err := l.TruncateBefore(1); err != ErrClosed {
+		t.Errorf("truncate after close: %v, want ErrClosed", err)
 	}
 }
 
 func TestReplayCallbackError(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	l, _ := openCollect(t, path)
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
 	l.Append([]byte("x"))
 	l.Close()
-	_, err := Open(path, func([]byte) error { return fmt.Errorf("boom") })
+	_, err := Open(dir, func(uint64, []byte) error { return fmt.Errorf("boom") })
 	if err == nil {
 		t.Fatal("replay error not propagated")
 	}
 }
 
 func TestConcurrentAppends(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	l, _ := openCollect(t, path)
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
 			for j := 0; j < 25; j++ {
-				if err := l.Append([]byte(fmt.Sprintf("g%d-%d", n, j))); err != nil {
+				if _, err := l.Append([]byte(fmt.Sprintf("g%d-%d", n, j))); err != nil {
 					t.Errorf("append: %v", err)
 					return
 				}
@@ -189,10 +246,16 @@ func TestConcurrentAppends(t *testing.T) {
 	}
 	wg.Wait()
 	l.Close()
-	l2, got := openCollect(t, path)
+	l2, got := openCollect(t, dir)
 	defer l2.Close()
 	if len(got) != 200 {
 		t.Fatalf("replayed %d records, want 200", len(got))
+	}
+	// Sequence numbers are dense and ordered on disk.
+	for i, r := range got {
+		if r.seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.seq)
+		}
 	}
 }
 
@@ -202,8 +265,8 @@ func TestConcurrentAppends(t *testing.T) {
 // returns only after its record is durable), and the log never issued
 // more fsyncs than records.
 func TestGroupCommitDurabilityAndOrder(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	l, _ := openCollect(t, path)
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
 	const goroutines, perG = 8, 40
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
@@ -211,7 +274,7 @@ func TestGroupCommitDurabilityAndOrder(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for j := 0; j < perG; j++ {
-				if err := l.Append([]byte(fmt.Sprintf("g%d-%d", g, j))); err != nil {
+				if _, err := l.Append([]byte(fmt.Sprintf("g%d-%d", g, j))); err != nil {
 					t.Errorf("append: %v", err)
 					return
 				}
@@ -227,16 +290,16 @@ func TestGroupCommitDurabilityAndOrder(t *testing.T) {
 	}
 	l.Close()
 
-	l2, got := openCollect(t, path)
+	l2, got := openCollect(t, dir)
 	defer l2.Close()
 	if len(got) != goroutines*perG {
 		t.Fatalf("replayed %d records, want %d", len(got), goroutines*perG)
 	}
 	next := make([]int, goroutines)
-	for _, rec := range got {
+	for _, r := range got {
 		var g, j int
-		if _, err := fmt.Sscanf(string(rec), "g%d-%d", &g, &j); err != nil {
-			t.Fatalf("unparseable record %q", rec)
+		if _, err := fmt.Sscanf(string(r.payload), "g%d-%d", &g, &j); err != nil {
+			t.Fatalf("unparseable record %q", r.payload)
 		}
 		if j != next[g] {
 			t.Fatalf("goroutine %d records out of order: got %d, want %d", g, j, next[g])
@@ -246,8 +309,8 @@ func TestGroupCommitDurabilityAndOrder(t *testing.T) {
 }
 
 func TestCloseDrainsEnqueuedRecords(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal")
-	l, _ := openCollect(t, path)
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
 	if _, err := l.Enqueue([]byte("parked")); err != nil {
 		t.Fatal(err)
 	}
@@ -255,16 +318,247 @@ func TestCloseDrainsEnqueuedRecords(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	l2, got := openCollect(t, path)
+	l2, got := openCollect(t, dir)
 	defer l2.Close()
-	if len(got) != 1 || string(got[0]) != "parked" {
+	if len(got) != 1 || string(got[0].payload) != "parked" {
 		t.Fatalf("replayed %q, want [parked]", got)
 	}
 }
 
+// TestSegmentRotation appends past the segment threshold and checks the
+// log rolls to new segment files while replay still sees one continuous
+// record sequence.
+func TestSegmentRotation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := openCollectErr(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := l.Segments(); s < 3 {
+		t.Fatalf("Segments = %d, want several after %d appends past a 256B threshold", s, n)
+	}
+	l.Close()
+	if files := segFiles(t, dir); len(files) < 3 {
+		t.Fatalf("found %d segment files on disk", len(files))
+	}
+
+	l2, got, err := openCollectErr(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r.seq != uint64(i+1) || string(r.payload) != fmt.Sprintf("record-%02d", i) {
+			t.Fatalf("record %d = seq %d %q", i, r.seq, r.payload)
+		}
+	}
+	// Appends continue the sequence after a cross-segment replay.
+	if seq, err := l2.Append([]byte("tail")); err != nil || seq != n+1 {
+		t.Fatalf("Append after replay: seq %d, %v", seq, err)
+	}
+}
+
+// TestTruncateBefore checkpoints away the history: segments wholly below
+// the cutoff disappear, replay starts at the tail, and sequence numbers
+// keep counting from where they were.
+func TestTruncateBefore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := openCollectErr(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Segments()
+	removed, err := l.TruncateBefore(21)
+	if err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	if removed == 0 || l.Segments() >= before {
+		t.Fatalf("TruncateBefore removed %d segments (%d -> %d)", removed, before, l.Segments())
+	}
+	// Records >= 21 must survive.
+	l.Close()
+	l2, got, err := openCollectErr(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) == 0 || got[0].seq > 21 {
+		t.Fatalf("first surviving record has seq %v, want <= 21 intact", got)
+	}
+	last := got[len(got)-1]
+	if last.seq != n || string(last.payload) != fmt.Sprintf("r%02d", n-1) {
+		t.Fatalf("last record = seq %d %q", last.seq, last.payload)
+	}
+	if seq, err := l2.Append([]byte("next")); err != nil || seq != n+1 {
+		t.Fatalf("Append after truncate+reopen: seq %d, %v", seq, err)
+	}
+}
+
+// TestTruncateBeforeSealsIdleActive reclaims everything: an idle active
+// segment below the cutoff is sealed and deleted too, so a checkpoint of
+// a quiet log shrinks it to one empty segment.
+func TestTruncateBeforeSealsIdleActive(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.TruncateBefore(11); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Segments(); s != 1 {
+		t.Fatalf("Segments after full truncation = %d, want 1", s)
+	}
+	fi, err := os.Stat(finalSegment(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("active segment holds %d bytes after full truncation", fi.Size())
+	}
+	l.Close()
+
+	// Sequence numbering survives the truncation across a reopen.
+	l2, got := openCollect(t, dir)
+	defer l2.Close()
+	if len(got) != 0 {
+		t.Fatalf("replayed %d records after full truncation", len(got))
+	}
+	if seq, err := l2.Append([]byte("x")); err != nil || seq != 11 {
+		t.Fatalf("Append after full truncation: seq %d, %v", seq, err)
+	}
+}
+
+// TestCrashInjection is the torn-write sweep: a crash can cut the final
+// segment at any byte. For every cut point the log must reopen, replay a
+// strict prefix of the appended records, and accept new appends.
+func TestCrashInjection(t *testing.T) {
+	master := filepath.Join(t.TempDir(), "master")
+	l, _ := openCollect(t, master)
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("crash-record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	seg := finalSegment(t, master)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("cut-%d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(seg)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, got, err := openCollectErr(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		// The replayed records must be a strict prefix: record i intact
+		// with seq i+1, nothing out of order, nothing invented.
+		for i, r := range got {
+			if r.seq != uint64(i+1) || string(r.payload) != fmt.Sprintf("crash-record-%d", i) {
+				t.Fatalf("cut %d: record %d = seq %d %q", cut, i, r.seq, r.payload)
+			}
+		}
+		if len(got) > n {
+			t.Fatalf("cut %d: replayed %d records from %d appended", cut, len(got), n)
+		}
+		// And the log is live again: the next append takes the seq right
+		// after the surviving prefix.
+		seq, err := l2.Append([]byte("post-crash"))
+		if err != nil || seq != uint64(len(got)+1) {
+			t.Fatalf("cut %d: post-crash append seq %d err %v, want seq %d", cut, seq, err, len(got)+1)
+		}
+		l2.Close()
+	}
+}
+
+// TestSealedSegmentCorruptionRefusesBoot: corruption in a non-final
+// segment is not a crash artifact; silently truncating there would drop
+// every later record, so Open must fail loudly instead.
+func TestSealedSegmentCorruptionRefusesBoot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := openCollectErr(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 2 {
+		t.Fatal("test needs at least one sealed segment")
+	}
+	l.Close()
+
+	files := segFiles(t, dir)
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openCollectErr(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt sealed segment mid-log")
+	}
+}
+
+// TestSegmentGapRefusesBoot: a missing middle segment means lost records;
+// Open must fail rather than replay around the hole.
+func TestSegmentGapRefusesBoot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := openCollectErr(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatal("test needs at least three segments")
+	}
+	l.Close()
+	files := segFiles(t, dir)
+	if err := os.Remove(files[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openCollectErr(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a log with a missing middle segment")
+	}
+}
+
 func BenchmarkAppend1KB(b *testing.B) {
-	path := filepath.Join(b.TempDir(), "wal")
-	l, err := Open(path, nil)
+	dir := filepath.Join(b.TempDir(), "wal")
+	l, err := Open(dir, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -274,8 +568,118 @@ func BenchmarkAppend1KB(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := l.Append(payload); err != nil {
+		if _, err := l.Append(payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// writeLegacyFile writes records in the pre-segmented single-file format
+// (magic | length | crc32 | payload, no seq).
+func writeLegacyFile(t *testing.T, path string, records [][]byte, tornTail []byte) {
+	t.Helper()
+	var buf []byte
+	var hdr [12]byte
+	for _, p := range records {
+		binary.LittleEndian.PutUint32(hdr[0:4], magic)
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(p))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	buf = append(buf, tornTail...)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacySingleFileMigration: a pre-segmented single-file log opens in
+// place — its records get sequence numbers 1..n in the directory format,
+// a torn tail is dropped like the old replay dropped it, and the parked
+// .legacy file is gone afterwards.
+func TestLegacySingleFileMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	records := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	writeLegacyFile(t, path, records, []byte{0x57, 0x54}) // plus torn junk
+
+	l, got := openCollect(t, path)
+	if len(got) != len(records) {
+		t.Fatalf("migrated %d records, want %d", len(got), len(records))
+	}
+	for i, r := range got {
+		if r.seq != uint64(i+1) || !bytes.Equal(r.payload, records[i]) {
+			t.Fatalf("record %d = seq %d %q", i, r.seq, r.payload)
+		}
+	}
+	if _, err := os.Stat(path + legacySuffix); !os.IsNotExist(err) {
+		t.Errorf(".legacy file not removed after migration: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		t.Fatalf("migrated log is not a directory: %v %v", fi, err)
+	}
+	if seq, err := l.Append([]byte("post-migration")); err != nil || seq != 4 {
+		t.Fatalf("Append after migration: seq %d, %v", seq, err)
+	}
+	l.Close()
+
+	l2, got := openCollect(t, path)
+	defer l2.Close()
+	if len(got) != 4 || string(got[3].payload) != "post-migration" {
+		t.Fatalf("reopen after migration replayed %d records", len(got))
+	}
+}
+
+// TestLegacyMigrationResumesAfterCrash: a crash after the legacy file was
+// parked (and a partial directory written) must redo the migration from
+// the parked file, not trust the partial directory.
+func TestLegacyMigrationResumesAfterCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	writeLegacyFile(t, path+legacySuffix, [][]byte{[]byte("real-1"), []byte("real-2")}, nil)
+	// Partial migrated dir from the crashed attempt: one bogus segment.
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(path, segName(1)), []byte("partial junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, got := openCollect(t, path)
+	defer l.Close()
+	if len(got) != 2 || string(got[0].payload) != "real-1" || string(got[1].payload) != "real-2" {
+		t.Fatalf("resumed migration replayed %q", got)
+	}
+}
+
+// TestFailedLogRefusesLaterRounds: once a commit round fails, records
+// enqueued during that round must NOT be written after the torn bytes and
+// acknowledged — the failure is sticky for every later round.
+func TestFailedLogRefusesLaterRounds(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
+	defer l.Close()
+	// A ticket parked before the failure is injected.
+	parked, err := l.Enqueue([]byte("parked-during-failure"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := fmt.Errorf("simulated torn write")
+	l.mu.Lock()
+	l.failed = bad
+	l.mu.Unlock()
+
+	if err := l.Commit(parked); err != bad {
+		t.Fatalf("Commit on a failed log = %v, want the sticky failure", err)
+	}
+	if _, err := l.Enqueue([]byte("after-failure")); err != bad {
+		t.Fatalf("Enqueue on a failed log = %v, want the sticky failure", err)
+	}
+	// Nothing may have reached the file.
+	fi, err := os.Stat(finalSegment(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("failed log wrote %d bytes to the active segment", fi.Size())
 	}
 }
