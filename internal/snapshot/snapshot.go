@@ -58,9 +58,10 @@ const MaxShardSize = 1 << 30
 // snapshot.
 var ErrNoSnapshot = errors.New("snapshot: none found")
 
-// keepSnapshots is how many generations Write retains: the one it just
-// wrote plus one fallback in case the newest is later found corrupt.
-const keepSnapshots = 2
+// KeepGenerations is how many snapshot generations a checkpoint retains:
+// the one it just wrote plus one fallback in case the newest is later
+// found corrupt.
+const KeepGenerations = 2
 
 // Info describes one snapshot file.
 type Info struct {
@@ -117,9 +118,11 @@ func List(dir string) ([]Info, error) {
 }
 
 // Write atomically writes a snapshot of the shard payloads covering the
-// given WAL sequence number, then prunes all but the newest generations.
-// Shard CRCs are computed concurrently. The returned Info points at the
-// renamed final file.
+// given WAL sequence number. Shard CRCs are computed concurrently. The
+// returned Info points at the renamed final file. Write only writes:
+// retention is the caller's separate Prune call, so a retention failure
+// can never masquerade as a failed write of a snapshot that is in fact
+// durably on disk.
 func Write(dir string, seq uint64, shards [][]byte) (Info, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return Info{}, fmt.Errorf("snapshot: mkdir %s: %w", dir, err)
@@ -136,6 +139,15 @@ func Write(dir string, seq uint64, shards [][]byte) (Info, error) {
 	binary.LittleEndian.PutUint64(hdr[8:16], seq)
 	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(shards)))
 	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(hdr[0:20]))
+
+	// Sweep temp files a crashed checkpoint left behind: every name-based
+	// scan skips them, so each would otherwise leak a full engine image —
+	// worst when the crash was ENOSPC and every retry leaks another.
+	if stale, gerr := filepath.Glob(filepath.Join(dir, ".snap-*.tmp")); gerr == nil {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
 
 	final := filepath.Join(dir, fileName(seq))
 	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
@@ -187,27 +199,29 @@ func Write(dir string, seq uint64, shards [][]byte) (Info, error) {
 	if err := syncDir(dir); err != nil {
 		return Info{}, err
 	}
-	if err := Prune(dir, keepSnapshots); err != nil {
-		return Info{}, err
-	}
 	return Info{Seq: seq, Path: final, Bytes: total}, nil
 }
 
-// Prune removes all but the newest keep snapshot files of dir.
-func Prune(dir string, keep int) error {
+// Prune removes all but the newest keep snapshot files of dir and returns
+// the retained generations in ascending sequence order.
+func Prune(dir string, keep int) ([]Info, error) {
 	infos, err := List(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if keep < 1 {
 		keep = 1
 	}
-	for i := 0; i+keep < len(infos); i++ {
+	drop := len(infos) - keep
+	if drop < 0 {
+		drop = 0
+	}
+	for i := 0; i < drop; i++ {
 		if err := os.Remove(infos[i].Path); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("snapshot: prune %s: %w", infos[i].Path, err)
+			return nil, fmt.Errorf("snapshot: prune %s: %w", infos[i].Path, err)
 		}
 	}
-	return nil
+	return infos[drop:], nil
 }
 
 // Latest loads the newest valid snapshot of dir, verifying the header and

@@ -125,22 +125,31 @@ func TestEmptyDirIsErrNoSnapshot(t *testing.T) {
 	}
 }
 
-func TestWritePrunesOldGenerations(t *testing.T) {
+func TestPruneKeepsNewestGenerations(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "snaps")
 	for seq := uint64(1); seq <= 5; seq++ {
 		if _, err := Write(dir, seq*10, shardsFor(2, "gen")); err != nil {
 			t.Fatal(err)
 		}
 	}
+	retained, err := Prune(dir, KeepGenerations)
+	if err != nil {
+		t.Fatal(err)
+	}
 	infos, err := List(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(infos) != keepSnapshots {
-		t.Fatalf("kept %d snapshots, want %d", len(infos), keepSnapshots)
+	if len(infos) != KeepGenerations {
+		t.Fatalf("kept %d snapshots, want %d", len(infos), KeepGenerations)
 	}
 	if infos[len(infos)-1].Seq != 50 {
 		t.Errorf("newest kept = %d, want 50", infos[len(infos)-1].Seq)
+	}
+	// Prune reports exactly the generations it left on disk, oldest
+	// first — the anchor the store's log truncation relies on.
+	if len(retained) != len(infos) || retained[0].Seq != infos[0].Seq || retained[len(retained)-1].Seq != 50 {
+		t.Errorf("Prune retained %+v, disk has %+v", retained, infos)
 	}
 	// No temp files left behind.
 	tmps, _ := filepath.Glob(filepath.Join(dir, ".snap-*.tmp"))
@@ -162,5 +171,13 @@ func TestCrashLeavesPreviousSnapshotIntact(t *testing.T) {
 	info, _, err := Latest(dir)
 	if err != nil || info.Seq != 10 {
 		t.Fatalf("Latest = %+v, %v", info, err)
+	}
+	// The next successful checkpoint sweeps the crashed attempt's temp
+	// file instead of leaking a full engine image per crash.
+	if _, err := Write(dir, 20, shardsFor(2, "next")); err != nil {
+		t.Fatal(err)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, ".snap-*.tmp")); len(tmps) != 0 {
+		t.Errorf("stale temp files not swept: %v", tmps)
 	}
 }

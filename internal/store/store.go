@@ -256,15 +256,21 @@ func (e *Engine) loadSnapshot(blobs [][]byte) error {
 // Checkpoint writes a snapshot of the whole engine into snapDir and
 // truncates the write-ahead log segments it covers, bounding both the
 // on-disk footprint and the next restart's replay work. It does not stop
-// the world: the snapshot anchor is the log's last assigned sequence
-// number (every record at or below it is already applied, because
-// records are enqueued under their shard's write lock after applying),
-// and each shard is then copied under its own read lock — writers to
-// other shards never block, and writers to the same shard only wait for
-// a map copy, not for encoding or disk I/O. Records that land after the
-// anchor may or may not be caught in the copies; either way replay past
-// the anchor reproduces the exact engine state because version
-// application is idempotent and replay happens in log order.
+// the world: the snapshot anchor is the log's last durably flushed
+// sequence number (every record at or below it is already applied,
+// because a record is only flushed after Enqueue, and Enqueue happens
+// under its shard's write lock after applying), and each shard is then
+// copied under its own read lock — writers to other shards never block,
+// and writers to the same shard only wait for a map copy, not for
+// encoding or disk I/O. Records past the anchor — enqueued but not yet
+// flushed, or landing while later shards were copied — may or may not be
+// caught in the copies; either way replay past the anchor reproduces the
+// exact engine state because version application is idempotent and
+// replay happens in log order. Anchoring at the flushed (not the last
+// assigned) sequence number also keeps the snapshot within what the log
+// durably holds: a crash right after the snapshot renames into place can
+// never leave it claiming records the recovered log lacks, which Restore
+// would refuse as a mismatched wal/snapshot pair.
 //
 // It returns the sequence number the snapshot covers. Concurrent
 // checkpoints are serialized.
@@ -275,7 +281,14 @@ func (e *Engine) Checkpoint(snapDir string) (uint64, error) {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 
-	seq := e.log.LastSeq()
+	// A failed log means some writes were applied in memory but will never
+	// be durable — their callers saw an error. Baking that state into a
+	// snapshot would resurrect them on the next boot, so refuse.
+	if err := e.log.Err(); err != nil {
+		return 0, fmt.Errorf("store: refusing checkpoint on a failed wal: %w", err)
+	}
+
+	seq := e.log.LastFlushed()
 	blobs := make([][]byte, shardCount)
 	errs := make([]error, shardCount)
 	parallel.ForEach(shardCount, 0, func(i int) {
@@ -302,17 +315,39 @@ func (e *Engine) Checkpoint(snapDir string) (uint64, error) {
 		}
 	}
 
+	// Drain the group-commit queue before writing the snapshot: any record
+	// the copies can contain was enqueued before its shard was copied, so
+	// after a successful Flush everything in the blobs is durably logged —
+	// a write whose commit round failed (its caller saw an error) can
+	// never be baked into a snapshot and resurrected on a later boot.
+	if err := e.log.Flush(); err != nil {
+		return 0, fmt.Errorf("store: refusing checkpoint on a failed wal: %w", err)
+	}
 	info, err := snapshot.Write(snapDir, seq, blobs)
 	if err != nil {
 		return 0, err
 	}
+	// The snapshot is durable from here on: record it before retention and
+	// log reclamation, which can fail independently — the counters must
+	// reflect the checkpoint that exists on disk either way.
+	e.statMu.Lock()
+	e.dur.Checkpoints++
+	e.dur.LastCheckpointSeq = seq
+	e.dur.LastCheckpointBytes = info.Bytes
+	e.statMu.Unlock()
 	// Retain the log back to the OLDEST snapshot generation still on disk,
 	// not just the one written above: if the newest snapshot is later
 	// found corrupt, Restore falls back to the previous generation, which
 	// is only usable while the log still covers the span between them.
+	retained, err := snapshot.Prune(snapDir, snapshot.KeepGenerations)
+	if err != nil {
+		// Without knowing what pruning kept, the safe truncation anchor is
+		// unknown — skip reclamation this round rather than guess.
+		return seq, fmt.Errorf("store: checkpoint written but snapshot pruning failed: %w", err)
+	}
 	anchor := seq + 1
-	if infos, lerr := snapshot.List(snapDir); lerr == nil && len(infos) > 0 {
-		anchor = infos[0].Seq + 1
+	if len(retained) > 0 {
+		anchor = retained[0].Seq + 1
 	}
 	removed, err := e.log.TruncateBefore(anchor)
 	if err != nil {
@@ -322,9 +357,6 @@ func (e *Engine) Checkpoint(snapDir string) (uint64, error) {
 	}
 
 	e.statMu.Lock()
-	e.dur.Checkpoints++
-	e.dur.LastCheckpointSeq = seq
-	e.dur.LastCheckpointBytes = info.Bytes
 	e.dur.SegmentsReclaimed += int64(removed)
 	e.statMu.Unlock()
 	return seq, nil
@@ -381,18 +413,29 @@ func (e *Engine) Get(key string) []Version {
 // happens after the lock is released, so readers of the shard never stall
 // behind a write's disk flush. Records of different keys commute on
 // replay, so cross-shard ordering is unconstrained.
+//
+// The record is encoded and size-checked BEFORE the version is applied
+// (wasting the encode when causality rejects the write): once a version
+// is applied, its record must reach the log, or a write whose caller saw
+// an error would live on in memory and be baked into the next snapshot.
+// With the encode hoisted out, Enqueue under the lock can only fail by
+// poisoning the whole log — and a poisoned log refuses to checkpoint.
 func (e *Engine) Put(key string, v Version) (bool, error) {
+	var buf bytes.Buffer
+	if e.log != nil {
+		if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Version: v}); err != nil {
+			return false, fmt.Errorf("store: encode wal record: %w", err)
+		}
+		if buf.Len() > wal.MaxRecordSize {
+			return false, fmt.Errorf("store: wal record of %d bytes exceeds max %d", buf.Len(), wal.MaxRecordSize)
+		}
+	}
 	s := e.shardOf(key)
 	s.mu.Lock()
 	accepted := s.apply(key, v, true)
 	if !accepted || e.log == nil {
 		s.mu.Unlock()
 		return accepted, nil
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Version: v}); err != nil {
-		s.mu.Unlock()
-		return accepted, fmt.Errorf("store: encode wal record: %w", err)
 	}
 	t, err := e.log.Enqueue(buf.Bytes())
 	s.mu.Unlock()
@@ -435,19 +478,24 @@ func (s *shard) apply(key string, v Version, copyIn bool) bool {
 // hands its partition off to another node, as opposed to a user-visible
 // delete (which writes a tombstone through Put). It returns the bytes
 // freed. Like Put, the WAL record is enqueued under the shard lock (log
-// order = apply order) and committed outside it.
+// order = apply order) and committed outside it, and encoded before the
+// drop is applied so no error path leaves applied-but-unlogged state.
 func (e *Engine) Drop(key string) (int64, error) {
+	var buf bytes.Buffer
+	if e.log != nil {
+		if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Drop: true}); err != nil {
+			return 0, fmt.Errorf("store: encode drop record: %w", err)
+		}
+		if buf.Len() > wal.MaxRecordSize {
+			return 0, fmt.Errorf("store: wal record of %d bytes exceeds max %d", buf.Len(), wal.MaxRecordSize)
+		}
+	}
 	s := e.shardOf(key)
 	s.mu.Lock()
 	freed := s.drop(key)
 	if freed == 0 || e.log == nil {
 		s.mu.Unlock()
 		return freed, nil
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Drop: true}); err != nil {
-		s.mu.Unlock()
-		return freed, fmt.Errorf("store: encode drop record: %w", err)
 	}
 	t, err := e.log.Enqueue(buf.Bytes())
 	s.mu.Unlock()

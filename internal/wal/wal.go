@@ -151,42 +151,23 @@ const legacySuffix = ".legacy"
 // directory format: the file is atomically parked as dir+".legacy", its
 // intact frames (old format, torn tail tolerated) are rewritten as
 // segment records with sequence numbers 1..n, and the parked file is
-// deleted only after the new log is synced. A leftover .legacy file from
-// a crashed migration wins over any partially written directory.
-func migrateLegacy(dir string) error {
+// deleted only after the new log is synced. The migrated log rotates at
+// the caller's configured segment size. A leftover .legacy file from a
+// crashed migration wins over any partially written directory.
+func migrateLegacy(dir string, segBytes int64) error {
 	if fi, err := os.Stat(dir); err == nil && fi.Mode().IsRegular() {
 		if err := os.Rename(dir, dir+legacySuffix); err != nil {
 			return fmt.Errorf("wal: park legacy log %s: %w", dir, err)
 		}
 	}
-	data, err := os.ReadFile(dir + legacySuffix)
+	src, err := os.Open(dir + legacySuffix)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil // nothing to migrate
 		}
 		return fmt.Errorf("wal: read legacy log: %w", err)
 	}
-	// Parse the old frame format, stopping at the first torn or corrupt
-	// frame exactly as the old replay did.
-	var records [][]byte
-	for off := 0; ; {
-		if len(data)-off < legacyHeaderSize {
-			break
-		}
-		if binary.LittleEndian.Uint32(data[off:off+4]) != magic {
-			break
-		}
-		length := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
-		if length > MaxRecordSize || len(data)-off-legacyHeaderSize < length {
-			break
-		}
-		payload := data[off+legacyHeaderSize : off+legacyHeaderSize+length]
-		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+8:off+12]) {
-			break
-		}
-		records = append(records, payload)
-		off += legacyHeaderSize + length
-	}
+	defer src.Close()
 	// The directory (if present) is a partial earlier migration, never
 	// live data: the .legacy file is deleted before any appends can land.
 	if err := os.RemoveAll(dir); err != nil {
@@ -195,19 +176,63 @@ func migrateLegacy(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("wal: create %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, segBytes: DefaultSegmentBytes, nextSeq: 1}
+	l := &Log{dir: dir, segBytes: segBytes, nextSeq: 1}
 	l.idle.L = &l.mu
 	if err := l.openActive(1); err != nil {
 		return err
 	}
-	for _, p := range records {
-		if _, err := l.Enqueue(p); err != nil {
+	// Stream the old frame format record by record, stopping at the first
+	// torn or corrupt frame exactly as the old replay did. Streaming (not
+	// ReadFile) keeps peak memory at one commit batch — the legacy format
+	// grew without bound, so the file being migrated can be huge. Commit
+	// whenever the pending batch reaches the segment threshold: rotation
+	// only runs at the end of a commit round, so draining the whole file
+	// in one round would produce a single segment of unbounded size
+	// regardless of segBytes.
+	r := bufio.NewReaderSize(src, 1<<20)
+	var hdr [legacyHeaderSize]byte
+	var batchBytes int64
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break // clean EOF or torn header
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+			break
+		}
+		length := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxRecordSize {
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[8:12]) {
+			break
+		}
+		t, err := l.Enqueue(payload)
+		if err != nil {
 			l.Close()
 			return fmt.Errorf("wal: migrate legacy record: %w", err)
 		}
+		batchBytes += headerSize + int64(length)
+		if batchBytes >= segBytes {
+			if err := l.Commit(t); err != nil {
+				l.Close()
+				return fmt.Errorf("wal: migrate legacy record: %w", err)
+			}
+			batchBytes = 0
+		}
 	}
-	if err := l.Close(); err != nil { // drains the queue with one commit round
-		return fmt.Errorf("wal: sync migrated log: %w", err)
+	cerr := l.Close() // drains the remaining queue
+	// The final batch is flushed inside Close, which does not surface a
+	// failed round itself — check the sticky failure before the parked
+	// legacy file (still holding every record) is deleted.
+	if err := l.Err(); err != nil {
+		return fmt.Errorf("wal: migrate legacy records: %w", err)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: sync migrated log: %w", cerr)
 	}
 	if err := os.Remove(dir + legacySuffix); err != nil {
 		return fmt.Errorf("wal: remove migrated legacy log: %w", err)
@@ -231,7 +256,7 @@ func OpenOptions(dir string, o Options, replay func(seq uint64, payload []byte) 
 	if segBytes <= 0 {
 		segBytes = DefaultSegmentBytes
 	}
-	if err := migrateLegacy(dir); err != nil {
+	if err := migrateLegacy(dir, segBytes); err != nil {
 		return nil, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -621,13 +646,26 @@ func (l *Log) Syncs() int64 {
 }
 
 // LastSeq returns the highest sequence number the log has assigned (0 on
-// a fresh log). Records up to LastSeq have already been applied by any
-// caller that enqueues under its own state lock, which is the anchor the
-// store's checkpoint uses.
+// a fresh log). It counts records enqueued but not yet flushed, so it can
+// run ahead of what the log durably holds; checkpoints anchor at
+// LastFlushed instead.
 func (l *Log) LastSeq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.nextSeq - 1
+}
+
+// LastFlushed returns the sequence number of the last record durably
+// written to stable storage (0 on a fresh log; after Open, the last
+// replayed record). It never exceeds LastSeq — enqueued records whose
+// commit round has not fsynced yet are excluded — which makes it the safe
+// checkpoint anchor: every flushed record was enqueued (and, for callers
+// that enqueue under their own state lock, applied), and a snapshot at
+// LastFlushed can never claim a sequence number the on-disk log lacks.
+func (l *Log) LastFlushed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastFlushed
 }
 
 // FirstSeq returns the sequence number of the first record the log
@@ -641,6 +679,46 @@ func (l *Log) FirstSeq() uint64 {
 		return l.sealed[0].first
 	}
 	return l.activeFirst
+}
+
+// Flush blocks until every record enqueued before the call is durable,
+// returning the log's sticky failure if any covering commit round failed.
+// The store's checkpoint drains the group-commit queue with it after
+// copying shard state: once Flush returns nil, every record the copies
+// can contain is on stable storage, so nothing in a snapshot can belong
+// to a write whose caller saw an error.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target := l.nextSeq - 1
+	for l.lastFlushed < target {
+		if l.failed != nil {
+			return l.failed
+		}
+		if !l.committing {
+			if len(l.queue) == 0 {
+				// Every assigned seq was covered by a finished round; the
+				// only way lastFlushed can still lag is a failed round.
+				return l.failed
+			}
+			l.flushRound()
+			continue
+		}
+		l.idle.Wait()
+	}
+	return nil
+}
+
+// Err returns the log's sticky failure, if any: once a commit round
+// fails, the tail of the active segment is in an unknown state and the
+// log refuses all further work. Callers that applied state optimistically
+// before a failed commit (the store does, under its shard locks) must not
+// make that state durable elsewhere — the store refuses to checkpoint a
+// failed log.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // Segments returns the number of segment files, including the active one.

@@ -668,6 +668,9 @@ func TestFailedLogRefusesLaterRounds(t *testing.T) {
 	l.failed = bad
 	l.mu.Unlock()
 
+	if err := l.Err(); err != bad {
+		t.Fatalf("Err on a failed log = %v, want the sticky failure", err)
+	}
 	if err := l.Commit(parked); err != bad {
 		t.Fatalf("Commit on a failed log = %v, want the sticky failure", err)
 	}
@@ -681,5 +684,118 @@ func TestFailedLogRefusesLaterRounds(t *testing.T) {
 	}
 	if fi.Size() != 0 {
 		t.Fatalf("failed log wrote %d bytes to the active segment", fi.Size())
+	}
+}
+
+// TestLastFlushedExcludesEnqueued: LastFlushed tracks only records whose
+// fsync round has run, while LastSeq runs ahead with every Enqueue — the
+// distinction the store's checkpoint anchor relies on, so a snapshot can
+// never claim a sequence number the on-disk log lacks.
+func TestLastFlushedExcludesEnqueued(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
+	if _, err := l.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastFlushed() != 1 || l.LastSeq() != 1 {
+		t.Fatalf("after append: LastFlushed %d, LastSeq %d, want 1, 1", l.LastFlushed(), l.LastSeq())
+	}
+	tkt, err := l.Enqueue([]byte("pending"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.LastSeq() != 2 {
+		t.Fatalf("LastSeq after enqueue = %d, want 2", l.LastSeq())
+	}
+	if l.LastFlushed() != 1 {
+		t.Fatalf("LastFlushed counts an unflushed enqueued record: %d, want 1", l.LastFlushed())
+	}
+	if err := l.Commit(tkt); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastFlushed() != 2 {
+		t.Fatalf("LastFlushed after commit = %d, want 2", l.LastFlushed())
+	}
+	l.Close()
+
+	// Replay restores LastFlushed alongside LastSeq.
+	l2, _ := openCollect(t, dir)
+	defer l2.Close()
+	if l2.LastFlushed() != 2 {
+		t.Fatalf("LastFlushed after reopen = %d, want 2", l2.LastFlushed())
+	}
+}
+
+// TestLegacyMigrationRespectsSegmentBytes: migrating a single-file log
+// must rotate at the caller's configured segment size, not the default —
+// a small-segment config would otherwise start life with one oversized
+// segment.
+func TestLegacyMigrationRespectsSegmentBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	var records [][]byte
+	for i := 0; i < 40; i++ {
+		records = append(records, []byte(fmt.Sprintf("legacy-record-%02d", i)))
+	}
+	writeLegacyFile(t, path, records, nil)
+
+	l, got, err := openCollectErr(path, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("migrated %d records, want %d", len(got), len(records))
+	}
+	// Several segments, and every one bounded: a segment may overshoot
+	// the threshold by at most the frames of the commit round that
+	// crossed it, never hold the whole migrated history.
+	files := segFiles(t, path)
+	if len(files) < 3 {
+		t.Fatalf("migration ignored SegmentBytes: %d segment file(s) for %d records past a 128B threshold", len(files), len(records))
+	}
+	maxFrame := int64(headerSize + len(records[0]))
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > 128+maxFrame {
+			t.Fatalf("migrated segment %s is %d bytes, want <= threshold+one frame (%d)", f, fi.Size(), 128+maxFrame)
+		}
+	}
+	if seq, err := l.Append([]byte("post")); err != nil || seq != uint64(len(records)+1) {
+		t.Fatalf("Append after migration: seq %d, %v", seq, err)
+	}
+	l.Close()
+}
+
+// TestFlushDrainsEnqueued: Flush makes every enqueued record durable
+// without its Commit being called — the store's checkpoint uses this to
+// guarantee nothing captured in its shard copies is still queued (and so
+// could still fail) when the snapshot is written.
+func TestFlushDrainsEnqueued(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openCollect(t, dir)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Enqueue([]byte(fmt.Sprintf("queued-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.LastFlushed() != 0 {
+		t.Fatalf("LastFlushed before Flush = %d", l.LastFlushed())
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if l.LastFlushed() != 3 {
+		t.Fatalf("LastFlushed after Flush = %d, want 3", l.LastFlushed())
+	}
+	if err := l.Flush(); err != nil { // idle log: no-op
+		t.Fatalf("Flush on idle log: %v", err)
+	}
+	l.Close()
+	l2, got := openCollect(t, dir)
+	defer l2.Close()
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records after Flush, want 3", len(got))
 	}
 }
