@@ -94,7 +94,7 @@ func BenchmarkClusterPut(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.Put("bench", fmt.Sprintf("key-%d", i%4096), val, nil); err != nil {
+		if err := c.Put(ctx, "bench", fmt.Sprintf("key-%d", i%4096), val, nil, WriteOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -106,14 +106,14 @@ func BenchmarkClusterGet(b *testing.B) {
 	c := benchCluster(b)
 	val := make([]byte, 256)
 	for i := 0; i < 1024; i++ {
-		if err := c.Put("bench", fmt.Sprintf("key-%d", i), val, nil); err != nil {
+		if err := c.Put(ctx, "bench", fmt.Sprintf("key-%d", i), val, nil, WriteOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := c.Get("bench", fmt.Sprintf("key-%d", i%1024)); err != nil {
+		if _, _, err := c.Get(ctx, "bench", fmt.Sprintf("key-%d", i%1024), ReadOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -168,7 +168,7 @@ func BenchmarkClusterPutParallel(b *testing.B) {
 		g := worker.Add(1)
 		i := 0
 		for pb.Next() {
-			if err := c.Put("bench", fmt.Sprintf("key-%d-%d", g, i%1024), val, nil); err != nil {
+			if err := c.Put(ctx, "bench", fmt.Sprintf("key-%d-%d", g, i%1024), val, nil, WriteOptions{}); err != nil {
 				b.Error(err) // Fatal is not allowed off the benchmark goroutine
 				return
 			}
@@ -182,7 +182,7 @@ func BenchmarkClusterPutParallel(b *testing.B) {
 func BenchmarkEconomicEpoch(b *testing.B) {
 	c := benchCluster(b)
 	for i := 0; i < 256; i++ {
-		if err := c.Put("bench", fmt.Sprintf("key-%d", i), []byte("v"), nil); err != nil {
+		if err := c.Put(ctx, "bench", fmt.Sprintf("key-%d", i), []byte("v"), nil, WriteOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -190,6 +190,75 @@ func BenchmarkEconomicEpoch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.RunEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMGetKeys seeds and returns 64 keys for the batched-read
+// benchmarks.
+func benchMGetKeys(b *testing.B, c *Cluster) []string {
+	b.Helper()
+	entries := make([]Entry, 64)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mget-%d", i)
+		entries[i] = Entry{Key: keys[i], Value: make([]byte, 256)}
+	}
+	if err := c.MPut(ctx, "bench", entries, WriteOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	return keys
+}
+
+// BenchmarkMGet measures a 64-key batched read: the keys group by
+// partition and each replica receives one envelope per partition group.
+// Compare with BenchmarkMGetLoopedGets — the same 64 keys read as
+// independent quorum rounds — to see what the batching buys.
+func BenchmarkMGet(b *testing.B) {
+	c := benchCluster(b)
+	keys := benchMGetKeys(b, c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.MGet(ctx, "bench", keys, ReadOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(keys) {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+}
+
+// BenchmarkMGetLoopedGets is the baseline BenchmarkMGet beats: the same
+// 64 keys, one independent quorum Get each.
+func BenchmarkMGetLoopedGets(b *testing.B) {
+	c := benchCluster(b)
+	keys := benchMGetKeys(b, c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			if _, _, err := c.Get(ctx, "bench", k, ReadOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMPut measures a 64-key batched write against its looped
+// counterpart below.
+func BenchmarkMPut(b *testing.B) {
+	c := benchCluster(b)
+	entries := make([]Entry, 64)
+	for i := range entries {
+		entries[i] = Entry{Key: fmt.Sprintf("mput-%d", i), Value: make([]byte, 256)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.MPut(ctx, "bench", entries, WriteOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,8 +16,13 @@
 //     "future work" prototype) with quorum reads/writes, read repair,
 //     Merkle anti-entropy, economy-driven replica management and
 //     bounded-recovery durability (write-ahead log + checkpoint
-//     snapshots, see internal/store). See examples/quickstart; the
-//     standalone node is cmd/skuted and its client CLI cmd/skutectl.
+//     snapshots, see internal/store). Every request takes a
+//     context.Context honored through the quorum fan-out, per-request
+//     ReadOptions/WriteOptions trade consistency for latency (One,
+//     Quorum, All), and MGet/MPut batch multi-key operations into one
+//     envelope per replica per partition (see DESIGN.md, "The request
+//     path"). See examples/quickstart; the standalone node is
+//     cmd/skuted and its client CLI cmd/skutectl.
 //   - RunExperiment: the discrete-epoch simulator behind every figure of
 //     the paper's evaluation. See cmd/skute-sim and EXPERIMENTS.md.
 //

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"skute/internal/merkle"
@@ -48,8 +49,8 @@ func (n *Node) handleFetchPartition(req fetchPartReq) (transport.Envelope, error
 // handleAdopt makes this node a replica of the partition: it pulls the
 // data from the donor address, stores it and joins the replica set. The
 // caller is responsible for broadcasting the assignment change.
-func (n *Node) handleAdopt(req adoptReq) (transport.Envelope, error) {
-	resp, err := n.tr.Call(req.FromAddr, transport.Envelope{
+func (n *Node) handleAdopt(ctx context.Context, req adoptReq) (transport.Envelope, error) {
+	resp, err := n.tr.Call(ctx, req.FromAddr, transport.Envelope{
 		Kind:    kindFetchPart,
 		Payload: encode(fetchPartReq{Ring: req.Ring, Part: req.Part}),
 	})
@@ -82,7 +83,7 @@ func (n *Node) SyncPartition(id ring.RingID, part int, peer string) (int, error)
 	}
 	local := merkle.Build(n.partitionLeaves(id, part))
 
-	resp, err := n.tr.Call(info.Addr, transport.Envelope{
+	resp, err := n.tr.Call(context.Background(), info.Addr, transport.Envelope{
 		Kind:    kindLeaves,
 		Payload: encode(leavesReq{Ring: id, Part: part}),
 	})
@@ -109,7 +110,7 @@ func (n *Node) SyncPartition(id ring.RingID, part int, peer string) (int, error)
 		if rid != id {
 			continue
 		}
-		r, err := n.tr.Call(info.Addr, transport.Envelope{
+		r, err := n.tr.Call(context.Background(), info.Addr, transport.Envelope{
 			Kind:    kindGet,
 			Payload: encode(getReq{Ring: id, Key: userKey}),
 		})
@@ -124,7 +125,7 @@ func (n *Node) SyncPartition(id ring.RingID, part int, peer string) (int, error)
 		}
 		// Push the merged set back so the peer converges too.
 		for _, v := range n.eng.Get(sk) {
-			_, _ = n.tr.Call(info.Addr, transport.Envelope{
+			_, _ = n.tr.Call(context.Background(), info.Addr, transport.Envelope{
 				Kind:    kindPut,
 				Payload: encode(putReq{Ring: id, Key: userKey, Version: v}),
 			})

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+
 	"skute/internal/ring"
 	"skute/internal/transport"
 	"skute/internal/vclock"
@@ -9,6 +11,12 @@ import (
 // Client talks to one cluster node over a transport and has the node
 // coordinate quorum operations on its behalf. It is what cmd/skutectl
 // uses against a live cmd/skuted deployment.
+//
+// Every call takes a context and per-request options. The consistency
+// level and timeout travel in the wire envelope, so the coordinating
+// node honors the caller's choices instead of its own configured
+// defaults; the timeout (and any context deadline) also bounds the
+// client's own network exchange.
 type Client struct {
 	tr   transport.Transport
 	addr string
@@ -20,10 +28,12 @@ func NewClient(tr transport.Transport, addr string) *Client {
 }
 
 // Get reads a key through the node: sibling values plus causal context.
-func (c *Client) Get(id ring.RingID, key string) ([][]byte, vclock.VC, error) {
-	resp, err := c.tr.Call(c.addr, transport.Envelope{
+func (c *Client) Get(ctx context.Context, id ring.RingID, key string, opts ReadOptions) ([][]byte, vclock.VC, error) {
+	cctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	resp, err := c.tr.Call(cctx, c.addr, transport.Envelope{
 		Kind:    kindClientGet,
-		Payload: encode(clientGetReq{Ring: id, Key: key}),
+		Payload: encode(clientGetReq{Ring: id, Key: key, Consistency: opts.Consistency, Timeout: opts.Timeout}),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -36,19 +46,65 @@ func (c *Client) Get(id ring.RingID, key string) ([][]byte, vclock.VC, error) {
 }
 
 // Put writes a value through the node.
-func (c *Client) Put(id ring.RingID, key string, value []byte, ctx vclock.VC) error {
-	_, err := c.tr.Call(c.addr, transport.Envelope{
-		Kind:    kindClientPut,
-		Payload: encode(clientPutReq{Ring: id, Key: key, Value: value, Context: ctx}),
+func (c *Client) Put(ctx context.Context, id ring.RingID, key string, value []byte, vctx vclock.VC, opts WriteOptions) error {
+	cctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	_, err := c.tr.Call(cctx, c.addr, transport.Envelope{
+		Kind: kindClientPut,
+		Payload: encode(clientPutReq{
+			Ring: id, Key: key, Value: value, Context: vctx,
+			Consistency: opts.Consistency, Timeout: opts.Timeout,
+		}),
 	})
 	return err
 }
 
 // Delete tombstones a key through the node.
-func (c *Client) Delete(id ring.RingID, key string, ctx vclock.VC) error {
-	_, err := c.tr.Call(c.addr, transport.Envelope{
-		Kind:    kindClientDel,
-		Payload: encode(clientPutReq{Ring: id, Key: key, Delete: true, Context: ctx}),
+func (c *Client) Delete(ctx context.Context, id ring.RingID, key string, vctx vclock.VC, opts WriteOptions) error {
+	cctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	_, err := c.tr.Call(cctx, c.addr, transport.Envelope{
+		Kind: kindClientDel,
+		Payload: encode(clientPutReq{
+			Ring: id, Key: key, Delete: true, Context: vctx,
+			Consistency: opts.Consistency, Timeout: opts.Timeout,
+		}),
+	})
+	return err
+}
+
+// MGet reads a batch of keys in one exchange; the node groups them by
+// partition and fans out one envelope per replica per partition. Missing
+// keys map to an empty GetResult.
+func (c *Client) MGet(ctx context.Context, id ring.RingID, keys []string, opts ReadOptions) (map[string]GetResult, error) {
+	cctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	resp, err := c.tr.Call(cctx, c.addr, transport.Envelope{
+		Kind:    kindClientMGet,
+		Payload: encode(clientMGetReq{Ring: id, Keys: keys, Consistency: opts.Consistency, Timeout: opts.Timeout}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var r clientMGetResp
+	if err := decode(resp.Payload, &r); err != nil {
+		return nil, err
+	}
+	out := make(map[string]GetResult, len(r.Items))
+	for _, item := range r.Items {
+		out[item.Key] = GetResult{Values: item.Values, Context: item.Context}
+	}
+	return out, nil
+}
+
+// MPut writes a batch of entries in one exchange; the node groups them
+// by partition and fans out one envelope per replica per partition.
+func (c *Client) MPut(ctx context.Context, id ring.RingID, entries []Entry, opts WriteOptions) error {
+	cctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	_, err := c.tr.Call(cctx, c.addr, transport.Envelope{
+		Kind:    kindClientMPut,
+		Payload: encode(clientMPutReq{Ring: id, Entries: entries, Consistency: opts.Consistency, Timeout: opts.Timeout}),
 	})
 	return err
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -67,6 +68,10 @@ func kill(mesh *transport.Memory, nodes []*Node, name string) {
 		n.Detector().Forget(name)
 	}
 }
+
+// ctx is the background context most tests coordinate under; the
+// context-specific behaviors have their own tests in ops_ctx_test.go.
+var ctx = context.Background()
 
 var goldRing = ring.RingID{App: "appA", Class: "gold"}
 var platRing = ring.RingID{App: "appB", Class: "plat"}
@@ -140,12 +145,12 @@ func TestLayoutDeterministicAndDiverse(t *testing.T) {
 
 func TestPutGetAcrossCoordinators(t *testing.T) {
 	_, nodes := testCluster(t)
-	if err := nodes[0].Put(goldRing, "user:42", []byte("hello"), nil); err != nil {
+	if err := nodes[0].Put(ctx, goldRing, "user:42", []byte("hello"), nil, WriteOptions{}); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
 	// Any node can coordinate the read.
 	for _, n := range nodes {
-		res, err := n.Get(goldRing, "user:42")
+		res, err := n.Get(ctx, goldRing, "user:42", ReadOptions{})
 		if err != nil {
 			t.Fatalf("Get via %s: %v", n.Name(), err)
 		}
@@ -154,7 +159,7 @@ func TestPutGetAcrossCoordinators(t *testing.T) {
 		}
 	}
 	// Missing key.
-	res, err := nodes[1].Get(goldRing, "missing")
+	res, err := nodes[1].Get(ctx, goldRing, "missing", ReadOptions{})
 	if err != nil {
 		t.Fatalf("Get missing: %v", err)
 	}
@@ -162,27 +167,27 @@ func TestPutGetAcrossCoordinators(t *testing.T) {
 		t.Errorf("missing key returned %q", res.Values)
 	}
 	// Unknown ring errors.
-	if _, err := nodes[0].Get(ring.RingID{App: "x", Class: "y"}, "k"); err == nil {
+	if _, err := nodes[0].Get(ctx, ring.RingID{App: "x", Class: "y"}, "k", ReadOptions{}); err == nil {
 		t.Error("unknown ring read accepted")
 	}
-	if err := nodes[0].Put(ring.RingID{App: "x", Class: "y"}, "k", nil, nil); err == nil {
+	if err := nodes[0].Put(ctx, ring.RingID{App: "x", Class: "y"}, "k", nil, nil, WriteOptions{}); err == nil {
 		t.Error("unknown ring write accepted")
 	}
 }
 
 func TestReadModifyWrite(t *testing.T) {
 	_, nodes := testCluster(t)
-	if err := nodes[0].Put(goldRing, "counter", []byte("1"), nil); err != nil {
+	if err := nodes[0].Put(ctx, goldRing, "counter", []byte("1"), nil, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := nodes[1].Get(goldRing, "counter")
+	res, err := nodes[1].Get(ctx, goldRing, "counter", ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nodes[1].Put(goldRing, "counter", []byte("2"), res.Context); err != nil {
+	if err := nodes[1].Put(ctx, goldRing, "counter", []byte("2"), res.Context, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	res2, err := nodes[2].Get(goldRing, "counter")
+	res2, err := nodes[2].Get(ctx, goldRing, "counter", ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,13 +199,13 @@ func TestReadModifyWrite(t *testing.T) {
 func TestConcurrentSiblingsAndReconcile(t *testing.T) {
 	_, nodes := testCluster(t)
 	// Two writers with no context produce concurrent siblings.
-	if err := nodes[0].Put(goldRing, "conflict", []byte("from-n0"), nil); err != nil {
+	if err := nodes[0].Put(ctx, goldRing, "conflict", []byte("from-n0"), nil, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := nodes[1].Put(goldRing, "conflict", []byte("from-n1"), nil); err != nil {
+	if err := nodes[1].Put(ctx, goldRing, "conflict", []byte("from-n1"), nil, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := nodes[2].Get(goldRing, "conflict")
+	res, err := nodes[2].Get(ctx, goldRing, "conflict", ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,10 +213,10 @@ func TestConcurrentSiblingsAndReconcile(t *testing.T) {
 		t.Fatalf("want 2 siblings, got %q", res.Values)
 	}
 	// Writing with the merged context reconciles.
-	if err := nodes[2].Put(goldRing, "conflict", []byte("merged"), res.Context); err != nil {
+	if err := nodes[2].Put(ctx, goldRing, "conflict", []byte("merged"), res.Context, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	res, err = nodes[3].Get(goldRing, "conflict")
+	res, err = nodes[3].Get(ctx, goldRing, "conflict", ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,12 +227,12 @@ func TestConcurrentSiblingsAndReconcile(t *testing.T) {
 
 func TestDelete(t *testing.T) {
 	_, nodes := testCluster(t)
-	nodes[0].Put(goldRing, "gone", []byte("x"), nil)
-	res, _ := nodes[0].Get(goldRing, "gone")
-	if err := nodes[0].Delete(goldRing, "gone", res.Context); err != nil {
+	nodes[0].Put(ctx, goldRing, "gone", []byte("x"), nil, WriteOptions{})
+	res, _ := nodes[0].Get(ctx, goldRing, "gone", ReadOptions{})
+	if err := nodes[0].Delete(ctx, goldRing, "gone", res.Context, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := nodes[1].Get(goldRing, "gone")
+	res, err := nodes[1].Get(ctx, goldRing, "gone", ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +243,7 @@ func TestDelete(t *testing.T) {
 
 func TestReadRepairHealsStaleReplica(t *testing.T) {
 	_, nodes := testCluster(t)
-	if err := nodes[0].Put(goldRing, "heal-me", []byte("v1"), nil); err != nil {
+	if err := nodes[0].Put(ctx, goldRing, "heal-me", []byte("v1"), nil, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// Find the replicas and wipe the key from one of them directly.
@@ -259,7 +264,7 @@ func TestReadRepairHealsStaleReplica(t *testing.T) {
 		t.Fatal("drop failed")
 	}
 	// A quorum read from any coordinator repairs the victim.
-	if _, err := nodes[3].Get(goldRing, "heal-me"); err != nil {
+	if _, err := nodes[3].Get(ctx, goldRing, "heal-me", ReadOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := victim.Engine().Get(storageKey(goldRing, "heal-me")); len(got) != 1 || string(got[0].Value) != "v1" {
@@ -277,7 +282,7 @@ func TestQuorumFailure(t *testing.T) {
 	}
 	failures := 0
 	for i := 0; i < 16; i++ {
-		if err := nodes[0].Put(goldRing, fmt.Sprintf("k%d", i), []byte("v"), nil); err != nil {
+		if err := nodes[0].Put(ctx, goldRing, fmt.Sprintf("k%d", i), []byte("v"), nil, WriteOptions{}); err != nil {
 			if !strings.Contains(err.Error(), "quorum") {
 				t.Fatalf("unexpected error: %v", err)
 			}
@@ -291,7 +296,9 @@ func TestQuorumFailure(t *testing.T) {
 
 func TestAntiEntropyConvergence(t *testing.T) {
 	_, nodes := testCluster(t)
-	if err := nodes[0].Put(platRing, "sync-key", []byte("v1"), nil); err != nil {
+	// ConsistencyAll: the test inspects replica engines directly, so the
+	// write must complete on every replica before it returns.
+	if err := nodes[0].Put(ctx, platRing, "sync-key", []byte("v1"), nil, WriteOptions{Consistency: ConsistencyAll}); err != nil {
 		t.Fatal(err)
 	}
 	replicas, err := nodes[0].Replicas(platRing, "sync-key")
@@ -347,7 +354,7 @@ func TestEconomicEpochRepairsFailure(t *testing.T) {
 	mesh, nodes := testCluster(t)
 	// Seed data everywhere.
 	for i := 0; i < 20; i++ {
-		if err := nodes[i%6].Put(goldRing, fmt.Sprintf("key-%d", i), []byte("payload"), nil); err != nil {
+		if err := nodes[i%6].Put(ctx, goldRing, fmt.Sprintf("key-%d", i), []byte("payload"), nil, WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -394,7 +401,7 @@ func TestEconomicEpochRepairsFailure(t *testing.T) {
 	}
 	// And all data must remain readable.
 	for i := 0; i < 20; i++ {
-		res, err := nodes[0].Get(goldRing, fmt.Sprintf("key-%d", i))
+		res, err := nodes[0].Get(ctx, goldRing, fmt.Sprintf("key-%d", i), ReadOptions{})
 		if err != nil {
 			t.Fatalf("Get after repair: %v", err)
 		}

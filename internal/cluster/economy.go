@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -48,7 +49,7 @@ func (n *Node) AnnounceRent(params economy.RentParams) (float64, string, error) 
 		n.mu.Unlock()
 	} else {
 		info, _ := n.info(board)
-		if _, err := n.tr.Call(info.Addr, env); err != nil {
+		if _, err := n.tr.Call(context.Background(), info.Addr, env); err != nil {
 			return rent, board, fmt.Errorf("cluster: announce to board %s: %w", board, err)
 		}
 	}
@@ -71,7 +72,7 @@ func (n *Node) fetchRents() (map[string]float64, string, error) {
 		return out, board, nil
 	}
 	info, _ := n.info(board)
-	resp, err := n.tr.Call(info.Addr, transport.Envelope{Kind: kindRents})
+	resp, err := n.tr.Call(context.Background(), info.Addr, transport.Envelope{Kind: kindRents})
 	if err != nil {
 		return nil, board, err
 	}
@@ -230,7 +231,7 @@ func (n *Node) executeAdopt(id ring.RingID, part int, target ring.ServerID) erro
 		return fmt.Errorf("cluster: adopt target %s down", name)
 	}
 	info, _ := n.info(name)
-	_, err := n.tr.Call(info.Addr, transport.Envelope{
+	_, err := n.tr.Call(context.Background(), info.Addr, transport.Envelope{
 		Kind:    kindAdopt,
 		Payload: encode(adoptReq{Ring: id, Part: part, FromAddr: n.self.Addr}),
 	})

@@ -21,7 +21,7 @@ func TestParallelEpochUnderConcurrentTraffic(t *testing.T) {
 	_, nodes := testCluster(t)
 	const seeded = 24
 	for i := 0; i < seeded; i++ {
-		if err := nodes[i%len(nodes)].Put(goldRing, fmt.Sprintf("key-%d", i), []byte("payload"), nil); err != nil {
+		if err := nodes[i%len(nodes)].Put(ctx, goldRing, fmt.Sprintf("key-%d", i), []byte("payload"), nil, WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -42,9 +42,9 @@ func TestParallelEpochUnderConcurrentTraffic(t *testing.T) {
 				// Transient quorum errors while replicas move between
 				// servers are expected mid-epoch; only data loss after
 				// the epochs settle is a failure (checked below).
-				_, _ = n.Get(goldRing, fmt.Sprintf("key-%d", j%seeded))
+				_, _ = n.Get(ctx, goldRing, fmt.Sprintf("key-%d", j%seeded), ReadOptions{})
 				if j%3 == 0 {
-					_ = n.Put(goldRing, fmt.Sprintf("live-%d-%d", g, j), []byte("v"), nil)
+					_ = n.Put(ctx, goldRing, fmt.Sprintf("live-%d-%d", g, j), []byte("v"), nil, WriteOptions{})
 				}
 			}
 		}(g)
@@ -69,7 +69,7 @@ func TestParallelEpochUnderConcurrentTraffic(t *testing.T) {
 	wg.Wait()
 
 	for i := 0; i < seeded; i++ {
-		res, err := nodes[0].Get(goldRing, fmt.Sprintf("key-%d", i))
+		res, err := nodes[0].Get(ctx, goldRing, fmt.Sprintf("key-%d", i), ReadOptions{})
 		if err != nil {
 			t.Fatalf("Get key-%d after epochs: %v", i, err)
 		}
@@ -101,7 +101,7 @@ func TestEpochWorkersBounded(t *testing.T) {
 		}
 		nodes = append(nodes, n)
 	}
-	if err := nodes[0].Put(goldRing, "k", []byte("v"), nil); err != nil {
+	if err := nodes[0].Put(ctx, goldRing, "k", []byte("v"), nil, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	rent := economy.DefaultRentParams()
@@ -115,7 +115,7 @@ func TestEpochWorkersBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := nodes[1].Get(goldRing, "k")
+	res, err := nodes[1].Get(ctx, goldRing, "k", ReadOptions{})
 	if err != nil || len(res.Values) != 1 || string(res.Values[0]) != "v" {
 		t.Fatalf("sequential-epoch cluster lost data: %q, %v", res.Values, err)
 	}

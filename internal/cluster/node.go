@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math/rand"
@@ -28,11 +29,20 @@ const (
 	kindAnnounce  = "rent-announce"
 	kindRents     = "rent-list"
 	kindDropPart  = "drop-partition"
+	// Multi-key replica kinds: one envelope carries a whole partition
+	// key group, amortizing the per-call overhead of fan-out-heavy
+	// batches (see Node.MultiGet/MultiPut).
+	kindMultiGet = "multi-get"
+	kindMultiPut = "multi-put"
 	// Client-facing kinds: the receiving node coordinates the quorum
-	// operation on the caller's behalf (cmd/skutectl uses these).
-	kindClientGet = "client-get"
-	kindClientPut = "client-put"
-	kindClientDel = "client-del"
+	// operation on the caller's behalf (cmd/skutectl uses these). The
+	// requests carry the caller's consistency level and timeout budget so
+	// the coordinator honors the caller's choice, not its own defaults.
+	kindClientGet  = "client-get"
+	kindClientPut  = "client-put"
+	kindClientDel  = "client-del"
+	kindClientMGet = "client-mget"
+	kindClientMPut = "client-mput"
 )
 
 // Wire payloads (gob encoded inside transport.Envelope.Payload).
@@ -96,20 +106,59 @@ type (
 		Ring ring.RingID
 		Part int
 	}
-	clientGetReq struct {
+	putItem struct {
+		Key     string
+		Version store.Version
+	}
+	multiGetReq struct {
 		Ring ring.RingID
-		Key  string
+		Keys []string
+	}
+	multiGetResp struct {
+		Items []kv
+	}
+	multiPutReq struct {
+		Ring  ring.RingID
+		Items []putItem
+	}
+	clientGetReq struct {
+		Ring        ring.RingID
+		Key         string
+		Consistency Consistency
+		Timeout     time.Duration
 	}
 	clientGetResp struct {
 		Values  [][]byte
 		Context map[string]uint64
 	}
 	clientPutReq struct {
-		Ring    ring.RingID
+		Ring        ring.RingID
+		Key         string
+		Value       []byte
+		Delete      bool
+		Context     map[string]uint64
+		Consistency Consistency
+		Timeout     time.Duration
+	}
+	clientMGetReq struct {
+		Ring        ring.RingID
+		Keys        []string
+		Consistency Consistency
+		Timeout     time.Duration
+	}
+	clientKV struct {
 		Key     string
-		Value   []byte
-		Delete  bool
+		Values  [][]byte
 		Context map[string]uint64
+	}
+	clientMGetResp struct {
+		Items []clientKV
+	}
+	clientMPutReq struct {
+		Ring        ring.RingID
+		Entries     []Entry
+		Consistency Consistency
+		Timeout     time.Duration
 	}
 )
 
@@ -286,12 +335,15 @@ func (n *Node) SendHeartbeats() {
 		if p.Name == n.self.Name {
 			continue
 		}
-		_, _ = n.tr.Call(p.Addr, req) // best effort
+		_, _ = n.tr.Call(context.Background(), p.Addr, req) // best effort
 	}
 }
 
-// handle dispatches one incoming request.
-func (n *Node) handle(req transport.Envelope) (transport.Envelope, error) {
+// handle dispatches one incoming request. The context comes from the
+// transport (the caller's own context for in-memory calls, the
+// connection's lifetime for TCP) and flows into any nested quorum
+// coordination this request triggers.
+func (n *Node) handle(ctx context.Context, req transport.Envelope) (transport.Envelope, error) {
 	switch req.Kind {
 	case kindHeartbeat:
 		var hb heartbeatReq
@@ -320,6 +372,29 @@ func (n *Node) handle(req transport.Envelope) (transport.Envelope, error) {
 		}
 		return transport.Envelope{Kind: "ok", Payload: encode(putResp{Accepted: acc})}, nil
 
+	case kindMultiGet:
+		var m multiGetReq
+		if err := decode(req.Payload, &m); err != nil {
+			return transport.Envelope{}, err
+		}
+		resp := multiGetResp{Items: make([]kv, len(m.Keys))}
+		for i, k := range m.Keys {
+			resp.Items[i] = kv{Key: k, Versions: n.eng.Get(storageKey(m.Ring, k))}
+		}
+		return transport.Envelope{Kind: "ok", Payload: encode(resp)}, nil
+
+	case kindMultiPut:
+		var m multiPutReq
+		if err := decode(req.Payload, &m); err != nil {
+			return transport.Envelope{}, err
+		}
+		for _, item := range m.Items {
+			if _, err := n.eng.Put(storageKey(m.Ring, item.Key), item.Version); err != nil {
+				return transport.Envelope{}, err
+			}
+		}
+		return transport.Envelope{Kind: "ok"}, nil
+
 	case kindLeaves:
 		var l leavesReq
 		if err := decode(req.Payload, &l); err != nil {
@@ -339,7 +414,7 @@ func (n *Node) handle(req transport.Envelope) (transport.Envelope, error) {
 		if err := decode(req.Payload, &a); err != nil {
 			return transport.Envelope{}, err
 		}
-		return n.handleAdopt(a)
+		return n.handleAdopt(ctx, a)
 
 	case kindAssign:
 		var a assignReq
@@ -381,7 +456,9 @@ func (n *Node) handle(req transport.Envelope) (transport.Envelope, error) {
 		if err := decode(req.Payload, &g); err != nil {
 			return transport.Envelope{}, err
 		}
-		res, err := n.Get(g.Ring, g.Key)
+		cctx, cancel := withTimeout(ctx, g.Timeout)
+		defer cancel()
+		res, err := n.Get(cctx, g.Ring, g.Key, ReadOptions{Consistency: g.Consistency})
 		if err != nil {
 			return transport.Envelope{}, err
 		}
@@ -395,13 +472,45 @@ func (n *Node) handle(req transport.Envelope) (transport.Envelope, error) {
 		if err := decode(req.Payload, &p); err != nil {
 			return transport.Envelope{}, err
 		}
+		cctx, cancel := withTimeout(ctx, p.Timeout)
+		defer cancel()
+		opts := WriteOptions{Consistency: p.Consistency}
 		var err error
 		if req.Kind == kindClientDel || p.Delete {
-			err = n.Delete(p.Ring, p.Key, p.Context)
+			err = n.Delete(cctx, p.Ring, p.Key, p.Context, opts)
 		} else {
-			err = n.Put(p.Ring, p.Key, p.Value, p.Context)
+			err = n.Put(cctx, p.Ring, p.Key, p.Value, p.Context, opts)
 		}
 		if err != nil {
+			return transport.Envelope{}, err
+		}
+		return transport.Envelope{Kind: "ok"}, nil
+
+	case kindClientMGet:
+		var g clientMGetReq
+		if err := decode(req.Payload, &g); err != nil {
+			return transport.Envelope{}, err
+		}
+		cctx, cancel := withTimeout(ctx, g.Timeout)
+		defer cancel()
+		res, err := n.MultiGet(cctx, g.Ring, g.Keys, ReadOptions{Consistency: g.Consistency})
+		if err != nil {
+			return transport.Envelope{}, err
+		}
+		resp := clientMGetResp{Items: make([]clientKV, 0, len(res))}
+		for k, r := range res {
+			resp.Items = append(resp.Items, clientKV{Key: k, Values: r.Values, Context: r.Context})
+		}
+		return transport.Envelope{Kind: "ok", Payload: encode(resp)}, nil
+
+	case kindClientMPut:
+		var p clientMPutReq
+		if err := decode(req.Payload, &p); err != nil {
+			return transport.Envelope{}, err
+		}
+		cctx, cancel := withTimeout(ctx, p.Timeout)
+		defer cancel()
+		if err := n.MultiPut(cctx, p.Ring, p.Entries, WriteOptions{Consistency: p.Consistency}); err != nil {
 			return transport.Envelope{}, err
 		}
 		return transport.Envelope{Kind: "ok"}, nil
@@ -470,7 +579,7 @@ func (n *Node) broadcastAssign(a assignReq) {
 		if p.Name == n.self.Name || !n.alive(p.Name) {
 			continue
 		}
-		_, _ = n.tr.Call(p.Addr, env) // best effort; anti-entropy heals stragglers
+		_, _ = n.tr.Call(context.Background(), p.Addr, env) // best effort; anti-entropy heals stragglers
 	}
 }
 

@@ -1,9 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
-	"sync/atomic"
 
 	"skute/internal/ring"
 	"skute/internal/store"
@@ -24,44 +25,177 @@ type GetResult struct {
 	Replied int
 }
 
-// Get performs a quorum read of the key on its partition's replicas,
-// merges the versions under vector-clock causality, read-repairs stale
-// replicas and returns the surviving siblings.
-func (n *Node) Get(id ring.RingID, key string) (GetResult, error) {
+// readQuorum resolves the effective per-request R for a ring.
+func (n *Node) readQuorum(id ring.RingID, c Consistency) (int, error) {
 	spec, ok := n.specs[id]
 	if !ok {
-		return GetResult{}, fmt.Errorf("cluster: unknown ring %s", id)
+		return 0, fmt.Errorf("cluster: unknown ring %s", id)
+	}
+	cfgR, _ := n.cfg.quorums(spec.Replicas)
+	return c.resolve(spec.Replicas, cfgR)
+}
+
+// writeQuorum resolves the effective per-request W for a ring.
+func (n *Node) writeQuorum(id ring.RingID, c Consistency) (int, error) {
+	spec, ok := n.specs[id]
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown ring %s", id)
+	}
+	_, cfgW := n.cfg.quorums(spec.Replicas)
+	return c.resolve(spec.Replicas, cfgW)
+}
+
+// Get performs a quorum read of the key on its partition's replicas,
+// merges the versions under vector-clock causality, read-repairs stale
+// replicas and returns the surviving siblings. The context cancels or
+// bounds the whole operation; opts select the per-request R and timeout.
+// It shares the partition-group read with MultiGet but skips the batch
+// bookkeeping — single-key reads are the hot path.
+func (n *Node) Get(ctx context.Context, id ring.RingID, key string, opts ReadOptions) (GetResult, error) {
+	readQ, err := n.readQuorum(id, opts.Consistency)
+	if err != nil {
+		return GetResult{}, err
+	}
+	ctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return GetResult{}, err
 	}
 	n.mu.RLock()
-	r := n.rings.Ring(id)
-	p := r.Lookup(ring.HashKey(key))
-	part := p.ID
+	p := n.rings.Ring(id).Lookup(ring.HashKey(key))
+	g := partGroup{part: p.ID, keys: []string{key}, replicas: make([]string, len(p.Replicas))}
+	for i, rid := range p.Replicas {
+		g.replicas[i] = n.nodeName(rid)
+	}
 	n.mu.RUnlock()
-	replicas := n.replicasOf(p)
-	readQ, _ := n.cfg.quorums(spec.Replicas)
+	res, err := n.readPartitionGroup(ctx, id, g, readQ)
+	if err != nil {
+		return GetResult{}, err
+	}
+	return res[key], nil
+}
 
-	n.countQuery(id, part)
+// MultiGet reads a batch of keys in one coordinated operation: keys are
+// grouped by partition and each replica of a partition receives a single
+// envelope covering the partition's whole key group — R+1 contacted
+// replicas per partition instead of per key. Results map each requested
+// key to its sibling values and causal context (a missing key maps to an
+// empty GetResult, matching single-key Get).
+func (n *Node) MultiGet(ctx context.Context, id ring.RingID, keys []string, opts ReadOptions) (map[string]GetResult, error) {
+	readQ, err := n.readQuorum(id, opts.Consistency)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return map[string]GetResult{}, nil
+	}
 
-	// Query readQ+1 replicas concurrently (the +1 over-read improves
-	// repair, matching the old sequential loop's contact count) and
-	// return as soon as that many answered: one hung-but-not-yet-
-	// suspected replica must not pin every read to the transport timeout
-	// when a quorum already responded. A failure launches the next
-	// standby replica; stragglers complete into the buffered channel and
-	// are discarded. The sibling merge below is order-independent.
-	alive := replicas[:0:0]
-	for _, name := range replicas {
+	groups := n.groupByPartition(id, keys)
+	if len(groups) == 1 { // single partition: no fan-out bookkeeping
+		return n.readPartitionGroup(ctx, id, groups[0], readQ)
+	}
+	results := make(map[string]GetResult, len(keys))
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g partGroup) {
+			defer wg.Done()
+			part, err := n.readPartitionGroup(ctx, id, g, readQ)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for k, r := range part {
+				results[k] = r
+			}
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// partGroup is the slice of a multi-key batch that falls on one
+// partition, with the partition's replica snapshot.
+type partGroup struct {
+	part     int
+	keys     []string
+	replicas []string
+}
+
+// groupByPartition buckets the (deduplicated) keys of a batch by the
+// partition that owns them, snapshotting each partition's replica set
+// under one read lock.
+func (n *Node) groupByPartition(id ring.RingID, keys []string) []partGroup {
+	n.mu.RLock()
+	r := n.rings.Ring(id)
+	byPart := make(map[int]*partGroup)
+	seen := make(map[string]bool, len(keys))
+	for _, key := range keys {
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		p := r.Lookup(ring.HashKey(key))
+		g, ok := byPart[p.ID]
+		if !ok {
+			g = &partGroup{part: p.ID}
+			g.replicas = make([]string, len(p.Replicas))
+			for i, rid := range p.Replicas {
+				g.replicas[i] = n.nodeName(rid)
+			}
+			byPart[p.ID] = g
+		}
+		g.keys = append(g.keys, key)
+	}
+	n.mu.RUnlock()
+	out := make([]partGroup, 0, len(byPart))
+	for _, g := range byPart {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].part < out[j].part })
+	return out
+}
+
+// readPartitionGroup runs the quorum read of one partition's key group:
+// it contacts readQ+1 alive replicas — a hedge against one slow replica,
+// whose response also feeds read repair when it arrives in time — each
+// with ONE envelope covering every key of the group, launches a standby
+// replica per failure, and honors context cancellation while waiting.
+// It returns as soon as readQ replicas answered: a hung-but-not-yet-
+// suspected replica cannot pin the read to the transport timeout once
+// the quorum is met (late responses drain into the buffered channel and
+// are discarded). Siblings merge per key; each stale responder gets one
+// batched repair envelope.
+func (n *Node) readPartitionGroup(ctx context.Context, id ring.RingID, g partGroup, readQ int) (map[string]GetResult, error) {
+	n.countQueries(id, g.part, len(g.keys))
+
+	alive := g.replicas[:0:0]
+	for _, name := range g.replicas {
 		if n.alive(name) {
 			alive = append(alive, name)
 		}
 	}
 	type replicaResp struct {
 		name string
-		vs   []store.Version
+		vs   map[string][]store.Version
 		ok   bool
 	}
 	resps := make(chan replicaResp, len(alive))
-	env := transport.Envelope{Kind: kindGet, Payload: encode(getReq{Ring: id, Key: key})}
+	env := transport.Envelope{Kind: kindMultiGet, Payload: encode(multiGetReq{Ring: id, Keys: g.keys})}
 	target := readQ + 1
 	if target > len(alive) {
 		target = len(alive)
@@ -72,78 +206,155 @@ func (n *Node) Get(id ring.RingID, key string) (GetResult, error) {
 		next++
 		inflight++
 		if name == n.self.Name {
-			resps <- replicaResp{name: name, vs: n.eng.Get(storageKey(id, key)), ok: true}
+			local := make(map[string][]store.Version, len(g.keys))
+			for _, k := range g.keys {
+				local[k] = n.eng.Get(storageKey(id, k))
+			}
+			resps <- replicaResp{name: name, vs: local, ok: true}
 			return
 		}
 		go func(name string) {
 			info, _ := n.info(name)
-			resp, err := n.tr.Call(info.Addr, env)
+			resp, err := n.tr.Call(ctx, info.Addr, env)
 			if err != nil {
 				resps <- replicaResp{name: name}
 				return
 			}
-			var gr getResp
-			if err := decode(resp.Payload, &gr); err != nil {
+			var mr multiGetResp
+			if err := decode(resp.Payload, &mr); err != nil {
 				resps <- replicaResp{name: name}
 				return
 			}
-			resps <- replicaResp{name: name, vs: gr.Versions, ok: true}
+			vs := make(map[string][]store.Version, len(mr.Items))
+			for _, item := range mr.Items {
+				vs[item.Key] = item.Versions
+			}
+			resps <- replicaResp{name: name, vs: vs, ok: true}
 		}(name)
 	}
 	for next < target {
 		startNext()
 	}
 
-	var gathered []store.Version
+	// Stragglers complete into the buffered channel and are discarded, so
+	// a cancelled caller leaks no goroutines; the sibling merge below is
+	// order-independent.
+	perResp := make(map[string]map[string][]store.Version)
 	var responders []string
-	for inflight > 0 && len(responders) < target {
-		r := <-resps
+	for inflight > 0 && len(responders) < readQ {
+		var r replicaResp
+		select {
+		case r = <-resps:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		inflight--
 		if r.ok {
-			gathered = append(gathered, r.vs...)
+			perResp[r.name] = r.vs
 			responders = append(responders, r.name)
 		} else if next < len(alive) {
 			startNext()
 		}
 	}
 	if len(responders) < readQ {
-		return GetResult{}, fmt.Errorf("cluster: read quorum not met for %s/%s: %d/%d replicas answered",
-			id, key, len(responders), readQ)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("cluster: read quorum not met for %s partition %d: %d/%d replicas answered",
+			id, g.part, len(responders), readQ)
 	}
 
-	merged := store.MergeSiblings(gathered)
-	// Read repair: push the merged set back to the responders; engines
-	// reject anything they already dominate, so this is idempotent.
-	for _, v := range merged {
-		n.fanoutPut(id, key, v, responders)
+	// Merge per key, then batch read repair: each responder that misses
+	// part of a key's merged sibling set gets ONE repair envelope
+	// covering all of its stale keys. In-sync replicas (the common case)
+	// cost nothing; engines reject dominated versions, so repair is
+	// idempotent.
+	results := make(map[string]GetResult, len(g.keys))
+	merged := make(map[string][]store.Version, len(g.keys))
+	for _, k := range g.keys {
+		var gathered []store.Version
+		for _, name := range responders {
+			gathered = append(gathered, perResp[name][k]...)
+		}
+		m := store.MergeSiblings(gathered)
+		merged[k] = m
+		res := GetResult{Replied: len(responders), Context: vclock.New()}
+		for _, v := range m {
+			res.Context = vclock.Merge(res.Context, v.Clock)
+			if !v.Tombstone {
+				res.Values = append(res.Values, v.Value)
+			}
+		}
+		results[k] = res
 	}
+	for _, name := range responders {
+		var stale []putItem
+		for _, k := range g.keys {
+			if needsRepair(perResp[name][k], merged[k]) {
+				for _, v := range merged[k] {
+					stale = append(stale, putItem{Key: k, Version: v})
+				}
+			}
+		}
+		if len(stale) == 0 {
+			continue
+		}
+		if name == n.self.Name {
+			for _, item := range stale {
+				_, _ = n.eng.Put(storageKey(id, item.Key), item.Version)
+			}
+			continue
+		}
+		info, _ := n.info(name)
+		repair := transport.Envelope{Kind: kindMultiPut, Payload: encode(multiPutReq{Ring: id, Items: stale})}
+		_, _ = n.tr.Call(ctx, info.Addr, repair) // best effort; anti-entropy heals stragglers
+	}
+	return results, nil
+}
 
-	res := GetResult{Replied: len(responders), Context: vclock.New()}
-	for _, v := range merged {
-		res.Context = vclock.Merge(res.Context, v.Clock)
-		if !v.Tombstone {
-			res.Values = append(res.Values, v.Value)
+// needsRepair reports whether a responder's version set for one key
+// diverges from the merged sibling set.
+func needsRepair(have, merged []store.Version) bool {
+	if len(have) != len(merged) {
+		return true
+	}
+	for _, m := range merged {
+		found := false
+		for _, h := range have {
+			if h.Clock.Compare(m.Clock) == vclock.Equal {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return true
 		}
 	}
-	return res, nil
+	return false
 }
 
 // Put writes the value under a clock derived from the read context,
-// requiring the write quorum of live replicas to acknowledge.
-func (n *Node) Put(id ring.RingID, key string, value []byte, context vclock.VC) error {
-	return n.write(id, key, store.Version{Value: value, Clock: context.Clone().Tick(n.self.Name)})
+// requiring the write quorum (or the per-request override) of live
+// replicas to acknowledge before the context deadline.
+func (n *Node) Put(ctx context.Context, id ring.RingID, key string, value []byte, vctx vclock.VC, opts WriteOptions) error {
+	return n.write(ctx, id, key, store.Version{Value: value, Clock: vctx.Clone().Tick(n.self.Name)}, opts)
 }
 
 // Delete writes a tombstone derived from the read context.
-func (n *Node) Delete(id ring.RingID, key string, context vclock.VC) error {
-	return n.write(id, key, store.Version{Tombstone: true, Clock: context.Clone().Tick(n.self.Name)})
+func (n *Node) Delete(ctx context.Context, id ring.RingID, key string, vctx vclock.VC, opts WriteOptions) error {
+	return n.write(ctx, id, key, store.Version{Tombstone: true, Clock: vctx.Clone().Tick(n.self.Name)}, opts)
 }
 
 // write fans a version out to the partition's replicas.
-func (n *Node) write(id ring.RingID, key string, v store.Version) error {
-	spec, ok := n.specs[id]
-	if !ok {
-		return fmt.Errorf("cluster: unknown ring %s", id)
+func (n *Node) write(ctx context.Context, id ring.RingID, key string, v store.Version, opts WriteOptions) error {
+	writeQ, err := n.writeQuorum(id, opts.Consistency)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	n.mu.RLock()
 	r := n.rings.Ring(id)
@@ -151,20 +362,124 @@ func (n *Node) write(id ring.RingID, key string, v store.Version) error {
 	part := p.ID
 	n.mu.RUnlock()
 	replicas := n.replicasOf(p)
-	_, writeQ := n.cfg.quorums(spec.Replicas)
 
-	n.countQuery(id, part)
+	n.countQueries(id, part, 1)
 
-	acks := n.fanoutPut(id, key, v, replicas)
+	acks, err := n.fanoutPut(ctx, id, key, v, replicas, writeQ)
+	if err != nil {
+		return err
+	}
 	if acks < writeQ {
 		return fmt.Errorf("cluster: write quorum not met for %s/%s: %d/%d acks", id, key, acks, writeQ)
 	}
 	return nil
 }
 
+// MultiPut writes a batch of entries in one coordinated operation: the
+// entries are grouped by partition and every replica of a partition
+// receives a single envelope with the partition's whole entry group.
+// Each partition group must reach the write quorum (or the per-request
+// override) independently; the first shortfall fails the batch.
+func (n *Node) MultiPut(ctx context.Context, id ring.RingID, entries []Entry, opts WriteOptions) error {
+	writeQ, err := n.writeQuorum(id, opts.Consistency)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := withTimeout(ctx, opts.Timeout)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+
+	// Version every entry up front (one clock tick per entry), then
+	// bucket by partition. Later duplicates of a key win, matching the
+	// sequential-Put semantics of applying the batch in order.
+	versions := make(map[string]store.Version, len(entries))
+	keys := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if _, ok := versions[e.Key]; !ok {
+			keys = append(keys, e.Key)
+		}
+		versions[e.Key] = store.Version{Value: e.Value, Clock: e.Context.Clone().Tick(n.self.Name)}
+	}
+	groups := n.groupByPartition(id, keys)
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(groups))
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g partGroup) {
+			defer wg.Done()
+			errs[i] = n.writePartitionGroup(ctx, id, g, versions, writeQ)
+		}(i, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePartitionGroup fans one partition's entry group out: one
+// kindMultiPut envelope per alive replica, write quorum counted over
+// whole-group acknowledgements.
+func (n *Node) writePartitionGroup(ctx context.Context, id ring.RingID, g partGroup, versions map[string]store.Version, writeQ int) error {
+	n.countQueries(id, g.part, len(g.keys))
+
+	items := make([]putItem, len(g.keys))
+	for i, k := range g.keys {
+		items[i] = putItem{Key: k, Version: versions[k]}
+	}
+	acks := 0
+	var remotes []string
+	for _, name := range g.replicas {
+		if !n.alive(name) {
+			continue
+		}
+		if name == n.self.Name {
+			ok := true
+			for _, item := range items {
+				if _, err := n.eng.Put(storageKey(id, item.Key), item.Version); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				acks++
+			}
+			continue
+		}
+		remotes = append(remotes, name)
+	}
+	if len(remotes) > 0 {
+		env := transport.Envelope{Kind: kindMultiPut, Payload: encode(multiPutReq{Ring: id, Items: items})}
+		remoteAcks, err := n.callAll(ctx, remotes, env, writeQ-acks)
+		if err != nil {
+			return err
+		}
+		acks += remoteAcks
+	}
+	if acks < writeQ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("cluster: write quorum not met for %s partition %d: %d/%d acks", id, g.part, acks, writeQ)
+	}
+	return nil
+}
+
 // fanoutPut stores the version on every named alive replica concurrently
-// and returns the ack count.
-func (n *Node) fanoutPut(id ring.RingID, key string, v store.Version, replicas []string) int {
+// and returns the ack count, waiting only until `need` acknowledgements
+// arrived (per-request ConsistencyOne really is the fast end of the
+// trade: remaining replicas receive the write asynchronously and their
+// outcomes are discarded). Cancellation while waiting returns the
+// context error; in-flight calls drain into a buffered channel.
+func (n *Node) fanoutPut(ctx context.Context, id ring.RingID, key string, v store.Version, replicas []string, need int) (int, error) {
 	acks := 0
 	var remotes []string
 	for _, name := range replicas {
@@ -180,37 +495,56 @@ func (n *Node) fanoutPut(id ring.RingID, key string, v store.Version, replicas [
 		remotes = append(remotes, name)
 	}
 	if len(remotes) == 0 {
-		return acks
+		return acks, nil
 	}
 	env := transport.Envelope{Kind: kindPut, Payload: encode(putReq{Ring: id, Key: key, Version: v})}
-	if len(remotes) == 1 { // skip the pool for the common R=2 local-write case
+	if len(remotes) == 1 && acks < need { // skip the pool for the common R=2 local-write case
 		info, _ := n.info(remotes[0])
-		if _, err := n.tr.Call(info.Addr, env); err == nil {
+		if _, err := n.tr.Call(ctx, info.Addr, env); err == nil {
 			acks++
+		} else if ctxErr := ctx.Err(); ctxErr != nil {
+			return acks, ctxErr
 		}
-		return acks
+		return acks, nil
 	}
-	var remoteAcks int32
-	var wg sync.WaitGroup
-	for _, name := range remotes {
-		wg.Add(1)
-		go func(name string) {
-			defer wg.Done()
-			info, _ := n.info(name)
-			if _, err := n.tr.Call(info.Addr, env); err == nil {
-				atomic.AddInt32(&remoteAcks, 1)
-			}
-		}(name)
-	}
-	wg.Wait()
-	return acks + int(remoteAcks)
+	remoteAcks, err := n.callAll(ctx, remotes, env, need-acks)
+	return acks + remoteAcks, err
 }
 
-// countQuery accounts one query against the vnode hosting the partition
+// callAll sends one envelope to every named peer concurrently and counts
+// successes, returning as soon as `need` of them acknowledged (or every
+// peer responded, or the context fired). Late responses — and the sends
+// themselves, when need is already met — complete asynchronously into
+// the buffered channel, so nothing leaks and every peer still receives
+// the envelope.
+func (n *Node) callAll(ctx context.Context, peers []string, env transport.Envelope, need int) (int, error) {
+	done := make(chan bool, len(peers))
+	for _, name := range peers {
+		go func(name string) {
+			info, _ := n.info(name)
+			_, err := n.tr.Call(ctx, info.Addr, env)
+			done <- err == nil
+		}(name)
+	}
+	acks := 0
+	for i := 0; i < len(peers) && acks < need; i++ {
+		select {
+		case ok := <-done:
+			if ok {
+				acks++
+			}
+		case <-ctx.Done():
+			return acks, ctx.Err()
+		}
+	}
+	return acks, nil
+}
+
+// countQueries accounts queries against the vnode hosting the partition
 // locally (if any), feeding the economy.
-func (n *Node) countQuery(id ring.RingID, part int) {
+func (n *Node) countQueries(id ring.RingID, part int, count int) {
 	n.qmu.Lock()
-	n.queries[vnodeKey(id, part)]++
+	n.queries[vnodeKey(id, part)] += float64(count)
 	n.qmu.Unlock()
 }
 

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"skute/internal/vclock"
+)
+
+// withTimeout layers an optional per-request timeout over the caller's
+// context (the earlier deadline wins); the returned cancel must run.
+// Every per-request Timeout in this package flows through here. Without
+// a timeout the context passes through untouched — deliberately NOT
+// wrapped in a cancel — so that a write returning at its ack threshold
+// does not abort the still-in-flight replication to the remaining
+// replicas.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+// Consistency selects how many replicas must acknowledge a request,
+// overriding the cluster Config quorums per request. Zero is the default
+// (use the Config quorums); the negative sentinels name the symbolic
+// levels; a positive value demands exactly that many replicas and is
+// validated against the ring's replica target.
+type Consistency int
+
+const (
+	// ConsistencyDefault uses the Config.ReadQuorum/WriteQuorum values
+	// (themselves defaulting to a majority of the ring's replica target).
+	ConsistencyDefault Consistency = 0
+	// ConsistencyOne acknowledges after a single replica — the paper's
+	// cheap/fast end of the availability-vs-latency trade.
+	ConsistencyOne Consistency = -1
+	// ConsistencyQuorum acknowledges after a majority of the ring's
+	// replica target, regardless of the Config override.
+	ConsistencyQuorum Consistency = -2
+	// ConsistencyAll acknowledges only after every replica.
+	ConsistencyAll Consistency = -3
+)
+
+// ConsistencyCount demands exactly n replica acknowledgements. Requests
+// carrying a count above the ring's replica target are rejected.
+func ConsistencyCount(n int) Consistency { return Consistency(n) }
+
+// String names the level for errors and logs.
+func (c Consistency) String() string {
+	switch {
+	case c == ConsistencyDefault:
+		return "default"
+	case c == ConsistencyOne:
+		return "one"
+	case c == ConsistencyQuorum:
+		return "quorum"
+	case c == ConsistencyAll:
+		return "all"
+	case c > 0:
+		return fmt.Sprintf("count(%d)", int(c))
+	default:
+		return fmt.Sprintf("invalid(%d)", int(c))
+	}
+}
+
+// resolve maps the level to a concrete replica count for a ring with the
+// given replica target, falling back to cfgDefault (the Config quorum,
+// already clamped) for ConsistencyDefault.
+func (c Consistency) resolve(target, cfgDefault int) (int, error) {
+	switch {
+	case c == ConsistencyDefault:
+		return cfgDefault, nil
+	case c == ConsistencyOne:
+		return 1, nil
+	case c == ConsistencyQuorum:
+		return target/2 + 1, nil
+	case c == ConsistencyAll:
+		return target, nil
+	case c > 0:
+		if int(c) > target {
+			return 0, fmt.Errorf("cluster: consistency %s exceeds the ring's %d replicas", c, target)
+		}
+		return int(c), nil
+	default:
+		return 0, fmt.Errorf("cluster: invalid consistency level %d", int(c))
+	}
+}
+
+// ReadOptions tune one read request.
+type ReadOptions struct {
+	// Consistency is the per-request R override.
+	Consistency Consistency
+	// Timeout, when positive, bounds the whole request: the coordinator
+	// derives a deadline from it (combined with whatever deadline the
+	// caller's context already carries — the earlier one wins).
+	Timeout time.Duration
+}
+
+// WriteOptions tune one write (or delete) request.
+type WriteOptions struct {
+	// Consistency is the per-request W override.
+	Consistency Consistency
+	// Timeout, when positive, bounds the whole request.
+	Timeout time.Duration
+}
+
+// Entry is one key/value pair of a batched MultiPut. Context carries the
+// causal version context from a preceding read of the key (nil for a
+// blind write).
+type Entry struct {
+	Key     string
+	Value   []byte
+	Context vclock.VC
+}

@@ -39,7 +39,7 @@ func TestWALRecoveryRejoinsCluster(t *testing.T) {
 	}
 
 	for i := 0; i < 12; i++ {
-		if err := nodes["n0"].Put(goldRing, fmt.Sprintf("durable-%d", i), []byte("v1"), nil); err != nil {
+		if err := nodes["n0"].Put(ctx, goldRing, fmt.Sprintf("durable-%d", i), []byte("v1"), nil, WriteOptions{Consistency: ConsistencyAll}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -58,7 +58,7 @@ func TestWALRecoveryRejoinsCluster(t *testing.T) {
 	// Writes continue while n1 is down (quorums tolerate one failure on
 	// the 2- and 3-replica rings as long as another replica answers).
 	for i := 0; i < 12; i++ {
-		_ = nodes["n0"].Put(goldRing, fmt.Sprintf("durable-%d", i), []byte("v2"), mustCtx(t, nodes["n0"], fmt.Sprintf("durable-%d", i)))
+		_ = nodes["n0"].Put(ctx, goldRing, fmt.Sprintf("durable-%d", i), []byte("v2"), mustCtx(t, nodes["n0"], fmt.Sprintf("durable-%d", i)), WriteOptions{Consistency: ConsistencyAll})
 	}
 
 	// Restart n1 from its WAL on the same address.
@@ -129,8 +129,8 @@ func TestCheckpointRecoveryRejoinsCluster(t *testing.T) {
 	for round := 0; round < 6; round++ {
 		for i := 0; i < 24; i++ {
 			key := fmt.Sprintf("ckpt-%d", i)
-			_ = nodes["n0"].Put(goldRing, key, []byte(fmt.Sprintf("r%d", round)), ctxFor(t, nodes["n0"], goldRing, key))
-			_ = nodes["n0"].Put(platRing, key, []byte(fmt.Sprintf("r%d", round)), ctxFor(t, nodes["n0"], platRing, key))
+			_ = nodes["n0"].Put(ctx, goldRing, key, []byte(fmt.Sprintf("r%d", round)), ctxFor(t, nodes["n0"], goldRing, key), WriteOptions{Consistency: ConsistencyAll})
+			_ = nodes["n0"].Put(ctx, platRing, key, []byte(fmt.Sprintf("r%d", round)), ctxFor(t, nodes["n0"], platRing, key), WriteOptions{Consistency: ConsistencyAll})
 		}
 	}
 	preTail := engines["n1"].Durability().WALRecords
@@ -144,7 +144,7 @@ func TestCheckpointRecoveryRejoinsCluster(t *testing.T) {
 	// A little more traffic lands in n1's post-checkpoint WAL tail.
 	for i := 0; i < 24; i++ {
 		key := fmt.Sprintf("ckpt-%d", i)
-		_ = nodes["n0"].Put(goldRing, key, []byte("post-ckpt"), ctxFor(t, nodes["n0"], goldRing, key))
+		_ = nodes["n0"].Put(ctx, goldRing, key, []byte("post-ckpt"), ctxFor(t, nodes["n0"], goldRing, key), WriteOptions{Consistency: ConsistencyAll})
 	}
 
 	// Kill n1: transport down, detectors notified, NO engine close — the
@@ -159,7 +159,7 @@ func TestCheckpointRecoveryRejoinsCluster(t *testing.T) {
 	// Writes continue while n1 is down.
 	for i := 0; i < 24; i++ {
 		key := fmt.Sprintf("ckpt-%d", i)
-		_ = nodes["n0"].Put(goldRing, key, []byte("while-down"), ctxFor(t, nodes["n0"], goldRing, key))
+		_ = nodes["n0"].Put(ctx, goldRing, key, []byte("while-down"), ctxFor(t, nodes["n0"], goldRing, key), WriteOptions{Consistency: ConsistencyAll})
 	}
 
 	// Restart n1 from snapshot + WAL tail.
@@ -208,10 +208,13 @@ func mustCtx(t *testing.T, n *Node, key string) map[string]uint64 {
 	return ctxFor(t, n, goldRing, key)
 }
 
-// ctxFor reads the current context of a key on the given ring.
+// ctxFor reads the current context of a key on the given ring. These
+// tests write at ConsistencyAll (below), so every alive replica is in
+// sync and a single-replica read returns the full context even while a
+// peer is down.
 func ctxFor(t *testing.T, n *Node, id ring.RingID, key string) map[string]uint64 {
 	t.Helper()
-	res, err := n.Get(id, key)
+	res, err := n.Get(ctx, id, key, ReadOptions{Consistency: ConsistencyOne})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +224,7 @@ func ctxFor(t *testing.T, n *Node, id ring.RingID, key string) map[string]uint64
 func TestRunAntiEntropyCleanCluster(t *testing.T) {
 	_, nodes := testCluster(t)
 	for i := 0; i < 10; i++ {
-		if err := nodes[0].Put(platRing, fmt.Sprintf("k%d", i), []byte("v"), nil); err != nil {
+		if err := nodes[0].Put(ctx, platRing, fmt.Sprintf("k%d", i), []byte("v"), nil, WriteOptions{Consistency: ConsistencyAll}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"skute/internal/ring"
 	"skute/internal/store"
@@ -22,7 +24,7 @@ func TestTCPEndToEnd(t *testing.T) {
 		defer trs[i].Close()
 		// Bind a throwaway handler to allocate the port, then the real
 		// node re-serves on the same transport at the same address.
-		if err := trs[i].Serve("127.0.0.1:0", func(transport.Envelope) (transport.Envelope, error) {
+		if err := trs[i].Serve("127.0.0.1:0", func(context.Context, transport.Envelope) (transport.Envelope, error) {
 			return transport.Envelope{}, fmt.Errorf("not ready")
 		}); err != nil {
 			t.Fatal(err)
@@ -64,31 +66,57 @@ func TestTCPEndToEnd(t *testing.T) {
 
 	id := ring.RingID{App: "app1", Class: "gold"}
 	client := NewClient(transport.NewTCP(), addrs[0])
-	if err := client.Put(id, "greeting", []byte("hello tcp"), nil); err != nil {
+	if err := client.Put(ctx, id, "greeting", []byte("hello tcp"), nil, WriteOptions{}); err != nil {
 		t.Fatalf("client put: %v", err)
 	}
 	// Read through a different node.
 	client2 := NewClient(transport.NewTCP(), addrs[2])
-	values, ctx, err := client2.Get(id, "greeting")
+	values, vctx, err := client2.Get(ctx, id, "greeting", ReadOptions{})
 	if err != nil {
 		t.Fatalf("client get: %v", err)
 	}
 	if len(values) != 1 || string(values[0]) != "hello tcp" {
 		t.Fatalf("get = %q", values)
 	}
-	if err := client2.Put(id, "greeting", []byte("v2"), ctx); err != nil {
+	if err := client2.Put(ctx, id, "greeting", []byte("v2"), vctx, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	values, ctx, _ = client.Get(id, "greeting")
+	values, vctx, _ = client.Get(ctx, id, "greeting", ReadOptions{})
 	if len(values) != 1 || string(values[0]) != "v2" {
 		t.Fatalf("after rmw: %q", values)
 	}
-	if err := client.Delete(id, "greeting", ctx); err != nil {
+	if err := client.Delete(ctx, id, "greeting", vctx, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	values, _, _ = client.Get(id, "greeting")
+	values, _, _ = client.Get(ctx, id, "greeting", ReadOptions{})
 	if len(values) != 0 {
 		t.Fatalf("after delete: %q", values)
+	}
+
+	// Batched multi-key operations flow over the same wire: one MPut,
+	// one MGet, per-request consistency and timeout included.
+	entries := []Entry{
+		{Key: "batch-a", Value: []byte("va")},
+		{Key: "batch-b", Value: []byte("vb")},
+		{Key: "batch-c", Value: []byte("vc")},
+	}
+	wopts := WriteOptions{Consistency: ConsistencyQuorum, Timeout: 5 * time.Second}
+	if err := client.MPut(ctx, id, entries, wopts); err != nil {
+		t.Fatalf("client mput: %v", err)
+	}
+	got, err := client2.MGet(ctx, id, []string{"batch-a", "batch-b", "batch-c", "batch-missing"},
+		ReadOptions{Consistency: ConsistencyQuorum, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("client mget: %v", err)
+	}
+	for _, e := range entries {
+		r := got[e.Key]
+		if len(r.Values) != 1 || string(r.Values[0]) != string(e.Value) {
+			t.Errorf("mget %s = %q, want %q", e.Key, r.Values, e.Value)
+		}
+	}
+	if len(got["batch-missing"].Values) != 0 {
+		t.Errorf("missing key returned %q", got["batch-missing"].Values)
 	}
 	// Heartbeats flow over TCP too.
 	for _, n := range nodes {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -13,10 +14,17 @@ import (
 // are host:port strings. Each Call opens a fresh connection — simple and
 // adequate for the prototype's request rates; a production deployment
 // would pool connections.
+//
+// The Call context governs the exchange: a context deadline bounds both
+// dialing and socket I/O (replacing DialTimeout/CallTimeout), and
+// cancellation aborts an in-flight exchange promptly. The fixed timeouts
+// below apply only when the context carries no deadline.
 type TCP struct {
-	// DialTimeout bounds connection establishment (default 2s).
+	// DialTimeout bounds connection establishment when the context has
+	// no deadline (default 2s).
 	DialTimeout time.Duration
-	// CallTimeout bounds a full request/response exchange (default 10s).
+	// CallTimeout bounds a full request/response exchange when the
+	// context has no deadline (default 10s).
 	CallTimeout time.Duration
 
 	mu        sync.Mutex
@@ -68,9 +76,17 @@ func (t *TCP) Serve(addr string, h Handler) error {
 	return nil
 }
 
-// serveConn answers sequential requests on one connection.
+// serveConn answers sequential requests on one connection. The handler
+// context is scoped to the connection, but because the protocol is
+// strictly sequential a peer disconnect is only observed at the next
+// Decode — it does NOT interrupt a handler already running. Deadline
+// propagation into a handler's coordinated work therefore travels in
+// the request payload instead (the cluster layer's client envelopes
+// carry the caller's timeout budget).
 func (t *TCP) serveConn(conn net.Conn, h Handler) {
 	defer conn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
@@ -79,7 +95,7 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 			return
 		}
 		var resp wireResponse
-		env, err := h(req.Env)
+		env, err := h(ctx, req.Env)
 		if err != nil {
 			resp.Err = err.Error()
 		} else {
@@ -91,8 +107,13 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 	}
 }
 
-// Call implements Transport.
-func (t *TCP) Call(addr string, req Envelope) (Envelope, error) {
+// Call implements Transport. The context deadline (when set) bounds the
+// dial and the full request/response exchange; cancellation interrupts
+// in-flight socket I/O by expiring the connection deadline.
+func (t *TCP) Call(ctx context.Context, addr string, req Envelope) (Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return Envelope{}, err
+	}
 	dialTO, callTO := t.DialTimeout, t.CallTimeout
 	if dialTO == 0 {
 		dialTO = 2 * time.Second
@@ -100,25 +121,62 @@ func (t *TCP) Call(addr string, req Envelope) (Envelope, error) {
 	if callTO == 0 {
 		callTO = 10 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, dialTO)
+	// The context deadline, when present, overrides the fixed defaults
+	// for both dialing and I/O.
+	ioDeadline := time.Now().Add(callTO)
+	if d, ok := ctx.Deadline(); ok {
+		ioDeadline = d
+		dialTO = 0 // DialContext honors the ctx deadline on its own
+	}
+	dialer := net.Dialer{Timeout: dialTO}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Envelope{}, ctxErr
+		}
 		return Envelope{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(callTO)); err != nil {
+	if err := conn.SetDeadline(ioDeadline); err != nil {
 		return Envelope{}, err
 	}
+	// Cancellation mid-exchange: expire the connection deadline so any
+	// blocked read/write returns immediately. Registered after the
+	// deadline above so a context that fires concurrently cannot have
+	// its immediate deadline overwritten.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
 	if err := gob.NewEncoder(conn).Encode(wireRequest{Env: req}); err != nil {
+		if ctxErr := ctxError(ctx); ctxErr != nil {
+			return Envelope{}, ctxErr
+		}
 		return Envelope{}, fmt.Errorf("transport: encode to %s: %w", addr, err)
 	}
 	var resp wireResponse
 	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		if ctxErr := ctxError(ctx); ctxErr != nil {
+			return Envelope{}, ctxErr
+		}
 		return Envelope{}, fmt.Errorf("transport: decode from %s: %w", addr, err)
 	}
 	if resp.Err != "" {
 		return Envelope{}, errors.New(resp.Err)
 	}
 	return resp.Env, nil
+}
+
+// ctxError reports why the context ended an exchange. The socket
+// deadline mirrors the context deadline, so an I/O timeout can surface a
+// few microseconds before the context's own timer fires — treat a passed
+// deadline as expired rather than racing the timer.
+func ctxError(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // Addrs returns the bound listener addresses (useful with ":0").

@@ -3,9 +3,14 @@
 // implementations — an in-memory mesh for tests and simulations (with
 // failure injection) and a TCP transport with a gob wire codec for real
 // deployments (cmd/skuted).
+//
+// Every Call carries a context.Context: cancellation or a deadline on
+// the caller's side aborts the exchange (for TCP, the context deadline
+// bounds dialing and socket I/O instead of the transport's defaults).
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,8 +23,10 @@ type Envelope struct {
 	Payload []byte
 }
 
-// Handler serves one request.
-type Handler func(Envelope) (Envelope, error)
+// Handler serves one request. The context is the caller's for in-memory
+// calls (cancellation propagates into nested quorum operations) and a
+// per-connection context for TCP.
+type Handler func(ctx context.Context, req Envelope) (Envelope, error)
 
 // Transport connects named endpoints.
 type Transport interface {
@@ -27,7 +34,9 @@ type Transport interface {
 	// previous handler at that address.
 	Serve(addr string, h Handler) error
 	// Call sends the envelope to the address and waits for the reply.
-	Call(addr string, req Envelope) (Envelope, error)
+	// A cancelled or expired context aborts the call with ctx.Err()
+	// before any bytes move.
+	Call(ctx context.Context, addr string, req Envelope) (Envelope, error)
 	// Close releases resources; subsequent calls fail.
 	Close() error
 }
@@ -61,8 +70,14 @@ func (m *Memory) Serve(addr string, h Handler) error {
 	return nil
 }
 
-// Call implements Transport.
-func (m *Memory) Call(addr string, req Envelope) (Envelope, error) {
+// Call implements Transport. The handler runs synchronously on the
+// caller's goroutine; a context that is already done fails before the
+// handler is invoked, and the caller's context flows into the handler so
+// nested calls it makes observe the same cancellation.
+func (m *Memory) Call(ctx context.Context, addr string, req Envelope) (Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return Envelope{}, err
+	}
 	m.mu.RLock()
 	h, ok := m.handlers[addr]
 	down := m.down[addr] || m.closed
@@ -70,7 +85,7 @@ func (m *Memory) Call(addr string, req Envelope) (Envelope, error) {
 	if !ok || down {
 		return Envelope{}, fmt.Errorf("%w: %s", ErrUnreachable, addr)
 	}
-	return h(req)
+	return h(ctx, req)
 }
 
 // SetDown injects (or heals) a failure of the address: calls fail with

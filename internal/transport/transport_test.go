@@ -1,15 +1,18 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func echoHandler(prefix string) Handler {
-	return func(req Envelope) (Envelope, error) {
+	return func(ctx context.Context, req Envelope) (Envelope, error) {
 		if req.Kind == "boom" {
 			return Envelope{}, fmt.Errorf("%s: handler error", prefix)
 		}
@@ -23,7 +26,7 @@ func TestMemoryRoundTrip(t *testing.T) {
 	if err := m.Serve("a", echoHandler("A")); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := m.Call("a", Envelope{Kind: "ping", Payload: []byte("x")})
+	resp, err := m.Call(context.Background(), "a", Envelope{Kind: "ping", Payload: []byte("x")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,16 +38,17 @@ func TestMemoryRoundTrip(t *testing.T) {
 func TestMemoryUnreachable(t *testing.T) {
 	m := NewMemory()
 	defer m.Close()
-	if _, err := m.Call("ghost", Envelope{}); !errors.Is(err, ErrUnreachable) {
+	ctx := context.Background()
+	if _, err := m.Call(ctx, "ghost", Envelope{}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("err = %v, want ErrUnreachable", err)
 	}
 	m.Serve("a", echoHandler("A"))
 	m.SetDown("a", true)
-	if _, err := m.Call("a", Envelope{}); !errors.Is(err, ErrUnreachable) {
+	if _, err := m.Call(ctx, "a", Envelope{}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("down endpoint err = %v", err)
 	}
 	m.SetDown("a", false)
-	if _, err := m.Call("a", Envelope{Kind: "k"}); err != nil {
+	if _, err := m.Call(ctx, "a", Envelope{Kind: "k"}); err != nil {
 		t.Errorf("healed endpoint err = %v", err)
 	}
 }
@@ -53,8 +57,46 @@ func TestMemoryHandlerError(t *testing.T) {
 	m := NewMemory()
 	defer m.Close()
 	m.Serve("a", echoHandler("A"))
-	if _, err := m.Call("a", Envelope{Kind: "boom"}); err == nil || !strings.Contains(err.Error(), "handler error") {
+	if _, err := m.Call(context.Background(), "a", Envelope{Kind: "boom"}); err == nil || !strings.Contains(err.Error(), "handler error") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestMemoryCancelledContext: a context that is already done fails the
+// call with ctx.Err() before the handler runs.
+func TestMemoryCancelledContext(t *testing.T) {
+	m := NewMemory()
+	defer m.Close()
+	invoked := false
+	m.Serve("a", func(ctx context.Context, req Envelope) (Envelope, error) {
+		invoked = true
+		return Envelope{}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Call(ctx, "a", Envelope{Kind: "k"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if invoked {
+		t.Error("handler ran despite cancelled context")
+	}
+}
+
+// TestMemoryContextReachesHandler: the caller's context flows into the
+// handler, so nested calls observe the same deadline.
+func TestMemoryContextReachesHandler(t *testing.T) {
+	m := NewMemory()
+	defer m.Close()
+	m.Serve("a", func(ctx context.Context, req Envelope) (Envelope, error) {
+		if _, ok := ctx.Deadline(); !ok {
+			return Envelope{}, errors.New("no deadline in handler context")
+		}
+		return Envelope{Kind: "ok"}, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := m.Call(ctx, "a", Envelope{Kind: "k"}); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -62,7 +104,7 @@ func TestMemoryClosed(t *testing.T) {
 	m := NewMemory()
 	m.Serve("a", echoHandler("A"))
 	m.Close()
-	if _, err := m.Call("a", Envelope{}); !errors.Is(err, ErrUnreachable) {
+	if _, err := m.Call(context.Background(), "a", Envelope{}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("call after close: %v", err)
 	}
 	if err := m.Serve("b", echoHandler("B")); err == nil {
@@ -80,7 +122,7 @@ func TestMemoryConcurrentCalls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 100; j++ {
-				if _, err := m.Call("a", Envelope{Kind: "k"}); err != nil {
+				if _, err := m.Call(context.Background(), "a", Envelope{Kind: "k"}); err != nil {
 					t.Errorf("call: %v", err)
 					return
 				}
@@ -100,7 +142,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	if len(addrs) != 1 {
 		t.Fatalf("addrs = %v", addrs)
 	}
-	resp, err := tr.Call(addrs[0], Envelope{Kind: "ping", Payload: []byte("hello")})
+	resp, err := tr.Call(context.Background(), addrs[0], Envelope{Kind: "ping", Payload: []byte("hello")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +157,7 @@ func TestTCPHandlerErrorPropagates(t *testing.T) {
 	if err := tr.Serve("127.0.0.1:0", echoHandler("S")); err != nil {
 		t.Fatal(err)
 	}
-	_, err := tr.Call(tr.Addrs()[0], Envelope{Kind: "boom"})
+	_, err := tr.Call(context.Background(), tr.Addrs()[0], Envelope{Kind: "boom"})
 	if err == nil || !strings.Contains(err.Error(), "handler error") {
 		t.Errorf("err = %v", err)
 	}
@@ -124,8 +166,94 @@ func TestTCPHandlerErrorPropagates(t *testing.T) {
 func TestTCPUnreachable(t *testing.T) {
 	tr := NewTCP()
 	defer tr.Close()
-	if _, err := tr.Call("127.0.0.1:1", Envelope{}); !errors.Is(err, ErrUnreachable) {
+	if _, err := tr.Call(context.Background(), "127.0.0.1:1", Envelope{}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+// TestTCPContextDeadlineBoundsCall: a short context deadline overrides
+// the 10s default exchange timeout — a hung server (accepts, never
+// replies) releases the caller when the context expires.
+func TestTCPContextDeadlineBoundsCall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold the connection open, never respond
+		}
+	}()
+
+	tr := NewTCP()
+	defer tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = tr.Call(ctx, ln.Addr().String(), Envelope{Kind: "k"})
+	if err == nil {
+		t.Fatal("call to hung server succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("call took %v; the context deadline did not bound the exchange", elapsed)
+	}
+}
+
+// TestTCPCancellationAbortsCall: cancelling mid-exchange (no deadline)
+// releases a caller blocked on a hung server.
+func TestTCPCancellationAbortsCall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	tr := NewTCP()
+	defer tr.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = tr.Call(ctx, ln.Addr().String(), Envelope{Kind: "k"})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("call took %v; cancellation did not abort the exchange", elapsed)
+	}
+}
+
+// TestTCPPreCancelledContext: an already-cancelled context fails before
+// dialing.
+func TestTCPPreCancelledContext(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	if err := tr.Serve("127.0.0.1:0", echoHandler("S")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.Call(ctx, tr.Addrs()[0], Envelope{Kind: "k"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 
@@ -142,7 +270,7 @@ func TestTCPConcurrentCalls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 20; j++ {
-				if _, err := tr.Call(addr, Envelope{Kind: "k"}); err != nil {
+				if _, err := tr.Call(context.Background(), addr, Envelope{Kind: "k"}); err != nil {
 					t.Errorf("call: %v", err)
 					return
 				}
@@ -159,7 +287,7 @@ func TestTCPCloseStopsServing(t *testing.T) {
 	}
 	addr := tr.Addrs()[0]
 	tr.Close()
-	if _, err := tr.Call(addr, Envelope{Kind: "k"}); err == nil {
+	if _, err := tr.Call(context.Background(), addr, Envelope{Kind: "k"}); err == nil {
 		t.Error("call succeeded after close")
 	}
 	if err := tr.Serve("127.0.0.1:0", echoHandler("S")); err == nil {
@@ -172,9 +300,10 @@ func BenchmarkMemoryCall(b *testing.B) {
 	defer m.Close()
 	m.Serve("a", echoHandler("A"))
 	env := Envelope{Kind: "k", Payload: []byte("payload")}
+	ctx := context.Background()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Call("a", env); err != nil {
+		if _, err := m.Call(ctx, "a", env); err != nil {
 			b.Fatal(err)
 		}
 	}

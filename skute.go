@@ -1,7 +1,10 @@
 package skute
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"skute/internal/agent"
 	"skute/internal/availability"
@@ -52,7 +55,9 @@ type App struct {
 type Options struct {
 	Servers []Server
 	Apps    []App
-	// ReadQuorum/WriteQuorum override the default majority quorums.
+	// ReadQuorum/WriteQuorum override the default majority quorums
+	// cluster-wide; individual requests override them again through
+	// ReadOptions/WriteOptions.
 	ReadQuorum  int
 	WriteQuorum int
 }
@@ -61,15 +66,61 @@ type Options struct {
 // Put or Delete.
 type Context = vclock.VC
 
+// Consistency selects how many replicas must acknowledge one request,
+// letting each caller trade consistency for latency per request instead
+// of inheriting the boot-time quorums. The zero value defers to the
+// cluster configuration.
+type Consistency = cluster.Consistency
+
+// Consistency levels. One acknowledges after a single replica, Quorum
+// after a majority of the app's SLA replicas, All only after every
+// replica; ConsistencyCount demands an explicit replica count (rejected
+// when it exceeds the SLA's replica target).
+const (
+	One    = cluster.ConsistencyOne
+	Quorum = cluster.ConsistencyQuorum
+	All    = cluster.ConsistencyAll
+)
+
+// ConsistencyCount demands exactly n replica acknowledgements.
+func ConsistencyCount(n int) Consistency { return cluster.ConsistencyCount(n) }
+
+// ReadOptions tune one read: the per-request consistency level and an
+// optional timeout layered over the caller's context deadline.
+type ReadOptions = cluster.ReadOptions
+
+// WriteOptions tune one write or delete the same way.
+type WriteOptions = cluster.WriteOptions
+
+// Entry is one key/value pair of a batched MPut.
+type Entry = cluster.Entry
+
+// GetResult is one key's outcome in a batched MGet: sibling values,
+// causal context, and how many replicas answered.
+type GetResult = cluster.GetResult
+
 // Cluster is an embedded Skute store: every server runs in-process over
 // an in-memory transport (cmd/skuted runs the identical node logic over
 // TCP). All methods are safe for concurrent use.
+//
+// Every request method takes a context.Context honored end-to-end: a
+// cancelled or expired context stops the quorum fan-out without waiting
+// for stragglers, and a context that is already done returns before any
+// replica is contacted.
 type Cluster struct {
-	mesh   *transport.Memory
-	cfg    cluster.Config
-	nodes  map[string]*cluster.Node
-	order  []string
-	apps   map[string]ring.RingID
+	mesh  *transport.Memory
+	cfg   cluster.Config
+	nodes map[string]*cluster.Node
+	order []string
+	apps  map[string]ring.RingID
+
+	// coordIdx rotates coordinator picks round-robin over alive nodes so
+	// embedded-API traffic spreads instead of funneling through the
+	// first server.
+	coordIdx atomic.Uint64
+
+	// mu guards downed (FailServer/ReviveServer vs the request path).
+	mu     sync.RWMutex
 	downed map[string]bool
 
 	agentParams agent.Params
@@ -161,26 +212,34 @@ func (c *Cluster) ringOf(app string) (ring.RingID, error) {
 	return id, nil
 }
 
-// coordinator picks an alive node to coordinate a request.
+// coordinator picks an alive node to coordinate a request, rotating
+// round-robin so no single server becomes the funnel for every
+// embedded-API request.
 func (c *Cluster) coordinator() (*cluster.Node, error) {
-	for _, name := range c.order {
-		n := c.nodes[name]
+	start := int(c.coordIdx.Add(1)-1) % len(c.order)
+	for i := 0; i < len(c.order); i++ {
+		name := c.order[(start+i)%len(c.order)]
 		if c.alive(name) {
-			return n, nil
+			return c.nodes[name], nil
 		}
 	}
 	return nil, fmt.Errorf("skute: no alive servers")
 }
 
-// alive consults the mesh failure injection and the node map.
+// alive consults the failure injection map and the node map.
 func (c *Cluster) alive(name string) bool {
-	_, ok := c.nodes[name]
-	return ok && !c.downed[name]
+	if _, ok := c.nodes[name]; !ok {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return !c.downed[name]
 }
 
 // Get reads a key: the remaining concurrent values (one, normally) plus
-// the causal context for a follow-up Put.
-func (c *Cluster) Get(app, key string) ([][]byte, Context, error) {
+// the causal context for a follow-up Put. The context cancels or bounds
+// the quorum fan-out; opts pick the per-request consistency and timeout.
+func (c *Cluster) Get(ctx context.Context, app, key string, opts ReadOptions) ([][]byte, Context, error) {
 	id, err := c.ringOf(app)
 	if err != nil {
 		return nil, nil, err
@@ -189,7 +248,7 @@ func (c *Cluster) Get(app, key string) ([][]byte, Context, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := n.Get(id, key)
+	res, err := n.Get(ctx, id, key, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -199,7 +258,7 @@ func (c *Cluster) Get(app, key string) ([][]byte, Context, error) {
 // Put writes a value. Pass the Context of a preceding Get for
 // read-modify-write; nil for a blind write (concurrent blind writes
 // surface as siblings on the next Get).
-func (c *Cluster) Put(app, key string, value []byte, ctx Context) error {
+func (c *Cluster) Put(ctx context.Context, app, key string, value []byte, vctx Context, opts WriteOptions) error {
 	id, err := c.ringOf(app)
 	if err != nil {
 		return err
@@ -208,11 +267,11 @@ func (c *Cluster) Put(app, key string, value []byte, ctx Context) error {
 	if err != nil {
 		return err
 	}
-	return n.Put(id, key, value, ctx)
+	return n.Put(ctx, id, key, value, vctx, opts)
 }
 
 // Delete tombstones a key.
-func (c *Cluster) Delete(app, key string, ctx Context) error {
+func (c *Cluster) Delete(ctx context.Context, app, key string, vctx Context, opts WriteOptions) error {
 	id, err := c.ringOf(app)
 	if err != nil {
 		return err
@@ -221,11 +280,47 @@ func (c *Cluster) Delete(app, key string, ctx Context) error {
 	if err != nil {
 		return err
 	}
-	return n.Delete(id, key, ctx)
+	return n.Delete(ctx, id, key, vctx, opts)
+}
+
+// MGet reads a batch of keys in one coordinated operation. The
+// coordinator groups the keys by partition and sends each replica ONE
+// envelope per partition group instead of running len(keys) independent
+// quorum rounds — the hot path for fan-out-heavy reads. Missing keys map
+// to an empty GetResult.
+func (c *Cluster) MGet(ctx context.Context, app string, keys []string, opts ReadOptions) (map[string]GetResult, error) {
+	id, err := c.ringOf(app)
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.coordinator()
+	if err != nil {
+		return nil, err
+	}
+	return n.MultiGet(ctx, id, keys, opts)
+}
+
+// MPut writes a batch of entries in one coordinated operation, grouped
+// by partition the same way; each partition group must reach its write
+// quorum (or the per-request override) independently. Within a batch, a
+// later entry for the same key supersedes an earlier one.
+func (c *Cluster) MPut(ctx context.Context, app string, entries []Entry, opts WriteOptions) error {
+	id, err := c.ringOf(app)
+	if err != nil {
+		return err
+	}
+	n, err := c.coordinator()
+	if err != nil {
+		return err
+	}
+	return n.MultiPut(ctx, id, entries, opts)
 }
 
 // Replicas reports which servers hold the partition of a key.
-func (c *Cluster) Replicas(app, key string) ([]string, error) {
+func (c *Cluster) Replicas(ctx context.Context, app, key string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	id, err := c.ringOf(app)
 	if err != nil {
 		return nil, err
@@ -239,7 +334,10 @@ func (c *Cluster) Replicas(app, key string) ([]string, error) {
 
 // Availability reports the Eq. 2 availability of every partition of the
 // app alongside its SLA threshold.
-func (c *Cluster) Availability(app string) (map[int]float64, float64, error) {
+func (c *Cluster) Availability(ctx context.Context, app string) (map[int]float64, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	id, err := c.ringOf(app)
 	if err != nil {
 		return nil, 0, err
@@ -304,9 +402,36 @@ func (c *Cluster) FailServer(name string) error {
 		return fmt.Errorf("skute: unknown server %q", name)
 	}
 	c.mesh.SetDown("mem://"+name, true)
+	c.mu.Lock()
 	c.downed[name] = true
+	c.mu.Unlock()
 	for _, peer := range c.nodes {
 		peer.Detector().Forget(name)
+	}
+	return nil
+}
+
+// ReviveServer heals a server previously taken down with FailServer: it
+// becomes reachable again (with whatever data it held when it failed —
+// anti-entropy and the economy re-converge it) and every failure
+// detector immediately considers it alive. Fail/revive pairs script
+// churn scenarios without rebuilding the cluster.
+func (c *Cluster) ReviveServer(name string) error {
+	revived, ok := c.nodes[name]
+	if !ok {
+		return fmt.Errorf("skute: unknown server %q", name)
+	}
+	c.mesh.SetDown("mem://"+name, false)
+	c.mu.Lock()
+	delete(c.downed, name)
+	c.mu.Unlock()
+	// Refresh liveness both ways: peers hear the revived server, and the
+	// revived server hears every peer still alive.
+	for _, peer := range c.nodes {
+		peer.Detector().Heartbeat(name, peer.Now())
+		if c.alive(peer.Name()) {
+			revived.Detector().Heartbeat(peer.Name(), revived.Now())
+		}
 	}
 	return nil
 }

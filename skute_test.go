@@ -1,10 +1,17 @@
 package skute
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
+
+// ctx is the background context shared by tests that exercise no
+// context-specific behavior (those build their own).
+var ctx = context.Background()
 
 func testOptions() Options {
 	return Options{
@@ -56,27 +63,27 @@ func TestNewClusterValidation(t *testing.T) {
 
 func TestPutGetDelete(t *testing.T) {
 	c := newTestCluster(t)
-	if err := c.Put("photos", "cat.jpg", []byte("bytes"), nil); err != nil {
+	if err := c.Put(ctx, "photos", "cat.jpg", []byte("bytes"), nil, WriteOptions{}); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
-	vals, ctx, err := c.Get("photos", "cat.jpg")
+	vals, vctx, err := c.Get(ctx, "photos", "cat.jpg", ReadOptions{})
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
 	if len(vals) != 1 || string(vals[0]) != "bytes" {
 		t.Fatalf("Get = %q", vals)
 	}
-	if err := c.Put("photos", "cat.jpg", []byte("v2"), ctx); err != nil {
+	if err := c.Put(ctx, "photos", "cat.jpg", []byte("v2"), vctx, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	vals, ctx, _ = c.Get("photos", "cat.jpg")
+	vals, vctx, _ = c.Get(ctx, "photos", "cat.jpg", ReadOptions{})
 	if len(vals) != 1 || string(vals[0]) != "v2" {
 		t.Fatalf("after update: %q", vals)
 	}
-	if err := c.Delete("photos", "cat.jpg", ctx); err != nil {
+	if err := c.Delete(ctx, "photos", "cat.jpg", vctx, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	vals, _, _ = c.Get("photos", "cat.jpg")
+	vals, _, _ = c.Get(ctx, "photos", "cat.jpg", ReadOptions{})
 	if len(vals) != 0 {
 		t.Fatalf("after delete: %q", vals)
 	}
@@ -84,34 +91,34 @@ func TestPutGetDelete(t *testing.T) {
 
 func TestAppsIsolated(t *testing.T) {
 	c := newTestCluster(t)
-	c.Put("photos", "k", []byte("photo-value"), nil)
-	c.Put("billing", "k", []byte("billing-value"), nil)
-	pv, _, _ := c.Get("photos", "k")
-	bv, _, _ := c.Get("billing", "k")
+	c.Put(ctx, "photos", "k", []byte("photo-value"), nil, WriteOptions{})
+	c.Put(ctx, "billing", "k", []byte("billing-value"), nil, WriteOptions{})
+	pv, _, _ := c.Get(ctx, "photos", "k", ReadOptions{})
+	bv, _, _ := c.Get(ctx, "billing", "k", ReadOptions{})
 	if string(pv[0]) == string(bv[0]) {
 		t.Error("apps share a namespace")
 	}
-	if _, _, err := c.Get("ghost-app", "k"); err == nil {
+	if _, _, err := c.Get(ctx, "ghost-app", "k", ReadOptions{}); err == nil {
 		t.Error("unknown app accepted")
 	}
 }
 
 func TestSLAPlacement(t *testing.T) {
 	c := newTestCluster(t)
-	reps, err := c.Replicas("photos", "any-key")
+	reps, err := c.Replicas(ctx, "photos", "any-key")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(reps) != 2 {
 		t.Errorf("photos replicas = %v, want 2", reps)
 	}
-	reps, _ = c.Replicas("billing", "any-key")
+	reps, _ = c.Replicas(ctx, "billing", "any-key")
 	if len(reps) != 3 {
 		t.Errorf("billing replicas = %v, want 3", reps)
 	}
 	// SLA thresholds are met from the start.
 	for _, app := range []string{"photos", "billing"} {
-		av, th, err := c.Availability(app)
+		av, th, err := c.Availability(ctx, app)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +139,7 @@ func TestSLAThresholds(t *testing.T) {
 func TestFailureRecoveryThroughEpochs(t *testing.T) {
 	c := newTestCluster(t)
 	for i := 0; i < 24; i++ {
-		if err := c.Put("billing", fmt.Sprintf("invoice-%d", i), []byte("x"), nil); err != nil {
+		if err := c.Put(ctx, "billing", fmt.Sprintf("invoice-%d", i), []byte("x"), nil, WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -153,7 +160,7 @@ func TestFailureRecoveryThroughEpochs(t *testing.T) {
 	if ops.Replications == 0 {
 		t.Error("no repair replications after failure")
 	}
-	av, th, _ := c.Availability("billing")
+	av, th, _ := c.Availability(ctx, "billing")
 	for part, a := range av {
 		if a < th {
 			t.Errorf("billing partition %d not repaired: %.1f < %.1f", part, a, th)
@@ -161,7 +168,7 @@ func TestFailureRecoveryThroughEpochs(t *testing.T) {
 	}
 	// Data survives.
 	for i := 0; i < 24; i++ {
-		vals, _, err := c.Get("billing", fmt.Sprintf("invoice-%d", i))
+		vals, _, err := c.Get(ctx, "billing", fmt.Sprintf("invoice-%d", i), ReadOptions{})
 		if err != nil {
 			t.Fatalf("Get after failure: %v", err)
 		}
@@ -220,4 +227,211 @@ func TestMustRunExperimentPanics(t *testing.T) {
 		}
 	}()
 	MustRunExperiment("does-not-exist", false)
+}
+
+func TestMGetMPutRoundTrip(t *testing.T) {
+	c := newTestCluster(t)
+	entries := make([]Entry, 64)
+	keys := make([]string, 64)
+	for i := range entries {
+		keys[i] = fmt.Sprintf("batch-%d", i)
+		entries[i] = Entry{Key: keys[i], Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	if err := c.MPut(ctx, "billing", entries, WriteOptions{}); err != nil {
+		t.Fatalf("MPut: %v", err)
+	}
+	res, err := c.MGet(ctx, "billing", append(keys, "never-written"), ReadOptions{})
+	if err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	for i, k := range keys {
+		r := res[k]
+		if len(r.Values) != 1 || string(r.Values[0]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("MGet[%s] = %q", k, r.Values)
+		}
+	}
+	if len(res["never-written"].Values) != 0 {
+		t.Errorf("missing key returned %q", res["never-written"].Values)
+	}
+	// Batched read-modify-write: reuse each key's context.
+	update := make([]Entry, len(keys))
+	for i, k := range keys {
+		update[i] = Entry{Key: k, Value: []byte("v2"), Context: res[k].Context}
+	}
+	if err := c.MPut(ctx, "billing", update, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.MGet(ctx, "billing", keys, ReadOptions{})
+	for _, k := range keys {
+		if r := res[k]; len(r.Values) != 1 || string(r.Values[0]) != "v2" {
+			t.Fatalf("after batched RMW, MGet[%s] = %q", k, r.Values)
+		}
+	}
+	// Unknown app and invalid options are rejected.
+	if _, err := c.MGet(ctx, "ghost-app", keys, ReadOptions{}); err == nil {
+		t.Error("unknown app batch accepted")
+	}
+	if _, err := c.MGet(ctx, "billing", keys, ReadOptions{Consistency: ConsistencyCount(99)}); err == nil {
+		t.Error("R=99 accepted on a 3-replica app")
+	}
+}
+
+func TestRequestOptionsPerRequest(t *testing.T) {
+	c := newTestCluster(t)
+	// One/Quorum/All all work against a healthy cluster. Reads use All so
+	// each assertion is deterministic regardless of the write level: a
+	// One-level write acknowledges after a single replica and replicates
+	// to the rest asynchronously, and an all-replica read always hears
+	// the acknowledged copy.
+	for _, level := range []Consistency{One, Quorum, All} {
+		key := fmt.Sprintf("opt-%d", level)
+		if err := c.Put(ctx, "billing", key, []byte("v"), nil, WriteOptions{Consistency: level}); err != nil {
+			t.Fatalf("Put at %v: %v", level, err)
+		}
+		vals, _, err := c.Get(ctx, "billing", key, ReadOptions{Consistency: All, Timeout: time.Second})
+		if err != nil {
+			t.Fatalf("Get after Put at %v: %v", level, err)
+		}
+		if len(vals) != 1 || string(vals[0]) != "v" {
+			t.Fatalf("Get after Put at %v = %q", level, vals)
+		}
+	}
+	// And an All-level write is readable at One: every replica holds it.
+	if err := c.Put(ctx, "billing", "opt-all-one", []byte("v"), nil, WriteOptions{Consistency: All}); err != nil {
+		t.Fatal(err)
+	}
+	if vals, _, err := c.Get(ctx, "billing", "opt-all-one", ReadOptions{Consistency: One}); err != nil || len(vals) != 1 {
+		t.Fatalf("One read after All write: %q, %v", vals, err)
+	}
+	// With a failed server, All cannot be satisfied on partitions that
+	// lost a replica, but One still answers everywhere.
+	if err := c.FailServer("virginia-1"); err != nil {
+		t.Fatal(err)
+	}
+	allFailed := false
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("opt-all-%d", i)
+		if err := c.Put(ctx, "billing", key, []byte("v"), nil, WriteOptions{Consistency: All}); err != nil {
+			allFailed = true
+		}
+		if err := c.Put(ctx, "billing", key+"-one", []byte("v"), nil, WriteOptions{Consistency: One}); err != nil {
+			t.Fatalf("One write failed with one server down: %v", err)
+		}
+	}
+	if !allFailed {
+		t.Error("ConsistencyAll writes all succeeded despite a failed replica server")
+	}
+}
+
+func TestCancelledContextFailsFast(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.Put(ctx, "photos", "k", []byte("v"), nil, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Get(cancelled, "photos", "k", ReadOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Get err = %v, want context.Canceled", err)
+	}
+	if err := c.Put(cancelled, "photos", "k", []byte("v2"), nil, WriteOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Put err = %v, want context.Canceled", err)
+	}
+	if _, err := c.MGet(cancelled, "photos", []string{"k"}, ReadOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("MGet err = %v, want context.Canceled", err)
+	}
+	if _, err := c.Replicas(cancelled, "photos", "k"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Replicas err = %v, want context.Canceled", err)
+	}
+	if _, _, err := c.Availability(cancelled, "photos"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Availability err = %v, want context.Canceled", err)
+	}
+	// The value is intact: the cancelled Put never launched.
+	vals, _, err := c.Get(ctx, "photos", "k", ReadOptions{})
+	if err != nil || len(vals) != 1 || string(vals[0]) != "v" {
+		t.Fatalf("after cancelled Put: %q, %v", vals, err)
+	}
+}
+
+// TestCoordinatorRotation pins the round-robin fix: consecutive requests
+// spread over every alive node instead of funneling through the first.
+func TestCoordinatorRotation(t *testing.T) {
+	c := newTestCluster(t)
+	seen := map[string]bool{}
+	for i := 0; i < len(c.order)*2; i++ {
+		n, err := c.coordinator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[n.Name()] = true
+	}
+	if len(seen) != len(c.order) {
+		t.Errorf("coordinator visited %d/%d nodes over two full rounds: %v", len(seen), len(c.order), seen)
+	}
+	// Failed servers are skipped, the rest keep rotating.
+	if err := c.FailServer("zurich-1"); err != nil {
+		t.Fatal(err)
+	}
+	seen = map[string]bool{}
+	for i := 0; i < len(c.order)*2; i++ {
+		n, err := c.coordinator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[n.Name()] = true
+	}
+	if seen["zurich-1"] {
+		t.Error("failed server picked as coordinator")
+	}
+	if len(seen) != len(c.order)-1 {
+		t.Errorf("rotation visited %d/%d alive nodes: %v", len(seen), len(c.order)-1, seen)
+	}
+}
+
+func TestFailAndReviveServer(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 12; i++ {
+		if err := c.Put(ctx, "billing", fmt.Sprintf("churn-%d", i), []byte("x"), nil, WriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.ReviveServer("no-such"); err == nil {
+		t.Error("reviving unknown server accepted")
+	}
+	// Two fail/heal cycles — the churn script ReviveServer exists for.
+	for cycle := 0; cycle < 2; cycle++ {
+		if err := c.FailServer("tokyo-1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ReviveServer("tokyo-1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The revived server serves as a coordinator again...
+	seen := map[string]bool{}
+	for i := 0; i < len(c.order); i++ {
+		n, err := c.coordinator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[n.Name()] = true
+	}
+	if !seen["tokyo-1"] {
+		t.Error("revived server never picked as coordinator")
+	}
+	// ...and every key survived the churn.
+	for i := 0; i < 12; i++ {
+		vals, _, err := c.Get(ctx, "billing", fmt.Sprintf("churn-%d", i), ReadOptions{})
+		if err != nil {
+			t.Fatalf("Get after churn: %v", err)
+		}
+		if len(vals) != 1 {
+			t.Fatalf("churn-%d lost", i)
+		}
+	}
 }
