@@ -189,7 +189,7 @@ func BenchmarkEconomicEpoch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.RunEpoch(); err != nil {
+		if _, err := c.RunEpoch(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}

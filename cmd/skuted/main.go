@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -51,9 +52,11 @@ func main() {
 		walPath    = flag.String("wal", "", "write-ahead log directory (empty = volatile in-memory engine)")
 		snapDir    = flag.String("snapshot-dir", "", "snapshot directory for bounded recovery (empty disables checkpoints; requires -wal)")
 		ckptEvery  = flag.Duration("checkpoint", 5*time.Minute, "periodic checkpoint interval (0 disables the ticker; SIGTERM still checkpoints)")
-		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval (placement digests piggyback on each beat)")
+		reconcile  = flag.Duration("reconcile", 5*time.Second, "gossip-reconcile interval: pull placement deltas from one random peer (0 disables)")
 		epoch      = flag.Duration("epoch", 30*time.Second, "economic epoch length (0 disables the economy)")
 		antiEnt    = flag.Duration("anti-entropy", time.Minute, "anti-entropy round interval (0 disables)")
+		jitter     = flag.Float64("jitter", 0.1, "loop interval jitter fraction in [0,1); negative disables jitter")
 		admin      = flag.String("admin", "", "admin HTTP address for /healthz, /stats and /counters (empty disables)")
 	)
 	flag.Parse()
@@ -118,6 +121,7 @@ func main() {
 
 	if *admin != "" {
 		reg := metrics.NewRegistry()
+		node.RegisterMetrics(reg)
 		durGauge := func(pick func(store.DurabilityStats) int64) func() int64 {
 			return func() int64 { return pick(eng.Durability()) }
 		}
@@ -149,59 +153,38 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
-	hbTick := time.NewTicker(*heartbeat)
-	defer hbTick.Stop()
-	var epochC <-chan time.Time
-	if *epoch > 0 {
-		t := time.NewTicker(*epoch)
-		defer t.Stop()
-		epochC = t.C
+	// The node runs its own heartbeat, gossip-reconcile, anti-entropy
+	// and economic-epoch loops (with jitter) — main only keeps the
+	// storage checkpoint ticker and the signal handler.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := node.Start(ctx, cluster.RuntimeConfig{
+		Heartbeat:   *heartbeat,
+		Reconcile:   *reconcile,
+		AntiEntropy: *antiEnt,
+		Epoch:       *epoch,
+		Jitter:      *jitter,
+		Agent:       agent.DefaultParams(),
+		Rent:        economy.DefaultRentParams(),
+		Logf:        log.Printf,
+	}); err != nil {
+		log.Fatalf("skuted: %v", err)
 	}
-	var aeC <-chan time.Time
-	if *antiEnt > 0 {
-		t := time.NewTicker(*antiEnt)
-		defer t.Stop()
-		aeC = t.C
-	}
+	defer node.Stop()
+
 	var ckptC <-chan time.Time
 	if *snapDir != "" && *ckptEvery > 0 {
 		t := time.NewTicker(*ckptEvery)
 		defer t.Stop()
 		ckptC = t.C
 	}
-	agentParams := agent.DefaultParams()
-	rentParams := economy.DefaultRentParams()
-	aeRound := 0
 
 	for {
 		select {
-		case <-hbTick.C:
-			node.SendHeartbeats()
 		case <-ckptC:
 			checkpoint("periodic")
-		case <-aeC:
-			repaired, err := node.RunAntiEntropy(aeRound)
-			aeRound++
-			if err != nil {
-				log.Printf("skuted: anti-entropy: %v", err)
-			} else if repaired > 0 {
-				log.Printf("skuted: anti-entropy repaired %d keys", repaired)
-			}
-		case <-epochC:
-			if _, _, err := node.AnnounceRent(rentParams); err != nil {
-				log.Printf("skuted: announce rent: %v", err)
-				continue
-			}
-			rep, err := node.RunEconomicEpoch(agentParams, rentParams)
-			if err != nil {
-				log.Printf("skuted: economic epoch: %v", err)
-				continue
-			}
-			if rep.Repairs+rep.Replications+rep.Migrations+rep.Suicides > 0 {
-				log.Printf("skuted: epoch board=%s rent=%.2f repairs=%d repl=%d migr=%d suicides=%d",
-					rep.Board, rep.Rent, rep.Repairs, rep.Replications, rep.Migrations, rep.Suicides)
-			}
 		case <-stop:
+			node.Stop()
 			// A final checkpoint makes the next boot read only the
 			// snapshot, no tail at all.
 			checkpoint("shutdown")

@@ -21,8 +21,13 @@
 //     ReadOptions/WriteOptions trade consistency for latency (One,
 //     Quorum, All), and MGet/MPut batch multi-key operations into one
 //     envelope per replica per partition (see DESIGN.md, "The request
-//     path"). See examples/quickstart; the standalone node is
-//     cmd/skuted and its client CLI cmd/skutectl.
+//     path"). Replica placement travels as versioned, gossip-carried
+//     deltas (DESIGN.md, "Control plane"), and Start/Stop switch the
+//     cluster into autonomous mode: per-server heartbeat,
+//     gossip-reconcile, anti-entropy and economic-epoch loops on
+//     jittered intervals, with RunEpoch still available for
+//     deterministic stepping. See examples/quickstart; the standalone
+//     node is cmd/skuted and its client CLI cmd/skutectl.
 //   - RunExperiment: the discrete-epoch simulator behind every figure of
 //     the paper's evaluation. See cmd/skute-sim and EXPERIMENTS.md.
 //

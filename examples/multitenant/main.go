@@ -88,7 +88,7 @@ func main() {
 	// own; under-replicated partitions repair themselves.
 	totalOps := skute.EpochOps{}
 	for epoch := 0; epoch < 4; epoch++ {
-		ops, err := cluster.RunEpoch()
+		ops, err := cluster.RunEpoch(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,7 +105,7 @@ func main() {
 	if err := cluster.ReviveServer(victim); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := cluster.RunEpoch(); err != nil {
+	if _, err := cluster.RunEpoch(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nserver %s revived\n\n", victim)

@@ -47,8 +47,10 @@ func (n *Node) handleFetchPartition(req fetchPartReq) (transport.Envelope, error
 }
 
 // handleAdopt makes this node a replica of the partition: it pulls the
-// data from the donor address, stores it and joins the replica set. The
-// caller is responsible for broadcasting the assignment change.
+// data from the donor address and stores it. Membership is NOT mutated
+// here — the coordinator stamps the versioned placement delta after the
+// adopt succeeds and disseminates it (this node included), so the
+// replica set changes only through the one Apply path.
 func (n *Node) handleAdopt(ctx context.Context, req adoptReq) (transport.Envelope, error) {
 	resp, err := n.tr.Call(ctx, req.FromAddr, transport.Envelope{
 		Kind:    kindFetchPart,
@@ -68,22 +70,22 @@ func (n *Node) handleAdopt(ctx context.Context, req adoptReq) (transport.Envelop
 			}
 		}
 	}
-	n.applyAssign(assignReq{Ring: req.Ring, Part: req.Part, Add: n.self.Name})
 	return transport.Envelope{Kind: "ok"}, nil
 }
 
 // SyncPartition runs one round of Merkle anti-entropy between this node
 // and the named peer for a partition both replicate: it exchanges trees,
 // walks the differing keys and converges both sides. It returns the
-// number of keys repaired.
-func (n *Node) SyncPartition(id ring.RingID, part int, peer string) (int, error) {
+// number of keys repaired. The context bounds every exchange of the
+// round.
+func (n *Node) SyncPartition(ctx context.Context, id ring.RingID, part int, peer string) (int, error) {
 	info, ok := n.info(peer)
 	if !ok {
 		return 0, fmt.Errorf("cluster: unknown peer %q", peer)
 	}
 	local := merkle.Build(n.partitionLeaves(id, part))
 
-	resp, err := n.tr.Call(context.Background(), info.Addr, transport.Envelope{
+	resp, err := n.tr.Call(ctx, info.Addr, transport.Envelope{
 		Kind:    kindLeaves,
 		Payload: encode(leavesReq{Ring: id, Part: part}),
 	})
@@ -110,7 +112,7 @@ func (n *Node) SyncPartition(id ring.RingID, part int, peer string) (int, error)
 		if rid != id {
 			continue
 		}
-		r, err := n.tr.Call(context.Background(), info.Addr, transport.Envelope{
+		r, err := n.tr.Call(ctx, info.Addr, transport.Envelope{
 			Kind:    kindGet,
 			Payload: encode(getReq{Ring: id, Key: userKey}),
 		})
@@ -125,7 +127,7 @@ func (n *Node) SyncPartition(id ring.RingID, part int, peer string) (int, error)
 		}
 		// Push the merged set back so the peer converges too.
 		for _, v := range n.eng.Get(sk) {
-			_, _ = n.tr.Call(context.Background(), info.Addr, transport.Envelope{
+			_, _ = n.tr.Call(ctx, info.Addr, transport.Envelope{
 				Kind:    kindPut,
 				Payload: encode(putReq{Ring: id, Key: userKey, Version: v}),
 			})
@@ -138,8 +140,9 @@ func (n *Node) SyncPartition(id ring.RingID, part int, peer string) (int, error)
 // RunAntiEntropy performs one anti-entropy round: for every partition
 // this node replicates, it synchronizes with one alive peer replica
 // (rotating deterministically by round). It returns the total keys
-// repaired. cmd/skuted calls this on a timer.
-func (n *Node) RunAntiEntropy(round int) (int, error) {
+// repaired. The node runtime (Start) drives this on a timer; the
+// context bounds the whole round.
+func (n *Node) RunAntiEntropy(ctx context.Context, round int) (int, error) {
 	type job struct {
 		id   ring.RingID
 		part int
@@ -166,10 +169,16 @@ func (n *Node) RunAntiEntropy(round int) (int, error) {
 	total := 0
 	var firstErr error
 	for _, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
 		if !n.alive(j.peer) {
 			continue
 		}
-		repaired, err := n.SyncPartition(j.id, j.part, j.peer)
+		repaired, err := n.SyncPartition(ctx, j.id, j.part, j.peer)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -178,6 +187,7 @@ func (n *Node) RunAntiEntropy(round int) (int, error) {
 		}
 		total += repaired
 	}
+	n.counters.AntiEntropyKeys.Add(int64(total))
 	return total, firstErr
 }
 

@@ -9,6 +9,14 @@
 // for every virtual node it hosts, replicating, migrating or deleting
 // partition replicas across the cluster accordingly. Rents are announced
 // to a board node elected as the lowest-named alive member.
+//
+// Replica placement is a versioned, gossip-carried cluster state
+// (internal/placement): epoch decisions stamp last-writer-wins deltas,
+// heartbeats piggyback per-ring digests, and digest mismatches trigger
+// delta pulls, so every node converges to the same replica map under
+// churn without coordinated broadcasts. Start/Stop run the node's
+// autonomous loops (heartbeat, gossip-reconcile, anti-entropy, economic
+// epoch) on jittered intervals.
 package cluster
 
 import (

@@ -327,7 +327,7 @@ func TestAntiEntropyConvergence(t *testing.T) {
 	part := n0.rings.Ring(platRing).Lookup(ring.HashKey("sync-key")).ID
 	n0.mu.Unlock()
 
-	repaired, err := b.SyncPartition(platRing, part, a.Name())
+	repaired, err := b.SyncPartition(ctx, platRing, part, a.Name())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestAntiEntropyConvergence(t *testing.T) {
 		t.Errorf("b's state after sync: %+v", got)
 	}
 	// A second round finds nothing.
-	repaired, err = b.SyncPartition(platRing, part, a.Name())
+	repaired, err = b.SyncPartition(ctx, platRing, part, a.Name())
 	if err != nil || repaired != 0 {
 		t.Errorf("second sync: %d, %v", repaired, err)
 	}
@@ -369,7 +369,7 @@ func TestEconomicEpochRepairsFailure(t *testing.T) {
 			if n.Name() == "n2" {
 				continue
 			}
-			if _, _, err := n.AnnounceRent(rent); err != nil {
+			if _, _, err := n.AnnounceRent(ctx, rent); err != nil {
 				t.Fatalf("announce %s: %v", n.Name(), err)
 			}
 		}
@@ -377,7 +377,7 @@ func TestEconomicEpochRepairsFailure(t *testing.T) {
 			if n.Name() == "n2" {
 				continue
 			}
-			if _, err := n.RunEconomicEpoch(params, rent); err != nil {
+			if _, err := n.RunEconomicEpoch(ctx, params, rent); err != nil {
 				t.Fatalf("epoch %s: %v", n.Name(), err)
 			}
 		}
@@ -436,12 +436,12 @@ func TestEconomicEpochMigratesOffExpensiveNode(t *testing.T) {
 	before := countOn("n5") // the 200$/month server
 	for epoch := 0; epoch < 6; epoch++ {
 		for _, n := range nodes {
-			if _, _, err := n.AnnounceRent(rent); err != nil {
+			if _, _, err := n.AnnounceRent(ctx, rent); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for _, n := range nodes {
-			if _, err := n.RunEconomicEpoch(params, rent); err != nil {
+			if _, err := n.RunEconomicEpoch(ctx, params, rent); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -467,7 +467,7 @@ func TestEconomicEpochMigratesOffExpensiveNode(t *testing.T) {
 func TestHeartbeatsKeepPeersAlive(t *testing.T) {
 	_, nodes := testCluster(t)
 	for _, n := range nodes {
-		n.SendHeartbeats()
+		n.SendHeartbeats(ctx)
 	}
 	for _, n := range nodes {
 		for _, p := range nodes {

@@ -1,0 +1,51 @@
+package cluster
+
+import "skute/internal/metrics"
+
+// ControlCounters are a node's control-plane observability counters:
+// what the economic epochs decided, how placement deltas fared under
+// the last-writer-wins merge, and how often gossip reconciliation ran.
+// cmd/skuted exposes them on GET /counters via RegisterMetrics.
+type ControlCounters struct {
+	// Epoch decision outcomes executed by this node as coordinator.
+	EpochReplications metrics.Counter
+	EpochMigrations   metrics.Counter
+	EpochSuicides     metrics.Counter
+	EpochRepairs      metrics.Counter // availability-driven replications
+
+	// Placement delta merge outcomes on this node.
+	DeltasApplied metrics.Counter
+	DeltasStale   metrics.Counter // rejected: late, reordered or replayed
+
+	// Gossip rounds.
+	ReconcileRounds metrics.Counter // digest-triggered delta pulls
+	HeartbeatRounds metrics.Counter
+
+	// Anti-entropy outcome (data plane, driven by the runtime loop).
+	AntiEntropyKeys metrics.Counter // keys repaired by Merkle sync
+}
+
+// Counters exposes the node's control-plane counters.
+func (n *Node) Counters() *ControlCounters { return &n.counters }
+
+// RegisterMetrics registers every control-plane counter on the registry
+// under stable names, next to the durability gauges cmd/skuted already
+// exports.
+func (n *Node) RegisterMetrics(reg *metrics.Registry) {
+	for _, g := range []struct {
+		name string
+		c    *metrics.Counter
+	}{
+		{"epoch_replications_total", &n.counters.EpochReplications},
+		{"epoch_migrations_total", &n.counters.EpochMigrations},
+		{"epoch_suicides_total", &n.counters.EpochSuicides},
+		{"epoch_repairs_total", &n.counters.EpochRepairs},
+		{"placement_deltas_applied_total", &n.counters.DeltasApplied},
+		{"placement_deltas_stale_total", &n.counters.DeltasStale},
+		{"gossip_reconcile_rounds_total", &n.counters.ReconcileRounds},
+		{"gossip_heartbeat_rounds_total", &n.counters.HeartbeatRounds},
+		{"antientropy_keys_repaired_total", &n.counters.AntiEntropyKeys},
+	} {
+		reg.Gauge(g.name, g.c.Value)
+	}
+}

@@ -26,8 +26,8 @@ type EpochReport struct {
 // AnnounceRent computes this node's virtual rent (Eq. 1) from its storage
 // usage and the query traffic since the last epoch, and announces it to
 // the board (the lowest-named alive node). It returns the rent and the
-// board's name.
-func (n *Node) AnnounceRent(params economy.RentParams) (float64, string, error) {
+// board's name. The context bounds the announcement RPC.
+func (n *Node) AnnounceRent(ctx context.Context, params economy.RentParams) (float64, string, error) {
 	board, ok := boardOf(n.aliveNames())
 	if !ok {
 		return 0, "", fmt.Errorf("cluster: no alive nodes to elect a board")
@@ -49,7 +49,7 @@ func (n *Node) AnnounceRent(params economy.RentParams) (float64, string, error) 
 		n.mu.Unlock()
 	} else {
 		info, _ := n.info(board)
-		if _, err := n.tr.Call(context.Background(), info.Addr, env); err != nil {
+		if _, err := n.tr.Call(ctx, info.Addr, env); err != nil {
 			return rent, board, fmt.Errorf("cluster: announce to board %s: %w", board, err)
 		}
 	}
@@ -57,7 +57,7 @@ func (n *Node) AnnounceRent(params economy.RentParams) (float64, string, error) 
 }
 
 // fetchRents pulls the rent board.
-func (n *Node) fetchRents() (map[string]float64, string, error) {
+func (n *Node) fetchRents(ctx context.Context) (map[string]float64, string, error) {
 	board, ok := boardOf(n.aliveNames())
 	if !ok {
 		return nil, "", fmt.Errorf("cluster: no alive nodes to elect a board")
@@ -72,7 +72,7 @@ func (n *Node) fetchRents() (map[string]float64, string, error) {
 		return out, board, nil
 	}
 	info, _ := n.info(board)
-	resp, err := n.tr.Call(context.Background(), info.Addr, transport.Envelope{Kind: kindRents})
+	resp, err := n.tr.Call(ctx, info.Addr, transport.Envelope{Kind: kindRents})
 	if err != nil {
 		return nil, board, err
 	}
@@ -87,14 +87,17 @@ func (n *Node) fetchRents() (map[string]float64, string, error) {
 // II-C decision process for every virtual node hosted here, using the
 // rents on the board, and executes the decisions across the cluster
 // (replicate = adopt on the target, migrate = adopt + local drop, suicide
-// = local drop), broadcasting replica-set changes. Query counters reset
-// afterwards. Callers should AnnounceRent on every node first.
+// = local drop). Every replica-set change is stamped as a versioned
+// placement delta — applied locally, pushed to alive peers, healed onto
+// stragglers by the gossip digest exchange. Query counters reset
+// afterwards. Callers should AnnounceRent on every node first. The
+// context bounds all the epoch's RPCs (rent fetch, adopts, delta pushes).
 //
 // Hosted vnodes manage disjoint partitions, so their decisions run
 // concurrently on a pool of Config.EpochWorkers workers; replica-table
 // mutations stay serialized behind the node lock.
-func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentParams) (EpochReport, error) {
-	rents, board, err := n.fetchRents()
+func (n *Node) RunEconomicEpoch(ctx context.Context, params agent.Params, rentParams economy.RentParams) (EpochReport, error) {
+	rents, board, err := n.fetchRents(ctx)
 	if err != nil {
 		return EpochReport{}, err
 	}
@@ -179,7 +182,7 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 		switch d.Action {
 		case agent.Replicate:
 			repair := availability.Of(hosts) < availability.ThresholdForReplicas(spec.Replicas)
-			if err := n.executeAdopt(h.id, h.part, d.Target); err == nil {
+			if err := n.executeAdopt(ctx, h.id, h.part, d.Target); err == nil {
 				if repair {
 					outcomes[i].repairs = 1
 				} else {
@@ -188,25 +191,31 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 				st.ledger.Reset()
 			}
 		case agent.Migrate:
-			if err := n.executeAdopt(h.id, h.part, d.Target); err == nil {
-				n.dropPartitionData(h.id, h.part)
-				n.broadcastAssign(assignReq{Ring: h.id, Part: h.part, Remove: n.self.Name})
-				n.mu.Lock()
-				delete(n.ledgers, key)
-				n.mu.Unlock()
-				outcomes[i].migrations = 1
+			if err := n.executeAdopt(ctx, h.id, h.part, d.Target); err == nil {
+				if del, ok := n.propose(h.id, h.part, "", n.self.Name); ok {
+					n.disseminate(ctx, del)
+					n.dropIfEvicted(h.id, h.part)
+					outcomes[i].migrations = 1
+				} else {
+					// The removal was a no-op (a concurrent delta beat
+					// us to it, or we were the last listed replica):
+					// the partition only gained the adopted copy.
+					outcomes[i].replications = 1
+				}
 			}
 		case agent.Suicide:
 			n.mu.RLock()
 			lone := len(p.Replicas) <= 1
 			n.mu.RUnlock()
 			if !lone {
-				n.dropPartitionData(h.id, h.part)
-				n.broadcastAssign(assignReq{Ring: h.id, Part: h.part, Remove: n.self.Name})
-				n.mu.Lock()
-				delete(n.ledgers, key)
-				n.mu.Unlock()
-				outcomes[i].suicides = 1
+				// propose refuses to stamp an empty replica set, so a
+				// suicide racing another removal of the same partition
+				// degrades to a no-op instead of orphaning it.
+				if del, ok := n.propose(h.id, h.part, "", n.self.Name); ok {
+					n.disseminate(ctx, del)
+					n.dropIfEvicted(h.id, h.part)
+					outcomes[i].suicides = 1
+				}
 			}
 		}
 	})
@@ -216,6 +225,10 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 		rep.Migrations += o.migrations
 		rep.Suicides += o.suicides
 	}
+	n.counters.EpochRepairs.Add(int64(rep.Repairs))
+	n.counters.EpochReplications.Add(int64(rep.Replications))
+	n.counters.EpochMigrations.Add(int64(rep.Migrations))
+	n.counters.EpochSuicides.Add(int64(rep.Suicides))
 
 	n.qmu.Lock()
 	n.queries = make(map[string]float64)
@@ -224,21 +237,24 @@ func (n *Node) RunEconomicEpoch(params agent.Params, rentParams economy.RentPara
 }
 
 // executeAdopt asks the target node to pull a replica of the partition
-// from this node and broadcasts the assignment.
-func (n *Node) executeAdopt(id ring.RingID, part int, target ring.ServerID) error {
+// from this node, then stamps and disseminates the versioned delta
+// adding the target to the replica set.
+func (n *Node) executeAdopt(ctx context.Context, id ring.RingID, part int, target ring.ServerID) error {
 	name := n.nodeName(target)
 	if !n.alive(name) {
 		return fmt.Errorf("cluster: adopt target %s down", name)
 	}
 	info, _ := n.info(name)
-	_, err := n.tr.Call(context.Background(), info.Addr, transport.Envelope{
+	_, err := n.tr.Call(ctx, info.Addr, transport.Envelope{
 		Kind:    kindAdopt,
 		Payload: encode(adoptReq{Ring: id, Part: part, FromAddr: n.self.Addr}),
 	})
 	if err != nil {
 		return err
 	}
-	n.broadcastAssign(assignReq{Ring: id, Part: part, Add: name})
+	if d, ok := n.propose(id, part, name, ""); ok {
+		n.disseminate(ctx, d)
+	}
 	return nil
 }
 

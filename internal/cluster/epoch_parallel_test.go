@@ -55,12 +55,12 @@ func TestParallelEpochUnderConcurrentTraffic(t *testing.T) {
 	rent := economy.DefaultRentParams()
 	for epoch := 0; epoch < 3; epoch++ {
 		for _, n := range nodes {
-			if _, _, err := n.AnnounceRent(rent); err != nil {
+			if _, _, err := n.AnnounceRent(ctx, rent); err != nil {
 				t.Fatalf("announce: %v", err)
 			}
 		}
 		for _, n := range nodes {
-			if _, err := n.RunEconomicEpoch(params, rent); err != nil {
+			if _, err := n.RunEconomicEpoch(ctx, params, rent); err != nil {
 				t.Fatalf("epoch: %v", err)
 			}
 		}
@@ -106,12 +106,12 @@ func TestEpochWorkersBounded(t *testing.T) {
 	}
 	rent := economy.DefaultRentParams()
 	for _, n := range nodes {
-		if _, _, err := n.AnnounceRent(rent); err != nil {
+		if _, _, err := n.AnnounceRent(ctx, rent); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for _, n := range nodes {
-		if _, err := n.RunEconomicEpoch(agent.DefaultParams(), rent); err != nil {
+		if _, err := n.RunEconomicEpoch(ctx, agent.DefaultParams(), rent); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -11,6 +11,8 @@ import (
 
 	"skute/internal/economy"
 	"skute/internal/gossip"
+	"skute/internal/parallel"
+	"skute/internal/placement"
 	"skute/internal/ring"
 	"skute/internal/store"
 	"skute/internal/topology"
@@ -25,10 +27,13 @@ const (
 	kindLeaves    = "merkle-leaves"
 	kindFetchPart = "fetch-partition"
 	kindAdopt     = "adopt"
-	kindAssign    = "assign"
 	kindAnnounce  = "rent-announce"
 	kindRents     = "rent-list"
-	kindDropPart  = "drop-partition"
+	// Control-plane placement kinds: a push of freshly proposed
+	// versioned deltas, and the digest-driven pull that heals any node
+	// the push missed (see internal/placement).
+	kindDelta     = "placement-delta"
+	kindDeltaPull = "placement-pull"
 	// Multi-key replica kinds: one envelope carries a whole partition
 	// key group, amortizing the per-call overhead of fan-out-heavy
 	// batches (see Node.MultiGet/MultiPut).
@@ -64,6 +69,11 @@ type (
 	}
 	heartbeatReq struct {
 		From string
+		// Digest piggybacks the sender's per-ring placement
+		// fingerprints on every heartbeat; a receiver whose own digest
+		// disagrees pulls the sender's deltas (gossip anti-entropy for
+		// the control plane).
+		Digest placement.Digest
 	}
 	leavesReq struct {
 		Ring ring.RingID
@@ -89,12 +99,6 @@ type (
 		Part     int
 		FromAddr string
 	}
-	assignReq struct {
-		Ring   ring.RingID
-		Part   int
-		Add    string // node name to add ("" = none)
-		Remove string // node name to remove ("" = none)
-	}
 	announceReq struct {
 		Node string
 		Rent float64
@@ -102,9 +106,16 @@ type (
 	rentsResp struct {
 		Rents map[string]float64
 	}
-	dropPartReq struct {
-		Ring ring.RingID
-		Part int
+	deltaReq struct {
+		Deltas []placement.Delta
+	}
+	deltaPullReq struct {
+		// Digest is the puller's own per-ring fingerprints; the serving
+		// node answers with its entries for every mismatched ring.
+		Digest placement.Digest
+	}
+	deltaPullResp struct {
+		Deltas []placement.Delta
 	}
 	putItem struct {
 		Key     string
@@ -188,11 +199,23 @@ type Node struct {
 	// Config.EpochWorkers).
 	epochWorkers int
 
-	// mu guards the ring layout, ledgers and the board copy. The quorum
-	// read/write path only ever read-locks it, so data-plane traffic does
-	// not serialize behind control-plane updates.
-	mu      sync.RWMutex
-	rings   *ring.MultiRing
+	// counters are the control-plane observability counters; RegisterMetrics
+	// exposes them on a metrics.Registry.
+	counters ControlCounters
+
+	// run tracks the autonomous runtime (Start/Stop); see runtime.go.
+	run runState
+
+	// mu guards the ring layout, the placement map's materialization into
+	// it, ledgers and the board copy. The quorum read/write path only ever
+	// read-locks it, so data-plane traffic does not serialize behind
+	// control-plane updates.
+	mu    sync.RWMutex
+	rings *ring.MultiRing
+	// pmap is the versioned placement map — the authority on replica
+	// sets. The ring partitions' replica slices are a materialized view
+	// of it for routing; every accepted delta rewrites them under mu.
+	pmap    *placement.Map
 	specs   map[ring.RingID]RingSpec
 	ledgers map[string]*ledgerState // per hosted vnode, keyed ring/part
 	rents   map[string]float64      // board copy (only used on the board node)
@@ -233,6 +256,19 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 	if err != nil {
 		return nil, err
 	}
+	// Seed the versioned placement map from the deterministic bootstrap
+	// layout: every node derives the identical version-1 entries, so the
+	// cluster starts converged without any exchange.
+	pmap := placement.NewMap()
+	for _, rid := range rings.IDs() {
+		for _, p := range rings.Ring(rid).Partitions() {
+			names := make([]string, len(p.Replicas))
+			for i, id := range p.Replicas {
+				names[i] = cfg.Nodes[int(id)].Name
+			}
+			pmap.Seed(rid, p.ID, names)
+		}
+	}
 	suspect := cfg.SuspectAfter
 	if suspect == 0 {
 		suspect = 10 * time.Second
@@ -247,6 +283,7 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 		Now:          time.Now,
 		epochWorkers: cfg.EpochWorkers,
 		rings:        rings,
+		pmap:         pmap,
 		specs:        specs,
 		ledgers:      make(map[string]*ledgerState),
 		queries:      make(map[string]float64),
@@ -327,16 +364,27 @@ func storageKey(id ring.RingID, key string) string {
 	return id.App + "/" + id.Class + "/" + key
 }
 
-// SendHeartbeats announces this node to every peer; unreachable peers
-// simply miss the beat and will fade in their detectors.
-func (n *Node) SendHeartbeats() {
-	req := transport.Envelope{Kind: kindHeartbeat, Payload: encode(heartbeatReq{From: n.self.Name})}
+// SendHeartbeats announces this node to every peer concurrently, each
+// beat piggybacking the sender's placement digest; unreachable peers
+// simply miss the beat and fade in their detectors. The fan-out runs on
+// internal/parallel with one worker per peer, so one dead TCP peer
+// burns only its own dial timeout, never the whole round — the caller's
+// context is the per-round deadline.
+func (n *Node) SendHeartbeats(ctx context.Context) {
+	env := transport.Envelope{Kind: kindHeartbeat, Payload: encode(heartbeatReq{
+		From:   n.self.Name,
+		Digest: n.pmap.Digest(),
+	})}
+	var peers []NodeInfo
 	for _, p := range n.cfg.Nodes {
-		if p.Name == n.self.Name {
-			continue
+		if p.Name != n.self.Name {
+			peers = append(peers, p)
 		}
-		_, _ = n.tr.Call(context.Background(), p.Addr, req) // best effort
 	}
+	parallel.ForEach(len(peers), len(peers), func(i int) {
+		_, _ = n.tr.Call(ctx, peers[i].Addr, env) // best effort
+	})
+	n.counters.HeartbeatRounds.Inc()
 }
 
 // handle dispatches one incoming request. The context comes from the
@@ -351,6 +399,14 @@ func (n *Node) handle(ctx context.Context, req transport.Envelope) (transport.En
 			return transport.Envelope{}, err
 		}
 		n.det.Heartbeat(hb.From, n.Now())
+		// Digest mismatch: the sender's placement view differs from
+		// ours, so pull its deltas right away. Last-writer-wins keeps
+		// the merge safe in both directions; if WE hold the newer
+		// entries, the sender converges when our own next heartbeat
+		// reaches it.
+		if dg := n.pmap.Digest(); len(dg.Mismatch(hb.Digest)) > 0 {
+			_, _ = n.reconcileWith(ctx, hb.From, dg) // best effort; the next beat retries
+		}
 		return transport.Envelope{Kind: "ok"}, nil
 
 	case kindGet:
@@ -416,21 +472,26 @@ func (n *Node) handle(ctx context.Context, req transport.Envelope) (transport.En
 		}
 		return n.handleAdopt(ctx, a)
 
-	case kindAssign:
-		var a assignReq
-		if err := decode(req.Payload, &a); err != nil {
+	case kindDelta:
+		var dr deltaReq
+		if err := decode(req.Payload, &dr); err != nil {
 			return transport.Envelope{}, err
 		}
-		n.applyAssign(a)
+		n.applyDeltas(dr.Deltas)
 		return transport.Envelope{Kind: "ok"}, nil
 
-	case kindDropPart:
-		var d dropPartReq
-		if err := decode(req.Payload, &d); err != nil {
+	case kindDeltaPull:
+		var pq deltaPullReq
+		if err := decode(req.Payload, &pq); err != nil {
 			return transport.Envelope{}, err
 		}
-		n.dropPartitionData(d.Ring, d.Part)
-		return transport.Envelope{Kind: "ok"}, nil
+		var resp deltaPullResp
+		// Deltas() with no ring filter would export everything; an
+		// empty mismatch must answer with nothing instead.
+		if mismatched := n.pmap.Digest().Mismatch(pq.Digest); len(mismatched) > 0 {
+			resp.Deltas = n.pmap.Deltas(mismatched...)
+		}
+		return transport.Envelope{Kind: "ok", Payload: encode(resp)}, nil
 
 	case kindAnnounce:
 		var a announceReq
@@ -546,41 +607,187 @@ func (n *Node) replicasOf(p *ring.Partition) []string {
 	return out
 }
 
-// applyAssign applies a replica-set change broadcast.
-func (n *Node) applyAssign(a assignReq) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	r := n.rings.Ring(a.Ring)
+// materializeLocked rewrites the routing ring's replica view from an
+// accepted placement entry. Callers hold n.mu. It reports whether this
+// node just lost its own replica of the partition (the caller must then
+// drop the partition's data, outside the lock).
+func (n *Node) materializeLocked(d placement.Delta) (lostSelf bool) {
+	r := n.rings.Ring(d.Ring)
 	if r == nil {
-		return
+		return false
 	}
-	p := r.Get(a.Part)
+	p := r.Get(d.Part)
 	if p == nil {
-		return
+		return false
 	}
-	if a.Add != "" {
-		if id, ok := n.nodeID(a.Add); ok {
-			p.AddReplica(id)
+	self := ring.ServerID(n.selfI)
+	had := p.HasReplica(self)
+	ids := make([]ring.ServerID, 0, len(d.Replicas))
+	for _, name := range d.Replicas {
+		if id, ok := n.nodeID(name); ok {
+			ids = append(ids, id)
 		}
 	}
-	if a.Remove != "" {
-		if id, ok := n.nodeID(a.Remove); ok {
-			p.RemoveReplica(id)
-		}
+	p.SetReplicas(ids)
+	if had && !p.HasReplica(self) {
+		delete(n.ledgers, vnodeKey(d.Ring, d.Part))
+		return true
 	}
+	return false
 }
 
-// broadcastAssign tells every alive peer (and self) about a replica-set
-// change.
-func (n *Node) broadcastAssign(a assignReq) {
-	n.applyAssign(a)
-	env := transport.Envelope{Kind: kindAssign, Payload: encode(a)}
-	for _, p := range n.cfg.Nodes {
-		if p.Name == n.self.Name || !n.alive(p.Name) {
-			continue
+// applyDeltas merges versioned placement deltas received from peers:
+// last-writer-wins in the placement map, accepted entries materialized
+// into the routing view, stale ones counted and rejected. A delta that
+// evicts this node's own replica also drops the partition's local data
+// — the isolated-during-a-migration node cleans itself up when it
+// catches back up. It returns the number of deltas applied.
+func (n *Node) applyDeltas(ds []placement.Delta) int {
+	applied := 0
+	var drops []placement.Delta
+	n.mu.Lock()
+	for _, d := range ds {
+		switch n.pmap.Apply(d) {
+		case placement.Applied:
+			applied++
+			n.counters.DeltasApplied.Inc()
+			if n.materializeLocked(d) {
+				drops = append(drops, d)
+			}
+		case placement.Stale:
+			n.counters.DeltasStale.Inc()
+		case placement.Duplicate:
+			// Idempotent redelivery (a gossip pull usually re-sends a
+			// whole ring); neither applied nor stale.
 		}
-		_, _ = n.tr.Call(context.Background(), p.Addr, env) // best effort; anti-entropy heals stragglers
 	}
+	n.mu.Unlock()
+	for _, d := range drops {
+		n.dropPartitionData(d.Ring, d.Part)
+	}
+	return applied
+}
+
+// propose stamps a replica-set change decided locally (adopt target,
+// drop self, …) into the placement map — version bumped, this node as
+// origin — and materializes it. The returned delta must be handed to
+// disseminate; ok is false when the partition is unknown or the change
+// is a no-op.
+func (n *Node) propose(id ring.RingID, part int, add, remove string) (placement.Delta, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.pmap.Get(id, part)
+	if !ok {
+		return placement.Delta{}, false
+	}
+	replicas := make([]string, 0, len(e.Replicas)+1)
+	for _, name := range e.Replicas {
+		if name != remove {
+			replicas = append(replicas, name)
+		}
+	}
+	changed := len(replicas) != len(e.Replicas)
+	if add != "" {
+		present := false
+		for _, name := range replicas {
+			if name == add {
+				present = true
+				break
+			}
+		}
+		if !present {
+			replicas = append(replicas, add)
+			changed = true
+		}
+	}
+	if !changed {
+		return placement.Delta{}, false
+	}
+	// Never stamp an empty replica set: a suicide racing another
+	// removal (the lone-replica check reads the materialized view
+	// before this re-read of the authoritative entry) must become a
+	// no-op here, or the partition would converge to zero replicas —
+	// unreachable and unrepairable, since only hosting vnodes decide.
+	if len(replicas) == 0 {
+		return placement.Delta{}, false
+	}
+	d := n.pmap.Propose(id, part, n.self.Name, replicas)
+	n.materializeLocked(d)
+	return d, true
+}
+
+// dropIfEvicted deletes the partition's local data only if, after a
+// dissemination round, the merged placement entry still excludes this
+// node. A migrating or suiciding replica calls this AFTER disseminate:
+// if a concurrent proposal from another node won the last-writer-wins
+// merge and kept this node in the set (two replicas suiciding at once
+// being the fatal case — both removal deltas cross during the pushes
+// and exactly one loses), the data is preserved on the node the
+// converged set still lists, so no partition ends up with every listed
+// replica empty. A push that never reached the concurrent proposer
+// leaves a gossip-latency window, the price of an eventually
+// consistent control plane; anti-entropy and read repair refill a
+// transiently empty re-added copy.
+func (n *Node) dropIfEvicted(id ring.RingID, part int) {
+	if e, ok := n.pmap.Get(id, part); ok {
+		for _, r := range e.Replicas {
+			if r == n.self.Name {
+				return
+			}
+		}
+	}
+	n.dropPartitionData(id, part)
+}
+
+// disseminate pushes freshly proposed deltas to every alive peer
+// concurrently, best effort: a peer that misses the push converges
+// through the digest exchange riding the next heartbeats. Unlike the
+// old unversioned assign broadcast, a late or reordered arrival cannot
+// resurrect a superseded replica set — the version stamps reject it.
+func (n *Node) disseminate(ctx context.Context, ds ...placement.Delta) {
+	if len(ds) == 0 {
+		return
+	}
+	env := transport.Envelope{Kind: kindDelta, Payload: encode(deltaReq{Deltas: ds})}
+	var addrs []string
+	for _, p := range n.cfg.Nodes {
+		if p.Name != n.self.Name && n.alive(p.Name) {
+			addrs = append(addrs, p.Addr)
+		}
+	}
+	parallel.ForEach(len(addrs), len(addrs), func(i int) {
+		_, _ = n.tr.Call(ctx, addrs[i], env)
+	})
+}
+
+// reconcileWith pulls the named peer's placement entries for every ring
+// whose fingerprint differs from digest (this node's own, computed by
+// the caller) and merges them — one round of control-plane
+// anti-entropy. It returns the number of deltas applied.
+func (n *Node) reconcileWith(ctx context.Context, peer string, digest placement.Digest) (int, error) {
+	info, ok := n.info(peer)
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	resp, err := n.tr.Call(ctx, info.Addr, transport.Envelope{
+		Kind:    kindDeltaPull,
+		Payload: encode(deltaPullReq{Digest: digest}),
+	})
+	if err != nil {
+		return 0, err
+	}
+	var pr deltaPullResp
+	if err := decode(resp.Payload, &pr); err != nil {
+		return 0, err
+	}
+	n.counters.ReconcileRounds.Inc()
+	return n.applyDeltas(pr.Deltas), nil
+}
+
+// PlacementEntry exposes the versioned placement entry of a partition —
+// observability for tests and debugging.
+func (n *Node) PlacementEntry(id ring.RingID, part int) (placement.Entry, bool) {
+	return n.pmap.Get(id, part)
 }
 
 // keysOfPartition lists local storage keys belonging to the partition.

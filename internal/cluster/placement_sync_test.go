@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"skute/internal/placement"
+	"skute/internal/ring"
+)
+
+// entryOf reads a node's placement entry or fails the test.
+func entryOf(t *testing.T, n *Node, id ring.RingID, part int) placement.Entry {
+	t.Helper()
+	e, ok := n.PlacementEntry(id, part)
+	if !ok {
+		t.Fatalf("%s has no placement entry for %s#%d", n.Name(), id, part)
+	}
+	return e
+}
+
+// routedReplicas reads a node's materialized routing view of a partition.
+func routedReplicas(t *testing.T, n *Node, id ring.RingID, part int) []string {
+	t.Helper()
+	_, p, err := n.partition(id, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.replicasOf(p)
+}
+
+// TestIsolatedNodeConvergesViaDigestPull pins the acceptance scenario of
+// the versioned control plane: a node partitioned away during TWO
+// migrations of the same partition learns nothing from the delta pushes
+// (they cannot reach it), then converges to the correct replica map
+// through the gossip digest pull alone — one heartbeat from an
+// up-to-date peer carries the mismatching digest, and the isolated node
+// pulls and merges the missed deltas.
+func TestIsolatedNodeConvergesViaDigestPull(t *testing.T) {
+	mesh, nodes := testCluster(t)
+	const part = 0
+
+	// The isolated observer: a node that does not replicate partition 0,
+	// so the test isolates pure control-plane convergence.
+	seed := entryOf(t, nodes[0], goldRing, part)
+	isReplica := map[string]bool{}
+	for _, r := range seed.Replicas {
+		isReplica[r] = true
+	}
+	var isolated *Node
+	for _, n := range nodes {
+		if !isReplica[n.Name()] {
+			isolated = n
+			break
+		}
+	}
+	mesh.SetDown(isolated.self.Addr, true)
+
+	// Two migrations while the node is unreachable: replica 0 hands its
+	// copy to a fresh node, which then hands it to another. Each
+	// migration is an add+remove proposal pair, disseminated to whoever
+	// is reachable (the delta push to the isolated node fails silently —
+	// exactly the lost-broadcast scenario that used to corrupt the old
+	// unversioned assign protocol).
+	byName := map[string]*Node{}
+	var free []string
+	for _, n := range nodes {
+		byName[n.Name()] = n
+		if !isReplica[n.Name()] && n != isolated {
+			free = append(free, n.Name())
+		}
+	}
+	migrate := func(coord *Node, to string) {
+		if d, ok := coord.propose(goldRing, part, to, ""); ok {
+			coord.disseminate(ctx, d)
+		} else {
+			t.Fatalf("propose add %s was a no-op", to)
+		}
+		if d, ok := coord.propose(goldRing, part, "", coord.Name()); ok {
+			coord.disseminate(ctx, d)
+		} else {
+			t.Fatalf("propose remove %s was a no-op", coord.Name())
+		}
+	}
+	migrate(byName[seed.Replicas[0]], free[0]) // versions 2,3
+	migrate(byName[free[0]], free[1])          // versions 4,5
+
+	// The isolated node still holds the seed view.
+	if e := entryOf(t, isolated, goldRing, part); e.Version != 1 {
+		t.Fatalf("isolated node advanced to v%d while partitioned", e.Version)
+	}
+
+	// Heal the partition and let ONE heartbeat from an up-to-date peer
+	// arrive. No delta is pushed; the digest mismatch alone must make
+	// the isolated node pull everything it missed.
+	mesh.SetDown(isolated.self.Addr, false)
+	informed := byName[seed.Replicas[1]] // untouched replica, saw every delta
+	before := isolated.Counters().DeltasApplied.Value()
+	informed.SendHeartbeats(ctx)
+
+	want := entryOf(t, informed, goldRing, part)
+	got := entryOf(t, isolated, goldRing, part)
+	if got.Version != want.Version || got.Origin != want.Origin ||
+		fmt.Sprint(got.Replicas) != fmt.Sprint(want.Replicas) {
+		t.Fatalf("isolated node did not converge: got %+v, want %+v", got, want)
+	}
+	if want.Version != 5 {
+		t.Fatalf("two migrations should end at version 5, got %d", want.Version)
+	}
+	// The routing view materialized the pulled entries too.
+	if fmt.Sprint(routedReplicas(t, isolated, goldRing, part)) != fmt.Sprint(want.Replicas) {
+		t.Fatalf("routing view %v does not match placement %v",
+			routedReplicas(t, isolated, goldRing, part), want.Replicas)
+	}
+	if isolated.Counters().DeltasApplied.Value()-before < 1 {
+		t.Error("catch-up applied no deltas")
+	}
+	if isolated.Counters().ReconcileRounds.Value() == 0 {
+		t.Error("no reconcile round recorded")
+	}
+	// Every node of the cluster agrees on the final replica map.
+	for _, n := range nodes {
+		if e := entryOf(t, n, goldRing, part); fmt.Sprint(e.Replicas) != fmt.Sprint(want.Replicas) {
+			t.Errorf("%s diverged: %v", n.Name(), e.Replicas)
+		}
+	}
+}
+
+// TestStaleDeltaRejectedAndCounted: once a newer placement delta is in,
+// an older one arriving late (the reordered-broadcast hazard) must be
+// rejected and counted, never resurrect the superseded replica set.
+func TestStaleDeltaRejectedAndCounted(t *testing.T) {
+	_, nodes := testCluster(t)
+	n := nodes[0]
+	const part = 1
+	seed := entryOf(t, n, goldRing, part)
+
+	newer := placement.Delta{
+		Ring: goldRing, Part: part,
+		Replicas: []string{"n3", "n4"},
+		Version:  seed.Version + 2, Origin: "n3",
+	}
+	stale := placement.Delta{
+		Ring: goldRing, Part: part,
+		Replicas: []string{"n0", "n5"},
+		Version:  seed.Version + 1, Origin: "n0",
+	}
+	if got := n.applyDeltas([]placement.Delta{newer}); got != 1 {
+		t.Fatalf("newer delta applied %d entries", got)
+	}
+	staleBefore := n.Counters().DeltasStale.Value()
+	if got := n.applyDeltas([]placement.Delta{stale}); got != 0 {
+		t.Fatalf("stale delta applied %d entries", got)
+	}
+	if d := n.Counters().DeltasStale.Value() - staleBefore; d != 1 {
+		t.Fatalf("stale counter moved by %d, want 1", d)
+	}
+	if e := entryOf(t, n, goldRing, part); fmt.Sprint(e.Replicas) != "[n3 n4]" {
+		t.Fatalf("stale delta mutated the entry: %+v", e)
+	}
+	// Redelivering the current delta is a duplicate: neither applied nor
+	// stale.
+	applied, staleC := n.Counters().DeltasApplied.Value(), n.Counters().DeltasStale.Value()
+	if got := n.applyDeltas([]placement.Delta{newer}); got != 0 {
+		t.Fatalf("duplicate delta applied %d entries", got)
+	}
+	if n.Counters().DeltasApplied.Value() != applied || n.Counters().DeltasStale.Value() != staleC {
+		t.Error("duplicate delta moved the applied/stale counters")
+	}
+}
+
+// TestConcurrentMigrationsConverge: two coordinators move the same
+// partition concurrently — both proposals carry the same version, so
+// the origin tie-break must make every node resolve to the same winner
+// regardless of delivery order. Runs race-clean under -race.
+func TestConcurrentMigrationsConverge(t *testing.T) {
+	_, nodes := testCluster(t)
+	const part = 2
+	seed := entryOf(t, nodes[0], goldRing, part)
+	byName := map[string]*Node{}
+	for _, n := range nodes {
+		byName[n.Name()] = n
+	}
+	coordA, coordB := byName[seed.Replicas[0]], byName[seed.Replicas[1]]
+
+	// Each coordinator picks a distinct adoption target.
+	var targets []string
+	for _, n := range nodes {
+		if n.Name() != seed.Replicas[0] && n.Name() != seed.Replicas[1] {
+			targets = append(targets, n.Name())
+		}
+	}
+	// Propose on both coordinators BEFORE any dissemination: both stamp
+	// version seed+1 with different origins — a true concurrent
+	// conflict. Then the pushes race each other across the cluster.
+	dA, okA := coordA.propose(goldRing, part, targets[0], "")
+	dB, okB := coordB.propose(goldRing, part, targets[1], "")
+	if !okA || !okB || dA.Version != dB.Version {
+		t.Fatalf("proposals not concurrent: %+v vs %+v", dA, dB)
+	}
+	var wg sync.WaitGroup
+	for i, c := range []*Node{coordA, coordB} {
+		wg.Add(1)
+		go func(c *Node, d placement.Delta) {
+			defer wg.Done()
+			c.disseminate(ctx, d)
+		}(c, []placement.Delta{dA, dB}[i])
+	}
+	wg.Wait()
+
+	// Both proposals were version seed+1; the larger origin name wins
+	// everywhere, including on the losing coordinator itself.
+	wantOrigin := coordA.Name()
+	if coordB.Name() > wantOrigin {
+		wantOrigin = coordB.Name()
+	}
+	want := entryOf(t, byName[wantOrigin], goldRing, part)
+	if want.Origin != wantOrigin || want.Version != seed.Version+1 {
+		t.Fatalf("winner's own entry is %+v, want v%d@%s", want, seed.Version+1, wantOrigin)
+	}
+	for _, n := range nodes {
+		got := entryOf(t, n, goldRing, part)
+		if got.Version != want.Version || got.Origin != want.Origin ||
+			fmt.Sprint(got.Replicas) != fmt.Sprint(want.Replicas) {
+			t.Errorf("%s diverged: %+v, want %+v", n.Name(), got, want)
+		}
+		if fmt.Sprint(routedReplicas(t, n, goldRing, part)) != fmt.Sprint(want.Replicas) {
+			t.Errorf("%s routing view diverged: %v", n.Name(), routedReplicas(t, n, goldRing, part))
+		}
+	}
+}
+
+// TestDeltaEvictingSelfDropsData: a node that learns — possibly long
+// after the fact, via gossip — that a partition replica migrated off it
+// must drop the partition's local data and ledger instead of serving a
+// zombie copy.
+func TestDeltaEvictingSelfDropsData(t *testing.T) {
+	_, nodes := testCluster(t)
+	// Write a key with ConsistencyAll so every replica holds it.
+	if err := nodes[0].Put(ctx, goldRing, "evict-me", []byte("v"), nil, WriteOptions{Consistency: ConsistencyAll}); err != nil {
+		t.Fatal(err)
+	}
+	n0 := nodes[0]
+	n0.mu.RLock()
+	p := n0.rings.Ring(goldRing).Lookup(ring.HashKey("evict-me"))
+	part := p.ID
+	n0.mu.RUnlock()
+	seed := entryOf(t, n0, goldRing, part)
+
+	byName := map[string]*Node{}
+	for _, n := range nodes {
+		byName[n.Name()] = n
+	}
+	victim := byName[seed.Replicas[0]]
+	if got := victim.Engine().Get(storageKey(goldRing, "evict-me")); len(got) == 0 {
+		t.Fatal("victim does not hold the key before eviction")
+	}
+
+	// A delta that drops the victim from the replica set.
+	var rest []string
+	for _, r := range seed.Replicas {
+		if r != victim.Name() {
+			rest = append(rest, r)
+		}
+	}
+	evict := placement.Delta{
+		Ring: goldRing, Part: part,
+		Replicas: rest, Version: seed.Version + 1, Origin: rest[0],
+	}
+	if got := victim.applyDeltas([]placement.Delta{evict}); got != 1 {
+		t.Fatalf("evicting delta applied %d entries", got)
+	}
+	if got := victim.Engine().Get(storageKey(goldRing, "evict-me")); len(got) != 0 {
+		t.Fatalf("victim still holds the key after eviction: %+v", got)
+	}
+	victim.mu.RLock()
+	_, hasLedger := victim.ledgers[vnodeKey(goldRing, part)]
+	victim.mu.RUnlock()
+	if hasLedger {
+		t.Error("victim kept the evicted vnode's ledger")
+	}
+}
+
+// TestProposeRefusesEmptyReplicaSet: removing the last listed replica
+// must be a no-op — a partition stamped with zero replicas would be
+// unreachable and unrepairable forever, since only hosting vnodes make
+// placement decisions.
+func TestProposeRefusesEmptyReplicaSet(t *testing.T) {
+	_, nodes := testCluster(t)
+	n := nodes[0]
+	const part = 4
+	seed := entryOf(t, n, goldRing, part)
+	// Strip the set down to one replica...
+	for _, r := range seed.Replicas[1:] {
+		if _, ok := n.propose(goldRing, part, "", r); !ok {
+			t.Fatalf("removing %s was refused with %d replicas left", r, len(seed.Replicas))
+		}
+	}
+	before := entryOf(t, n, goldRing, part)
+	if len(before.Replicas) != 1 {
+		t.Fatalf("setup left %v", before.Replicas)
+	}
+	// ...and the final removal must be refused.
+	if _, ok := n.propose(goldRing, part, "", before.Replicas[0]); ok {
+		t.Fatal("propose stamped an empty replica set")
+	}
+	after := entryOf(t, n, goldRing, part)
+	if after.Version != before.Version || len(after.Replicas) != 1 {
+		t.Fatalf("refused propose still mutated the entry: %+v", after)
+	}
+}
+
+// TestMutualSuicidePreservesData: the last two replicas of a partition
+// decide to suicide in the same instant — both removal deltas cross
+// during dissemination, the origin tie-break picks one winner, and the
+// node the converged set still lists must KEEP its data (the drop
+// happens only after dissemination, and only if the merged entry still
+// excludes the dropper). No converged replica set may consist solely of
+// empty copies.
+func TestMutualSuicidePreservesData(t *testing.T) {
+	_, nodes := testCluster(t)
+	const key = "mutual-suicide"
+	if err := nodes[0].Put(ctx, goldRing, key, []byte("v"), nil, WriteOptions{Consistency: ConsistencyAll}); err != nil {
+		t.Fatal(err)
+	}
+	n0 := nodes[0]
+	n0.mu.RLock()
+	part := n0.rings.Ring(goldRing).Lookup(ring.HashKey(key)).ID
+	n0.mu.RUnlock()
+	seed := entryOf(t, n0, goldRing, part)
+	if len(seed.Replicas) != 2 {
+		t.Fatalf("gold partition has %d replicas", len(seed.Replicas))
+	}
+	byName := map[string]*Node{}
+	for _, n := range nodes {
+		byName[n.Name()] = n
+	}
+	a, b := byName[seed.Replicas[0]], byName[seed.Replicas[1]]
+
+	// Both replicas stamp their self-removal before either delta has
+	// crossed — the mutually invisible concurrent window.
+	dA, okA := a.propose(goldRing, part, "", a.Name())
+	dB, okB := b.propose(goldRing, part, "", b.Name())
+	if !okA || !okB || dA.Version != dB.Version {
+		t.Fatalf("proposals not concurrent: %+v vs %+v", dA, dB)
+	}
+	// The epoch path: disseminate first, then drop only if still evicted.
+	a.disseminate(ctx, dA)
+	b.disseminate(ctx, dB)
+	a.dropIfEvicted(goldRing, part)
+	b.dropIfEvicted(goldRing, part)
+
+	// The winning delta is the one with the larger origin; it removed
+	// its origin and kept the other node, which is therefore the
+	// converged set's sole — and data-holding — replica.
+	survivor, dropper := b, a // a won: its delta keeps b
+	if b.Name() > a.Name() {  // b won: its delta keeps a
+		survivor, dropper = a, b
+	}
+	for _, n := range []*Node{a, b} {
+		e := entryOf(t, n, goldRing, part)
+		if fmt.Sprint(e.Replicas) != fmt.Sprintf("[%s]", survivor.Name()) {
+			t.Fatalf("%s converged to %v, want [%s]", n.Name(), e.Replicas, survivor.Name())
+		}
+	}
+	if got := survivor.Engine().Get(storageKey(goldRing, key)); len(got) != 1 {
+		t.Fatalf("surviving replica %s lost the data: %+v", survivor.Name(), got)
+	}
+	if got := dropper.Engine().Get(storageKey(goldRing, key)); len(got) != 0 {
+		t.Errorf("evicted replica %s kept the data: %+v", dropper.Name(), got)
+	}
+}

@@ -77,7 +77,7 @@ func TestWALRecoveryRejoinsCluster(t *testing.T) {
 	}
 
 	// Anti-entropy rounds pull in the writes n1 missed.
-	if _, err := n1.RunAntiEntropy(0); err != nil {
+	if _, err := n1.RunAntiEntropy(ctx, 0); err != nil {
 		t.Fatalf("anti-entropy: %v", err)
 	}
 	for i := 0; i < 12; i++ {
@@ -187,7 +187,7 @@ func TestCheckpointRecoveryRejoinsCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n1.RunAntiEntropy(0); err != nil {
+	if _, err := n1.RunAntiEntropy(ctx, 0); err != nil {
 		t.Fatalf("anti-entropy: %v", err)
 	}
 	for i := 0; i < 24; i++ {
@@ -230,7 +230,7 @@ func TestRunAntiEntropyCleanCluster(t *testing.T) {
 	}
 	// A converged cluster repairs nothing.
 	for round, n := range nodes {
-		repaired, err := n.RunAntiEntropy(round)
+		repaired, err := n.RunAntiEntropy(ctx, round)
 		if err != nil {
 			t.Fatalf("%s: %v", n.Name(), err)
 		}

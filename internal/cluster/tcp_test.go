@@ -120,7 +120,7 @@ func TestTCPEndToEnd(t *testing.T) {
 	}
 	// Heartbeats flow over TCP too.
 	for _, n := range nodes {
-		n.SendHeartbeats()
+		n.SendHeartbeats(ctx)
 	}
 	for _, n := range nodes {
 		for _, p := range nodes {

@@ -81,6 +81,22 @@ func (d *Detector) AliveList(now time.Time) []string {
 	return out
 }
 
+// Jittered spreads a loop interval by a random factor in
+// [1-frac, 1+frac], so that the periodic gossip loops of a cluster
+// booted in lockstep desynchronize instead of thundering together.
+// frac is clamped to [0, 1); a non-positive d or frac returns d
+// unchanged.
+func Jittered(d time.Duration, frac float64, rng *rand.Rand) time.Duration {
+	if d <= 0 || frac <= 0 {
+		return d
+	}
+	if frac >= 1 {
+		frac = 0.99
+	}
+	f := 1 + frac*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
 // PickPeers selects up to k distinct alive peers other than self, for
 // heartbeat fan-out. The rng makes peer selection deterministic in tests.
 func (d *Detector) PickPeers(self string, k int, now time.Time, rng *rand.Rand) []string {

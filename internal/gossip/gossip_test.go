@@ -89,3 +89,28 @@ func TestPickPeers(t *testing.T) {
 		t.Errorf("all peers = %v", all)
 	}
 }
+
+func TestJittered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		d := Jittered(base, 0.2, rng)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("Jittered escaped the band: %v", d)
+		}
+	}
+	// Degenerate inputs pass through.
+	if d := Jittered(0, 0.2, rng); d != 0 {
+		t.Errorf("Jittered(0) = %v", d)
+	}
+	if d := Jittered(base, 0, rng); d != base {
+		t.Errorf("Jittered(frac=0) = %v", d)
+	}
+	// frac >= 1 is clamped so intervals can never reach zero or go
+	// negative.
+	for i := 0; i < 200; i++ {
+		if d := Jittered(base, 5, rng); d <= 0 {
+			t.Fatalf("clamped Jittered produced %v", d)
+		}
+	}
+}

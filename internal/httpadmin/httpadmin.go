@@ -3,9 +3,11 @@
 //
 //	GET /healthz   liveness probe, 200 "ok"
 //	GET /stats     full JSON snapshot (storage, membership, per-ring SLA)
-//	GET /counters  live operational counters (WAL appends and fsyncs,
-//	               checkpoints taken, recovery replay sizes) from a
-//	               metrics.Registry
+//	GET /counters  live operational counters from a metrics.Registry:
+//	               durability (WAL appends and fsyncs, checkpoints
+//	               taken, recovery replay sizes) and control plane
+//	               (epoch decisions, placement deltas applied vs.
+//	               rejected-stale, gossip reconcile rounds)
 //
 // cmd/skuted mounts it behind the -admin flag. The package deliberately
 // depends on interfaces, not cluster types, so tests can fake the node.

@@ -1,0 +1,311 @@
+// Package placement holds the versioned cluster placement map of the
+// Skute prototype: which servers replicate which partition of which
+// virtual ring, stamped so that the control plane converges under churn.
+//
+// Every (ring, partition) entry carries a monotonically increasing
+// version plus the name of the node that proposed it. A replica-set
+// change (adopt, migrate, suicide) is a Delta — the full new replica
+// set at version+1 — merged everywhere through last-writer-wins: the
+// higher version wins, and equal versions from different proposers
+// break the tie on the larger origin name, so every node resolves a
+// conflict to the same winner without coordination. Stale deltas
+// (late, reordered or replayed) are rejected instead of silently
+// resurrecting a replica the cluster already moved away.
+//
+// Dissemination is gossip-shaped: heartbeats piggyback a per-ring
+// Digest (a fingerprint of every entry's version stamp), and a node
+// that sees a foreign digest differing from its own pulls the peer's
+// entries for the mismatched rings and merges them — anti-entropy for
+// the control plane, mirroring what Merkle trees do for the data plane.
+package placement
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"skute/internal/ring"
+)
+
+// Key identifies one placement entry: a partition of a virtual ring.
+type Key struct {
+	Ring ring.RingID
+	Part int
+}
+
+// Entry is the current replica set of one partition with its version
+// stamp.
+type Entry struct {
+	// Replicas are the node names holding a copy, in placement order.
+	Replicas []string
+	// Version increases by one with every accepted change of this
+	// partition's replica set. The seeded bootstrap layout is version 1.
+	Version uint64
+	// Origin names the node that proposed this version ("" for the
+	// deterministic bootstrap seed). It breaks ties between concurrent
+	// proposals at the same version.
+	Origin string
+}
+
+// Delta is one versioned replica-set change as it travels between
+// nodes: the full replica set the origin proposed, not an incremental
+// add/remove, so applying it is idempotent and order-independent
+// under the last-writer-wins merge.
+type Delta struct {
+	Ring     ring.RingID
+	Part     int
+	Replicas []string
+	Version  uint64
+	Origin   string
+}
+
+// Key returns the entry key of the delta.
+func (d Delta) Key() Key { return Key{Ring: d.Ring, Part: d.Part} }
+
+// String renders the delta for logs and errors.
+func (d Delta) String() string {
+	return fmt.Sprintf("%s#%d v%d@%s %v", d.Ring, d.Part, d.Version, d.Origin, d.Replicas)
+}
+
+// supersedes reports whether the delta wins over the entry under the
+// last-writer-wins order: higher version first, larger origin on a tie.
+func (d Delta) supersedes(e Entry) bool {
+	if d.Version != e.Version {
+		return d.Version > e.Version
+	}
+	return d.Origin > e.Origin
+}
+
+// Outcome classifies one Apply.
+type Outcome int
+
+const (
+	// Applied: the delta was newer and replaced the entry.
+	Applied Outcome = iota
+	// Duplicate: the delta carries exactly the entry's version stamp —
+	// an idempotent redelivery, not an error.
+	Duplicate
+	// Stale: the delta lost the last-writer-wins comparison; accepting
+	// it would resurrect a superseded replica set.
+	Stale
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Applied:
+		return "applied"
+	case Duplicate:
+		return "duplicate"
+	case Stale:
+		return "stale"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Digest fingerprints a map per ring: every entry's (partition,
+// version, origin, replicas) folds into one 64-bit hash per ring, small
+// enough to piggyback on every heartbeat. Equal digests mean the two
+// maps agree on the ring; a mismatch triggers a delta pull.
+type Digest map[ring.RingID]uint64
+
+// Mismatch returns the rings whose fingerprints differ between the two
+// digests (a ring present on only one side counts), sorted for
+// deterministic iteration.
+func (d Digest) Mismatch(other Digest) []ring.RingID {
+	var out []ring.RingID
+	for id, h := range d {
+		if oh, ok := other[id]; !ok || oh != h {
+			out = append(out, id)
+		}
+	}
+	for id := range other {
+		if _, ok := d[id]; !ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// Map is the placement table, safe for concurrent use. Mutations go
+// through Seed (bootstrap), Propose (a local decision) and Apply (a
+// delta received from a peer); reads through Get, Deltas and Digest.
+type Map struct {
+	mu      sync.RWMutex
+	entries map[Key]Entry
+	// digest caches the per-ring fingerprints between mutations: the
+	// map is hashed on every heartbeat sent, received and served, but
+	// changes only when a mutation lands. nil = recompute.
+	digest Digest
+}
+
+// NewMap returns an empty placement map.
+func NewMap() *Map {
+	return &Map{entries: make(map[Key]Entry)}
+}
+
+// Seed installs the deterministic bootstrap replica set of a partition
+// at version 1 with the empty origin. Every node seeds the identical
+// layout from the shared descriptor, so seeded entries never conflict;
+// any real proposal (version >= 2, or version 1 from a named origin)
+// supersedes the seed.
+func (m *Map) Seed(id ring.RingID, part int, replicas []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[Key{Ring: id, Part: part}] = Entry{
+		Replicas: append([]string(nil), replicas...),
+		Version:  1,
+	}
+	m.digest = nil
+}
+
+// Get returns the current entry of a partition.
+func (m *Map) Get(id ring.RingID, part int) (Entry, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.entries[Key{Ring: id, Part: part}]
+	if !ok {
+		return Entry{}, false
+	}
+	e.Replicas = append([]string(nil), e.Replicas...)
+	return e, true
+}
+
+// Propose stamps a new replica set for the partition: version is the
+// current entry's version plus one, origin is the proposing node. The
+// proposal is applied locally and returned as the delta to disseminate.
+func (m *Map) Propose(id ring.RingID, part int, origin string, replicas []string) Delta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := Key{Ring: id, Part: part}
+	d := Delta{
+		Ring:     id,
+		Part:     part,
+		Replicas: append([]string(nil), replicas...),
+		Version:  m.entries[k].Version + 1,
+		Origin:   origin,
+	}
+	m.entries[k] = Entry{Replicas: d.Replicas, Version: d.Version, Origin: d.Origin}
+	m.digest = nil
+	return d
+}
+
+// Apply merges one delta under last-writer-wins and reports what
+// happened. Only Applied changes the map.
+func (m *Map) Apply(d Delta) Outcome {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := d.Key()
+	cur, ok := m.entries[k]
+	if ok {
+		if d.Version == cur.Version && d.Origin == cur.Origin {
+			return Duplicate
+		}
+		if !d.supersedes(cur) {
+			return Stale
+		}
+	}
+	m.entries[k] = Entry{
+		Replicas: append([]string(nil), d.Replicas...),
+		Version:  d.Version,
+		Origin:   d.Origin,
+	}
+	m.digest = nil
+	return Applied
+}
+
+// Deltas exports the entries of the given rings (all rings when none
+// are named) as deltas, sorted by (ring, partition) for deterministic
+// wire payloads.
+func (m *Map) Deltas(ids ...ring.RingID) []Delta {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	want := make(map[ring.RingID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []Delta
+	for k, e := range m.entries {
+		if len(ids) > 0 && !want[k.Ring] {
+			continue
+		}
+		out = append(out, Delta{
+			Ring:     k.Ring,
+			Part:     k.Part,
+			Replicas: append([]string(nil), e.Replicas...),
+			Version:  e.Version,
+			Origin:   e.Origin,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ring != out[j].Ring {
+			return out[i].Ring.String() < out[j].Ring.String()
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out
+}
+
+// Digest fingerprints the map per ring. Entries fold in partition
+// order, so two maps with identical entries produce identical digests.
+// The result is cached between mutations and shared: callers must
+// treat it as read-only.
+func (m *Map) Digest() Digest {
+	m.mu.RLock()
+	if d := m.digest; d != nil {
+		m.mu.RUnlock()
+		return d
+	}
+	m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.digest != nil {
+		return m.digest
+	}
+	keys := make([]Key, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Ring != keys[j].Ring {
+			return keys[i].Ring.String() < keys[j].Ring.String()
+		}
+		return keys[i].Part < keys[j].Part
+	})
+	hashes := make(map[ring.RingID]hash.Hash64, 4)
+	for _, k := range keys {
+		h, ok := hashes[k.Ring]
+		if !ok {
+			h = fnv.New64a()
+			hashes[k.Ring] = h
+		}
+		e := m.entries[k]
+		fmt.Fprintf(h, "%d:%d:%s:", k.Part, e.Version, e.Origin)
+		for _, r := range e.Replicas {
+			fmt.Fprintf(h, "%s,", r)
+		}
+		_, _ = h.Write([]byte{';'})
+	}
+	d := make(Digest, len(hashes))
+	for id, h := range hashes {
+		d[id] = h.Sum64()
+	}
+	m.digest = d
+	return d
+}
+
+// Len returns the number of entries.
+func (m *Map) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}

@@ -1,0 +1,194 @@
+package placement
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"skute/internal/ring"
+)
+
+var gold = ring.RingID{App: "appA", Class: "gold"}
+var plat = ring.RingID{App: "appB", Class: "plat"}
+
+func seeded() *Map {
+	m := NewMap()
+	m.Seed(gold, 0, []string{"n0", "n1"})
+	m.Seed(gold, 1, []string{"n1", "n2"})
+	m.Seed(plat, 0, []string{"n0", "n1", "n2"})
+	return m
+}
+
+func TestSeedAndGet(t *testing.T) {
+	m := seeded()
+	e, ok := m.Get(gold, 0)
+	if !ok || e.Version != 1 || e.Origin != "" || fmt.Sprint(e.Replicas) != "[n0 n1]" {
+		t.Fatalf("seeded entry = %+v, %v", e, ok)
+	}
+	if _, ok := m.Get(gold, 99); ok {
+		t.Error("unknown partition found")
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	// Get returns a copy, not the internal slice.
+	e.Replicas[0] = "mutated"
+	if e2, _ := m.Get(gold, 0); e2.Replicas[0] != "n0" {
+		t.Error("Get aliases internal replica slice")
+	}
+}
+
+func TestProposeBumpsVersion(t *testing.T) {
+	m := seeded()
+	d := m.Propose(gold, 0, "n0", []string{"n0", "n1", "n3"})
+	if d.Version != 2 || d.Origin != "n0" {
+		t.Fatalf("delta = %+v", d)
+	}
+	e, _ := m.Get(gold, 0)
+	if e.Version != 2 || fmt.Sprint(e.Replicas) != "[n0 n1 n3]" {
+		t.Fatalf("entry after propose = %+v", e)
+	}
+	d2 := m.Propose(gold, 0, "n1", []string{"n1", "n3"})
+	if d2.Version != 3 {
+		t.Fatalf("second propose version = %d", d2.Version)
+	}
+}
+
+func TestApplyLastWriterWins(t *testing.T) {
+	m := seeded()
+	newer := Delta{Ring: gold, Part: 0, Replicas: []string{"n2", "n3"}, Version: 3, Origin: "n2"}
+	if got := m.Apply(newer); got != Applied {
+		t.Fatalf("newer delta = %v", got)
+	}
+	// A stale delta (the version-2 step we never saw) must be rejected.
+	stale := Delta{Ring: gold, Part: 0, Replicas: []string{"n0", "n9"}, Version: 2, Origin: "n0"}
+	if got := m.Apply(stale); got != Stale {
+		t.Fatalf("stale delta = %v", got)
+	}
+	e, _ := m.Get(gold, 0)
+	if e.Version != 3 || fmt.Sprint(e.Replicas) != "[n2 n3]" {
+		t.Fatalf("stale delta mutated the entry: %+v", e)
+	}
+	// Redelivery of the current stamp is a duplicate, not a change.
+	if got := m.Apply(newer); got != Duplicate {
+		t.Fatalf("redelivery = %v", got)
+	}
+}
+
+func TestApplyTieBreaksOnOrigin(t *testing.T) {
+	// Two concurrent proposals at the same version from different
+	// origins: every node must resolve to the same winner (larger
+	// origin), regardless of arrival order.
+	a := Delta{Ring: gold, Part: 0, Replicas: []string{"n0", "n3"}, Version: 2, Origin: "n1"}
+	b := Delta{Ring: gold, Part: 0, Replicas: []string{"n0", "n4"}, Version: 2, Origin: "n5"}
+
+	m1 := seeded()
+	m1.Apply(a)
+	if got := m1.Apply(b); got != Applied {
+		t.Fatalf("higher origin after lower = %v", got)
+	}
+	m2 := seeded()
+	m2.Apply(b)
+	if got := m2.Apply(a); got != Stale {
+		t.Fatalf("lower origin after higher = %v", got)
+	}
+	e1, _ := m1.Get(gold, 0)
+	e2, _ := m2.Get(gold, 0)
+	if fmt.Sprint(e1.Replicas) != fmt.Sprint(e2.Replicas) || e1.Origin != "n5" {
+		t.Fatalf("orders diverged: %+v vs %+v", e1, e2)
+	}
+}
+
+func TestApplyUnknownKey(t *testing.T) {
+	m := NewMap()
+	d := Delta{Ring: gold, Part: 7, Replicas: []string{"n1"}, Version: 4, Origin: "n1"}
+	if got := m.Apply(d); got != Applied {
+		t.Fatalf("apply to empty map = %v", got)
+	}
+	if e, ok := m.Get(gold, 7); !ok || e.Version != 4 {
+		t.Fatalf("entry after apply = %+v, %v", e, ok)
+	}
+}
+
+func TestDigestMatchesIffEntriesMatch(t *testing.T) {
+	a, b := seeded(), seeded()
+	if len(a.Digest().Mismatch(b.Digest())) != 0 {
+		t.Fatal("identical maps produce mismatched digests")
+	}
+	b.Apply(Delta{Ring: gold, Part: 1, Replicas: []string{"n3", "n4"}, Version: 2, Origin: "n3"})
+	mm := a.Digest().Mismatch(b.Digest())
+	if len(mm) != 1 || mm[0] != gold {
+		t.Fatalf("mismatch = %v, want [gold]", mm)
+	}
+	// Converge a and the digests agree again.
+	for _, d := range b.Deltas(gold) {
+		a.Apply(d)
+	}
+	if mm := a.Digest().Mismatch(b.Digest()); len(mm) != 0 {
+		t.Fatalf("digests still differ after convergence: %v", mm)
+	}
+}
+
+func TestDigestMismatchOneSided(t *testing.T) {
+	a := seeded()
+	empty := NewMap()
+	mm := a.Digest().Mismatch(empty.Digest())
+	if len(mm) != 2 {
+		t.Fatalf("one-sided mismatch = %v", mm)
+	}
+	if mm2 := empty.Digest().Mismatch(a.Digest()); len(mm2) != 2 {
+		t.Fatalf("reverse one-sided mismatch = %v", mm2)
+	}
+}
+
+func TestDeltasDeterministicAndFiltered(t *testing.T) {
+	m := seeded()
+	all := m.Deltas()
+	if len(all) != 3 {
+		t.Fatalf("Deltas() = %d entries", len(all))
+	}
+	if all[0].Ring != gold || all[0].Part != 0 || all[2].Ring != plat {
+		t.Fatalf("Deltas not sorted: %v", all)
+	}
+	goldOnly := m.Deltas(gold)
+	if len(goldOnly) != 2 {
+		t.Fatalf("Deltas(gold) = %d entries", len(goldOnly))
+	}
+	// Round-trip: applying a map's own deltas to a fresh map reproduces it.
+	m2 := NewMap()
+	for _, d := range all {
+		if got := m2.Apply(d); got != Applied {
+			t.Fatalf("round-trip apply of %s = %v", d, got)
+		}
+	}
+	if len(m.Digest().Mismatch(m2.Digest())) != 0 {
+		t.Fatal("round-tripped map has a different digest")
+	}
+}
+
+func TestConcurrentApplyRaceClean(t *testing.T) {
+	m := seeded()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m.Apply(Delta{
+					Ring: gold, Part: i % 2,
+					Replicas: []string{fmt.Sprintf("n%d", w)},
+					Version:  uint64(i), Origin: fmt.Sprintf("n%d", w),
+				})
+				m.Digest()
+				m.Get(gold, 0)
+				m.Deltas(gold)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Highest (version, origin) wins in the end.
+	e, _ := m.Get(gold, 1)
+	if e.Version != 49 || e.Origin != "n7" {
+		t.Fatalf("final entry = %+v, want v49@n7", e)
+	}
+}

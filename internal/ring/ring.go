@@ -100,6 +100,14 @@ func (p *Partition) RemoveReplica(s ServerID) bool {
 	return false
 }
 
+// SetReplicas replaces the replica set wholesale. The cluster's
+// versioned placement map materializes accepted deltas through this:
+// a delta carries the full new replica set, not an increment, so the
+// routing view must be overwritten, never merged.
+func (p *Partition) SetReplicas(rs []ServerID) {
+	p.Replicas = append(p.Replicas[:0:0], rs...)
+}
+
 // ReplaceReplica atomically swaps one replica location for another
 // (a migration); it reports whether the old server held a replica.
 func (p *Partition) ReplaceReplica(old, new ServerID) bool {

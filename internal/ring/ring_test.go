@@ -342,3 +342,23 @@ func BenchmarkHashKey(b *testing.B) {
 		HashKey("user:12345:profile")
 	}
 }
+
+func TestSetReplicas(t *testing.T) {
+	p := &Partition{ID: 1, Token: 100}
+	p.AddReplica(3)
+	p.SetReplicas([]ServerID{7, 8, 9})
+	if fmt.Sprint(p.Replicas) != "[7 8 9]" {
+		t.Fatalf("after SetReplicas: %v", p.Replicas)
+	}
+	// The set is copied, not aliased.
+	src := []ServerID{1, 2}
+	p.SetReplicas(src)
+	src[0] = 99
+	if p.Replicas[0] != 1 {
+		t.Error("SetReplicas aliases the caller's slice")
+	}
+	p.SetReplicas(nil)
+	if len(p.Replicas) != 0 {
+		t.Errorf("after SetReplicas(nil): %v", p.Replicas)
+	}
+}

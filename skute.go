@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"skute/internal/agent"
 	"skute/internal/availability"
@@ -119,12 +120,25 @@ type Cluster struct {
 	// first server.
 	coordIdx atomic.Uint64
 
-	// mu guards downed (FailServer/ReviveServer vs the request path).
+	// mu guards downed (FailServer/ReviveServer vs the request path) and
+	// the runtime state.
 	mu     sync.RWMutex
 	downed map[string]bool
+	// rt is non-nil while the cluster runs autonomously (Start/Stop);
+	// FailServer kills a failed server's loops and ReviveServer restarts
+	// them, modeling process death and rebirth.
+	rt *clusterRuntime
 
 	agentParams agent.Params
 	rentParams  economy.RentParams
+}
+
+// clusterRuntime remembers how Start configured the autonomous loops so
+// ReviveServer can relaunch a node's runtime the same way.
+type clusterRuntime struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	rc     cluster.RuntimeConfig
 }
 
 // NewCluster boots an in-process cluster: it derives the shared
@@ -200,8 +214,103 @@ func NewCluster(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
-// Close shuts the in-memory mesh down.
-func (c *Cluster) Close() error { return c.mesh.Close() }
+// Close stops the autonomous runtime (if running) and shuts the
+// in-memory mesh down.
+func (c *Cluster) Close() error {
+	c.Stop()
+	return c.mesh.Close()
+}
+
+// Runtime configures the cluster's autonomous mode: per-loop intervals
+// with jitter for heartbeats, gossip reconciliation, Merkle
+// anti-entropy and economic epochs. Zero values pick the embedded
+// defaults (fast heartbeats and reconciliation, anti-entropy and the
+// economy disabled — step epochs deterministically with RunEpoch, or
+// set Epoch to let them free-run).
+type Runtime struct {
+	// Heartbeat is the liveness + placement-digest announcement
+	// interval (default 500ms for the in-process mesh).
+	Heartbeat time.Duration
+	// Reconcile is the proactive gossip-reconcile interval (default 1s;
+	// negative disables — heartbeat receipt still reconciles).
+	Reconcile time.Duration
+	// AntiEntropy is the Merkle anti-entropy interval (0 disables).
+	AntiEntropy time.Duration
+	// Epoch is the economic epoch length (0 disables; RunEpoch still
+	// steps epochs manually).
+	Epoch time.Duration
+	// Jitter is the per-tick interval spread fraction in [0,1);
+	// 0 selects the default 0.1, negative disables jitter.
+	Jitter float64
+}
+
+// Start switches the cluster into autonomous mode: every alive server
+// runs its own heartbeat, gossip-reconcile, anti-entropy and
+// economic-epoch loops, exactly like a fleet of cmd/skuted processes.
+// The loops stop when ctx is cancelled or Stop (or Close) is called.
+// FailServer halts a failed server's loops and ReviveServer restarts
+// them, so churn scripts exercise the same convergence machinery a real
+// deployment relies on.
+func (c *Cluster) Start(ctx context.Context, rt Runtime) error {
+	if rt.Heartbeat <= 0 {
+		rt.Heartbeat = 500 * time.Millisecond
+	}
+	if rt.Reconcile == 0 {
+		rt.Reconcile = time.Second
+	} else if rt.Reconcile < 0 {
+		rt.Reconcile = 0
+	}
+	rc := cluster.RuntimeConfig{
+		Heartbeat:   rt.Heartbeat,
+		Reconcile:   rt.Reconcile,
+		AntiEntropy: rt.AntiEntropy,
+		Epoch:       rt.Epoch,
+		Jitter:      rt.Jitter,
+		Agent:       c.agentParams,
+		Rent:        c.rentParams,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rt != nil {
+		return fmt.Errorf("skute: cluster runtime already running")
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	for _, name := range c.order {
+		if c.downed[name] {
+			continue
+		}
+		if err := c.nodes[name].Start(rctx, rc); err != nil {
+			cancel()
+			for _, started := range c.order {
+				c.nodes[started].Stop()
+			}
+			return err
+		}
+	}
+	c.rt = &clusterRuntime{ctx: rctx, cancel: cancel, rc: rc}
+	return nil
+}
+
+// Stop halts the autonomous loops on every server and waits for
+// in-flight rounds to finish. It is a no-op when Start was never
+// called.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopLocked()
+}
+
+// stopLocked tears the runtime down; callers hold c.mu.
+func (c *Cluster) stopLocked() {
+	if c.rt == nil {
+		return
+	}
+	c.rt.cancel()
+	c.rt = nil
+	for _, name := range c.order {
+		c.nodes[name].Stop()
+	}
+}
 
 // ringOf resolves an app name.
 func (c *Cluster) ringOf(app string) (ring.RingID, error) {
@@ -361,14 +470,15 @@ func (c *Cluster) Availability(ctx context.Context, app string) (map[int]float64
 
 // RunEpoch closes one economic epoch cluster-wide: every alive server
 // announces its rent, then runs its virtual-node agents. It returns the
-// aggregate operations performed.
-func (c *Cluster) RunEpoch() (EpochOps, error) {
+// aggregate operations performed. The context bounds every control RPC
+// of the epoch (rent announcements, adopts, placement delta pushes).
+func (c *Cluster) RunEpoch(ctx context.Context) (EpochOps, error) {
 	var ops EpochOps
 	for _, name := range c.order {
 		if !c.alive(name) {
 			continue
 		}
-		if _, _, err := c.nodes[name].AnnounceRent(c.rentParams); err != nil {
+		if _, _, err := c.nodes[name].AnnounceRent(ctx, c.rentParams); err != nil {
 			return ops, err
 		}
 	}
@@ -376,7 +486,7 @@ func (c *Cluster) RunEpoch() (EpochOps, error) {
 		if !c.alive(name) {
 			continue
 		}
-		rep, err := c.nodes[name].RunEconomicEpoch(c.agentParams, c.rentParams)
+		rep, err := c.nodes[name].RunEconomicEpoch(ctx, c.agentParams, c.rentParams)
 		if err != nil {
 			return ops, err
 		}
@@ -398,13 +508,17 @@ type EpochOps struct {
 // unreachable and every peer's failure detector forgets it immediately
 // (in a real deployment the heartbeat timeout does this).
 func (c *Cluster) FailServer(name string) error {
-	if _, ok := c.nodes[name]; !ok {
+	failed, ok := c.nodes[name]
+	if !ok {
 		return fmt.Errorf("skute: unknown server %q", name)
 	}
 	c.mesh.SetDown("mem://"+name, true)
 	c.mu.Lock()
 	c.downed[name] = true
 	c.mu.Unlock()
+	// A dead process sends nothing: halt the failed server's autonomous
+	// loops (no-op when the runtime is not active).
+	failed.Stop()
 	for _, peer := range c.nodes {
 		peer.Detector().Forget(name)
 	}
@@ -433,7 +547,23 @@ func (c *Cluster) ReviveServer(name string) error {
 			revived.Detector().Heartbeat(peer.Name(), revived.Now())
 		}
 	}
-	return nil
+	// The reborn process resumes its autonomous loops; the gossip digest
+	// exchange pulls in every placement change it slept through. Under
+	// c.mu so a concurrent Stop cannot interleave and strand running
+	// loops.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rt == nil {
+		return nil
+	}
+	// The caller may have ended autonomous mode by cancelling the Start
+	// context instead of calling Stop; every loop already exited, so
+	// finish the teardown rather than launch stillborn loops here.
+	if c.rt.ctx.Err() != nil {
+		c.stopLocked()
+		return nil
+	}
+	return revived.Start(c.rt.ctx, c.rt.rc)
 }
 
 // Servers lists the server names in descriptor order.

@@ -151,7 +151,7 @@ func TestFailureRecoveryThroughEpochs(t *testing.T) {
 	}
 	var ops EpochOps
 	for i := 0; i < 3; i++ {
-		o, err := c.RunEpoch()
+		o, err := c.RunEpoch(ctx)
 		if err != nil {
 			t.Fatalf("RunEpoch: %v", err)
 		}
@@ -402,13 +402,13 @@ func TestFailAndReviveServer(t *testing.T) {
 		if err := c.FailServer("tokyo-1"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.RunEpoch(); err != nil {
+		if _, err := c.RunEpoch(ctx); err != nil {
 			t.Fatal(err)
 		}
 		if err := c.ReviveServer("tokyo-1"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.RunEpoch(); err != nil {
+		if _, err := c.RunEpoch(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -434,4 +434,167 @@ func TestFailAndReviveServer(t *testing.T) {
 			t.Fatalf("churn-%d lost", i)
 		}
 	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterAutonomousRepair: in autonomous mode (Start) the cluster
+// heals a failed server entirely on its own — jittered heartbeat,
+// gossip-reconcile and economic-epoch loops per node, no RunEpoch
+// stepping from the outside.
+func TestClusterAutonomousRepair(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("auto-%d", i)
+		if err := c.Put(ctx, "billing", key, []byte("x"), nil, WriteOptions{Consistency: All}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(rctx, Runtime{
+		Heartbeat: 10 * time.Millisecond, Reconcile: 15 * time.Millisecond,
+		AntiEntropy: 40 * time.Millisecond, Epoch: 30 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Start(rctx, Runtime{}); err == nil {
+		t.Error("second Start accepted")
+	}
+
+	if err := c.FailServer("virginia-1"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 15*time.Second, func() bool {
+		av, th, err := c.Availability(ctx, "billing")
+		if err != nil {
+			return false
+		}
+		for _, a := range av {
+			if a < th {
+				return false
+			}
+		}
+		return true
+	}, "autonomous epochs to repair the failed server's partitions")
+
+	// Every key is still served while the server stays down.
+	for i := 0; i < 12; i++ {
+		vals, _, err := c.Get(ctx, "billing", fmt.Sprintf("auto-%d", i), ReadOptions{})
+		if err != nil || len(vals) != 1 {
+			t.Fatalf("auto-%d after autonomous repair: %q, %v", i, vals, err)
+		}
+	}
+}
+
+// TestClusterChurnSoak is the CI churn-soak: fail/revive cycles with
+// the full autonomous runtime (heartbeats, gossip reconciliation,
+// anti-entropy, free-running economic epochs) while client traffic
+// flows, all under the race detector. Afterwards the cluster must
+// converge: every pre-churn key readable, SLAs repaired.
+func TestClusterChurnSoak(t *testing.T) {
+	c := newTestCluster(t)
+	const keys = 16
+	for i := 0; i < keys; i++ {
+		if err := c.Put(ctx, "billing", fmt.Sprintf("soak-%d", i), []byte("x"), nil, WriteOptions{Consistency: All}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(rctx, Runtime{
+		Heartbeat: 10 * time.Millisecond, Reconcile: 15 * time.Millisecond,
+		AntiEntropy: 40 * time.Millisecond, Epoch: 30 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	victims := []string{"virginia-1", "tokyo-2", "zurich-2"}
+	for cycle := 0; cycle < 3; cycle++ {
+		v := victims[cycle%len(victims)]
+		if err := c.FailServer(v); err != nil {
+			t.Fatal(err)
+		}
+		// Traffic keeps flowing during the outage; One-level writes must
+		// keep succeeding, quorum errors on colder paths are tolerated.
+		for i := 0; i < 6; i++ {
+			key := fmt.Sprintf("churn-%d-%d", cycle, i)
+			if err := c.Put(ctx, "billing", key, []byte("y"), nil, WriteOptions{Consistency: One}); err != nil {
+				t.Fatalf("One write during churn: %v", err)
+			}
+			_, _, _ = c.Get(ctx, "billing", key, ReadOptions{Consistency: One})
+		}
+		time.Sleep(60 * time.Millisecond)
+		if err := c.ReviveServer(v); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	c.Stop()
+
+	// Deterministic convergence check after the storm: step epochs until
+	// every billing partition is back above its SLA threshold.
+	waitUntil(t, 15*time.Second, func() bool {
+		if _, err := c.RunEpoch(ctx); err != nil {
+			return false
+		}
+		av, th, err := c.Availability(ctx, "billing")
+		if err != nil {
+			return false
+		}
+		for _, a := range av {
+			if a < th {
+				return false
+			}
+		}
+		return true
+	}, "post-churn epochs to restore the SLA")
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("soak-%d", i)
+		vals, _, err := c.Get(ctx, "billing", key, ReadOptions{})
+		if err != nil {
+			t.Fatalf("Get %s after churn: %v", key, err)
+		}
+		if len(vals) != 1 || string(vals[0]) != "x" {
+			t.Fatalf("%s lost in the churn: %q", key, vals)
+		}
+	}
+}
+
+// TestReviveAfterRuntimeContextCancelled: ending autonomous mode by
+// cancelling the Start context (instead of calling Stop) must not make
+// ReviveServer launch stillborn loops — it finishes the teardown, and
+// the cluster can be started again.
+func TestReviveAfterRuntimeContextCancelled(t *testing.T) {
+	c := newTestCluster(t)
+	rctx, cancel := context.WithCancel(context.Background())
+	if err := c.Start(rctx, Runtime{Heartbeat: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := c.FailServer("tokyo-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReviveServer("tokyo-1"); err != nil {
+		t.Fatal(err)
+	}
+	// The dead runtime was torn down, so a fresh Start succeeds.
+	rctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	if err := c.Start(rctx2, Runtime{Heartbeat: 10 * time.Millisecond}); err != nil {
+		t.Fatalf("restart after cancelled runtime: %v", err)
+	}
+	c.Stop()
 }
