@@ -1,6 +1,10 @@
 // Command skuted runs one Skute prototype store node over TCP: quorum
 // reads/writes with read repair, Merkle anti-entropy, heartbeat failure
-// detection and economy-driven replica management. State is durable and
+// detection and economy-driven replica management. Peer and client
+// traffic rides persistent, pooled, multiplexed connections (see
+// DESIGN.md, "The wire"); the transport's pool counters appear on the
+// admin endpoint's GET /counters, and shutdown closes pooled and
+// established sockets, not just the listeners. State is durable and
 // recovery is bounded: the node recovers from its newest snapshot plus
 // the write-ahead-log tail on restart, checkpoints itself periodically
 // and on SIGTERM, and truncates the log segments each checkpoint covers,
@@ -122,6 +126,9 @@ func main() {
 	if *admin != "" {
 		reg := metrics.NewRegistry()
 		node.RegisterMetrics(reg)
+		// Wire-path counters: pool dials/reuses/evictions, in-flight
+		// frames and pooled connection count.
+		tr.RegisterMetrics(reg)
 		durGauge := func(pick func(store.DurabilityStats) int64) func() int64 {
 			return func() int64 { return pick(eng.Durability()) }
 		}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"skute/internal/ring"
+	"skute/internal/store"
+	"skute/internal/transport"
+)
+
+// benchTCPCluster boots a 6-server cluster over real sockets (3-replica
+// ring, majority quorums) and returns a client bound to the first node.
+// freshDial selects the checked-in baseline: every RPC — client to
+// coordinator AND coordinator to replica — dials a fresh connection and
+// pays the per-call gob type descriptors, exactly the cost profile of
+// the pre-pooling wire. With freshDial false, the same traffic rides
+// the pooled, multiplexed frame protocol.
+func benchTCPCluster(b *testing.B, freshDial bool) ([]*Node, *Client, ring.RingID) {
+	b.Helper()
+	if freshDial {
+		// The baseline reproduces the old hot path end to end: per-call
+		// payload descriptors too, not just per-call dials.
+		legacyPayloadCodec.Store(true)
+		b.Cleanup(func() { legacyPayloadCodec.Store(false) })
+	}
+	const servers = 6
+	addrs := make([]string, servers)
+	for i := range addrs {
+		probe := transport.NewTCP()
+		if err := probe.Serve("127.0.0.1:0", func(context.Context, transport.Envelope) (transport.Envelope, error) {
+			return transport.Envelope{}, fmt.Errorf("not ready")
+		}); err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = probe.Addrs()[0]
+		probe.Close()
+	}
+
+	cfg := Config{
+		Rings: []RingSpec{{App: "bench", Class: "std", Partitions: 32, Replicas: 3}},
+	}
+	conts := []string{"eu", "eu", "us", "us", "ap", "ap"}
+	for i := 0; i < servers; i++ {
+		cfg.Nodes = append(cfg.Nodes, NodeInfo{
+			Name:          fmt.Sprintf("n%d", i),
+			Addr:          addrs[i],
+			LocPath:       fmt.Sprintf("%s/c%d/dc0/r0/k0/s%d", conts[i], i, i),
+			Confidence:    1,
+			MonthlyRent:   100,
+			Capacity:      1 << 30,
+			QueryCapacity: 100000,
+		})
+	}
+
+	nodes := make([]*Node, servers)
+	for i := 0; i < servers; i++ {
+		nt := transport.NewTCP()
+		nt.DisablePooling = freshDial
+		b.Cleanup(func() { nt.Close() })
+		var err error
+		nodes[i], err = NewNode(cfg, fmt.Sprintf("n%d", i), &fixedAddrTCP{TCP: nt, addr: addrs[i]}, store.NewMemory())
+		if err != nil {
+			b.Fatalf("NewNode over TCP: %v", err)
+		}
+	}
+	ct := transport.NewTCP()
+	ct.DisablePooling = freshDial
+	b.Cleanup(func() { ct.Close() })
+	return nodes, NewClient(ct, addrs[0]), ring.RingID{App: "bench", Class: "std"}
+}
+
+// benchTCPPut drives quorum writes (W=2 of 3 replicas) through the
+// client — every leg over real sockets.
+func benchTCPPut(b *testing.B, freshDial bool) {
+	_, client, id := benchTCPCluster(b, freshDial)
+	val := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Put(ctx, id, fmt.Sprintf("key-%d", i%1024), val, nil, WriteOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTCPGet seeds 512 keys and drives quorum reads through the client.
+func benchTCPGet(b *testing.B, freshDial bool) {
+	_, client, id := benchTCPCluster(b, freshDial)
+	val := make([]byte, 256)
+	for i := 0; i < 512; i++ {
+		if err := client.Put(ctx, id, fmt.Sprintf("key-%d", i), val, nil, WriteOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := client.Get(ctx, id, fmt.Sprintf("key-%d", i%512), ReadOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTCPMGet drives 64-key batched reads; the batch still fans out
+// one envelope per replica per partition group, all over the wire.
+func benchTCPMGet(b *testing.B, freshDial bool) {
+	_, client, id := benchTCPCluster(b, freshDial)
+	entries := make([]Entry, 64)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mget-%d", i)
+		entries[i] = Entry{Key: keys[i], Value: make([]byte, 256)}
+	}
+	if err := client.MPut(ctx, id, entries, WriteOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.MGet(ctx, id, keys, ReadOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(keys) {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+}
+
+// BenchmarkTCPClusterPut measures a quorum write end-to-end over the
+// pooled multiplexed transport. Compare with the FreshDial baseline:
+// the gap is what persistent pooled connections buy on the wire path.
+func BenchmarkTCPClusterPut(b *testing.B) { benchTCPPut(b, false) }
+
+// BenchmarkTCPClusterPutFreshDial is the checked-in baseline: identical
+// traffic, but every RPC dials a fresh connection (the pre-pooling wire).
+func BenchmarkTCPClusterPutFreshDial(b *testing.B) { benchTCPPut(b, true) }
+
+// BenchmarkTCPClusterGet measures a quorum read end-to-end over the
+// pooled multiplexed transport.
+func BenchmarkTCPClusterGet(b *testing.B) { benchTCPGet(b, false) }
+
+// BenchmarkTCPClusterGetFreshDial is the fresh-dial-per-call baseline
+// for BenchmarkTCPClusterGet.
+func BenchmarkTCPClusterGetFreshDial(b *testing.B) { benchTCPGet(b, true) }
+
+// BenchmarkTCPClusterMGet measures a 64-key batched read over the
+// pooled wire.
+func BenchmarkTCPClusterMGet(b *testing.B) { benchTCPMGet(b, false) }
+
+// BenchmarkTCPClusterMGetFreshDial is the fresh-dial baseline for
+// BenchmarkTCPClusterMGet.
+func BenchmarkTCPClusterMGetFreshDial(b *testing.B) { benchTCPMGet(b, true) }
+
+// BenchmarkTCPMultiplexedHeartbeats measures a full heartbeat round
+// while the data plane keeps the same peer connections busy with quorum
+// writes — the multiplexing case: control-plane frames interleave with
+// in-flight data-plane frames on the same pooled sockets instead of
+// queueing behind them.
+func BenchmarkTCPMultiplexedHeartbeats(b *testing.B) {
+	nodes, client, id := benchTCPCluster(b, false)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			val := make([]byte, 256)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = client.Put(ctx, id, fmt.Sprintf("bg-%d-%d", g, i%256), val, nil, WriteOptions{Timeout: 5 * time.Second})
+			}
+		}(g)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[0].SendHeartbeats(ctx)
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -312,7 +312,7 @@ func (n *Node) Availability(id ring.RingID) (map[int]float64, error) {
 	r := n.rings.Ring(id)
 	n.mu.RUnlock()
 	if r == nil {
-		return nil, fmt.Errorf("cluster: unknown ring %s", id)
+		return nil, fmt.Errorf("%w %s", ErrUnknownRing, id)
 	}
 	out := make(map[int]float64, r.Len())
 	for _, p := range r.Partitions() {
@@ -406,7 +406,7 @@ func (n *Node) Replicas(id ring.RingID, key string) ([]string, error) {
 	r := n.rings.Ring(id)
 	n.mu.RUnlock()
 	if r == nil {
-		return nil, fmt.Errorf("cluster: unknown ring %s", id)
+		return nil, fmt.Errorf("%w %s", ErrUnknownRing, id)
 	}
 	n.mu.RLock()
 	p := r.Lookup(ring.HashKey(key))

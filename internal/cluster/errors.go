@@ -1,0 +1,22 @@
+package cluster
+
+import (
+	"errors"
+
+	"skute/internal/transport"
+)
+
+// Typed sentinel errors. They are registered as transport error codes,
+// so a coordinator returning one over TCP reaches the remote caller as
+// the same sentinel under errors.Is — not as stringified text (the old
+// wireResponse.Err string collapsed every typed error).
+var (
+	// ErrUnknownRing reports a request against a ring the cluster
+	// descriptor does not declare — the store's not-found error for a
+	// whole keyspace.
+	ErrUnknownRing = errors.New("cluster: unknown ring")
+)
+
+func init() {
+	transport.RegisterErrorCode(transport.CodeAppBase, ErrUnknownRing)
+}

@@ -1,9 +1,7 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -50,7 +48,8 @@ const (
 	kindClientMPut = "client-mput"
 )
 
-// Wire payloads (gob encoded inside transport.Envelope.Payload).
+// Wire payloads (gob encoded inside transport.Envelope.Payload via the
+// pooled codec sessions in codec.go).
 type (
 	getReq struct {
 		Ring ring.RingID
@@ -172,18 +171,6 @@ type (
 		Timeout     time.Duration
 	}
 )
-
-func encode(v any) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		panic(fmt.Sprintf("cluster: encode %T: %v", v, err)) // all payloads are gob-safe by construction
-	}
-	return buf.Bytes()
-}
-
-func decode(p []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(p)).Decode(v)
-}
 
 // Node is one prototype server.
 type Node struct {
@@ -587,7 +574,7 @@ func (n *Node) partition(id ring.RingID, part int) (*ring.Ring, *ring.Partition,
 	defer n.mu.RUnlock()
 	r := n.rings.Ring(id)
 	if r == nil {
-		return nil, nil, fmt.Errorf("cluster: unknown ring %s", id)
+		return nil, nil, fmt.Errorf("%w %s", ErrUnknownRing, id)
 	}
 	p := r.Get(part)
 	if p == nil {

@@ -29,7 +29,7 @@ type GetResult struct {
 func (n *Node) readQuorum(id ring.RingID, c Consistency) (int, error) {
 	spec, ok := n.specs[id]
 	if !ok {
-		return 0, fmt.Errorf("cluster: unknown ring %s", id)
+		return 0, fmt.Errorf("%w %s", ErrUnknownRing, id)
 	}
 	cfgR, _ := n.cfg.quorums(spec.Replicas)
 	return c.resolve(spec.Replicas, cfgR)
@@ -39,7 +39,7 @@ func (n *Node) readQuorum(id ring.RingID, c Consistency) (int, error) {
 func (n *Node) writeQuorum(id ring.RingID, c Consistency) (int, error) {
 	spec, ok := n.specs[id]
 	if !ok {
-		return 0, fmt.Errorf("cluster: unknown ring %s", id)
+		return 0, fmt.Errorf("%w %s", ErrUnknownRing, id)
 	}
 	_, cfgW := n.cfg.quorums(spec.Replicas)
 	return c.resolve(spec.Replicas, cfgW)

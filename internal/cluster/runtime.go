@@ -90,6 +90,7 @@ func (n *Node) Start(ctx context.Context, rc RuntimeConfig) error {
 
 	n.startLoop(rctx, rc.Heartbeat, rc.Jitter, 1, func(cctx context.Context, _ int) {
 		n.SendHeartbeats(cctx)
+		n.evictDeadPeerConns()
 	})
 	n.startLoop(rctx, rc.Reconcile, rc.Jitter, 2, func(cctx context.Context, _ int) {
 		peer, ok := n.pickReconcilePeer()
@@ -153,6 +154,24 @@ func (n *Node) startLoop(ctx context.Context, every time.Duration, jitter float6
 			t.Reset(gossip.Jittered(every, jitter, rng))
 		}
 	}()
+}
+
+// evictDeadPeerConns drops pooled transport connections to peers the
+// failure detector currently considers dead (pool lifecycle riding the
+// heartbeat loop): sockets to a failed node are released right away
+// instead of lingering until the idle reaper finds them, and a revived
+// peer gets a clean fresh dial. A no-op for transports without a pool
+// (the in-memory mesh).
+func (n *Node) evictDeadPeerConns() {
+	ev, ok := n.tr.(interface{ Evict(addr string) })
+	if !ok {
+		return
+	}
+	for _, p := range n.cfg.Nodes {
+		if p.Name != n.self.Name && !n.alive(p.Name) {
+			ev.Evict(p.Addr)
+		}
+	}
 }
 
 // pickReconcilePeer selects one random alive peer for the proactive

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"skute/internal/ring"
+	"skute/internal/store"
+	"skute/internal/transport"
+)
+
+// TestWireErrorFidelity: typed errors produced by a coordinating node
+// survive the TCP wire as sentinels. The old wireResponse.Err string
+// collapsed every handler error to stringified text, so errors.Is
+// always failed on the client side; the frame protocol carries an error
+// code that reconstructs the sentinel.
+func TestWireErrorFidelity(t *testing.T) {
+	tr := transport.NewTCP()
+	defer tr.Close()
+	if err := tr.Serve("127.0.0.1:0", func(ctx context.Context, req transport.Envelope) (transport.Envelope, error) {
+		return transport.Envelope{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr := tr.Addrs()[0]
+	tr.Close()
+
+	nt := transport.NewTCP()
+	defer nt.Close()
+	cfg := Config{
+		Nodes: []NodeInfo{{
+			Name: "n0", Addr: addr, LocPath: "eu/ch/dc0/r0/k0/s0",
+			Confidence: 1, MonthlyRent: 100, Capacity: 1 << 30, QueryCapacity: 1000,
+		}},
+		Rings: []RingSpec{{App: "app1", Class: "gold", Partitions: 2, Replicas: 1}},
+	}
+	if _, err := NewNode(cfg, "n0", &fixedAddrTCP{TCP: nt, addr: addr}, store.NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+
+	ct := transport.NewTCP()
+	defer ct.Close()
+	client := NewClient(ct, addr)
+
+	// Unknown ring: the coordinator's not-found sentinel must round-trip.
+	_, _, err := client.Get(ctx, ring.RingID{App: "ghost", Class: "none"}, "k", ReadOptions{})
+	if !errors.Is(err, ErrUnknownRing) {
+		t.Errorf("unknown ring over TCP: errors.Is(err, ErrUnknownRing) = false, err = %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("remote message lost: %v", err)
+	}
+
+	// A live ring still works through the same client (sanity).
+	id := ring.RingID{App: "app1", Class: "gold"}
+	if err := client.Put(ctx, id, "k", []byte("v"), nil, WriteOptions{}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	// Client-side unreachability keeps its sentinel too: a dead address
+	// fails with ErrUnreachable from the pool's dial.
+	dead := NewClient(ct, "127.0.0.1:1")
+	if _, _, err := dead.Get(ctx, id, "k", ReadOptions{}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("dead address: errors.Is(err, ErrUnreachable) = false, err = %v", err)
+	}
+
+	// The in-memory mesh passes error values through directly — the same
+	// sentinel check must hold there without any wire codec involved.
+	mem := transport.NewMemory()
+	defer mem.Close()
+	memCfg := cfg
+	memCfg.Nodes = append([]NodeInfo(nil), cfg.Nodes...)
+	memCfg.Nodes[0].Addr = "mem://n0"
+	if _, err := NewNode(memCfg, "n0", mem, store.NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+	memClient := NewClient(mem, "mem://n0")
+	if _, _, err := memClient.Get(ctx, ring.RingID{App: "ghost", Class: "none"}, "k", ReadOptions{}); !errors.Is(err, ErrUnknownRing) {
+		t.Errorf("unknown ring over memory mesh: err = %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package transport
+
+import "skute/internal/metrics"
+
+// Counters are the wire-path observability counters of a TCP transport:
+// how the pool behaves (dials vs. reuses vs. evictions) and how much
+// traffic is in flight. cmd/skuted exposes them on GET /counters next
+// to the control-plane and durability counters.
+type Counters struct {
+	// Dials counts established outbound connections (pooled and
+	// fresh-dial alike).
+	Dials metrics.Counter
+	// Reuses counts calls served by an already pooled connection — the
+	// dials the pool saved.
+	Reuses metrics.Counter
+	// Evictions counts pooled connections dropped: broken mid-flight,
+	// idle-reaped, or evicted because their peer was declared dead.
+	Evictions metrics.Counter
+	// InFlight is the current number of in-flight request frames across
+	// all pooled connections (incremented on send, decremented on
+	// response, abandonment or failure).
+	InFlight metrics.Counter
+}
+
+// Counters exposes the transport's wire counters.
+func (t *TCP) Counters() *Counters { return &t.counters }
+
+// PoolSize reports the pooled connection count across all addresses.
+func (t *TCP) PoolSize() int {
+	t.mu.Lock()
+	p := t.clientPool
+	t.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.size()
+}
+
+// RegisterMetrics registers the wire counters on the registry under
+// stable names, next to the durability and control-plane counters
+// cmd/skuted already exports.
+func (t *TCP) RegisterMetrics(reg *metrics.Registry) {
+	reg.Gauge("transport_dials_total", t.counters.Dials.Value)
+	reg.Gauge("transport_conn_reuses_total", t.counters.Reuses.Value)
+	reg.Gauge("transport_conn_evictions_total", t.counters.Evictions.Value)
+	reg.Gauge("transport_inflight_frames", t.counters.InFlight.Value)
+	reg.Gauge("transport_pool_conns", func() int64 { return int64(t.PoolSize()) })
+}

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Wire error codes. A handler error crossing the TCP wire travels as a
+// (code, message) pair instead of bare stringified text, so typed
+// sentinel errors survive the round trip: the caller's errors.Is sees
+// the same sentinel the handler returned, while Error() still shows the
+// remote's exact message. Codes below CodeAppBase are reserved for the
+// transport itself; higher layers claim codes from CodeAppBase upward
+// with RegisterErrorCode (the cluster layer registers its own sentinels
+// there).
+type ErrorCode uint8
+
+const (
+	// codeOK marks a successful response frame.
+	codeOK ErrorCode = 0
+	// CodeError is the generic code: an error with no registered
+	// sentinel, carried as text only.
+	CodeError ErrorCode = 1
+	// CodeCanceled marks context.Canceled.
+	CodeCanceled ErrorCode = 2
+	// CodeDeadlineExceeded marks context.DeadlineExceeded.
+	CodeDeadlineExceeded ErrorCode = 3
+	// CodeUnreachable marks ErrUnreachable (a handler that itself failed
+	// to reach a peer propagates the sentinel to its own caller).
+	CodeUnreachable ErrorCode = 4
+	// CodeAppBase is the first code available to higher layers via
+	// RegisterErrorCode.
+	CodeAppBase ErrorCode = 16
+)
+
+// errCodeRegistry maps codes to sentinels both ways. Registration order
+// is preserved so ErrorToCode matches deterministically (built-ins
+// first).
+var errCodeRegistry = struct {
+	mu     sync.RWMutex
+	byCode map[ErrorCode]error
+	order  []ErrorCode
+}{byCode: map[ErrorCode]error{}}
+
+func init() {
+	registerErrorCode(CodeCanceled, context.Canceled)
+	registerErrorCode(CodeDeadlineExceeded, context.DeadlineExceeded)
+	registerErrorCode(CodeUnreachable, ErrUnreachable)
+}
+
+func registerErrorCode(code ErrorCode, sentinel error) {
+	errCodeRegistry.mu.Lock()
+	defer errCodeRegistry.mu.Unlock()
+	if _, dup := errCodeRegistry.byCode[code]; dup {
+		panic(fmt.Sprintf("transport: error code %d registered twice", code))
+	}
+	errCodeRegistry.byCode[code] = sentinel
+	errCodeRegistry.order = append(errCodeRegistry.order, code)
+}
+
+// RegisterErrorCode claims a wire code (CodeAppBase or above) for a
+// sentinel error. Handler errors matching the sentinel (per errors.Is)
+// are sent as the code and reconstructed on the caller's side as an
+// error that both matches the sentinel under errors.Is and preserves
+// the remote message. Registration is global and must happen before
+// traffic flows (package init of the owning layer); duplicate or
+// reserved codes panic.
+func RegisterErrorCode(code ErrorCode, sentinel error) {
+	if code < CodeAppBase {
+		panic(fmt.Sprintf("transport: error code %d is reserved (app codes start at %d)", code, CodeAppBase))
+	}
+	if sentinel == nil {
+		panic("transport: nil sentinel error")
+	}
+	registerErrorCode(code, sentinel)
+}
+
+// ErrorToCode maps a handler error to its wire representation.
+func ErrorToCode(err error) (ErrorCode, string) {
+	if err == nil {
+		return codeOK, ""
+	}
+	errCodeRegistry.mu.RLock()
+	defer errCodeRegistry.mu.RUnlock()
+	for _, code := range errCodeRegistry.order {
+		if errors.Is(err, errCodeRegistry.byCode[code]) {
+			return code, err.Error()
+		}
+	}
+	return CodeError, err.Error()
+}
+
+// CodeToError reconstructs the caller-side error from a response
+// frame's (code, message) pair.
+func CodeToError(code ErrorCode, msg string) error {
+	if code == codeOK {
+		return nil
+	}
+	errCodeRegistry.mu.RLock()
+	sentinel, known := errCodeRegistry.byCode[code]
+	errCodeRegistry.mu.RUnlock()
+	if !known {
+		return errors.New(msg)
+	}
+	if msg == "" {
+		msg = sentinel.Error()
+	}
+	return &wireError{code: code, sentinel: sentinel, msg: msg}
+}
+
+// wireError is a decoded remote error: it prints the remote's message
+// and matches the registered sentinel under errors.Is.
+type wireError struct {
+	code     ErrorCode
+	sentinel error
+	msg      string
+}
+
+func (e *wireError) Error() string { return e.msg }
+
+// Is matches the registered sentinel (and anything the sentinel itself
+// wraps).
+func (e *wireError) Is(target error) bool { return errors.Is(e.sentinel, target) }

@@ -1,0 +1,413 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Pool policy defaults (overridable per TCP instance).
+const (
+	// defaultMaxConnsPerAddr bounds the pool per peer address.
+	defaultMaxConnsPerAddr = 4
+	// defaultIdleTimeout reaps pooled connections idle this long.
+	defaultIdleTimeout = 60 * time.Second
+	// busyInflightThreshold is the in-flight count above which the pool
+	// prefers dialing another connection (up to the per-address bound)
+	// over multiplexing more calls onto an already loaded one.
+	busyInflightThreshold = 8
+)
+
+// callResult is what a waiting caller receives: a response frame, or
+// the connection-level failure that voided the exchange.
+type callResult struct {
+	f   *frame
+	err error
+}
+
+// brokenConnError marks a connection-level failure (as opposed to a
+// handler error that arrived in a well-formed response frame). The Call
+// retry loop uses it to decide that a pooled connection went stale and
+// one retry on a fresh dial is warranted.
+type brokenConnError struct{ err error }
+
+func (e *brokenConnError) Error() string { return e.err.Error() }
+func (e *brokenConnError) Unwrap() error { return e.err }
+
+// mconn is one pooled, multiplexed connection: a dedicated reader
+// goroutine demultiplexes response frames to waiting callers by request
+// ID while writers interleave request frames through the codec's write
+// mutex.
+type mconn struct {
+	addr string
+	conn net.Conn
+	sc   *streamCodec
+	t    *TCP
+	p    *pool
+
+	// mu guards the demux state.
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan callResult
+	broken  bool
+
+	// inflight/idleSince are pool bookkeeping, guarded by the pool's
+	// mutex (not mu).
+	inflight  int
+	idleSince time.Time
+}
+
+// readLoop is the connection's single reader: it routes response frames
+// to their callers and, on any read error, fails every pending call and
+// evicts the connection from the pool.
+func (mc *mconn) readLoop() {
+	for {
+		var f frame
+		if err := mc.sc.readFrame(&f); err != nil {
+			mc.fail(fmt.Errorf("%w: %s: connection lost: %v", ErrUnreachable, mc.addr, err))
+			return
+		}
+		if f.Flags&flagResponse == 0 {
+			continue // not ours to handle; tolerate and keep the stream alive
+		}
+		mc.mu.Lock()
+		ch, ok := mc.pending[f.ID]
+		delete(mc.pending, f.ID)
+		mc.mu.Unlock()
+		if ok {
+			fc := f
+			ch <- callResult{f: &fc} // buffered: never blocks the reader
+		}
+	}
+}
+
+// fail marks the connection broken exactly once: every pending call
+// learns the failure, the socket closes, and the pool evicts the
+// connection.
+func (mc *mconn) fail(err error) {
+	mc.mu.Lock()
+	if mc.broken {
+		mc.mu.Unlock()
+		return
+	}
+	mc.broken = true
+	pending := mc.pending
+	mc.pending = nil
+	mc.mu.Unlock()
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+	mc.conn.Close()
+	mc.p.evict(mc)
+}
+
+// deregister abandons a pending call (context cancellation, fallback
+// timeout). A response arriving later is discarded by the reader.
+func (mc *mconn) deregister(id uint64) {
+	mc.mu.Lock()
+	delete(mc.pending, id)
+	mc.mu.Unlock()
+}
+
+// resultChanPool recycles the per-call result channels. A channel is
+// repooled only on the clean response path: an abandoned call's channel
+// may still receive a late frame from the reader, so it must never be
+// handed to another call.
+var resultChanPool = sync.Pool{New: func() any { return make(chan callResult, 1) }}
+
+// roundTrip runs one multiplexed exchange. timeout bounds the wait only
+// when the context carries no deadline, mirroring the old CallTimeout
+// contract.
+func (mc *mconn) roundTrip(ctx context.Context, req Envelope, timeout time.Duration) (Envelope, error) {
+	ch := resultChanPool.Get().(chan callResult)
+	mc.mu.Lock()
+	if mc.broken {
+		mc.mu.Unlock()
+		return Envelope{}, &brokenConnError{err: fmt.Errorf("%w: %s: connection broken", ErrUnreachable, mc.addr)}
+	}
+	mc.nextID++
+	id := mc.nextID
+	mc.pending[id] = ch
+	mc.mu.Unlock()
+
+	mc.t.counters.InFlight.Add(1)
+	defer mc.t.counters.InFlight.Add(-1)
+
+	deadline, hasDeadline := ctx.Deadline()
+	var timeoutC <-chan time.Time
+	if !hasDeadline {
+		deadline = time.Now().Add(timeout)
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	// A deadline that expired while waiting for the connection (dial,
+	// coalescing) must fail HERE, caller-local: nothing is on the wire
+	// yet, so the shared socket stays healthy for everyone else.
+	if err := ctx.Err(); err != nil {
+		mc.deregister(id)
+		return Envelope{}, err
+	}
+	if err := mc.sc.writeFrame(&frame{ID: id, Kind: req.Kind, Payload: req.Payload}, deadline); err != nil {
+		mc.deregister(id)
+		// A validation failure wrote nothing: the connection is still
+		// healthy, so surface the error to this caller alone instead of
+		// collaterally failing every in-flight call on the shared socket.
+		var fse *frameSizeError
+		if errors.As(err, &fse) {
+			return Envelope{}, fmt.Errorf("transport: call to %s: %v", mc.addr, err)
+		}
+		// Any other write failure may have left a partial frame on the
+		// wire, so the stream is unusable either way — but if the
+		// caller's own deadline expired mid-write, report THAT, not a
+		// phantom unreachable peer.
+		mc.fail(fmt.Errorf("%w: %s: write failed: %v", ErrUnreachable, mc.addr, err))
+		if ctxErr := ctxError(ctx); ctxErr != nil {
+			return Envelope{}, ctxErr
+		}
+		return Envelope{}, &brokenConnError{err: fmt.Errorf("%w: %s: write failed: %v", ErrUnreachable, mc.addr, err)}
+	}
+	select {
+	case res := <-ch:
+		resultChanPool.Put(ch) // delivered: no late send can follow
+		if res.err != nil {
+			return Envelope{}, &brokenConnError{err: res.err}
+		}
+		if res.f.Code != 0 {
+			return Envelope{}, CodeToError(ErrorCode(res.f.Code), res.f.Err)
+		}
+		return Envelope{Kind: res.f.Kind, Payload: res.f.Payload}, nil
+	case <-ctx.Done():
+		mc.deregister(id)
+		return Envelope{}, ctx.Err()
+	case <-timeoutC:
+		mc.deregister(id)
+		return Envelope{}, fmt.Errorf("transport: call to %s timed out after %v", mc.addr, timeout)
+	}
+}
+
+// pool is the per-TCP client connection pool: bounded per address, with
+// dial coalescing (concurrent cold calls to one address share a single
+// dial) and a background reaper for idle connections.
+type pool struct {
+	t *TCP
+
+	mu      sync.Mutex
+	conns   map[string][]*mconn
+	dialing map[string]chan struct{}
+	closed  bool
+	done    chan struct{}
+}
+
+func newPool(t *TCP) *pool {
+	p := &pool{
+		t:       t,
+		conns:   make(map[string][]*mconn),
+		dialing: make(map[string]chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go p.reapLoop()
+	return p
+}
+
+// get hands out a connection for one call, dialing when the pool is
+// cold or every pooled connection is loaded past the multiplexing
+// threshold (and the per-address bound allows another socket). reused
+// reports whether the connection predates this call — the signal that a
+// broken exchange deserves a retry. The retry path goes through get
+// like everyone else (broken connections were already evicted), so the
+// per-address bound and dial coalescing hold even when a mass
+// connection break sends every in-flight call here at once — no dial
+// storm.
+func (p *pool) get(ctx context.Context, addr string) (mc *mconn, reused bool, err error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, false, fmt.Errorf("transport: tcp transport closed")
+		}
+		list := p.pruneLocked(addr)
+		if len(list) > 0 {
+			best := list[0]
+			for _, c := range list[1:] {
+				if c.inflight < best.inflight {
+					best = c
+				}
+			}
+			if best.inflight < busyInflightThreshold || len(list) >= p.t.maxConnsPerAddr() {
+				best.inflight++
+				p.mu.Unlock()
+				p.t.counters.Reuses.Inc()
+				return best, true, nil
+			}
+		}
+		if ch, inFlight := p.dialing[addr]; inFlight {
+			p.mu.Unlock()
+			select {
+			case <-ch: // coalesced: reuse the winner's connection
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			continue
+		}
+		ch := make(chan struct{})
+		p.dialing[addr] = ch
+		p.mu.Unlock()
+
+		conn, derr := p.t.dial(ctx, addr)
+		p.mu.Lock()
+		delete(p.dialing, addr)
+		close(ch)
+		if derr != nil {
+			p.mu.Unlock()
+			return nil, false, derr
+		}
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return nil, false, fmt.Errorf("transport: tcp transport closed")
+		}
+		mc = &mconn{addr: addr, conn: conn, sc: newStreamCodec(conn), t: p.t, p: p, pending: make(map[uint64]chan callResult)}
+		mc.inflight = 1
+		p.conns[addr] = append(p.conns[addr], mc)
+		p.mu.Unlock()
+		go mc.readLoop()
+		return mc, false, nil
+	}
+}
+
+// put returns a connection after a call completed (in any way).
+func (p *pool) put(mc *mconn) {
+	p.mu.Lock()
+	mc.inflight--
+	if mc.inflight <= 0 {
+		mc.idleSince = time.Now()
+	}
+	p.mu.Unlock()
+}
+
+// pruneLocked drops broken connections from the address's slice. A
+// broken connection leaves the pool exactly once — through here or
+// through evict, whichever runs first — and whoever removes it counts
+// the eviction. Callers hold p.mu.
+func (p *pool) pruneLocked(addr string) []*mconn {
+	list := p.conns[addr]
+	kept := list[:0]
+	for _, c := range list {
+		c.mu.Lock()
+		broken := c.broken
+		c.mu.Unlock()
+		if !broken {
+			kept = append(kept, c)
+		} else {
+			p.t.counters.Evictions.Inc()
+		}
+	}
+	if len(kept) == 0 {
+		delete(p.conns, addr)
+		return nil
+	}
+	p.conns[addr] = kept
+	return kept
+}
+
+// evict removes the connection from the pool (counted once) and closes
+// its socket.
+func (p *pool) evict(mc *mconn) {
+	p.mu.Lock()
+	list := p.conns[mc.addr]
+	for i, c := range list {
+		if c == mc {
+			list = append(list[:i], list[i+1:]...)
+			if len(list) == 0 {
+				delete(p.conns, mc.addr)
+			} else {
+				p.conns[mc.addr] = list
+			}
+			p.t.counters.Evictions.Inc()
+			break
+		}
+	}
+	p.mu.Unlock()
+	mc.conn.Close()
+}
+
+// evictAddr drops every pooled connection to the address — used when a
+// peer is declared dead so sockets to it don't linger until the reaper.
+func (p *pool) evictAddr(addr string) {
+	p.mu.Lock()
+	list := p.conns[addr]
+	delete(p.conns, addr)
+	p.t.counters.Evictions.Add(int64(len(list)))
+	p.mu.Unlock()
+	for _, mc := range list {
+		mc.conn.Close() // readLoop observes the close and fails pending calls
+	}
+}
+
+// size reports the pooled connection count across all addresses.
+func (p *pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, list := range p.conns {
+		n += len(list)
+	}
+	return n
+}
+
+// reapLoop closes connections idle past the idle timeout.
+func (p *pool) reapLoop() {
+	for {
+		idle := p.t.idleTimeout()
+		tick := idle / 2
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		timer := time.NewTimer(tick)
+		select {
+		case <-p.done:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		now := time.Now()
+		var reap []*mconn
+		p.mu.Lock()
+		for _, list := range p.conns {
+			for _, c := range list {
+				if c.inflight <= 0 && now.Sub(c.idleSince) >= idle {
+					reap = append(reap, c)
+				}
+			}
+		}
+		p.mu.Unlock()
+		for _, c := range reap {
+			p.evict(c)
+		}
+	}
+}
+
+// close tears the pool down: every pooled connection closes (their
+// readers fail any in-flight calls) and the reaper stops.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	var all []*mconn
+	for _, list := range p.conns {
+		all = append(all, list...)
+	}
+	p.conns = make(map[string][]*mconn)
+	p.mu.Unlock()
+	close(p.done)
+	for _, mc := range all {
+		mc.conn.Close()
+	}
+}

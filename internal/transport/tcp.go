@@ -2,23 +2,38 @@ package transport
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// TCP is a Transport over real sockets with a gob wire codec. Addresses
-// are host:port strings. Each Call opens a fresh connection — simple and
-// adequate for the prototype's request rates; a production deployment
-// would pool connections.
+// TCP is a Transport over real sockets. Connections are persistent,
+// pooled per address and multiplexed: every call travels as a
+// length-prefixed binary frame carrying a request ID (see frame.go), so
+// many in-flight calls share one socket and a slow response never
+// head-of-line blocks a fast one. The frame header is hand-encoded —
+// the per-call gob type descriptors of the old wire are gone entirely
+// (the cluster layer's pooled codec sessions keep them out of the
+// payload as well). The server side dispatches every frame to its
+// handler on its own goroutine, so a slow quorum read does not delay a
+// heartbeat arriving on the same connection.
+//
+// The pool is bounded per address (MaxConnsPerAddr), reaps idle
+// connections (IdleTimeout), evicts broken ones, and coalesces
+// concurrent dials to a cold address into one. A call that fails
+// because a POOLED connection went stale retries through the pool
+// (which dials afresh once the broken connections are evicted, still
+// coalesced and bounded); a failure on a connection dialed for that
+// very call surfaces as ErrUnreachable.
 //
 // The Call context governs the exchange: a context deadline bounds both
-// dialing and socket I/O (replacing DialTimeout/CallTimeout), and
-// cancellation aborts an in-flight exchange promptly. The fixed timeouts
-// below apply only when the context carries no deadline.
+// dialing and the wait for the response, and cancellation abandons an
+// in-flight exchange promptly (the connection stays healthy — the late
+// response frame is discarded by the reader). The fixed timeouts below
+// apply only when the context carries no deadline.
 type TCP struct {
 	// DialTimeout bounds connection establishment when the context has
 	// no deadline (default 2s).
@@ -26,25 +41,71 @@ type TCP struct {
 	// CallTimeout bounds a full request/response exchange when the
 	// context has no deadline (default 10s).
 	CallTimeout time.Duration
+	// MaxConnsPerAddr bounds the pooled connections per peer address
+	// (default 4). The pool opens another connection only when every
+	// existing one is loaded past the multiplexing threshold.
+	MaxConnsPerAddr int
+	// IdleTimeout is how long a pooled connection may sit idle before
+	// the reaper closes it (default 60s).
+	IdleTimeout time.Duration
+	// DisablePooling makes every Call dial a fresh connection, exchange
+	// one frame and close — the pre-pooling behavior, kept as the
+	// measured baseline for the wire-path benchmarks.
+	DisablePooling bool
 
-	mu        sync.Mutex
-	listeners []net.Listener
-	closed    bool
+	counters Counters
+
+	mu          sync.Mutex
+	listeners   []net.Listener
+	serverConns map[net.Conn]struct{}
+	clientPool  *pool
+	closed      bool
 }
 
-// NewTCP returns a TCP transport with default timeouts.
+// NewTCP returns a TCP transport with default timeouts and pool policy.
 func NewTCP() *TCP {
 	return &TCP{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second}
 }
 
-// wireRequest/wireResponse are the gob frames on the socket.
-type wireRequest struct {
-	Env Envelope
+func (t *TCP) dialTimeout() time.Duration {
+	if t.DialTimeout > 0 {
+		return t.DialTimeout
+	}
+	return 2 * time.Second
 }
 
-type wireResponse struct {
-	Env Envelope
-	Err string
+func (t *TCP) callTimeout() time.Duration {
+	if t.CallTimeout > 0 {
+		return t.CallTimeout
+	}
+	return 10 * time.Second
+}
+
+func (t *TCP) maxConnsPerAddr() int {
+	if t.MaxConnsPerAddr > 0 {
+		return t.MaxConnsPerAddr
+	}
+	return defaultMaxConnsPerAddr
+}
+
+func (t *TCP) idleTimeout() time.Duration {
+	if t.IdleTimeout > 0 {
+		return t.IdleTimeout
+	}
+	return defaultIdleTimeout
+}
+
+// pool returns the lazily created client pool (nil when closed).
+func (t *TCP) getPool() (*pool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("transport: tcp transport closed")
+	}
+	if t.clientPool == nil {
+		t.clientPool = newPool(t)
+	}
+	return t.clientPool, nil
 }
 
 // Serve implements Transport: it binds the address and serves requests
@@ -76,93 +137,203 @@ func (t *TCP) Serve(addr string, h Handler) error {
 	return nil
 }
 
-// serveConn answers sequential requests on one connection. The handler
-// context is scoped to the connection, but because the protocol is
-// strictly sequential a peer disconnect is only observed at the next
-// Decode — it does NOT interrupt a handler already running. Deadline
-// propagation into a handler's coordinated work therefore travels in
-// the request payload instead (the cluster layer's client envelopes
-// carry the caller's timeout budget).
+// maxServerFramesPerConn bounds the handler goroutines one connection
+// may have in flight — backpressure against a peer flooding frames
+// faster than handlers complete.
+const maxServerFramesPerConn = 256
+
+// serveConn demultiplexes one client connection: every request frame is
+// dispatched to the handler on its own goroutine, so responses complete
+// (and are written back) in whatever order the handlers finish. The
+// handler context is cancelled when the connection dies, so a peer
+// disconnect now interrupts handlers already running. Deadline
+// propagation into a handler's coordinated work still travels in the
+// request payload (the cluster layer's client envelopes carry the
+// caller's timeout budget).
 func (t *TCP) serveConn(conn net.Conn, h Handler) {
-	defer conn.Close()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if t.serverConns == nil {
+		t.serverConns = make(map[net.Conn]struct{})
+	}
+	t.serverConns[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.serverConns, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var req wireRequest
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		var resp wireResponse
-		env, err := h(ctx, req.Env)
+	sc := newStreamCodec(conn)
+
+	// Dispatch through a per-connection pool of reused worker
+	// goroutines instead of one fresh goroutine per frame: handler
+	// stacks (gob decode runs deep) stay warm across requests, which
+	// profiling showed removes the stack-growth cost from the hot path.
+	// A new worker spawns whenever the outstanding (enqueued but not
+	// finished) frame count exceeds the worker count — `outstanding` is
+	// incremented only here and decremented only after a handler
+	// completes, so the check can never under-spawn while a frame still
+	// lacks a worker, and a fast frame never queues behind a stalled
+	// handler (no head-of-line blocking). Concurrency stays bounded by
+	// maxServerFramesPerConn.
+	work := make(chan frame, maxServerFramesPerConn)
+	defer close(work) // drains the workers; their late writes hit the closed conn harmlessly
+	var outstanding atomic.Int64
+	workers := 0
+	serve := func(f frame) {
+		resp := frame{ID: f.ID, Flags: flagResponse}
+		env, err := h(ctx, Envelope{Kind: f.Kind, Payload: f.Payload})
 		if err != nil {
-			resp.Err = err.Error()
+			code, msg := ErrorToCode(err)
+			resp.Code, resp.Err = uint8(code), msg
 		} else {
-			resp.Env = env
+			resp.Kind, resp.Payload = env.Kind, env.Payload
 		}
-		if err := enc.Encode(&resp); err != nil {
+		if werr := sc.writeFrame(&resp, time.Now().Add(t.callTimeout())); werr != nil {
+			// A response that fails validation (oversized payload or
+			// error text) wrote nothing — tell the caller instead of
+			// leaving it to hang until its timeout. Any other write
+			// failure means the connection is gone; the read loop
+			// observes the same failure and tears down.
+			var fse *frameSizeError
+			if errors.As(werr, &fse) {
+				code, _ := ErrorToCode(werr)
+				errResp := frame{ID: f.ID, Flags: flagResponse, Code: uint8(code),
+					Err: fmt.Sprintf("transport: response frame invalid: %v", fse)}
+				_ = sc.writeFrame(&errResp, time.Now().Add(t.callTimeout()))
+			}
+		}
+	}
+	for {
+		var f frame
+		if err := sc.readFrame(&f); err != nil {
 			return
 		}
+		if f.Flags&flagResponse != 0 {
+			continue // a confused peer; ignore rather than kill the stream
+		}
+		if outstanding.Add(1) > int64(workers) && workers < maxServerFramesPerConn {
+			workers++
+			go func() {
+				for f := range work {
+					serve(f)
+					outstanding.Add(-1)
+				}
+			}()
+		}
+		work <- f // blocks when every worker is busy and the buffer is full: backpressure
 	}
 }
 
-// Call implements Transport. The context deadline (when set) bounds the
-// dial and the full request/response exchange; cancellation interrupts
-// in-flight socket I/O by expiring the connection deadline.
-func (t *TCP) Call(ctx context.Context, addr string, req Envelope) (Envelope, error) {
-	if err := ctx.Err(); err != nil {
-		return Envelope{}, err
-	}
-	dialTO, callTO := t.DialTimeout, t.CallTimeout
-	if dialTO == 0 {
-		dialTO = 2 * time.Second
-	}
-	if callTO == 0 {
-		callTO = 10 * time.Second
-	}
-	// The context deadline, when present, overrides the fixed defaults
-	// for both dialing and I/O.
-	ioDeadline := time.Now().Add(callTO)
-	if d, ok := ctx.Deadline(); ok {
-		ioDeadline = d
+// dial opens one connection, honoring the context deadline (or the
+// DialTimeout default). Dial failures are ErrUnreachable.
+func (t *TCP) dial(ctx context.Context, addr string) (net.Conn, error) {
+	dialTO := t.dialTimeout()
+	if _, ok := ctx.Deadline(); ok {
 		dialTO = 0 // DialContext honors the ctx deadline on its own
 	}
 	dialer := net.Dialer{Timeout: dialTO}
 	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return Envelope{}, ctxErr
+			return nil, ctxErr
 		}
-		return Envelope{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	t.counters.Dials.Inc()
+	return conn, nil
+}
+
+// Call implements Transport over the pooled, multiplexed wire. A call
+// that fails because its POOLED connection went stale retries (safe for
+// this store: every payload is an idempotent versioned operation) —
+// the broken connection was already evicted, so the retry reaches a
+// different pooled connection or a fresh dial, still under the pool's
+// per-address bound and dial coalescing. A failure on a connection
+// dialed for this very call surfaces as ErrUnreachable: the peer is
+// really gone.
+func (t *TCP) Call(ctx context.Context, addr string, req Envelope) (Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return Envelope{}, err
+	}
+	if t.DisablePooling {
+		return t.callFreshDial(ctx, addr, req)
+	}
+	p, err := t.getPool()
+	if err != nil {
+		return Envelope{}, err
+	}
+	// Two retries tolerate the mass-break case where the first retry
+	// lands on another pooled connection whose death the reader has not
+	// observed yet.
+	const maxAttempts = 3
+	for attempt := 0; ; attempt++ {
+		mc, reused, err := p.get(ctx, addr)
+		if err != nil {
+			return Envelope{}, err
+		}
+		env, err := mc.roundTrip(ctx, req, t.callTimeout())
+		p.put(mc)
+		var broken *brokenConnError
+		if err != nil && errors.As(err, &broken) {
+			if reused && attempt+1 < maxAttempts && ctx.Err() == nil {
+				continue
+			}
+			return Envelope{}, broken.err
+		}
+		return env, err
+	}
+}
+
+// callFreshDial is the unpooled baseline: dial, one framed exchange,
+// close. Each call pays the dial and the per-connection gob type
+// descriptors — exactly the cost profile of the old wire protocol.
+func (t *TCP) callFreshDial(ctx context.Context, addr string, req Envelope) (Envelope, error) {
+	conn, err := t.dial(ctx, addr)
+	if err != nil {
+		return Envelope{}, err
 	}
 	defer conn.Close()
+	ioDeadline := time.Now().Add(t.callTimeout())
+	if d, ok := ctx.Deadline(); ok {
+		ioDeadline = d
+	}
 	if err := conn.SetDeadline(ioDeadline); err != nil {
 		return Envelope{}, err
 	}
 	// Cancellation mid-exchange: expire the connection deadline so any
 	// blocked read/write returns immediately. Registered after the
 	// deadline above so a context that fires concurrently cannot have
-	// its immediate deadline overwritten.
+	// its immediate deadline overwritten — writeFrame is passed the
+	// zero deadline so it leaves the connection deadline alone.
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
 	defer stop()
-	if err := gob.NewEncoder(conn).Encode(wireRequest{Env: req}); err != nil {
+	sc := newStreamCodec(conn)
+	if err := sc.writeFrame(&frame{ID: 1, Kind: req.Kind, Payload: req.Payload}, time.Time{}); err != nil {
 		if ctxErr := ctxError(ctx); ctxErr != nil {
 			return Envelope{}, ctxErr
 		}
 		return Envelope{}, fmt.Errorf("transport: encode to %s: %w", addr, err)
 	}
-	var resp wireResponse
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+	var resp frame
+	if err := sc.readFrame(&resp); err != nil {
 		if ctxErr := ctxError(ctx); ctxErr != nil {
 			return Envelope{}, ctxErr
 		}
 		return Envelope{}, fmt.Errorf("transport: decode from %s: %w", addr, err)
 	}
-	if resp.Err != "" {
-		return Envelope{}, errors.New(resp.Err)
+	if resp.Code != 0 {
+		return Envelope{}, CodeToError(ErrorCode(resp.Code), resp.Err)
 	}
-	return resp.Env, nil
+	return Envelope{Kind: resp.Kind, Payload: resp.Payload}, nil
 }
 
 // ctxError reports why the context ended an exchange. The socket
@@ -179,6 +350,18 @@ func ctxError(ctx context.Context) error {
 	return nil
 }
 
+// Evict drops every pooled connection to the address. The cluster layer
+// calls it when a peer is declared dead, so sockets to a failed node
+// don't linger until the idle reaper finds them.
+func (t *TCP) Evict(addr string) {
+	t.mu.Lock()
+	p := t.clientPool
+	t.mu.Unlock()
+	if p != nil {
+		p.evictAddr(addr)
+	}
+}
+
 // Addrs returns the bound listener addresses (useful with ":0").
 func (t *TCP) Addrs() []string {
 	t.mu.Lock()
@@ -190,10 +373,13 @@ func (t *TCP) Addrs() []string {
 	return out
 }
 
-// Close stops all listeners.
+// Close stops the listeners, closes every established server connection
+// (interrupting their running handlers via context cancellation) and
+// tears down the client pool, failing any in-flight calls. The old
+// implementation closed only the listeners, leaking established sockets
+// and stranding in-flight calls on shutdown.
 func (t *TCP) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.closed = true
 	var first error
 	for _, ln := range t.listeners {
@@ -202,5 +388,18 @@ func (t *TCP) Close() error {
 		}
 	}
 	t.listeners = nil
+	conns := make([]net.Conn, 0, len(t.serverConns))
+	for c := range t.serverConns {
+		conns = append(conns, c)
+	}
+	p := t.clientPool
+	t.clientPool = nil
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	if p != nil {
+		p.close()
+	}
 	return first
 }

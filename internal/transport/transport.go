@@ -1,12 +1,23 @@
 // Package transport provides the message plane of the Skute prototype
 // store: a tiny request/response RPC with two interchangeable
 // implementations — an in-memory mesh for tests and simulations (with
-// failure injection) and a TCP transport with a gob wire codec for real
-// deployments (cmd/skuted).
+// failure injection) and a TCP transport for real deployments
+// (cmd/skuted).
+//
+// The TCP wire is persistent, pooled and multiplexed: calls travel as
+// hand-encoded, length-prefixed binary frames carrying a request ID
+// over a bounded per-address connection pool, and the server dispatches
+// every frame concurrently — see frame.go, pool.go and DESIGN.md, "The
+// wire". No gob runs at the transport layer at all; the payload codec's
+// long-lived gob sessions live in internal/cluster (descriptors once
+// per session, not once per call). Handler errors cross the wire as
+// typed codes (errcode.go), so sentinels like ErrUnreachable and
+// context cancellation survive errors.Is on the far side.
 //
 // Every Call carries a context.Context: cancellation or a deadline on
 // the caller's side aborts the exchange (for TCP, the context deadline
-// bounds dialing and socket I/O instead of the transport's defaults).
+// bounds dialing and the response wait instead of the transport's
+// defaults).
 package transport
 
 import (

@@ -102,7 +102,12 @@ type GetResult = cluster.GetResult
 
 // Cluster is an embedded Skute store: every server runs in-process over
 // an in-memory transport (cmd/skuted runs the identical node logic over
-// TCP). All methods are safe for concurrent use.
+// TCP, where every RPC rides the pooled multiplexed wire — see
+// DESIGN.md, "The wire"; the in-memory mesh has no connections to pool,
+// so Close tears it down whole, and on TCP deployments the node
+// runtime's heartbeat loop evicts pooled connections to dead peers
+// while transport Close releases pooled and established sockets). All
+// methods are safe for concurrent use.
 //
 // Every request method takes a context.Context honored end-to-end: a
 // cancelled or expired context stops the quorum fan-out without waiting
