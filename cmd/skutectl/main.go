@@ -11,6 +11,7 @@
 //	skutectl -addr 127.0.0.1:7000 -app app1 -class gold mget user:1 user:2 user:3
 //	skutectl -addr 127.0.0.1:7000 -app app1 -class gold mput user:1 v1 user:2 v2
 //	skutectl -addr 127.0.0.1:7000 -consistency one -timeout 500ms get user:42
+//	skutectl -addr 127.0.0.1:7000 members
 //
 // The -consistency flag picks the per-request replica acknowledgement
 // level (one, quorum, all, or an explicit count like 2); -timeout bounds
@@ -31,6 +32,8 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"text/tabwriter"
+	"time"
 
 	"skute/internal/cluster"
 	"skute/internal/ring"
@@ -47,8 +50,8 @@ func main() {
 	)
 	flag.Parse()
 	args := flag.Args()
-	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: skutectl [flags] get|put|del|mget|mput <key> [value|key...]")
+	if len(args) < 1 || (args[0] != "members" && len(args) < 2) {
+		fmt.Fprintln(os.Stderr, "usage: skutectl [flags] get|put|del|mget|mput <key> [value|key...] | members")
 		os.Exit(2)
 	}
 	level, err := parseConsistency(*consistency)
@@ -146,6 +149,22 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("ok (%d keys)\n", len(entries))
+	case "members":
+		members, err := client.Members(ctx)
+		if err != nil {
+			fail(err)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "NAME\tADDR\tSTATE\tINCARNATION\tLAST HEARD")
+		for _, m := range members {
+			age := "-"
+			if m.AgeMillis > 0 {
+				age = (time.Duration(m.AgeMillis) * time.Millisecond).Round(time.Millisecond).String() + " ago"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%s\n", m.Name, m.Addr, m.State, m.Incarnation, age)
+		}
+		w.Flush()
 	default:
 		fmt.Fprintf(os.Stderr, "skutectl: unknown op %q\n", op)
 		os.Exit(2)

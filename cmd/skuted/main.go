@@ -27,6 +27,17 @@
 //	skuted -config cluster.json -name n0 -wal /var/lib/skute/n0.wal \
 //	       -snapshot-dir /var/lib/skute/n0.snaps -checkpoint 5m \
 //	       -heartbeat 2s -epoch 30s -admin 127.0.0.1:7070
+//
+// A node can also join a running cluster without any descriptor file:
+//
+//	skuted -name n6 -listen 127.0.0.1:7006 -join 127.0.0.1:7000 \
+//	       -locpath eu/ch/dc1/r0/k0/s6 -rent 100 -capacity 17179869184
+//
+// The seed answers with the member list, ring layout and placement map;
+// the joiner starts empty and receives partitions via throttled chunked
+// transfer as the economy places replicas on it. -transfer-chunk and
+// -transfer-rate bound the node's donor side of those transfers in both
+// boot modes.
 package main
 
 import (
@@ -62,10 +73,28 @@ func main() {
 		antiEnt    = flag.Duration("anti-entropy", time.Minute, "anti-entropy round interval (0 disables)")
 		jitter     = flag.Float64("jitter", 0.1, "loop interval jitter fraction in [0,1); negative disables jitter")
 		admin      = flag.String("admin", "", "admin HTTP address for /healthz, /stats and /counters (empty disables)")
+
+		joinAddr  = flag.String("join", "", "join a running cluster through this seed node address (descriptor-free boot)")
+		listen    = flag.String("listen", "", "this node's own address when joining (required with -join)")
+		locPath   = flag.String("locpath", "", "topology path country/region/dc/room/rack/server when joining")
+		conf      = flag.Float64("confidence", 1, "node availability confidence in (0,1] when joining")
+		rent      = flag.Float64("rent", 100, "monthly rent this node charges when joining")
+		capacity  = flag.Int64("capacity", 16<<30, "storage capacity in bytes when joining")
+		queryCap  = flag.Float64("query-capacity", 10000, "per-epoch query capacity when joining")
+		xferChunk = flag.Int("transfer-chunk", 0, "partition-transfer chunk size in items (0 = default 128)")
+		xferRate  = flag.Int64("transfer-rate", 0, "partition-transfer donor bandwidth cap in bytes/sec (0 = unlimited)")
 	)
 	flag.Parse()
-	if *configPath == "" || *name == "" {
-		fmt.Fprintln(os.Stderr, "skuted: -config and -name are required")
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "skuted: -name is required")
+		os.Exit(2)
+	}
+	if *configPath == "" && *joinAddr == "" {
+		fmt.Fprintln(os.Stderr, "skuted: either -config or -join is required")
+		os.Exit(2)
+	}
+	if *joinAddr != "" && *listen == "" {
+		fmt.Fprintln(os.Stderr, "skuted: -join requires -listen")
 		os.Exit(2)
 	}
 	if *snapDir != "" && *walPath == "" {
@@ -73,16 +102,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	raw, err := os.ReadFile(*configPath)
-	if err != nil {
-		log.Fatalf("skuted: %v", err)
-	}
-	var cfg cluster.Config
-	if err := json.Unmarshal(raw, &cfg); err != nil {
-		log.Fatalf("skuted: parse %s: %v", *configPath, err)
-	}
-
 	eng := store.NewMemory()
+	var err error
 	if *walPath != "" {
 		eng, err = store.Restore(*walPath, *snapDir)
 		if err != nil {
@@ -93,9 +114,40 @@ func main() {
 
 	tr := transport.NewTCP()
 	defer tr.Close()
-	node, err := cluster.NewNode(cfg, *name, tr, eng)
-	if err != nil {
-		log.Fatalf("skuted: %v", err)
+	var node *cluster.Node
+	if *joinAddr != "" {
+		self := cluster.NodeInfo{
+			Name: *name, Addr: *listen, LocPath: *locPath,
+			Confidence: *conf, MonthlyRent: *rent,
+			Capacity: *capacity, QueryCapacity: *queryCap,
+		}
+		node, err = cluster.JoinNode(context.Background(), self, *joinAddr, cluster.JoinOptions{
+			TransferChunkItems:  *xferChunk,
+			TransferBytesPerSec: *xferRate,
+		}, tr, eng)
+		if err != nil {
+			log.Fatalf("skuted: join via %s: %v", *joinAddr, err)
+		}
+		log.Printf("skuted: node %s joined cluster via %s", *name, *joinAddr)
+	} else {
+		raw, rerr := os.ReadFile(*configPath)
+		if rerr != nil {
+			log.Fatalf("skuted: %v", rerr)
+		}
+		var cfg cluster.Config
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			log.Fatalf("skuted: parse %s: %v", *configPath, err)
+		}
+		if *xferChunk > 0 {
+			cfg.TransferChunkItems = *xferChunk
+		}
+		if *xferRate > 0 {
+			cfg.TransferBytesPerSec = *xferRate
+		}
+		node, err = cluster.NewNode(cfg, *name, tr, eng)
+		if err != nil {
+			log.Fatalf("skuted: %v", err)
+		}
 	}
 	if d := eng.Durability(); d.SnapshotSeq > 0 || d.TailRecords > 0 {
 		log.Printf("skuted: node %s recovered %d keys (snapshot seq %d + %d wal records, %d bytes replayed)",

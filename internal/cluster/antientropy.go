@@ -5,15 +5,90 @@ import (
 	"fmt"
 
 	"skute/internal/merkle"
+	"skute/internal/placement"
 	"skute/internal/ring"
 	"skute/internal/transport"
 )
 
-// handleLeaves serves the Merkle leaves of a partition's local data.
+// locate maps a storage key to its (ring, partition) coordinate. It is
+// deliberately lock-free — the store write hook calls it under the
+// engine's shard lock — which is safe because the rings map and every
+// ring's token array are immutable after construction; only partition
+// replica sets mutate, and Lookup never reads those.
+func (n *Node) locate(sk string) (placement.Key, bool) {
+	user, rid := splitStorageKey(sk)
+	if rid == (ring.RingID{}) {
+		return placement.Key{}, false
+	}
+	r := n.rings.Ring(rid)
+	if r == nil {
+		return placement.Key{}, false
+	}
+	return placement.Key{Ring: rid, Part: r.Lookup(ring.HashKey(user)).ID}, true
+}
+
+// treeFor returns the partition's incremental Merkle tree, creating an
+// empty one on first touch.
+func (n *Node) treeFor(id ring.RingID, part int) *merkle.Incremental {
+	k := placement.Key{Ring: id, Part: part}
+	n.tmu.RLock()
+	t := n.trees[k]
+	n.tmu.RUnlock()
+	if t != nil {
+		return t
+	}
+	n.tmu.Lock()
+	defer n.tmu.Unlock()
+	if t = n.trees[k]; t == nil {
+		t = merkle.NewIncremental()
+		n.trees[k] = t
+	}
+	return t
+}
+
+// initTrees seeds the per-partition trees from whatever the engine
+// already holds (a WAL-recovered store) and installs the write hook
+// that keeps them current on every accepted mutation. The hook fires
+// under the engine's shard lock with the post-apply fingerprint, so the
+// trees never lag the store and anti-entropy starts from always-current
+// roots instead of a full rescan per round.
+func (n *Node) initTrees() {
+	for _, l := range n.eng.MerkleLeaves(nil) {
+		if k, ok := n.locate(l.Key); ok {
+			n.treeFor(k.Ring, k.Part).Update(l.Key, l.Hash)
+		}
+	}
+	n.eng.SetWriteHook(func(key string, sum merkle.Digest, deleted bool) {
+		k, ok := n.locate(key)
+		if !ok {
+			return
+		}
+		t := n.treeFor(k.Ring, k.Part)
+		if deleted {
+			t.Delete(key)
+		} else {
+			t.Update(key, sum)
+		}
+	})
+}
+
+// handleLeaves serves the Merkle leaves of a partition's local data. A
+// request whose root matches ours short-circuits to Same — the O(1)
+// steady-state path that skips both the leaf export and the transfer.
 func (n *Node) handleLeaves(req leavesReq) (transport.Envelope, error) {
-	leaves := n.partitionLeaves(req.Ring, req.Part)
+	if _, _, err := n.partition(req.Ring, req.Part); err != nil {
+		return transport.Envelope{Kind: "ok", Payload: encode(leavesResp{})}, nil
+	}
+	t := n.treeFor(req.Ring, req.Part)
+	if len(req.Root) == len(merkle.Digest{}) {
+		var root merkle.Digest
+		copy(root[:], req.Root)
+		if root == t.Root() {
+			return transport.Envelope{Kind: "ok", Payload: encode(leavesResp{Same: true})}, nil
+		}
+	}
 	resp := leavesResp{}
-	for _, l := range leaves {
+	for _, l := range t.Leaves() {
 		resp.Keys = append(resp.Keys, l.Key)
 		h := make([]byte, len(l.Hash))
 		copy(h, l.Hash[:])
@@ -22,72 +97,33 @@ func (n *Node) handleLeaves(req leavesReq) (transport.Envelope, error) {
 	return transport.Envelope{Kind: "ok", Payload: encode(resp)}, nil
 }
 
-// partitionLeaves exports the Merkle leaves of the partition's local keys.
+// partitionLeaves exports the partition's Merkle leaves, key-sorted,
+// straight from the incremental tree — no engine scan.
 func (n *Node) partitionLeaves(id ring.RingID, part int) []merkle.Leaf {
-	_, p, err := n.partition(id, part)
-	if err != nil {
+	if _, _, err := n.partition(id, part); err != nil {
 		return nil
 	}
-	prefix := id.App + "/" + id.Class + "/"
-	return n.eng.MerkleLeaves(func(sk string) bool {
-		if len(sk) <= len(prefix) || sk[:len(prefix)] != prefix {
-			return false
-		}
-		return p.Contains(ring.HashKey(sk[len(prefix):]))
-	})
-}
-
-// handleFetchPartition streams every key/version of a partition.
-func (n *Node) handleFetchPartition(req fetchPartReq) (transport.Envelope, error) {
-	var resp fetchPartResp
-	for _, sk := range n.keysOfPartition(req.Ring, req.Part) {
-		resp.Items = append(resp.Items, kv{Key: sk, Versions: n.eng.Get(sk)})
-	}
-	return transport.Envelope{Kind: "ok", Payload: encode(resp)}, nil
-}
-
-// handleAdopt makes this node a replica of the partition: it pulls the
-// data from the donor address and stores it. Membership is NOT mutated
-// here — the coordinator stamps the versioned placement delta after the
-// adopt succeeds and disseminates it (this node included), so the
-// replica set changes only through the one Apply path.
-func (n *Node) handleAdopt(ctx context.Context, req adoptReq) (transport.Envelope, error) {
-	resp, err := n.tr.Call(ctx, req.FromAddr, transport.Envelope{
-		Kind:    kindFetchPart,
-		Payload: encode(fetchPartReq{Ring: req.Ring, Part: req.Part}),
-	})
-	if err != nil {
-		return transport.Envelope{}, fmt.Errorf("cluster: adopt fetch from %s: %w", req.FromAddr, err)
-	}
-	var fetched fetchPartResp
-	if err := decode(resp.Payload, &fetched); err != nil {
-		return transport.Envelope{}, err
-	}
-	for _, item := range fetched.Items {
-		for _, v := range item.Versions {
-			if _, err := n.eng.Put(item.Key, v); err != nil {
-				return transport.Envelope{}, err
-			}
-		}
-	}
-	return transport.Envelope{Kind: "ok"}, nil
+	return n.treeFor(id, part).Leaves()
 }
 
 // SyncPartition runs one round of Merkle anti-entropy between this node
-// and the named peer for a partition both replicate: it exchanges trees,
-// walks the differing keys and converges both sides. It returns the
-// number of keys repaired. The context bounds every exchange of the
-// round.
+// and the named peer for a partition both replicate. The write-hook-
+// maintained roots make the common case one RPC: if the peer's root
+// matches ours it answers Same and the round costs nothing further.
+// Otherwise the differing keys are walked and both sides converge. It
+// returns the number of keys repaired; the context bounds every
+// exchange of the round.
 func (n *Node) SyncPartition(ctx context.Context, id ring.RingID, part int, peer string) (int, error) {
 	info, ok := n.info(peer)
 	if !ok {
 		return 0, fmt.Errorf("cluster: unknown peer %q", peer)
 	}
-	local := merkle.Build(n.partitionLeaves(id, part))
+	tree := n.treeFor(id, part)
+	root := tree.Root()
 
 	resp, err := n.tr.Call(ctx, info.Addr, transport.Envelope{
 		Kind:    kindLeaves,
-		Payload: encode(leavesReq{Ring: id, Part: part}),
+		Payload: encode(leavesReq{Ring: id, Part: part, Root: root[:]}),
 	})
 	if err != nil {
 		return 0, err
@@ -96,14 +132,17 @@ func (n *Node) SyncPartition(ctx context.Context, id ring.RingID, part int, peer
 	if err := decode(resp.Payload, &lr); err != nil {
 		return 0, err
 	}
+	if lr.Same {
+		n.counters.AntiEntropyRootHits.Inc()
+		return 0, nil
+	}
 	remoteLeaves := make([]merkle.Leaf, len(lr.Keys))
 	for i, k := range lr.Keys {
 		remoteLeaves[i].Key = k
 		copy(remoteLeaves[i].Hash[:], lr.Hashes[i])
 	}
-	remote := merkle.Build(remoteLeaves)
 
-	diff := merkle.DiffKeys(local, remote)
+	diff := merkle.DiffSorted(tree.Leaves(), remoteLeaves)
 	repaired := 0
 	for _, sk := range diff {
 		// Pull the peer's versions and merge them locally.
@@ -148,6 +187,7 @@ func (n *Node) RunAntiEntropy(ctx context.Context, round int) (int, error) {
 		part int
 		peer string
 	}
+	n.counters.AntiEntropyRounds.Inc()
 	var jobs []job
 	n.mu.RLock()
 	for _, rid := range n.rings.IDs() {

@@ -67,6 +67,9 @@ func benchTCPCluster(b *testing.B, freshDial bool) ([]*Node, *Client, ring.RingI
 			b.Fatalf("NewNode over TCP: %v", err)
 		}
 	}
+	for _, n := range nodes {
+		n.ConfirmPeers()
+	}
 	ct := transport.NewTCP()
 	ct.DisablePooling = freshDial
 	b.Cleanup(func() { ct.Close() })

@@ -108,3 +108,18 @@ func (c *Client) MPut(ctx context.Context, id ring.RingID, entries []Entry, opts
 	})
 	return err
 }
+
+// Members dumps the node's member table: every member's gossiped state
+// and incarnation plus the node's local probation/confirmation view
+// (skutectl members).
+func (c *Client) Members(ctx context.Context) ([]MemberRecord, error) {
+	resp, err := c.tr.Call(ctx, c.addr, transport.Envelope{Kind: kindClientMembers})
+	if err != nil {
+		return nil, err
+	}
+	var r clientMembersResp
+	if err := decode(resp.Payload, &r); err != nil {
+		return nil, err
+	}
+	return r.Members, nil
+}

@@ -72,12 +72,21 @@ type Config struct {
 	ReadQuorum  int
 	WriteQuorum int
 	// SuspectAfter is the heartbeat staleness after which a peer counts
-	// as failed (default 10s).
+	// as suspect (default 10s).
 	SuspectAfter time.Duration
+	// DeadAfter is the additional refutation grace after suspicion
+	// before a member is declared dead and its partitions re-placed
+	// (default 3× SuspectAfter).
+	DeadAfter time.Duration
 	// EpochWorkers bounds the worker pool RunEconomicEpoch uses to run
 	// hosted virtual-node decisions concurrently; 0 selects GOMAXPROCS,
 	// negative is invalid.
 	EpochWorkers int
+	// TransferChunkItems caps the keys per partition-transfer chunk
+	// (default 128); TransferBytesPerSec throttles this node's donor-side
+	// transfer bandwidth (0 = unlimited).
+	TransferChunkItems  int
+	TransferBytesPerSec int64
 }
 
 // Validate rejects unusable descriptors.
@@ -125,6 +134,12 @@ func (c Config) Validate() error {
 	}
 	if c.EpochWorkers < 0 {
 		return fmt.Errorf("cluster: negative epoch workers")
+	}
+	if c.SuspectAfter < 0 || c.DeadAfter < 0 {
+		return fmt.Errorf("cluster: negative failure-detector timeout")
+	}
+	if c.TransferChunkItems < 0 || c.TransferBytesPerSec < 0 {
+		return fmt.Errorf("cluster: negative transfer tuning")
 	}
 	return nil
 }

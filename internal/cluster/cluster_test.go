@@ -55,17 +55,22 @@ func testCluster(t *testing.T) (*transport.Memory, []*Node) {
 		}
 		nodes = append(nodes, n)
 	}
+	// All nodes booted together: skip the probation round so quorum
+	// traffic flows without a heartbeat exchange first.
+	for _, n := range nodes {
+		n.ConfirmPeers()
+	}
 	t.Cleanup(func() { mesh.Close() })
 	return mesh, nodes
 }
 
-// kill makes the node unreachable and forgotten by all detectors.
+// kill makes the node unreachable and dead in every member table.
 func kill(mesh *transport.Memory, nodes []*Node, name string) {
 	for _, n := range nodes {
 		if n.Name() == name {
 			mesh.SetDown(n.self.Addr, true)
 		}
-		n.Detector().Forget(name)
+		n.Membership().Fail(name)
 	}
 }
 

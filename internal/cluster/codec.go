@@ -49,12 +49,16 @@ import (
 var wirePayloadPrototypes = []any{
 	getReq{}, getResp{}, putReq{}, putResp{},
 	heartbeatReq{},
-	leavesReq{}, leavesResp{}, fetchPartReq{}, kv{}, fetchPartResp{},
+	leavesReq{}, leavesResp{}, kv{},
 	adoptReq{}, announceReq{}, rentsResp{},
 	deltaReq{}, deltaPullReq{}, deltaPullResp{},
 	putItem{}, multiGetReq{}, multiGetResp{}, multiPutReq{},
 	clientGetReq{}, clientGetResp{}, clientPutReq{},
 	clientMGetReq{}, clientKV{}, clientMGetResp{}, clientMPutReq{},
+	joinReq{}, joinResp{}, memberPullReq{}, memberPullResp{},
+	memberDeltaReq{}, fetchChunkReq{}, fetchChunkResp{},
+	MemberRecord{}, clientMembersResp{},
+	heartbeatResp{},
 }
 
 func init() {

@@ -22,7 +22,27 @@ type ControlCounters struct {
 	HeartbeatRounds metrics.Counter
 
 	// Anti-entropy outcome (data plane, driven by the runtime loop).
-	AntiEntropyKeys metrics.Counter // keys repaired by Merkle sync
+	AntiEntropyKeys     metrics.Counter // keys repaired by Merkle sync
+	AntiEntropyRounds   metrics.Counter // rounds run
+	AntiEntropyRootHits metrics.Counter // partition syncs short-circuited on root equality
+
+	// Membership: member-record merge outcomes, detector transitions and
+	// the evictions they drive.
+	MemberDeltasApplied metrics.Counter
+	MemberDeltasStale   metrics.Counter
+	MemberRefutations   metrics.Counter // accusations of this node it refuted
+	MembersSuspected    metrics.Counter // local alive→suspect transitions
+	MembersDead         metrics.Counter // local suspect→dead transitions
+	MemberEvictions     metrics.Counter // dead members removed from hosted replica sets
+	MemberPulls         metrics.Counter // digest-triggered member list pulls
+	JoinsServed         metrics.Counter // join requests this node admitted
+
+	// Partition transfer (chunked, throttled; see transfer.go).
+	TransferChunks       metrics.Counter // chunks pulled (adopter side)
+	TransferItems        metrics.Counter // keys pulled (adopter side)
+	TransferResumes      metrics.Counter // pulls resumed from a saved cursor
+	TransferChunksServed metrics.Counter // chunks served (donor side)
+	TransferBytesOut     metrics.Counter // value bytes served (donor side)
 }
 
 // Counters exposes the node's control-plane counters.
@@ -45,6 +65,21 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry) {
 		{"gossip_reconcile_rounds_total", &n.counters.ReconcileRounds},
 		{"gossip_heartbeat_rounds_total", &n.counters.HeartbeatRounds},
 		{"antientropy_keys_repaired_total", &n.counters.AntiEntropyKeys},
+		{"antientropy_rounds_total", &n.counters.AntiEntropyRounds},
+		{"antientropy_root_hits_total", &n.counters.AntiEntropyRootHits},
+		{"member_deltas_applied_total", &n.counters.MemberDeltasApplied},
+		{"member_deltas_stale_total", &n.counters.MemberDeltasStale},
+		{"member_refutations_total", &n.counters.MemberRefutations},
+		{"members_suspected_total", &n.counters.MembersSuspected},
+		{"members_dead_total", &n.counters.MembersDead},
+		{"member_evictions_total", &n.counters.MemberEvictions},
+		{"member_pulls_total", &n.counters.MemberPulls},
+		{"joins_served_total", &n.counters.JoinsServed},
+		{"transfer_chunks_total", &n.counters.TransferChunks},
+		{"transfer_items_total", &n.counters.TransferItems},
+		{"transfer_resumes_total", &n.counters.TransferResumes},
+		{"transfer_chunks_served_total", &n.counters.TransferChunksServed},
+		{"transfer_bytes_out_total", &n.counters.TransferBytesOut},
 	} {
 		reg.Gauge(g.name, g.c.Value)
 	}

@@ -10,6 +10,7 @@ import (
 	"skute/internal/economy"
 	"skute/internal/parallel"
 	"skute/internal/ring"
+	"skute/internal/topology"
 	"skute/internal/transport"
 )
 
@@ -258,46 +259,70 @@ func (n *Node) executeAdopt(ctx context.Context, id ring.RingID, part int, targe
 	return nil
 }
 
+// memberHost resolves one replica's availability view from the member
+// table; members that are dead, suspect or still in probation
+// contribute nothing.
+func (n *Node) memberHost(id ring.ServerID) (availability.Host, bool) {
+	name := n.nodeName(id)
+	if name == "" || !n.alive(name) {
+		return availability.Host{}, false
+	}
+	mi, ok := n.mt.Info(name)
+	if !ok {
+		return availability.Host{}, false
+	}
+	loc, err := topology.ParsePath(mi.LocPath)
+	if err != nil {
+		return availability.Host{}, false
+	}
+	return availability.Host{ID: id, Loc: loc, Conf: mi.Confidence}, true
+}
+
 // hostsOf builds the availability view of a partition's replica set,
-// excluding replicas on peers the failure detector considers dead: a
-// failed server no longer contributes diversity, which is exactly what
-// drives the repair replication of Section II-C.
+// excluding replicas on members the table considers down: a failed
+// server no longer contributes diversity, which is exactly what drives
+// the repair replication of Section II-C.
 func (n *Node) hostsOf(p *ring.Partition) []availability.Host {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	hosts := make([]availability.Host, 0, len(p.Replicas))
 	for _, id := range p.Replicas {
-		if !n.alive(n.nodeName(id)) {
-			continue
+		if h, ok := n.memberHost(id); ok {
+			hosts = append(hosts, h)
 		}
-		hosts = append(hosts, availability.Host{
-			ID:   id,
-			Loc:  n.loc(id),
-			Conf: n.cfg.Nodes[int(id)].Confidence,
-		})
 	}
 	return hosts
 }
 
-// candidatesFor lists alive peers not hosting the partition, priced from
-// the board (peers without an announced rent are skipped). The replica
-// table is read under the node lock: peers broadcast assignment changes
-// concurrently with epoch decisions.
+// candidatesFor lists alive members not hosting the partition, priced
+// from the board (members without an announced rent are skipped). The
+// member table — not the boot descriptor — is the candidate source, so
+// freshly joined nodes become adoption targets as soon as their rent
+// lands on the board. The replica table is read under the node lock:
+// peers broadcast assignment changes concurrently with epoch decisions.
 func (n *Node) candidatesFor(p *ring.Partition, rents map[string]float64) []availability.Candidate {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	var cands []availability.Candidate
-	for i, peer := range n.cfg.Nodes {
-		id := ring.ServerID(i)
-		if p.HasReplica(id) || !n.alive(peer.Name) {
+	for _, m := range n.mt.Members() {
+		name := m.Info.Name
+		if !n.alive(name) {
 			continue
 		}
-		rent, ok := rents[peer.Name]
+		id := n.registerName(name)
+		if p.HasReplica(id) {
+			continue
+		}
+		rent, ok := rents[name]
 		if !ok {
 			continue
 		}
+		loc, err := topology.ParsePath(m.Info.LocPath)
+		if err != nil {
+			continue
+		}
 		cands = append(cands, availability.Candidate{
-			Host: availability.Host{ID: id, Loc: n.loc(id), Conf: peer.Confidence},
+			Host: availability.Host{ID: id, Loc: loc, Conf: m.Info.Confidence},
 			Rent: rent,
 			G:    1,
 		})

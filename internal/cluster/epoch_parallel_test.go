@@ -101,6 +101,9 @@ func TestEpochWorkersBounded(t *testing.T) {
 		}
 		nodes = append(nodes, n)
 	}
+	for _, n := range nodes {
+		n.ConfirmPeers()
+	}
 	if err := nodes[0].Put(ctx, goldRing, "k", []byte("v"), nil, WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}

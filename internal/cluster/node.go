@@ -8,12 +8,12 @@ import (
 	"time"
 
 	"skute/internal/economy"
-	"skute/internal/gossip"
+	"skute/internal/membership"
+	"skute/internal/merkle"
 	"skute/internal/parallel"
 	"skute/internal/placement"
 	"skute/internal/ring"
 	"skute/internal/store"
-	"skute/internal/topology"
 	"skute/internal/transport"
 )
 
@@ -23,10 +23,19 @@ const (
 	kindPut       = "put"
 	kindHeartbeat = "heartbeat"
 	kindLeaves    = "merkle-leaves"
-	kindFetchPart = "fetch-partition"
 	kindAdopt     = "adopt"
 	kindAnnounce  = "rent-announce"
 	kindRents     = "rent-list"
+	// Membership kinds: join-via-any-seed, the digest-driven member
+	// pull, and the active push of fresh member records (suspicions,
+	// deaths, joins) — see membership.go.
+	kindJoin        = "member-join"
+	kindMemberPull  = "member-pull"
+	kindMemberDelta = "member-delta"
+	// Chunked partition transfer: a joining or adopting replica pulls a
+	// partition in bounded, resumable chunks instead of one giant
+	// envelope — see transfer.go.
+	kindFetchChunk = "fetch-chunk"
 	// Control-plane placement kinds: a push of freshly proposed
 	// versioned deltas, and the digest-driven pull that heals any node
 	// the push missed (see internal/placement).
@@ -41,11 +50,12 @@ const (
 	// operation on the caller's behalf (cmd/skutectl uses these). The
 	// requests carry the caller's consistency level and timeout budget so
 	// the coordinator honors the caller's choice, not its own defaults.
-	kindClientGet  = "client-get"
-	kindClientPut  = "client-put"
-	kindClientDel  = "client-del"
-	kindClientMGet = "client-mget"
-	kindClientMPut = "client-mput"
+	kindClientGet     = "client-get"
+	kindClientPut     = "client-put"
+	kindClientDel     = "client-del"
+	kindClientMGet    = "client-mget"
+	kindClientMPut    = "client-mput"
+	kindClientMembers = "client-members"
 )
 
 // Wire payloads (gob encoded inside transport.Envelope.Payload via the
@@ -73,30 +83,90 @@ type (
 		// disagrees pulls the sender's deltas (gossip anti-entropy for
 		// the control plane).
 		Digest placement.Digest
+		// Member is the sender's own membership record, so a receiver
+		// that has never heard of the sender (a fresh joiner beating
+		// before its join record gossiped this far) learns its metadata
+		// from the beat itself.
+		Member membership.Delta
+		// MDigest fingerprints the sender's member table; a mismatch
+		// triggers a member pull, mirroring the placement digest.
+		MDigest uint64
+	}
+	heartbeatResp struct {
+		// Member echoes the receiver's own record of the SENDER when the
+		// two disagree (worse state, or a higher incarnation). This is
+		// how an accusation reaches the accused: a node that restarted
+		// after being declared dead gossips to nobody's benefit — peers
+		// drop its stale records and never beat back (terminal members
+		// attract no heartbeats) — so the echo is its only way to learn
+		// of the standing death record and refute it.
+		Member membership.Delta
 	}
 	leavesReq struct {
 		Ring ring.RingID
 		Part int
+		// Root is the requester's incremental-tree root for the
+		// partition; a responder whose own root matches answers
+		// Same=true with no leaves at all — the O(1) fast path of
+		// steady-state anti-entropy.
+		Root []byte
 	}
 	leavesResp struct {
+		Same   bool
 		Keys   []string
 		Hashes [][]byte
-	}
-	fetchPartReq struct {
-		Ring ring.RingID
-		Part int
 	}
 	kv struct {
 		Key      string
 		Versions []store.Version
 	}
-	fetchPartResp struct {
-		Items []kv
-	}
 	adoptReq struct {
 		Ring     ring.RingID
 		Part     int
 		FromAddr string
+	}
+	// Chunked partition transfer (see transfer.go): the adopter pulls
+	// key-ordered chunks after a cursor; the donor throttles by bytes.
+	fetchChunkReq struct {
+		Ring     ring.RingID
+		Part     int
+		After    string // resume cursor: last storage key already applied
+		MaxItems int
+	}
+	fetchChunkResp struct {
+		Items []kv
+		Next  string // cursor to pass as After on the next chunk
+		Done  bool
+	}
+	// Membership wire payloads (see membership.go).
+	joinReq struct {
+		Info membership.Info
+	}
+	joinResp struct {
+		// Assigned is the incarnation the seed stamped the joiner with —
+		// strictly above any prior record of the same name, so a rejoin
+		// supersedes the old death everywhere.
+		Assigned  uint64
+		Members   []membership.Delta
+		Rings     []RingSpec
+		Placement []placement.Delta
+		// Cluster-wide parameters the joiner adopts.
+		ReadQuorum   int
+		WriteQuorum  int
+		SuspectAfter time.Duration
+		DeadAfter    time.Duration
+	}
+	memberPullReq struct {
+		Digest uint64
+	}
+	memberPullResp struct {
+		Deltas []membership.Delta
+	}
+	memberDeltaReq struct {
+		Deltas []membership.Delta
+	}
+	clientMembersResp struct {
+		Members []MemberRecord
 	}
 	announceReq struct {
 		Node string
@@ -172,6 +242,20 @@ type (
 	}
 )
 
+// MemberRecord is one member-table row as reported to clients
+// (skutectl members): the gossiped record plus the serving node's local
+// probation/confirmation view.
+type MemberRecord struct {
+	Name        string
+	Addr        string
+	State       string // alive | probation | suspect | left | dead
+	Incarnation uint64
+	Confirmed   bool
+	// AgeMillis is how long ago the serving node last heard evidence of
+	// the member (0 when never heard from).
+	AgeMillis int64
+}
+
 // Node is one prototype server.
 type Node struct {
 	cfg   Config
@@ -179,12 +263,42 @@ type Node struct {
 	selfI int
 	tr    transport.Transport
 	eng   *store.Engine
-	det   *gossip.Detector
+	// mt is the SWIM-style member table — the single authority on peer
+	// liveness and metadata (see internal/membership). It subsumes the
+	// old heartbeat detector and the static cfg.Nodes peer view: quorum
+	// fan-out, board election and epoch candidates all read from it.
+	mt           *membership.Table
+	suspectAfter time.Duration
+	deadAfter    time.Duration
 	// Now is the clock source; overridable in tests.
 	Now func() time.Time
 	// epochWorkers bounds the economic-epoch worker pool (see
 	// Config.EpochWorkers).
 	epochWorkers int
+
+	// nmu guards the node-local name↔ServerID registry. ServerIDs are
+	// purely local handles — the wire carries names only — handed out
+	// monotonically as members are first heard of, so a node joining
+	// mid-flight needs no global ID coordination. Lock order: mu may be
+	// held when taking nmu, never the reverse.
+	nmu   sync.RWMutex
+	names []string // index == ServerID
+	ids   map[string]ring.ServerID
+
+	// tmu guards the per-partition incremental Merkle trees the store
+	// write hook maintains (see initTrees); anti-entropy compares their
+	// always-current roots instead of rescanning the engine each round.
+	tmu   sync.RWMutex
+	trees map[placement.Key]*merkle.Incremental
+
+	// throttle bounds outbound partition-transfer bandwidth and
+	// chunkItems caps items per transfer chunk (see transfer.go); resume
+	// holds adopter-side cursors keyed ring#part@donor so an interrupted
+	// pull restarts mid-stream instead of from scratch.
+	throttle   *rateLimiter
+	chunkItems int
+	xmu        sync.Mutex
+	resume     map[string]string
 
 	// counters are the control-plane observability counters; RegisterMetrics
 	// exposes them on a metrics.Registry.
@@ -260,15 +374,26 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 	if suspect == 0 {
 		suspect = 10 * time.Second
 	}
+	dead := cfg.DeadAfter
+	if dead == 0 {
+		dead = 3 * suspect
+	}
 	n := &Node{
 		cfg:          cfg,
 		self:         cfg.Nodes[selfI],
 		selfI:        selfI,
 		tr:           tr,
 		eng:          eng,
-		det:          gossip.NewDetector(suspect),
+		mt:           membership.New(memberInfoOf(cfg.Nodes[selfI]), suspect, dead),
+		suspectAfter: suspect,
+		deadAfter:    dead,
 		Now:          time.Now,
 		epochWorkers: cfg.EpochWorkers,
+		ids:          make(map[string]ring.ServerID, len(cfg.Nodes)),
+		trees:        make(map[placement.Key]*merkle.Incremental),
+		throttle:     newRateLimiter(cfg.TransferBytesPerSec),
+		chunkItems:   cfg.TransferChunkItems,
+		resume:       make(map[string]string),
 		rings:        rings,
 		pmap:         pmap,
 		specs:        specs,
@@ -277,12 +402,27 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 		rents:        make(map[string]float64),
 		rng:          rand.New(rand.NewSource(int64(selfI) + 1)),
 	}
-	// Optimistic bootstrap: all peers start alive; real liveness takes
-	// over as heartbeats (or their absence) arrive.
-	now := n.Now()
-	for _, p := range cfg.Nodes {
-		n.det.Heartbeat(p.Name, now)
+	if n.chunkItems <= 0 {
+		n.chunkItems = defaultChunkItems
 	}
+	// The registry mirrors descriptor order, so the ServerIDs baked into
+	// the bootstrap layout stay valid; members learned later (joiners)
+	// get the next free IDs via registerName.
+	for _, p := range cfg.Nodes {
+		n.registerName(p.Name)
+	}
+	// Descriptor peers start in probation — known but unconfirmed — until
+	// the first successful heartbeat exchange; a listed peer that never
+	// answers ages into suspicion and death without ever having counted
+	// as alive. (This replaces the old optimistic bootstrap that presumed
+	// every listed peer up.)
+	now := n.Now()
+	for i, p := range cfg.Nodes {
+		if i != selfI {
+			n.mt.SeedPeer(memberInfoOf(p), now)
+		}
+	}
+	n.initTrees()
 	if err := tr.Serve(n.self.Addr, n.handle); err != nil {
 		return nil, err
 	}
@@ -295,81 +435,112 @@ func (n *Node) Name() string { return n.self.Name }
 // Engine exposes the local storage engine (read-mostly introspection).
 func (n *Node) Engine() *store.Engine { return n.eng }
 
-// Detector exposes the failure detector (tests drive time through it).
-func (n *Node) Detector() *gossip.Detector { return n.det }
+// Membership exposes the member table (tests and skutectl drive churn
+// and inspect member states through it).
+func (n *Node) Membership() *membership.Table { return n.mt }
 
-// info returns the NodeInfo of a named peer.
+// ConfirmPeers marks every known peer as directly confirmed. In-process
+// harnesses (skute.NewCluster, tests) call it right after booting all
+// nodes to skip the probation round a real deployment pays; production
+// confirmation flows from successful heartbeat exchanges.
+func (n *Node) ConfirmPeers() {
+	now := n.Now()
+	for _, m := range n.mt.Members() {
+		n.mt.Confirm(m.Info.Name, now)
+	}
+}
+
+// registerName returns the node-local ServerID of a name, assigning the
+// next free one on first sight.
+func (n *Node) registerName(name string) ring.ServerID {
+	n.nmu.Lock()
+	defer n.nmu.Unlock()
+	if id, ok := n.ids[name]; ok {
+		return id
+	}
+	id := ring.ServerID(len(n.names))
+	n.names = append(n.names, name)
+	n.ids[name] = id
+	return id
+}
+
+// info returns the cluster metadata of a named member.
 func (n *Node) info(name string) (NodeInfo, bool) {
-	for _, p := range n.cfg.Nodes {
-		if p.Name == name {
-			return p, true
-		}
+	if mi, ok := n.mt.Info(name); ok {
+		return nodeInfoOf(mi), true
 	}
 	return NodeInfo{}, false
 }
 
-// nodeName maps a ring.ServerID (descriptor index) to the node name.
-func (n *Node) nodeName(id ring.ServerID) string { return n.cfg.Nodes[int(id)].Name }
+// nodeName maps a node-local ServerID back to the member name.
+func (n *Node) nodeName(id ring.ServerID) string {
+	n.nmu.RLock()
+	defer n.nmu.RUnlock()
+	if int(id) < len(n.names) {
+		return n.names[int(id)]
+	}
+	return ""
+}
 
-// nodeID maps a name back to its descriptor index.
+// nodeID maps a name to its node-local ServerID, if one was assigned.
 func (n *Node) nodeID(name string) (ring.ServerID, bool) {
-	for i, p := range n.cfg.Nodes {
-		if p.Name == name {
-			return ring.ServerID(i), true
-		}
-	}
-	return 0, false
+	n.nmu.RLock()
+	defer n.nmu.RUnlock()
+	id, ok := n.ids[name]
+	return id, ok
 }
 
-// loc returns the location of a descriptor index.
-func (n *Node) loc(id ring.ServerID) topology.Location {
-	l, err := n.cfg.Nodes[int(id)].Loc()
-	if err != nil {
-		panic(err) // validated at construction
-	}
-	return l
-}
+// alive reports liveness per the member table; a node always trusts
+// itself, and probation members (never directly confirmed) count as
+// down until their first successful heartbeat exchange.
+func (n *Node) alive(name string) bool { return n.mt.Alive(name, n.Now()) }
 
-// alive reports liveness; a node always trusts itself.
-func (n *Node) alive(name string) bool {
-	return name == n.self.Name || n.det.Alive(name, n.Now())
-}
-
-// aliveNames returns the names of peers (including self) currently alive.
-func (n *Node) aliveNames() []string {
-	var out []string
-	for _, p := range n.cfg.Nodes {
-		if n.alive(p.Name) {
-			out = append(out, p.Name)
-		}
-	}
-	return out
-}
+// aliveNames returns the names of members (including self) currently alive.
+func (n *Node) aliveNames() []string { return n.mt.AliveNames(n.Now()) }
 
 // storageKey namespaces a user key by ring.
 func storageKey(id ring.RingID, key string) string {
 	return id.App + "/" + id.Class + "/" + key
 }
 
-// SendHeartbeats announces this node to every peer concurrently, each
-// beat piggybacking the sender's placement digest; unreachable peers
-// simply miss the beat and fade in their detectors. The fan-out runs on
-// internal/parallel with one worker per peer, so one dead TCP peer
-// burns only its own dial timeout, never the whole round — the caller's
-// context is the per-round deadline.
+// SendHeartbeats announces this node to every non-terminal member
+// concurrently — suspects included (the beat doubles as the refutation
+// probe) and probation members included (the answered beat is exactly
+// what confirms them). Each beat piggybacks the sender's placement
+// digest plus its own membership record and member-table digest, so
+// membership spreads on the frames the cluster already exchanges. A
+// peer that answers is directly confirmed; unreachable peers miss the
+// beat and age toward suspicion. The fan-out runs on internal/parallel
+// with one worker per peer, so one dead TCP peer burns only its own
+// dial timeout, never the whole round.
 func (n *Node) SendHeartbeats(ctx context.Context) {
 	env := transport.Envelope{Kind: kindHeartbeat, Payload: encode(heartbeatReq{
-		From:   n.self.Name,
-		Digest: n.pmap.Digest(),
+		From:    n.self.Name,
+		Digest:  n.pmap.Digest(),
+		Member:  n.mt.SelfDelta(),
+		MDigest: n.mt.Digest(),
 	})}
-	var peers []NodeInfo
-	for _, p := range n.cfg.Nodes {
+	var peers []membership.Info
+	for _, p := range n.mt.GossipPeers() {
 		if p.Name != n.self.Name {
 			peers = append(peers, p)
 		}
 	}
 	parallel.ForEach(len(peers), len(peers), func(i int) {
-		_, _ = n.tr.Call(ctx, peers[i].Addr, env) // best effort
+		resp, err := n.tr.Call(ctx, peers[i].Addr, env)
+		if err != nil {
+			return
+		}
+		// The peer answered our beat: direct evidence it is up, which
+		// ends probation even before its own beat reaches us.
+		n.mt.Confirm(peers[i].Name, n.Now())
+		// The answer may echo the peer's record of US (an accusation we
+		// have not heard — e.g. this node restarted after being declared
+		// dead); applying it triggers the refutation path.
+		var hr heartbeatResp
+		if len(resp.Payload) > 0 && decode(resp.Payload, &hr) == nil && hr.Member.Info.Name != "" {
+			n.applyMemberDeltas(ctx, hr.Member)
+		}
 	})
 	n.counters.HeartbeatRounds.Inc()
 }
@@ -385,7 +556,11 @@ func (n *Node) handle(ctx context.Context, req transport.Envelope) (transport.En
 		if err := decode(req.Payload, &hb); err != nil {
 			return transport.Envelope{}, err
 		}
-		n.det.Heartbeat(hb.From, n.Now())
+		// The piggybacked self record first: a fresh joiner's beat may be
+		// the first time we hear its name at all, and a refuting member's
+		// bumped incarnation must land before liveness is judged.
+		n.applyMemberDeltas(ctx, hb.Member)
+		n.mt.Confirm(hb.From, n.Now())
 		// Digest mismatch: the sender's placement view differs from
 		// ours, so pull its deltas right away. Last-writer-wins keeps
 		// the merge safe in both directions; if WE hold the newer
@@ -394,7 +569,68 @@ func (n *Node) handle(ctx context.Context, req transport.Envelope) (transport.En
 		if dg := n.pmap.Digest(); len(dg.Mismatch(hb.Digest)) > 0 {
 			_, _ = n.reconcileWith(ctx, hb.From, dg) // best effort; the next beat retries
 		}
+		// Same exchange for the member table: a digest mismatch pulls the
+		// sender's full member list (anti-entropy for membership).
+		if hb.MDigest != n.mt.Digest() {
+			_ = n.pullMembers(ctx, hb.From)
+		}
+		// Echo our record of the sender when it supersedes the beat's
+		// self record — the only channel an accusation has back to the
+		// accused (see heartbeatResp.Member).
+		var hr heartbeatResp
+		if m, ok := n.mt.Get(hb.From); ok &&
+			(m.State != membership.Alive || m.Incarnation > hb.Member.Incarnation) {
+			hr.Member = membership.Delta{Info: m.Info, State: m.State, Incarnation: m.Incarnation}
+		}
+		return transport.Envelope{Kind: "ok", Payload: encode(hr)}, nil
+
+	case kindJoin:
+		var j joinReq
+		if err := decode(req.Payload, &j); err != nil {
+			return transport.Envelope{}, err
+		}
+		return n.handleJoin(ctx, j)
+
+	case kindMemberPull:
+		var mp memberPullReq
+		if err := decode(req.Payload, &mp); err != nil {
+			return transport.Envelope{}, err
+		}
+		var resp memberPullResp
+		if mp.Digest != n.mt.Digest() {
+			resp.Deltas = n.mt.Deltas()
+		}
+		return transport.Envelope{Kind: "ok", Payload: encode(resp)}, nil
+
+	case kindMemberDelta:
+		var md memberDeltaReq
+		if err := decode(req.Payload, &md); err != nil {
+			return transport.Envelope{}, err
+		}
+		n.applyMemberDeltas(ctx, md.Deltas...)
 		return transport.Envelope{Kind: "ok"}, nil
+
+	case kindClientMembers:
+		now := n.Now()
+		members := n.mt.Members()
+		resp := clientMembersResp{Members: make([]MemberRecord, 0, len(members))}
+		for _, m := range members {
+			rec := MemberRecord{
+				Name:        m.Info.Name,
+				Addr:        m.Info.Addr,
+				State:       m.State.String(),
+				Incarnation: m.Incarnation,
+				Confirmed:   m.Confirmed,
+			}
+			if m.Probation() {
+				rec.State = "probation"
+			}
+			if !m.LastHeard.IsZero() {
+				rec.AgeMillis = now.Sub(m.LastHeard).Milliseconds()
+			}
+			resp.Members = append(resp.Members, rec)
+		}
+		return transport.Envelope{Kind: "ok", Payload: encode(resp)}, nil
 
 	case kindGet:
 		var g getReq
@@ -445,12 +681,12 @@ func (n *Node) handle(ctx context.Context, req transport.Envelope) (transport.En
 		}
 		return n.handleLeaves(l)
 
-	case kindFetchPart:
-		var f fetchPartReq
+	case kindFetchChunk:
+		var f fetchChunkReq
 		if err := decode(req.Payload, &f); err != nil {
 			return transport.Envelope{}, err
 		}
-		return n.handleFetchPartition(f)
+		return n.handleFetchChunk(ctx, f)
 
 	case kindAdopt:
 		var a adoptReq
@@ -611,9 +847,10 @@ func (n *Node) materializeLocked(d placement.Delta) (lostSelf bool) {
 	had := p.HasReplica(self)
 	ids := make([]ring.ServerID, 0, len(d.Replicas))
 	for _, name := range d.Replicas {
-		if id, ok := n.nodeID(name); ok {
-			ids = append(ids, id)
-		}
+		// Replica names may precede their member records here (a
+		// placement delta racing the membership gossip); registering on
+		// sight keeps the routing view complete either way.
+		ids = append(ids, n.registerName(name))
 	}
 	p.SetReplicas(ids)
 	if had && !p.HasReplica(self) {
@@ -737,8 +974,8 @@ func (n *Node) disseminate(ctx context.Context, ds ...placement.Delta) {
 	}
 	env := transport.Envelope{Kind: kindDelta, Payload: encode(deltaReq{Deltas: ds})}
 	var addrs []string
-	for _, p := range n.cfg.Nodes {
-		if p.Name != n.self.Name && n.alive(p.Name) {
+	for _, p := range n.mt.GossipPeers() {
+		if n.alive(p.Name) {
 			addrs = append(addrs, p.Addr)
 		}
 	}

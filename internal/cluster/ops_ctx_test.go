@@ -98,6 +98,9 @@ func instrumentedCluster(t *testing.T, wrap func(transport.Transport) transport.
 		}
 		nodes = append(nodes, n)
 	}
+	for _, n := range nodes {
+		n.ConfirmPeers()
+	}
 	t.Cleanup(func() { mesh.Close() })
 	return nodes
 }

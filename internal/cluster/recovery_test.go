@@ -37,6 +37,9 @@ func TestWALRecoveryRejoinsCluster(t *testing.T) {
 		}
 		nodes[ni.Name] = n
 	}
+	for _, n := range nodes {
+		n.ConfirmPeers()
+	}
 
 	for i := 0; i < 12; i++ {
 		if err := nodes["n0"].Put(ctx, goldRing, fmt.Sprintf("durable-%d", i), []byte("v1"), nil, WriteOptions{Consistency: ConsistencyAll}); err != nil {
@@ -48,7 +51,7 @@ func TestWALRecoveryRejoinsCluster(t *testing.T) {
 	// log).
 	mesh.SetDown("mem-n1", true)
 	for _, n := range nodes {
-		n.Detector().Forget("n1")
+		n.Membership().Fail("n1")
 	}
 	if err := engines["n1"].Close(); err != nil {
 		t.Fatal(err)
@@ -75,6 +78,7 @@ func TestWALRecoveryRejoinsCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	n1.ConfirmPeers()
 
 	// Anti-entropy rounds pull in the writes n1 missed.
 	if _, err := n1.RunAntiEntropy(ctx, 0); err != nil {
@@ -122,6 +126,9 @@ func TestCheckpointRecoveryRejoinsCluster(t *testing.T) {
 		}
 		nodes[ni.Name] = n
 	}
+	for _, n := range nodes {
+		n.ConfirmPeers()
+	}
 
 	// History: overwrite the same keys repeatedly so the WAL grows well
 	// past the live data, then checkpoint n1. Keys spread over both rings
@@ -151,7 +158,7 @@ func TestCheckpointRecoveryRejoinsCluster(t *testing.T) {
 	// crash case. Acknowledged writes are already fsynced by group commit.
 	mesh.SetDown("mem-n1", true)
 	for _, n := range nodes {
-		n.Detector().Forget("n1")
+		n.Membership().Fail("n1")
 	}
 	preRoot := merkle.Build(engines["n1"].MerkleLeaves(nil)).Root()
 	preBytes := engines["n1"].Bytes()
@@ -187,6 +194,7 @@ func TestCheckpointRecoveryRejoinsCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	n1.ConfirmPeers()
 	if _, err := n1.RunAntiEntropy(ctx, 0); err != nil {
 		t.Fatalf("anti-entropy: %v", err)
 	}

@@ -90,6 +90,7 @@ func (n *Node) Start(ctx context.Context, rc RuntimeConfig) error {
 
 	n.startLoop(rctx, rc.Heartbeat, rc.Jitter, 1, func(cctx context.Context, _ int) {
 		n.SendHeartbeats(cctx)
+		n.RunMembershipRound(cctx)
 		n.evictDeadPeerConns()
 	})
 	n.startLoop(rctx, rc.Reconcile, rc.Jitter, 2, func(cctx context.Context, _ int) {
@@ -167,9 +168,9 @@ func (n *Node) evictDeadPeerConns() {
 	if !ok {
 		return
 	}
-	for _, p := range n.cfg.Nodes {
-		if p.Name != n.self.Name && !n.alive(p.Name) {
-			ev.Evict(p.Addr)
+	for _, m := range n.mt.Members() {
+		if m.Info.Name != n.self.Name && !n.alive(m.Info.Name) {
+			ev.Evict(m.Info.Addr)
 		}
 	}
 }
@@ -177,13 +178,19 @@ func (n *Node) evictDeadPeerConns() {
 // pickReconcilePeer selects one random alive peer for the proactive
 // reconcile loop.
 func (n *Node) pickReconcilePeer() (string, bool) {
-	n.mu.Lock()
-	peers := n.det.PickPeers(n.self.Name, 1, n.Now(), n.rng)
-	n.mu.Unlock()
+	var peers []string
+	for _, name := range n.aliveNames() {
+		if name != n.self.Name {
+			peers = append(peers, name)
+		}
+	}
 	if len(peers) == 0 {
 		return "", false
 	}
-	return peers[0], true
+	n.mu.Lock()
+	pick := peers[n.rng.Intn(len(peers))]
+	n.mu.Unlock()
+	return pick, true
 }
 
 // Stop halts the runtime loops and waits for in-flight rounds to

@@ -63,6 +63,9 @@ func TestTCPEndToEnd(t *testing.T) {
 			t.Fatalf("NewNode over TCP: %v", err)
 		}
 	}
+	for _, n := range nodes {
+		n.ConfirmPeers()
+	}
 
 	id := ring.RingID{App: "app1", Class: "gold"}
 	client := NewClient(transport.NewTCP(), addrs[0])

@@ -1,0 +1,288 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"sort"
+	"sync"
+)
+
+// Incremental is a write-maintained Merkle tree: a canonical binary
+// hash-trie keyed by the bits of sha256(key). Where Tree is rebuilt
+// from a full scan per anti-entropy round, Incremental absorbs every
+// store write as it happens in O(depth) ≈ O(log n), so comparing two
+// replicas starts from an always-current root.
+//
+// The shape is canonical — determined solely by the key set, never by
+// the insertion or deletion order: a leaf lives at the shallowest depth
+// where its hash-path prefix is unique among present keys (inserts
+// split at the first diverging bit; deletes hoist a lone leaf back up).
+// Two replicas holding the same (key, fingerprint) pairs therefore
+// agree on the root byte-for-byte, which is what lets anti-entropy
+// short-circuit on root equality.
+//
+// Leaf and interior hashes reuse the package's hashLeaf/hashPair
+// formulas, but the shape differs from Tree's balanced array form, so
+// Incremental roots only compare against other Incremental roots.
+// Incremental is safe for concurrent use.
+type Incremental struct {
+	mu    sync.RWMutex
+	root  *trieNode
+	count int
+}
+
+// trieNode is one trie node: a leaf (leaf != nil) or an interior node
+// with up to two children (a nil child hashes as zeroDigest).
+type trieNode struct {
+	leaf  *Leaf
+	child [2]*trieNode
+	hash  Digest
+}
+
+// NewIncremental returns an empty tree.
+func NewIncremental() *Incremental {
+	return &Incremental{}
+}
+
+// pathBit extracts bit i (big-endian) of the key digest.
+func pathBit(d Digest, i int) int {
+	return int(d[i/8]>>(7-i%8)) & 1
+}
+
+func keyDigest(key string) Digest {
+	return Digest(sha256.Sum256([]byte(key)))
+}
+
+func (n *trieNode) rehash() {
+	left, right := zeroDigest, zeroDigest
+	if n.child[0] != nil {
+		left = n.child[0].hash
+	}
+	if n.child[1] != nil {
+		right = n.child[1].hash
+	}
+	n.hash = hashPair(left, right)
+}
+
+// Update inserts the key or replaces its fingerprint.
+func (t *Incremental) Update(key string, hash Digest) {
+	kd := keyDigest(key)
+	leaf := &trieNode{leaf: &Leaf{Key: key, Hash: hash}}
+	leaf.hash = hashLeaf(*leaf.leaf)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root == nil {
+		t.root = leaf
+		t.count = 1
+		return
+	}
+	// Descend to the insertion point, remembering the path for the
+	// hash fix-up on the way back.
+	var path []*trieNode
+	node := t.root
+	depth := 0
+	for node.leaf == nil {
+		path = append(path, node)
+		b := pathBit(kd, depth)
+		if node.child[b] == nil {
+			node.child[b] = leaf
+			t.count++
+			leaf = nil
+			break
+		}
+		node = node.child[b]
+		depth++
+	}
+	if leaf != nil {
+		if node.leaf.Key == key {
+			// Overwrite in place.
+			node.leaf.Hash = hash
+			node.hash = hashLeaf(*node.leaf)
+		} else {
+			// Split: both keys share the path down to depth; build the
+			// interior chain to their first diverging bit.
+			old := node
+			od := keyDigest(old.leaf.Key)
+			top := &trieNode{}
+			if len(path) == 0 {
+				t.root = top
+			} else {
+				parent := path[len(path)-1]
+				parent.child[pathBit(kd, depth-1)] = top
+			}
+			cur := top
+			for d := depth; ; d++ {
+				ob, nb := pathBit(od, d), pathBit(kd, d)
+				path = append(path, cur)
+				if ob != nb {
+					cur.child[ob] = old
+					cur.child[nb] = leaf
+					break
+				}
+				next := &trieNode{}
+				cur.child[ob] = next
+				cur = next
+			}
+			t.count++
+		}
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i].rehash()
+	}
+}
+
+// Delete removes the key; absent keys are a no-op.
+func (t *Incremental) Delete(key string) {
+	kd := keyDigest(key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root == nil {
+		return
+	}
+	if t.root.leaf != nil {
+		if t.root.leaf.Key == key {
+			t.root = nil
+			t.count = 0
+		}
+		return
+	}
+	var path []*trieNode
+	node := t.root
+	depth := 0
+	for node.leaf == nil {
+		path = append(path, node)
+		node = node.child[pathBit(kd, depth)]
+		if node == nil {
+			return
+		}
+		depth++
+	}
+	if node.leaf.Key != key {
+		return
+	}
+	t.count--
+	parent := path[len(path)-1]
+	parent.child[pathBit(kd, depth-1)] = nil
+	// Collapse upward: an interior node left with no children vanishes;
+	// one left with a lone LEAF child is replaced by that leaf (the
+	// leaf's unique-prefix depth shrank). A lone interior child stays —
+	// it still separates two or more deeper keys.
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		var only *trieNode
+		children := 0
+		for _, c := range n.child {
+			if c != nil {
+				children++
+				only = c
+			}
+		}
+		if children >= 2 || (children == 1 && only.leaf == nil) {
+			break
+		}
+		var replacement *trieNode // children == 0
+		if children == 1 {
+			replacement = only // lone leaf hoists up
+		}
+		if i == 0 {
+			t.root = replacement
+		} else {
+			up := path[i-1]
+			for b := range up.child {
+				if up.child[b] == n {
+					up.child[b] = replacement
+				}
+			}
+		}
+		path = path[:i]
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i].rehash()
+	}
+}
+
+// Root returns the current root digest; the zero Digest when empty.
+func (t *Incremental) Root() Digest {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == nil {
+		return zeroDigest
+	}
+	return t.root.hash
+}
+
+// Len returns the number of keys.
+func (t *Incremental) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Leaves returns every (key, fingerprint) pair sorted by key — the
+// exchange format of anti-entropy (trie order is hash order, so the
+// export re-sorts lexicographically for DiffSorted and pagination).
+func (t *Incremental) Leaves() []Leaf {
+	t.mu.RLock()
+	out := make([]Leaf, 0, t.count)
+	var walk func(n *trieNode)
+	walk = func(n *trieNode) {
+		if n == nil {
+			return
+		}
+		if n.leaf != nil {
+			out = append(out, *n.leaf)
+			return
+		}
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	walk(t.root)
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// LeavesAfter returns up to max leaves with keys strictly greater than
+// after, in key order — the pagination primitive of chunked partition
+// transfer. max <= 0 means no limit.
+func (t *Incremental) LeavesAfter(after string, max int) []Leaf {
+	ls := t.Leaves()
+	i := sort.Search(len(ls), func(i int) bool { return ls[i].Key > after })
+	ls = ls[i:]
+	if max > 0 && len(ls) > max {
+		ls = ls[:max]
+	}
+	return ls
+}
+
+// DiffSorted returns the union of keys whose fingerprints differ
+// between two key-sorted leaf lists, including keys present on only one
+// side — DiffKeys for exported Incremental leaves.
+func DiffSorted(a, b []Leaf) []string {
+	var diff []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		la, lb := a[i], b[j]
+		switch {
+		case la.Key == lb.Key:
+			if la.Hash != lb.Hash {
+				diff = append(diff, la.Key)
+			}
+			i++
+			j++
+		case la.Key < lb.Key:
+			diff = append(diff, la.Key)
+			i++
+		default:
+			diff = append(diff, lb.Key)
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		diff = append(diff, a[i].Key)
+	}
+	for ; j < len(b); j++ {
+		diff = append(diff, b[j].Key)
+	}
+	return diff
+}

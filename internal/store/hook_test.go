@@ -1,0 +1,136 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"skute/internal/merkle"
+	"skute/internal/vclock"
+)
+
+// hookTree wires an engine's write hook into an incremental Merkle tree
+// the way cluster.Node does.
+func hookTree(e *Engine) *merkle.Incremental {
+	tree := merkle.NewIncremental()
+	e.SetWriteHook(func(key string, sum merkle.Digest, deleted bool) {
+		if deleted {
+			tree.Delete(key)
+		} else {
+			tree.Update(key, sum)
+		}
+	})
+	return tree
+}
+
+// rebuildFromScan builds the reference tree from a full MerkleLeaves
+// scan — what anti-entropy did before incremental maintenance.
+func rebuildFromScan(e *Engine) *merkle.Incremental {
+	tree := merkle.NewIncremental()
+	for _, l := range e.MerkleLeaves(nil) {
+		tree.Update(l.Key, l.Hash)
+	}
+	return tree
+}
+
+// TestWriteHookMaintainsMerkleTree is the store-level half of the
+// incremental-maintenance property: a hook-fed tree stays
+// digest-identical to a from-scratch scan across randomized puts,
+// causal overwrites, tombstones and drops.
+func TestWriteHookMaintainsMerkleTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := NewMemory()
+	tree := hookTree(e)
+	clocks := make(map[string]vclock.VC)
+	for op := 0; op < 500; op++ {
+		key := fmt.Sprintf("key-%d", rng.Intn(60))
+		switch rng.Intn(5) {
+		case 0: // drop (replica handoff)
+			if _, err := e.Drop(key); err != nil {
+				t.Fatal(err)
+			}
+			delete(clocks, key)
+		case 1: // tombstone
+			c := clocks[key].Clone()
+			c.Tick("n0")
+			clocks[key] = c
+			if _, err := e.Put(key, Version{Clock: c, Tombstone: true}); err != nil {
+				t.Fatal(err)
+			}
+		default: // put/overwrite
+			c := clocks[key].Clone()
+			c.Tick("n0")
+			clocks[key] = c
+			v := Version{Value: []byte(fmt.Sprintf("v%d", op)), Clock: c}
+			if _, err := e.Put(key, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tree.Root() != rebuildFromScan(e).Root() {
+		t.Fatalf("hook-maintained tree diverged from full scan")
+	}
+}
+
+// TestWriteHookRejectedPutLeavesTreeUntouched: a causally dominated put
+// is not a mutation and must not fire the hook.
+func TestWriteHookRejectedPutLeavesTreeUntouched(t *testing.T) {
+	e := NewMemory()
+	tree := hookTree(e)
+	c := vclock.VC{}.Clone()
+	c.Tick("n0")
+	c.Tick("n0")
+	if _, err := e.Put("k", Version{Value: []byte("new"), Clock: c}); err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root()
+	old := vclock.VC{}.Clone()
+	old.Tick("n0")
+	accepted, err := e.Put("k", Version{Value: []byte("stale"), Clock: old})
+	if err != nil || accepted {
+		t.Fatalf("dominated put should be rejected: accepted=%v err=%v", accepted, err)
+	}
+	if tree.Root() != root {
+		t.Fatalf("rejected put changed the tree")
+	}
+	if _, err := e.Drop("absent"); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root() != root {
+		t.Fatalf("missed drop changed the tree")
+	}
+}
+
+// TestWriteHookConcurrentWriters races writers across shards and keys
+// (run under -race in CI): the hook fires under the shard lock with the
+// post-apply fingerprint, so the tree must converge to the scan even
+// when the same key is contended.
+func TestWriteHookConcurrentWriters(t *testing.T) {
+	e := NewMemory()
+	tree := hookTree(e)
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := fmt.Sprintf("n%d", w)
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("key-%d", i%30) // contended across writers
+				c := vclock.VC{}.Clone()
+				for j := 0; j <= i; j++ {
+					c.Tick(node)
+				}
+				if _, err := e.Put(key, Version{Value: []byte(node), Clock: c}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tree.Root() != rebuildFromScan(e).Root() {
+		t.Fatalf("concurrent writes desynced tree from engine")
+	}
+}

@@ -77,6 +77,8 @@ type shard struct {
 type Engine struct {
 	shards [shardCount]shard
 	log    *wal.Log // nil for a purely in-memory engine
+	// hook, when set, observes every accepted mutation (see SetWriteHook).
+	hook WriteHook
 
 	ckptMu sync.Mutex // serializes checkpoints
 	statMu sync.Mutex // guards dur
@@ -384,6 +386,33 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// WriteHook observes every accepted mutation of the engine: sum is the
+// Merkle-leaf fingerprint of the key's POST-apply sibling set (the same
+// digest MerkleLeaves exports), and deleted marks a Drop that removed
+// the key outright. The hook is invoked under the mutated shard's write
+// lock — immediately after the mutation applies, so concurrent writers
+// of the same key deliver their fingerprints in apply order — and must
+// therefore be fast and must not call back into the engine. WAL replay
+// and snapshot load at boot do not fire the hook (install it after
+// Restore and seed from a scan).
+type WriteHook func(key string, sum merkle.Digest, deleted bool)
+
+// SetWriteHook installs the mutation observer. It must be called before
+// the engine is shared across goroutines (boot time); passing nil
+// removes the hook.
+func (e *Engine) SetWriteHook(h WriteHook) { e.hook = h }
+
+// leafSum fingerprints a sibling set into its Merkle-leaf hash; caller
+// holds the shard lock (or owns vs).
+func leafSum(vs []Version) merkle.Digest {
+	parts := make([][]byte, 0, len(vs))
+	for _, v := range vs {
+		d := v.fingerprint()
+		parts = append(parts, d[:])
+	}
+	return merkle.HashValue(parts...)
+}
+
 // Get returns the current sibling set of the key (no tombstones filtered;
 // callers decide). The result is a deep copy: mutating the returned
 // values or clocks cannot corrupt engine state.
@@ -433,6 +462,9 @@ func (e *Engine) Put(key string, v Version) (bool, error) {
 	s := e.shardOf(key)
 	s.mu.Lock()
 	accepted := s.apply(key, v, true)
+	if accepted && e.hook != nil {
+		e.hook(key, leafSum(s.data[key]), false)
+	}
 	if !accepted || e.log == nil {
 		s.mu.Unlock()
 		return accepted, nil
@@ -492,8 +524,11 @@ func (e *Engine) Drop(key string) (int64, error) {
 	}
 	s := e.shardOf(key)
 	s.mu.Lock()
-	freed := s.drop(key)
-	if freed == 0 || e.log == nil {
+	freed, existed := s.drop(key)
+	if existed && e.hook != nil {
+		e.hook(key, merkle.Digest{}, true)
+	}
+	if !existed || e.log == nil {
 		s.mu.Unlock()
 		return freed, nil
 	}
@@ -505,15 +540,17 @@ func (e *Engine) Drop(key string) (int64, error) {
 	return freed, e.log.Commit(t)
 }
 
-// drop removes the key; caller holds mu.
-func (s *shard) drop(key string) int64 {
-	var freed int64
-	for _, v := range s.data[key] {
+// drop removes the key; caller holds mu. existed distinguishes a real
+// removal from a miss (a tombstone-only key frees zero bytes but still
+// existed — it must still be logged and reported to the write hook).
+func (s *shard) drop(key string) (freed int64, existed bool) {
+	vs, existed := s.data[key]
+	for _, v := range vs {
 		freed += int64(len(v.Value))
 	}
 	delete(s.data, key)
 	s.bytes.Add(-freed)
-	return freed
+	return freed, existed
 }
 
 // MergeSiblings folds a set of versions gathered from several replicas
@@ -595,12 +632,7 @@ func (e *Engine) MerkleLeaves(filter func(key string) bool) []merkle.Leaf {
 			if filter != nil && !filter(k) {
 				continue
 			}
-			parts := make([][]byte, 0, len(vs))
-			for _, v := range vs {
-				d := v.fingerprint()
-				parts = append(parts, d[:])
-			}
-			leaves = append(leaves, merkle.Leaf{Key: k, Hash: merkle.HashValue(parts...)})
+			leaves = append(leaves, merkle.Leaf{Key: k, Hash: leafSum(vs)})
 		}
 		s.mu.RUnlock()
 	}

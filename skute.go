@@ -216,7 +216,110 @@ func NewCluster(opts Options) (*Cluster, error) {
 		c.nodes[ni.Name] = n
 		c.order = append(c.order, ni.Name)
 	}
+	// All servers booted together in-process, so skip the probation round
+	// a real deployment pays: every peer counts as directly confirmed
+	// from the start (TCP deployments earn confirmation through the first
+	// heartbeat exchange instead).
+	for _, n := range c.nodes {
+		n.ConfirmPeers()
+	}
 	return c, nil
+}
+
+// AddServer joins a brand-new server to the running cluster through the
+// named seed — the dynamic-membership path: no shared descriptor, just
+// the server's own metadata and one existing member. The joiner starts
+// with zero partitions and the cluster's converged placement view; the
+// next economic epochs place replicas on it (announced rent permitting)
+// and the data arrives via throttled chunked transfer. If the cluster
+// runs autonomously, the new server's loops start immediately.
+func (c *Cluster) AddServer(ctx context.Context, s Server, seed string) error {
+	if _, exists := c.nodes[s.Name]; exists {
+		return fmt.Errorf("skute: server %q already present", s.Name)
+	}
+	if _, ok := c.nodes[seed]; !ok || !c.alive(seed) {
+		return fmt.Errorf("skute: seed server %q unknown or down", seed)
+	}
+	conf := s.Confidence
+	if conf == 0 {
+		conf = 1
+	}
+	capacity := s.Capacity
+	if capacity == 0 {
+		capacity = 16 << 30
+	}
+	qcap := s.QueryCapacity
+	if qcap == 0 {
+		qcap = 10000
+	}
+	ni := cluster.NodeInfo{
+		Name:          s.Name,
+		Addr:          "mem://" + s.Name,
+		LocPath:       s.Location,
+		Confidence:    conf,
+		MonthlyRent:   s.MonthlyRent,
+		Capacity:      capacity,
+		QueryCapacity: qcap,
+	}
+	n, err := cluster.JoinNode(ctx, ni, "mem://"+seed, cluster.JoinOptions{}, c.mesh, store.NewMemory())
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.nodes[s.Name] = n
+	c.order = append(c.order, s.Name)
+	rt := c.rt
+	c.mu.Unlock()
+	// In-process convenience, mirroring NewCluster: confirm both ways so
+	// the joiner is usable without waiting a heartbeat round (the seed's
+	// join handler already spread the join record over the synchronous
+	// mesh, so every alive peer knows the name).
+	n.ConfirmPeers()
+	for _, peerName := range c.order {
+		if peerName != s.Name && c.alive(peerName) {
+			c.nodes[peerName].Membership().Confirm(s.Name, c.nodes[peerName].Now())
+		}
+	}
+	if rt != nil && rt.ctx.Err() == nil {
+		return n.Start(rt.ctx, rt.rc)
+	}
+	return nil
+}
+
+// RemoveServer gracefully removes a server: its Left record spreads
+// cluster-wide (terminal, like a death but without the suspicion
+// window), every remaining host evicts it from its replica sets through
+// versioned placement deltas, and its process goes down. The shrunken
+// partitions are re-replicated up to their SLA by the following
+// economic epochs, copying from the surviving replicas. The name stays
+// known to the cluster (Left is a terminal member state).
+func (c *Cluster) RemoveServer(ctx context.Context, name string) error {
+	leaving, ok := c.nodes[name]
+	if !ok {
+		return fmt.Errorf("skute: unknown server %q", name)
+	}
+	d := leaving.Membership().Leave()
+	for _, peerName := range c.order {
+		if peerName == name || !c.alive(peerName) {
+			continue
+		}
+		peer := c.nodes[peerName]
+		peer.Membership().Apply(d, peer.Now())
+	}
+	// Evict promptly instead of waiting for each peer's next heartbeat
+	// round: every remaining host proposes the removal deltas now.
+	for _, peerName := range c.order {
+		if peerName == name || !c.alive(peerName) {
+			continue
+		}
+		c.nodes[peerName].RunMembershipRound(ctx)
+	}
+	leaving.Stop()
+	c.mesh.SetDown("mem://"+name, true)
+	c.mu.Lock()
+	c.downed[name] = true
+	c.mu.Unlock()
+	return nil
 }
 
 // Close stops the autonomous runtime (if running) and shuts the
@@ -510,8 +613,10 @@ type EpochOps struct {
 }
 
 // FailServer simulates a hard failure of the named server: it becomes
-// unreachable and every peer's failure detector forgets it immediately
-// (in a real deployment the heartbeat timeout does this).
+// unreachable and every peer's member table marks it dead immediately
+// (in a real deployment the alive → suspect → dead progression of the
+// heartbeat timeouts does this, and the next membership round evicts
+// its replicas).
 func (c *Cluster) FailServer(name string) error {
 	failed, ok := c.nodes[name]
 	if !ok {
@@ -525,7 +630,7 @@ func (c *Cluster) FailServer(name string) error {
 	// loops (no-op when the runtime is not active).
 	failed.Stop()
 	for _, peer := range c.nodes {
-		peer.Detector().Forget(name)
+		peer.Membership().Fail(name)
 	}
 	return nil
 }
@@ -544,12 +649,14 @@ func (c *Cluster) ReviveServer(name string) error {
 	c.mu.Lock()
 	delete(c.downed, name)
 	c.mu.Unlock()
-	// Refresh liveness both ways: peers hear the revived server, and the
-	// revived server hears every peer still alive.
+	// Refresh liveness both ways: peers mark the revived server alive at
+	// a fresh incarnation (superseding the death record wherever it
+	// gossiped), and the revived server re-confirms every peer still
+	// alive.
 	for _, peer := range c.nodes {
-		peer.Detector().Heartbeat(name, peer.Now())
+		peer.Membership().Revive(name, peer.Now())
 		if c.alive(peer.Name()) {
-			revived.Detector().Heartbeat(peer.Name(), revived.Now())
+			revived.Membership().Revive(peer.Name(), revived.Now())
 		}
 	}
 	// The reborn process resumes its autonomous loops; the gossip digest

@@ -573,6 +573,181 @@ func TestClusterChurnSoak(t *testing.T) {
 	}
 }
 
+// TestAddRemoveServer: dynamic membership through the embedded API. A
+// cheap server joins through a seed, the economy migrates partitions
+// onto it with the data arriving via chunked transfer; a founding
+// server then leaves gracefully and is evicted from every replica set,
+// with the SLA repaired by the following epochs.
+func TestAddRemoveServer(t *testing.T) {
+	c := newTestCluster(t)
+	const keys = 24
+	for i := 0; i < keys; i++ {
+		if err := c.Put(ctx, "billing", fmt.Sprintf("inv-%d", i), []byte("x"), nil, WriteOptions{Consistency: All}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	joiner := Server{Name: "madrid-1", Location: "eu/es/dc0/r0/k0/s9", MonthlyRent: 30}
+	if err := c.AddServer(ctx, joiner, "zurich-1"); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	if err := c.AddServer(ctx, joiner, "zurich-1"); err == nil {
+		t.Error("duplicate join accepted")
+	}
+	if err := c.AddServer(ctx, Server{Name: "x", Location: joiner.Location, MonthlyRent: 30}, "ghost"); err == nil {
+		t.Error("join via unknown seed accepted")
+	}
+	if got := c.Servers(); got[len(got)-1] != "madrid-1" {
+		t.Errorf("Servers after join = %v", got)
+	}
+	// The joiner is the cheapest server; epochs migrate vnodes onto it.
+	waitUntil(t, 15*time.Second, func() bool {
+		if _, err := c.RunEpoch(ctx); err != nil {
+			return false
+		}
+		n, err := c.VNodesOn("madrid-1")
+		return err == nil && n > 0
+	}, "economy to place partitions on the joiner")
+	if c.nodes["madrid-1"].Counters().TransferItems.Value() == 0 {
+		t.Error("joiner hosts partitions but the chunked-transfer path moved nothing")
+	}
+
+	// Graceful leave: evicted everywhere at once, repaired by epochs.
+	if err := c.RemoveServer(ctx, "virginia-1"); err != nil {
+		t.Fatalf("RemoveServer: %v", err)
+	}
+	if err := c.RemoveServer(ctx, "no-such"); err == nil {
+		t.Error("removing unknown server accepted")
+	}
+	if n, err := c.VNodesOn("virginia-1"); err != nil || n != 0 {
+		t.Errorf("left server still hosts %d vnodes (err %v)", n, err)
+	}
+	waitUntil(t, 15*time.Second, func() bool {
+		if _, err := c.RunEpoch(ctx); err != nil {
+			return false
+		}
+		av, th, err := c.Availability(ctx, "billing")
+		if err != nil {
+			return false
+		}
+		for _, a := range av {
+			if a < th {
+				return false
+			}
+		}
+		return true
+	}, "epochs to repair the SLA after the leave")
+	for i := 0; i < keys; i++ {
+		vals, _, err := c.Get(ctx, "billing", fmt.Sprintf("inv-%d", i), ReadOptions{})
+		if err != nil || len(vals) != 1 {
+			t.Fatalf("inv-%d after join/leave churn: %q, %v", i, vals, err)
+		}
+	}
+}
+
+// TestJoinLeaveSoak is the CI join/leave soak: 3 founding nodes under
+// the full autonomous runtime and live traffic, 2 servers join through
+// seeds (one through the other joiner), 1 founder is killed. Afterwards
+// the placement must converge — the dead server out of every replica
+// set, the joiners holding vnodes — and no acknowledged write may be
+// lost.
+func TestJoinLeaveSoak(t *testing.T) {
+	c, err := NewCluster(Options{
+		Servers: []Server{
+			{Name: "s1", Location: "eu/ch/dc0/r0/k0/s1", MonthlyRent: 100},
+			{Name: "s2", Location: "us/us-east/dc0/r0/k0/s2", MonthlyRent: 100},
+			{Name: "s3", Location: "ap/jp/dc0/r0/k0/s3", MonthlyRent: 100},
+		},
+		Apps: []App{{Name: "ledger", SLA: SLA{Class: "std", Replicas: 2}, Partitions: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	var acked []string
+	put := func(key string) {
+		if err := c.Put(ctx, "ledger", key, []byte("v"), nil, WriteOptions{}); err == nil {
+			acked = append(acked, key)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		put(fmt.Sprintf("pre-%d", i))
+	}
+	if len(acked) != 16 {
+		t.Fatalf("healthy cluster acknowledged %d/16 writes", len(acked))
+	}
+
+	rctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(rctx, Runtime{
+		Heartbeat: 10 * time.Millisecond, Reconcile: 15 * time.Millisecond,
+		AntiEntropy: 40 * time.Millisecond, Epoch: 30 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Join 2 under live traffic — the second through the first joiner,
+	// proving join-via-any-seed.
+	if err := c.AddServer(ctx, Server{Name: "j1", Location: "eu/de/dc0/r0/k0/s4", MonthlyRent: 25}, "s1"); err != nil {
+		t.Fatalf("join j1: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		put(fmt.Sprintf("mid-%d", i))
+	}
+	if err := c.AddServer(ctx, Server{Name: "j2", Location: "us/us-west/dc0/r0/k0/s5", MonthlyRent: 25}, "j1"); err != nil {
+		t.Fatalf("join j2 via j1: %v", err)
+	}
+
+	// Kill a founder; quorum writes that fail are simply not acked.
+	if err := c.FailServer("s2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		put(fmt.Sprintf("post-%d", i))
+	}
+	time.Sleep(150 * time.Millisecond)
+	c.Stop()
+
+	// Deterministic convergence: explicit membership rounds evict the
+	// dead founder, then epochs repair the shrunken partitions.
+	for _, name := range []string{"s1", "s3", "j1", "j2"} {
+		c.nodes[name].RunMembershipRound(ctx)
+	}
+	waitUntil(t, 15*time.Second, func() bool {
+		if _, err := c.RunEpoch(ctx); err != nil {
+			return false
+		}
+		av, th, err := c.Availability(ctx, "ledger")
+		if err != nil {
+			return false
+		}
+		for _, a := range av {
+			if a < th {
+				return false
+			}
+		}
+		return true
+	}, "post-churn epochs to restore the SLA")
+
+	if n, err := c.VNodesOn("s2"); err != nil || n != 0 {
+		t.Errorf("dead founder still in replica sets: %d vnodes (err %v)", n, err)
+	}
+	j1n, _ := c.VNodesOn("j1")
+	j2n, _ := c.VNodesOn("j2")
+	if j1n+j2n == 0 {
+		t.Error("joiners never received a partition")
+	}
+	for _, key := range acked {
+		vals, _, err := c.Get(ctx, "ledger", key, ReadOptions{})
+		if err != nil {
+			t.Fatalf("acknowledged write %s unreadable after the soak: %v", key, err)
+		}
+		if len(vals) != 1 || string(vals[0]) != "v" {
+			t.Fatalf("acknowledged write %s lost: %q", key, vals)
+		}
+	}
+}
+
 // TestReviveAfterRuntimeContextCancelled: ending autonomous mode by
 // cancelling the Start context (instead of calling Stop) must not make
 // ReviveServer launch stillborn loops — it finishes the teardown, and
