@@ -1,0 +1,285 @@
+// Command skute-scenario runs declarative fault-injection scenarios
+// against real skuted processes (or an in-process cluster with
+// -inproc): it parses YAML scenario files declaring a topology, a
+// workload and a fault schedule, drives them, checks the declared
+// invariants, and exits non-zero with a correlated per-node decision
+// trace when one is violated.
+//
+// Usage:
+//
+//	skute-scenario run scenarios/              # whole corpus
+//	skute-scenario run scenarios/rolling-restart.yaml
+//	skute-scenario check scenarios/            # parse + validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"skute/internal/scenario"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(argv []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("skute-scenario", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		skuted  = fs.String("skuted", "", "skuted binary to launch (default: $SKUTED, ./bin/skuted, or go build ./cmd/skuted)")
+		dir     = fs.String("dir", "", "work dir for descriptors, WALs and logs (default: a temp dir; failures always keep it)")
+		keep    = fs.Bool("keep", false, "keep each scenario's work dir even on success")
+		scale   = fs.Float64("scale", 1, "multiply phase durations, fault times and convergence deadlines")
+		timeout = fs.Duration("timeout", 5*time.Minute, "per-scenario wall clock cap")
+		inproc  = fs.Bool("inproc", false, "run against an embedded cluster instead of real skuted processes (skips process-only scenarios)")
+		verbose = fs.Bool("v", false, "log runner progress per scenario")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(errw, "usage: skute-scenario [flags] run|check <file-or-dir>...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
+	if len(args) < 2 {
+		fs.Usage()
+		return 2
+	}
+	verb, paths := args[0], args[1:]
+	specs, err := loadSpecs(paths)
+	if err != nil {
+		fmt.Fprintf(errw, "skute-scenario: %v\n", err)
+		return 2
+	}
+	switch verb {
+	case "check":
+		for _, s := range specs {
+			fmt.Fprintf(out, "%-40s OK (%d nodes, %d phases, %d faults)\n",
+				s.path, s.spec.Topology.Nodes, len(s.spec.Phases), len(s.spec.Faults))
+		}
+		return 0
+	case "run":
+		return runAll(specs, runConfig{
+			skuted: *skuted, dir: *dir, keep: *keep,
+			scale: *scale, timeout: *timeout, inproc: *inproc, verbose: *verbose,
+		}, out, errw)
+	default:
+		fs.Usage()
+		return 2
+	}
+}
+
+type loadedSpec struct {
+	path string
+	spec *scenario.Spec
+}
+
+// loadSpecs expands files and directories into parsed scenarios.
+func loadSpecs(paths []string) ([]loadedSpec, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if ext := filepath.Ext(e.Name()); !e.IsDir() && (ext == ".yaml" || ext == ".yml") {
+				files = append(files, filepath.Join(p, e.Name()))
+			}
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no scenario files under %s", strings.Join(paths, " "))
+	}
+	var specs []loadedSpec
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		s, err := scenario.ParseSpec(string(raw))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		specs = append(specs, loadedSpec{path: f, spec: s})
+	}
+	return specs, nil
+}
+
+type runConfig struct {
+	skuted  string
+	dir     string
+	keep    bool
+	scale   float64
+	timeout time.Duration
+	inproc  bool
+	verbose bool
+}
+
+// runAll executes every scenario sequentially and prints a pass/fail
+// table; any violation makes the whole run exit non-zero.
+func runAll(specs []loadedSpec, cfg runConfig, out, errw io.Writer) int {
+	root := cfg.dir
+	if root == "" {
+		var err error
+		if root, err = os.MkdirTemp("", "skute-scenario-"); err != nil {
+			fmt.Fprintf(errw, "skute-scenario: %v\n", err)
+			return 2
+		}
+	}
+	needProcs := !cfg.inproc
+	if cfg.inproc {
+		for _, s := range specs {
+			if s.spec.RequiresProcesses() {
+				fmt.Fprintf(out, "%-40s SKIP (process-only, -inproc set)\n", s.spec.Name)
+			}
+		}
+	}
+	skutedPath := cfg.skuted
+	if needProcs {
+		var err error
+		if skutedPath, err = resolveSkuted(cfg.skuted, root); err != nil {
+			fmt.Fprintf(errw, "skute-scenario: %v\n", err)
+			return 2
+		}
+	}
+
+	type row struct {
+		name   string
+		status string
+		wall   time.Duration
+		detail string
+	}
+	var rows []row
+	failed := false
+	for _, s := range specs {
+		if cfg.inproc && s.spec.RequiresProcesses() {
+			rows = append(rows, row{name: s.spec.Name, status: "SKIP", detail: "process-only"})
+			continue
+		}
+		workDir := filepath.Join(root, s.spec.Name)
+		if err := os.MkdirAll(workDir, 0o755); err != nil {
+			fmt.Fprintf(errw, "skute-scenario: %v\n", err)
+			return 2
+		}
+		logf := func(string, ...any) {}
+		if cfg.verbose {
+			logf = func(format string, args ...any) { fmt.Fprintf(errw, format+"\n", args...) }
+		}
+		var (
+			h   scenario.Harness
+			err error
+		)
+		if cfg.inproc {
+			h, err = scenario.NewMemHarness(s.spec)
+		} else {
+			h, err = scenario.NewProcHarness(s.spec, scenario.ProcConfig{
+				SkutedPath: skutedPath, Dir: workDir, Logf: logf,
+			})
+		}
+		if err != nil {
+			fmt.Fprintf(errw, "skute-scenario: %s: harness: %v\n", s.spec.Name, err)
+			rows = append(rows, row{name: s.spec.Name, status: "ERROR", detail: err.Error()})
+			failed = true
+			continue
+		}
+		fmt.Fprintf(out, "=== %s (%s)\n", s.spec.Name, s.path)
+		res := scenario.Run(h, s.spec, scenario.Options{Logf: logf, Scale: cfg.scale, Timeout: cfg.timeout})
+		h.Close()
+		for _, p := range res.Phases {
+			fmt.Fprintf(out, "    phase %-16s issued=%-6d acked=%-6d failed=%-5d dropped=%-5d avail=%.4f\n",
+				p.Name, p.Report.Issued, p.Report.Acked, p.Report.Failed, p.Report.Dropped, p.Availability)
+		}
+		if res.Failed() {
+			failed = true
+			rows = append(rows, row{name: s.spec.Name, status: "FAIL", wall: res.Wall, detail: res.Violations[0]})
+			tracePath := filepath.Join(workDir, "trace.txt")
+			os.WriteFile(tracePath, []byte(res.TraceDump()), 0o644)
+			fmt.Fprintf(errw, "--- FAIL %s\n", s.spec.Name)
+			for _, v := range res.Violations {
+				fmt.Fprintf(errw, "    violation: %s\n", v)
+			}
+			fmt.Fprintf(errw, "    correlated decision trace (%d events, saved to %s):\n", len(res.Trace), tracePath)
+			fmt.Fprint(errw, indent(tail(res.TraceDump(), 60), "      "))
+		} else {
+			rows = append(rows, row{name: s.spec.Name, status: "PASS", wall: res.Wall})
+			if !cfg.keep && cfg.dir == "" {
+				os.RemoveAll(workDir)
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "\n%-32s %-6s %10s  %s\n", "SCENARIO", "STATUS", "WALL", "DETAIL")
+	for _, r := range rows {
+		wall := ""
+		if r.wall > 0 {
+			wall = r.wall.Round(10 * time.Millisecond).String()
+		}
+		fmt.Fprintf(out, "%-32s %-6s %10s  %s\n", r.name, r.status, wall, r.detail)
+	}
+	if failed {
+		fmt.Fprintf(out, "\nFAIL (artifacts under %s)\n", root)
+		return 1
+	}
+	fmt.Fprintln(out, "\nPASS")
+	if !cfg.keep && cfg.dir == "" {
+		os.RemoveAll(root)
+	}
+	return 0
+}
+
+// resolveSkuted finds or builds the skuted binary: the -skuted flag,
+// $SKUTED, ./bin/skuted, or a fresh `go build` into the work dir.
+func resolveSkuted(flagPath, root string) (string, error) {
+	for _, p := range []string{flagPath, os.Getenv("SKUTED"), filepath.Join("bin", "skuted")} {
+		if p == "" {
+			continue
+		}
+		if _, err := os.Stat(p); err == nil {
+			return filepath.Abs(p)
+		}
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		return "", fmt.Errorf("no skuted binary (tried -skuted, $SKUTED, ./bin/skuted) and no go toolchain to build one")
+	}
+	out := filepath.Join(root, "skuted")
+	cmd := exec.Command(goBin, "build", "-o", out, "skute/cmd/skuted")
+	if b, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("go build skuted: %v\n%s", err, b)
+	}
+	return out, nil
+}
+
+// tail keeps the last n lines of s.
+func tail(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

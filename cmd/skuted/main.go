@@ -58,6 +58,7 @@ import (
 	"skute/internal/metrics"
 	"skute/internal/store"
 	"skute/internal/transport"
+	"skute/internal/wal"
 )
 
 func main() {
@@ -83,6 +84,10 @@ func main() {
 		queryCap  = flag.Float64("query-capacity", 10000, "per-epoch query capacity when joining")
 		xferChunk = flag.Int("transfer-chunk", 0, "partition-transfer chunk size in items (0 = default 128)")
 		xferRate  = flag.Int64("transfer-rate", 0, "partition-transfer donor bandwidth cap in bytes/sec (0 = unlimited)")
+
+		bindAddr    = flag.String("bind", "", "listen address override: peers still dial this node's descriptor Addr (scenario harnesses front nodes with fault proxies this way; empty = listen on the advertised address)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 4 MiB; tests shrink it to exercise rotation and disk faults quickly)")
+		traceEvents = flag.Int("trace-events", 0, "decision-trace ring capacity served on GET /trace (0 = default 1024)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -105,7 +110,9 @@ func main() {
 	eng := store.NewMemory()
 	var err error
 	if *walPath != "" {
-		eng, err = store.Restore(*walPath, *snapDir)
+		eng, err = store.RestoreOptions(*walPath, *snapDir, store.Options{
+			WAL: wal.Options{SegmentBytes: *walSegBytes},
+		})
 		if err != nil {
 			log.Fatalf("skuted: restore: %v", err)
 		}
@@ -117,13 +124,14 @@ func main() {
 	var node *cluster.Node
 	if *joinAddr != "" {
 		self := cluster.NodeInfo{
-			Name: *name, Addr: *listen, LocPath: *locPath,
+			Name: *name, Addr: *listen, Bind: *bindAddr, LocPath: *locPath,
 			Confidence: *conf, MonthlyRent: *rent,
 			Capacity: *capacity, QueryCapacity: *queryCap,
 		}
 		node, err = cluster.JoinNode(context.Background(), self, *joinAddr, cluster.JoinOptions{
 			TransferChunkItems:  *xferChunk,
 			TransferBytesPerSec: *xferRate,
+			TraceEvents:         *traceEvents,
 		}, tr, eng)
 		if err != nil {
 			log.Fatalf("skuted: join via %s: %v", *joinAddr, err)
@@ -143,6 +151,18 @@ func main() {
 		}
 		if *xferRate > 0 {
 			cfg.TransferBytesPerSec = *xferRate
+		}
+		if *traceEvents > 0 {
+			cfg.TraceEvents = *traceEvents
+		}
+		if *bindAddr != "" {
+			// Bind is node-local: it only makes sense on this node's own
+			// descriptor entry, never on peers'.
+			for i := range cfg.Nodes {
+				if cfg.Nodes[i].Name == *name {
+					cfg.Nodes[i].Bind = *bindAddr
+				}
+			}
 		}
 		node, err = cluster.NewNode(cfg, *name, tr, eng)
 		if err != nil {
@@ -199,7 +219,8 @@ func main() {
 		reg.Gauge("store_keys", func() int64 { return int64(eng.Len()) })
 
 		adminErrs := make(chan error, 1)
-		srv := httpadmin.Serve(*admin, httpadmin.StatsFunc(func() any { return node.Stats() }), reg, adminErrs)
+		srv := httpadmin.Serve(*admin, httpadmin.StatsFunc(func() any { return node.Stats() }), reg,
+			httpadmin.TraceFunc(func() any { return node.Trace().Events() }), adminErrs)
 		defer srv.Close()
 		go func() {
 			if err := <-adminErrs; err != nil {

@@ -60,7 +60,9 @@ func TestDocFileReferencesExist(t *testing.T) {
 	}
 }
 
-var flagDefRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)\("([^"]+)"`)
+// Matches both package-level flag.X("...") and FlagSet-based
+// fs.X("...") definitions (skute-scenario parses through a FlagSet).
+var flagDefRe = regexp.MustCompile(`\b(?:flag|fs)\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)\("([^"]+)"`)
 
 // definedFlags parses the flag definitions of one command's main.go.
 func definedFlags(t *testing.T, cmd string) []string {
@@ -84,7 +86,7 @@ func TestReadmeDocumentsEveryFlag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cmd := range []string{"skuted", "skutectl", "skute-sim"} {
+	for _, cmd := range []string{"skuted", "skutectl", "skute-sim", "skute-scenario"} {
 		flags := definedFlags(t, cmd)
 		if len(flags) == 0 {
 			t.Fatalf("no flags parsed from cmd/%s/main.go — regex rot?", cmd)
@@ -110,7 +112,7 @@ var flagTokenRe = regexp.MustCompile(`^-[a-z][a-z0-9-]*$`)
 // flag without fixing the docs fails CI.
 func TestDocFlagsAreReal(t *testing.T) {
 	real := map[string]bool{}
-	for _, cmd := range []string{"skuted", "skutectl", "skute-sim"} {
+	for _, cmd := range []string{"skuted", "skutectl", "skute-sim", "skute-scenario"} {
 		for _, f := range definedFlags(t, cmd) {
 			real["-"+f] = true
 		}

@@ -176,6 +176,30 @@ func (n *Node) SyncPartition(ctx context.Context, id ring.RingID, part int, peer
 	return repaired, nil
 }
 
+// handoffSync drains this node's copy of a partition into every alive
+// surviving replica — one Merkle catch-up round per peer — before a
+// departing replica deletes its local data. The adopt transfer is a
+// cursor-ordered snapshot, so writes this node acknowledged while the
+// pull ran may exist nowhere else yet; dropping without this drain lets
+// a migration (or two replicas of the same partition migrating inside
+// one epoch window) globally lose an acknowledged write. Best effort
+// per peer: one reachable survivor receiving the drain is enough for
+// anti-entropy and read repair to spread the version from there.
+func (n *Node) handoffSync(ctx context.Context, id ring.RingID, part int) {
+	e, ok := n.pmap.Get(id, part)
+	if !ok {
+		return
+	}
+	for _, peer := range e.Replicas {
+		if peer == n.self.Name || !n.alive(peer) {
+			continue
+		}
+		if pushed, err := n.SyncPartition(ctx, id, part, peer); err == nil && pushed > 0 {
+			n.trace.Add("handoff", "%s#%d drained %d keys to %s", id, part, pushed, peer)
+		}
+	}
+}
+
 // RunAntiEntropy performs one anti-entropy round: for every partition
 // this node replicates, it synchronizes with one alive peer replica
 // (rotating deterministically by round). It returns the total keys

@@ -33,8 +33,14 @@ import (
 // slash-separated 6-level paths (see topology.ParsePath) so that the
 // descriptor is plainly serializable.
 type NodeInfo struct {
-	Name        string
-	Addr        string
+	Name string
+	Addr string
+	// Bind optionally overrides the address the node LISTENS on while
+	// Addr stays what peers and clients dial. Scenario harnesses use it
+	// to front a node with a fault-injection proxy: Addr is the proxy,
+	// Bind the real socket behind it. Empty means listen on Addr. Bind
+	// is node-local and never gossiped.
+	Bind        string
 	LocPath     string
 	Confidence  float64
 	MonthlyRent float64
@@ -87,6 +93,9 @@ type Config struct {
 	// transfer bandwidth (0 = unlimited).
 	TransferChunkItems  int
 	TransferBytesPerSec int64
+	// TraceEvents bounds the control-plane decision-trace ring served on
+	// GET /trace (0 selects the default 1024).
+	TraceEvents int
 }
 
 // Validate rejects unusable descriptors.
@@ -140,6 +149,9 @@ func (c Config) Validate() error {
 	}
 	if c.TransferChunkItems < 0 || c.TransferBytesPerSec < 0 {
 		return fmt.Errorf("cluster: negative transfer tuning")
+	}
+	if c.TraceEvents < 0 {
+		return fmt.Errorf("cluster: negative trace capacity")
 	}
 	return nil
 }

@@ -195,6 +195,9 @@ func (n *Node) RunEconomicEpoch(ctx context.Context, params agent.Params, rentPa
 			if err := n.executeAdopt(ctx, h.id, h.part, d.Target); err == nil {
 				if del, ok := n.propose(h.id, h.part, "", n.self.Name); ok {
 					n.disseminate(ctx, del)
+					// Drain writes acked after the adopt pull's snapshot
+					// into the survivors before deleting the local copy.
+					n.handoffSync(ctx, h.id, h.part)
 					n.dropIfEvicted(h.id, h.part)
 					outcomes[i].migrations = 1
 				} else {
@@ -214,6 +217,9 @@ func (n *Node) RunEconomicEpoch(ctx context.Context, params agent.Params, rentPa
 				// degrades to a no-op instead of orphaning it.
 				if del, ok := n.propose(h.id, h.part, "", n.self.Name); ok {
 					n.disseminate(ctx, del)
+					// Same drain as Migrate: a suicide may hold the only
+					// copy of a write it acknowledged moments ago.
+					n.handoffSync(ctx, h.id, h.part)
 					n.dropIfEvicted(h.id, h.part)
 					outcomes[i].suicides = 1
 				}
@@ -230,6 +236,10 @@ func (n *Node) RunEconomicEpoch(ctx context.Context, params agent.Params, rentPa
 	n.counters.EpochReplications.Add(int64(rep.Replications))
 	n.counters.EpochMigrations.Add(int64(rep.Migrations))
 	n.counters.EpochSuicides.Add(int64(rep.Suicides))
+	if rep.Repairs+rep.Replications+rep.Migrations+rep.Suicides > 0 {
+		n.trace.Add("epoch", "board=%s rent=%.3f repairs=%d replications=%d migrations=%d suicides=%d",
+			board, rep.Rent, rep.Repairs, rep.Replications, rep.Migrations, rep.Suicides)
+	}
 
 	n.qmu.Lock()
 	n.queries = make(map[string]float64)
@@ -253,6 +263,7 @@ func (n *Node) executeAdopt(ctx context.Context, id ring.RingID, part int, targe
 	if err != nil {
 		return err
 	}
+	n.trace.Add("adopt", "%s#%d -> %s", id, part, name)
 	if d, ok := n.propose(id, part, name, ""); ok {
 		n.disseminate(ctx, d)
 	}
@@ -356,6 +367,10 @@ type Stats struct {
 	Hosted      int
 	Rings       []RingStats
 	MonthlyRent float64
+	// PlacementDigest folds the per-ring placement digests into one
+	// comparable value: nodes agreeing on it hold identical replica
+	// maps, the convergence check scenario invariants poll for.
+	PlacementDigest uint64
 }
 
 // RingStats summarizes one ring from this node's replica table.
@@ -379,6 +394,7 @@ func (n *Node) Stats() Stats {
 		AlivePeers:  n.aliveNames(),
 		MonthlyRent: n.self.MonthlyRent,
 	}
+	st.PlacementDigest = n.pmap.Digest().Sum()
 	st.Hosted, _ = n.HostedCount(n.self.Name)
 	for _, spec := range n.cfg.Rings {
 		rs := RingStats{

@@ -66,11 +66,13 @@ func (n *Node) applyMemberDeltas(ctx context.Context, ds ...membership.Delta) in
 		case membership.Applied:
 			n.registerName(d.Info.Name)
 			n.counters.MemberDeltasApplied.Inc()
+			n.trace.Add("member", "apply %s=%s@%d", d.Info.Name, d.State, d.Incarnation)
 			applied++
 		case membership.Stale:
 			n.counters.MemberDeltasStale.Inc()
 		case membership.Refuted:
 			n.counters.MemberRefutations.Inc()
+			n.trace.Add("member", "refuted accusation %s@%d", d.State, d.Incarnation)
 			refuted = true
 		}
 	}
@@ -127,6 +129,12 @@ func (n *Node) RunMembershipRound(ctx context.Context) {
 	suspects, deads := n.mt.Tick(n.Now())
 	n.counters.MembersSuspected.Add(int64(len(suspects)))
 	n.counters.MembersDead.Add(int64(len(deads)))
+	for _, d := range suspects {
+		n.trace.Add("detector", "suspect %s@%d", d.Info.Name, d.Incarnation)
+	}
+	for _, d := range deads {
+		n.trace.Add("detector", "dead %s@%d", d.Info.Name, d.Incarnation)
+	}
 	if len(suspects)+len(deads) > 0 {
 		n.spreadMembers(ctx, append(suspects, deads...)...)
 	}
@@ -172,6 +180,7 @@ func (n *Node) evictDeadMembers(ctx context.Context) {
 		if d, ok := n.propose(ev.id, ev.part, "", ev.name); ok {
 			n.disseminate(ctx, d)
 			n.counters.MemberEvictions.Inc()
+			n.trace.Add("evict", "%s out of %s#%d", ev.name, ev.id, ev.part)
 		}
 	}
 }
@@ -201,6 +210,7 @@ func (n *Node) handleJoin(ctx context.Context, req joinReq) (transport.Envelope,
 	n.mt.Confirm(req.Info.Name, n.Now())
 	n.spreadMembers(ctx, d)
 	n.counters.JoinsServed.Inc()
+	n.trace.Add("join", "admitted %s (%s) at incarnation %d", req.Info.Name, req.Info.Addr, assigned)
 	return transport.Envelope{Kind: "ok", Payload: encode(joinResp{
 		Assigned:     assigned,
 		Members:      n.mt.Deltas(),
@@ -222,6 +232,8 @@ type JoinOptions struct {
 	// side of partition transfer (see the Config fields).
 	TransferChunkItems  int
 	TransferBytesPerSec int64
+	// TraceEvents bounds the decision-trace ring (see Config.TraceEvents).
+	TraceEvents int
 }
 
 // JoinNode boots a node into an existing cluster through any live seed:
@@ -282,6 +294,7 @@ func JoinNode(ctx context.Context, self NodeInfo, seedAddr string, opts JoinOpti
 		EpochWorkers:        opts.EpochWorkers,
 		TransferChunkItems:  opts.TransferChunkItems,
 		TransferBytesPerSec: opts.TransferBytesPerSec,
+		TraceEvents:         opts.TraceEvents,
 	}
 	n := &Node{
 		cfg:          cfg,
@@ -298,6 +311,7 @@ func JoinNode(ctx context.Context, self NodeInfo, seedAddr string, opts JoinOpti
 		trees:        make(map[placement.Key]*merkle.Incremental),
 		throttle:     newRateLimiter(opts.TransferBytesPerSec),
 		chunkItems:   opts.TransferChunkItems,
+		trace:        NewTraceRing(self.Name, opts.TraceEvents),
 		resume:       make(map[string]string),
 		rings:        mr,
 		pmap:         placement.NewMap(),
@@ -325,7 +339,8 @@ func JoinNode(ctx context.Context, self NodeInfo, seedAddr string, opts JoinOpti
 	}
 	n.applyDeltas(jr.Placement)
 	n.initTrees()
-	if err := tr.Serve(self.Addr, n.handle); err != nil {
+	n.trace.Add("join", "joined via seed %s", seedAddr)
+	if err := tr.Serve(listenAddr(self), n.handle); err != nil {
 		return nil, err
 	}
 	return n, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skute/internal/economy"
@@ -304,8 +305,18 @@ type Node struct {
 	// exposes them on a metrics.Registry.
 	counters ControlCounters
 
+	// trace is the bounded control-plane decision ring served on the
+	// admin endpoint's GET /trace (see trace.go).
+	trace *TraceRing
+
 	// run tracks the autonomous runtime (Start/Stop); see runtime.go.
 	run runState
+
+	// dot is the node-local monotonic write counter: every coordinated
+	// write stamps its clock's own entry from this counter instead of
+	// incrementing whatever the read context carried (see stampClock).
+	// Seeded at boot past every own entry in the recovered store.
+	dot atomic.Uint64
 
 	// mu guards the ring layout, the placement map's materialization into
 	// it, ledgers and the board copy. The quorum read/write path only ever
@@ -401,10 +412,24 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 		queries:      make(map[string]float64),
 		rents:        make(map[string]float64),
 		rng:          rand.New(rand.NewSource(int64(selfI) + 1)),
+		trace:        NewTraceRing(cfg.Nodes[selfI].Name, cfg.TraceEvents),
 	}
 	if n.chunkItems <= 0 {
 		n.chunkItems = defaultChunkItems
 	}
+	// Seed the write dot past every own entry in the recovered store: a
+	// restarted coordinator whose counter restarted below its stored
+	// clocks could re-issue an own entry it already used, making a fresh
+	// write's clock comparable-below an older one (see stampClock).
+	seed := uint64(0)
+	for _, sk := range eng.Keys() {
+		for _, v := range eng.Get(sk) {
+			if own := v.Clock.Get(name); own > seed {
+				seed = own
+			}
+		}
+	}
+	n.dot.Store(seed)
 	// The registry mirrors descriptor order, so the ServerIDs baked into
 	// the bootstrap layout stay valid; members learned later (joiners)
 	// get the next free IDs via registerName.
@@ -423,10 +448,19 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 		}
 	}
 	n.initTrees()
-	if err := tr.Serve(n.self.Addr, n.handle); err != nil {
+	if err := tr.Serve(listenAddr(n.self), n.handle); err != nil {
 		return nil, err
 	}
 	return n, nil
+}
+
+// listenAddr is the address a node binds: the optional Bind override,
+// or the advertised Addr.
+func listenAddr(n NodeInfo) string {
+	if n.Bind != "" {
+		return n.Bind
+	}
+	return n.Addr
 }
 
 // Name returns the node's name.
@@ -875,8 +909,10 @@ func (n *Node) applyDeltas(ds []placement.Delta) int {
 		case placement.Applied:
 			applied++
 			n.counters.DeltasApplied.Inc()
+			n.trace.Add("placement", "apply %s", d)
 			if n.materializeLocked(d) {
 				drops = append(drops, d)
+				n.trace.Add("placement", "evicted self from %s#%d, dropping data", d.Ring, d.Part)
 			}
 		case placement.Stale:
 			n.counters.DeltasStale.Inc()
@@ -886,11 +922,29 @@ func (n *Node) applyDeltas(ds []placement.Delta) int {
 		}
 	}
 	n.mu.Unlock()
-	for _, d := range drops {
-		n.dropPartitionData(d.Ring, d.Part)
+	if len(drops) > 0 {
+		// Drain before dropping: the evicted copy may hold the only
+		// replicas of writes this node acknowledged while its placement
+		// view was stale — a freshly revived node coordinates with its
+		// pre-death map and counts its own doomed copy toward the write
+		// quorum until the catch-up lands. Deleting without a final
+		// Merkle push to the surviving replicas would lose those
+		// acknowledged writes globally.
+		ctx, cancel := context.WithTimeout(context.Background(), evictDrainTimeout)
+		defer cancel()
+		for _, d := range drops {
+			n.handoffSync(ctx, d.Ring, d.Part)
+			n.dropPartitionData(d.Ring, d.Part)
+		}
 	}
 	return applied
 }
+
+// evictDrainTimeout bounds the pre-drop Merkle drain of a self-evicting
+// node across all partitions it just lost: long enough to push a few
+// partitions of divergent keys, short enough that a rejoin catching up
+// against unreachable peers cannot wedge the delta handler.
+const evictDrainTimeout = 10 * time.Second
 
 // propose stamps a replica-set change decided locally (adopt target,
 // drop self, …) into the placement map — version bumped, this node as
@@ -937,6 +991,7 @@ func (n *Node) propose(id ring.RingID, part int, add, remove string) (placement.
 	}
 	d := n.pmap.Propose(id, part, n.self.Name, replicas)
 	n.materializeLocked(d)
+	n.trace.Add("propose", "%s (add=%q remove=%q)", d, add, remove)
 	return d, true
 }
 

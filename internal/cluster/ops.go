@@ -333,16 +333,49 @@ func needsRepair(have, merged []store.Version) bool {
 	return false
 }
 
+// stampClock derives the clock of a new coordinated write from the
+// caller's read context: the context's entries plus this node's own
+// entry set from a node-local monotonic counter. A plain tick of the
+// context's own entry is not safe — when the read behind a
+// read-modify-write was stale (it missed a version this same node
+// coordinated), context+1 can land at or below the own entry of the
+// stored clock, producing a write strictly dominated by data already
+// on every replica. The engine silently discards dominated versions,
+// so the write would be acknowledged by a full quorum yet survive
+// nowhere. Stamping from a counter that never repeats an own entry
+// makes a coordinated write dominating-or-concurrent, never dominated:
+// the worst a stale context yields is a sibling for the client to
+// reconcile. This is the dotted-version-vector refinement of classic
+// coordinator-side ticking.
+func (n *Node) stampClock(vctx vclock.VC) vclock.VC {
+	c := vctx.Clone()
+	own := c.Get(n.self.Name)
+	for {
+		cur := n.dot.Load()
+		next := cur + 1
+		// A context carrying an own entry at or above the counter means
+		// the counter lost state (it is seeded from the local store at
+		// boot, but the entry may only survive on peers); step past it.
+		if own >= next {
+			next = own + 1
+		}
+		if n.dot.CompareAndSwap(cur, next) {
+			c[n.self.Name] = next
+			return c
+		}
+	}
+}
+
 // Put writes the value under a clock derived from the read context,
 // requiring the write quorum (or the per-request override) of live
 // replicas to acknowledge before the context deadline.
 func (n *Node) Put(ctx context.Context, id ring.RingID, key string, value []byte, vctx vclock.VC, opts WriteOptions) error {
-	return n.write(ctx, id, key, store.Version{Value: value, Clock: vctx.Clone().Tick(n.self.Name)}, opts)
+	return n.write(ctx, id, key, store.Version{Value: value, Clock: n.stampClock(vctx)}, opts)
 }
 
 // Delete writes a tombstone derived from the read context.
 func (n *Node) Delete(ctx context.Context, id ring.RingID, key string, vctx vclock.VC, opts WriteOptions) error {
-	return n.write(ctx, id, key, store.Version{Tombstone: true, Clock: vctx.Clone().Tick(n.self.Name)}, opts)
+	return n.write(ctx, id, key, store.Version{Tombstone: true, Clock: n.stampClock(vctx)}, opts)
 }
 
 // write fans a version out to the partition's replicas.
@@ -403,7 +436,7 @@ func (n *Node) MultiPut(ctx context.Context, id ring.RingID, entries []Entry, op
 		if _, ok := versions[e.Key]; !ok {
 			keys = append(keys, e.Key)
 		}
-		versions[e.Key] = store.Version{Value: e.Value, Clock: e.Context.Clone().Tick(n.self.Name)}
+		versions[e.Key] = store.Version{Value: e.Value, Clock: n.stampClock(e.Context)}
 	}
 	groups := n.groupByPartition(id, keys)
 

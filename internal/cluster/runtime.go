@@ -87,6 +87,8 @@ func (n *Node) Start(ctx context.Context, rc RuntimeConfig) error {
 	}
 	rctx, cancel := context.WithCancel(ctx)
 	n.run.cancel = cancel
+	n.trace.Add("runtime", "start heartbeat=%s reconcile=%s anti-entropy=%s epoch=%s",
+		rc.Heartbeat, rc.Reconcile, rc.AntiEntropy, rc.Epoch)
 
 	n.startLoop(rctx, rc.Heartbeat, rc.Jitter, 1, func(cctx context.Context, _ int) {
 		n.SendHeartbeats(cctx)
@@ -206,4 +208,5 @@ func (n *Node) Stop() {
 	}
 	cancel()
 	n.run.wg.Wait()
+	n.trace.Add("runtime", "stop")
 }

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"skute/internal/store"
+	"skute/internal/transport"
+	"skute/internal/vclock"
+)
+
+// TestStampClockNeverDominated checks the core dotted-version-vector
+// invariant: a clock stamped by a coordinator is never dominated by a
+// clock that same coordinator stamped earlier, no matter how stale the
+// read context is.
+func TestStampClockNeverDominated(t *testing.T) {
+	n := &Node{self: NodeInfo{Name: "n1"}}
+
+	c1 := n.stampClock(nil)
+	if got := c1.Get("n1"); got != 1 {
+		t.Fatalf("first stamp own entry = %d, want 1", got)
+	}
+	c2 := n.stampClock(c1)
+	if c2.Compare(c1) != vclock.After {
+		t.Fatalf("fresh-context stamp must descend: %v vs %v", c2, c1)
+	}
+
+	// A completely stale context (the read missed both prior writes)
+	// must still not be dominated by c2.
+	c3 := n.stampClock(vclock.New())
+	if ord := c3.Compare(c2); ord == vclock.Before || ord == vclock.Equal {
+		t.Fatalf("stale-context stamp dominated: %v vs %v (ord %v)", c3, c2, ord)
+	}
+
+	// A context carrying only foreign entries yields a sibling, not a
+	// dominated clock.
+	c4 := n.stampClock(vclock.VC{"n2": 5})
+	if ord := c4.Compare(c2); ord == vclock.Before || ord == vclock.Equal {
+		t.Fatalf("foreign-context stamp dominated: %v vs %v (ord %v)", c4, c2, ord)
+	}
+
+	// A context whose own entry is ahead of the counter (counter lost
+	// state) pushes the counter past it.
+	c5 := n.stampClock(vclock.VC{"n1": 100})
+	if got := c5.Get("n1"); got != 101 {
+		t.Fatalf("catch-up stamp own entry = %d, want 101", got)
+	}
+	if got := n.stampClock(nil).Get("n1"); got != 102 {
+		t.Fatalf("post-catch-up stamp own entry = %d, want 102", got)
+	}
+}
+
+// TestStampClockConcurrent checks that concurrent stamps never repeat
+// an own entry.
+func TestStampClockConcurrent(t *testing.T) {
+	n := &Node{self: NodeInfo{Name: "n1"}}
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				own := n.stampClock(nil).Get("n1")
+				mu.Lock()
+				if seen[own] {
+					mu.Unlock()
+					t.Errorf("own entry %d issued twice", own)
+					return
+				}
+				seen[own] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("issued %d distinct entries, want %d", len(seen), workers*per)
+	}
+}
+
+// TestDotSeededFromStore checks that a restarted node resumes its write
+// counter past the highest own entry in its recovered store, so it
+// cannot re-issue an entry it used before the crash.
+func TestDotSeededFromStore(t *testing.T) {
+	eng := store.NewMemory()
+	if _, err := eng.Put("appA/gold/k", store.Version{
+		Value: []byte("v"),
+		Clock: vclock.VC{"n0": 7, "n3": 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(testConfig(), "n0", transport.NewMemory(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.stampClock(nil).Get("n0"); got != 8 {
+		t.Fatalf("seeded stamp own entry = %d, want 8", got)
+	}
+}
+
+// TestStaleContextWriteSurvives is the end-to-end regression for the
+// acknowledged-write-loss bug: a read-modify-write whose read context is
+// stale (it missed the coordinator's latest write) must still produce a
+// version that survives somewhere — as the winner or as a sibling —
+// never a silently-discarded dominated clock that every replica rejects
+// while the coordinator collects a full quorum of acks.
+func TestStaleContextWriteSurvives(t *testing.T) {
+	_, nodes := testCluster(t)
+	ctx := context.Background()
+	coord := nodes[0]
+
+	if err := coord.Put(ctx, goldRing, "stale-key", []byte("v1"), nil, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := coord.Get(ctx, goldRing, "stale-key", ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Put(ctx, goldRing, "stale-key", []byte("v2"), r1.Context, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Third write with the STALE context from before v2 — as if the
+	// read behind the read-modify-write missed the latest version.
+	if err := coord.Put(ctx, goldRing, "stale-key", []byte("v3"), r1.Context, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := coord.Get(ctx, goldRing, "stale-key", ReadOptions{Consistency: ConsistencyAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r2.Values {
+		if string(v) == "v3" {
+			return
+		}
+	}
+	t.Fatalf("acknowledged stale-context write lost: siblings %q", r2.Values)
+}

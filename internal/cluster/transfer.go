@@ -125,6 +125,9 @@ func (n *Node) pullPartition(ctx context.Context, id ring.RingID, part int, dono
 	n.xmu.Unlock()
 	if resumed {
 		n.counters.TransferResumes.Inc()
+		n.trace.Add("transfer", "resume %s#%d from %s after %q", id, part, donorAddr, after)
+	} else {
+		n.trace.Add("transfer", "pull %s#%d from %s", id, part, donorAddr)
 	}
 	for {
 		resp, err := n.tr.Call(ctx, donorAddr, transport.Envelope{
@@ -156,6 +159,7 @@ func (n *Node) pullPartition(ctx context.Context, id ring.RingID, part int, dono
 		}
 		n.xmu.Unlock()
 		if chunk.Done {
+			n.trace.Add("transfer", "complete %s#%d from %s", id, part, donorAddr)
 			return nil
 		}
 		if err := ctx.Err(); err != nil {

@@ -8,6 +8,9 @@
 //	               taken, recovery replay sizes) and control plane
 //	               (epoch decisions, placement deltas applied vs.
 //	               rejected-stale, gossip reconcile rounds)
+//	GET /trace     the node's bounded control-plane decision trace as a
+//	               JSON array, oldest first — the scenario harness
+//	               scrapes and correlates it across nodes on failure
 //
 // cmd/skuted mounts it behind the -admin flag. The package deliberately
 // depends on interfaces, not cluster types, so tests can fake the node.
@@ -33,9 +36,22 @@ type StatsFunc func() any
 // Stats implements StatsSource.
 func (f StatsFunc) Stats() any { return f() }
 
+// TraceSource yields the node's decision-trace events (any JSON-encodable
+// slice). A nil source serves an empty array.
+type TraceSource interface {
+	TraceEvents() any
+}
+
+// TraceFunc adapts a function to TraceSource.
+type TraceFunc func() any
+
+// TraceEvents implements TraceSource.
+func (f TraceFunc) TraceEvents() any { return f() }
+
 // Handler returns the admin mux. reg may be nil, in which case /counters
-// serves an empty object.
-func Handler(src StatsSource, reg *metrics.Registry) http.Handler {
+// serves an empty object; trace may be nil, in which case /trace serves
+// an empty array.
+func Handler(src StatsSource, reg *metrics.Registry, trace TraceSource) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -50,6 +66,16 @@ func Handler(src StatsSource, reg *metrics.Registry) http.Handler {
 			snap = reg.Snapshot()
 		}
 		writeJSON(w, snap)
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		var evs any
+		if trace != nil {
+			evs = trace.TraceEvents()
+		}
+		if evs == nil {
+			evs = []struct{}{}
+		}
+		writeJSON(w, evs)
 	})
 	return mux
 }
@@ -67,8 +93,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 // Serve starts the admin endpoint on addr in a goroutine and returns the
 // server for shutdown. Errors after startup are delivered to errs if
 // non-nil.
-func Serve(addr string, src StatsSource, reg *metrics.Registry, errs chan<- error) *http.Server {
-	srv := &http.Server{Addr: addr, Handler: Handler(src, reg)}
+func Serve(addr string, src StatsSource, reg *metrics.Registry, trace TraceSource, errs chan<- error) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: Handler(src, reg, trace)}
 	go func() {
 		err := srv.ListenAndServe()
 		if err != nil && err != http.ErrServerClosed && errs != nil {

@@ -19,7 +19,10 @@ func testHandler() http.Handler {
 	reg := metrics.NewRegistry()
 	reg.Counter("checkpoints_total").Add(3)
 	reg.Gauge("wal_segments", func() int64 { return 2 })
-	return Handler(StatsFunc(func() any { return snapshot{Name: "n0", Keys: 42} }), reg)
+	trace := TraceFunc(func() any {
+		return []map[string]string{{"node": "n0", "kind": "epoch", "detail": "repairs=1"}}
+	})
+	return Handler(StatsFunc(func() any { return snapshot{Name: "n0", Keys: 42} }), reg, trace)
 }
 
 func TestHealthz(t *testing.T) {
@@ -97,8 +100,42 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+func TestTrace(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["kind"] != "epoch" {
+		t.Errorf("trace = %v", got)
+	}
+}
+
+func TestTraceNilSource(t *testing.T) {
+	srv := httptest.NewServer(Handler(StatsFunc(func() any { return 1 }), nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("nil-source trace = %v", got)
+	}
+}
+
 func TestCountersNilRegistry(t *testing.T) {
-	srv := httptest.NewServer(Handler(StatsFunc(func() any { return 1 }), nil))
+	srv := httptest.NewServer(Handler(StatsFunc(func() any { return 1 }), nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/counters")
 	if err != nil {
@@ -116,7 +153,7 @@ func TestCountersNilRegistry(t *testing.T) {
 
 func TestServeLifecycle(t *testing.T) {
 	errs := make(chan error, 1)
-	srv := Serve("127.0.0.1:0", StatsFunc(func() any { return 1 }), nil, errs)
+	srv := Serve("127.0.0.1:0", StatsFunc(func() any { return 1 }), nil, nil, errs)
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}

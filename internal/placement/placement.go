@@ -136,6 +136,29 @@ func (d Digest) Mismatch(other Digest) []ring.RingID {
 	return out
 }
 
+// Sum folds the per-ring fingerprints into one order-independent
+// 64-bit value — a whole-map fingerprint cheap enough to export on
+// every stats scrape. Two digests with equal Sum agree on every ring
+// (up to hash collision), so scenario invariants compare a single
+// number per node to decide placement convergence.
+func (d Digest) Sum() uint64 {
+	ids := make([]ring.RingID, 0, len(d))
+	for id := range d {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].App != ids[j].App {
+			return ids[i].App < ids[j].App
+		}
+		return ids[i].Class < ids[j].Class
+	})
+	h := fnv.New64a()
+	for _, id := range ids {
+		fmt.Fprintf(h, "%s/%s:%d;", id.App, id.Class, d[id])
+	}
+	return h.Sum64()
+}
+
 // Map is the placement table, safe for concurrent use. Mutations go
 // through Seed (bootstrap), Propose (a local decision) and Apply (a
 // delta received from a peer); reads through Get, Deltas and Digest.

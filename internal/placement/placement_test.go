@@ -192,3 +192,24 @@ func TestConcurrentApplyRaceClean(t *testing.T) {
 		t.Fatalf("final entry = %+v, want v49@n7", e)
 	}
 }
+
+func TestDigestSum(t *testing.T) {
+	a, b := seeded(), seeded()
+	if a.Digest().Sum() != b.Digest().Sum() {
+		t.Fatal("identical maps disagree on Sum")
+	}
+	b.Propose(gold, 0, "n3", []string{"n3"})
+	if a.Digest().Sum() == b.Digest().Sum() {
+		t.Fatal("diverged maps agree on Sum")
+	}
+	// Convergence through Apply restores agreement.
+	for _, d := range b.Deltas() {
+		a.Apply(d)
+	}
+	if a.Digest().Sum() != b.Digest().Sum() {
+		t.Fatal("converged maps disagree on Sum")
+	}
+	if (Digest{}).Sum() != (Digest{}).Sum() {
+		t.Fatal("empty digest Sum not deterministic")
+	}
+}

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpus runs every scenarios/*.yaml against the in-process
+// harness as a subtest. Process-only scenarios are skipped here — CI
+// runs the whole corpus against real skuted binaries via
+// cmd/skute-scenario. Heavy soak: gated behind -short.
+func TestCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario corpus is a multi-minute soak")
+	}
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 6 {
+		t.Fatalf("scenario corpus has %d files, want at least 6", len(files))
+	}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := ParseSpec(string(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			if spec.RequiresProcesses() {
+				t.Skipf("process-only (run via cmd/skute-scenario)")
+			}
+			h, err := NewMemHarness(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			res := Run(h, spec, Options{Logf: t.Logf, Scale: 0.5})
+			if res.Failed() {
+				t.Errorf("violations: %v", res.Violations)
+				t.Logf("correlated trace:\n%s", res.TraceDump())
+			}
+		})
+	}
+}

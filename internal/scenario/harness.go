@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"skute"
+	"skute/internal/cluster"
+	"skute/internal/workload"
+)
+
+// The app/class every scenario ring uses.
+const (
+	scenarioApp   = "app"
+	scenarioClass = "gold"
+)
+
+// opTimeout bounds one workload operation: long enough to ride out a
+// quorum retry, short enough that a blackholed coordinator turns into
+// a counted failure instead of wedging a driver slot for the phase.
+const opTimeout = 2 * time.Second
+
+// Harness abstracts what the runner drives: an in-process
+// skute.Cluster (fast, runs in tier-1 `go test`) or a fleet of real
+// cmd/skuted processes over TCP (cmd/skute-scenario, CI). Both expose
+// the same operations, stats and traces, so every invariant check is
+// written once.
+type Harness interface {
+	// Nodes lists the currently known node names (joined ones
+	// included, departed ones too — they stay addressable for traces).
+	Nodes() []string
+	// Do performs one workload op. Writes store the op's sequence
+	// number; reads fetch the key.
+	Do(ctx context.Context, op workload.Op) error
+	// ReadSeq returns the highest write sequence stored under key (the
+	// max across siblings), and whether the key exists at all.
+	ReadSeq(ctx context.Context, key string) (uint64, bool, error)
+	// Apply injects one fault.
+	Apply(ctx context.Context, f Fault) error
+	// Supports reports whether this harness can inject the action.
+	Supports(action string) bool
+	// StatsOf scrapes one node's observability snapshot.
+	StatsOf(name string) (cluster.Stats, error)
+	// TraceOf scrapes one node's decision trace.
+	TraceOf(name string) ([]cluster.TraceEvent, error)
+	// Close tears the cluster down.
+	Close() error
+}
+
+// encodeSeq / decodeSeq turn a write sequence into the stored value.
+func encodeSeq(seq uint64) []byte { return []byte(strconv.FormatUint(seq, 10)) }
+
+func decodeSeq(v []byte) (uint64, bool) {
+	n, err := strconv.ParseUint(string(v), 10, 64)
+	return n, err == nil
+}
+
+// maxSeq folds sibling values into the highest stored sequence.
+func maxSeq(values [][]byte) (uint64, bool) {
+	var best uint64
+	found := false
+	for _, v := range values {
+		if n, ok := decodeSeq(v); ok {
+			found = true
+			if n > best {
+				best = n
+			}
+		}
+	}
+	return best, found
+}
+
+// scenarioSites are the continents scenario nodes cycle through. The
+// SLA threshold for k replicas (ThresholdForReplicas) is only
+// attainable with pairwise cross-continent spread, so consecutive
+// nodes land on different continents — mirroring the paper's
+// Zurich/Virginia/Tokyo deployment.
+var scenarioSites = []string{"eu/ch", "us/us-east", "ap/jp"}
+
+// locPath spreads node i across continents, then datacenters and racks
+// within one, so Eq. 2 can always reach the availability threshold.
+func locPath(i int, name string) string {
+	site := scenarioSites[i%len(scenarioSites)]
+	return fmt.Sprintf("%s/dc%d/r0/k%d/%s", site, i/len(scenarioSites), i, name)
+}
+
+// memHarness runs the scenario against an embedded skute.Cluster: the
+// same node logic as skuted over the in-memory mesh. Proxy- and
+// disk-shaped faults don't exist here; specs using them are
+// process-only.
+type memHarness struct {
+	c *skute.Cluster
+
+	mu    sync.Mutex
+	names []string
+	up    map[string]bool
+	next  int // server index for locPath diversity of joiners
+}
+
+// NewMemHarness boots the spec's topology in-process and starts the
+// autonomous runtime.
+func NewMemHarness(spec *Spec) (Harness, error) {
+	t := spec.Topology
+	opts := skute.Options{
+		ReadQuorum:  t.ReadQuorum,
+		WriteQuorum: t.WriteQuorum,
+		Apps: []skute.App{{
+			Name:       scenarioApp,
+			SLA:        skute.SLA{Class: scenarioClass, Replicas: t.Replicas},
+			Partitions: t.Partitions,
+		}},
+	}
+	for i, name := range t.NodeNames() {
+		opts.Servers = append(opts.Servers, skute.Server{
+			Name:        name,
+			Location:    locPath(i, name),
+			MonthlyRent: 100,
+		})
+	}
+	c, err := skute.NewCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	h := &memHarness{c: c, up: make(map[string]bool), next: t.Nodes}
+	for _, name := range t.NodeNames() {
+		h.names = append(h.names, name)
+		h.up[name] = true
+	}
+	if err := c.Start(context.Background(), skute.Runtime{
+		Heartbeat:   t.Heartbeat,
+		Reconcile:   t.Reconcile,
+		AntiEntropy: t.AntiEntropy,
+		Epoch:       t.Epoch,
+	}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+func (h *memHarness) Nodes() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.names...)
+}
+
+func (h *memHarness) Do(ctx context.Context, op workload.Op) error {
+	cctx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	if op.Read {
+		_, _, err := h.c.Get(cctx, scenarioApp, op.Key, skute.ReadOptions{})
+		return err
+	}
+	// Read-modify-write: the Get's causal context makes this write
+	// dominate every version it saw. A blind Put would be concurrent
+	// with its serialized predecessor under vector clocks, and sibling
+	// resolution could legitimately keep either — faking a data loss.
+	_, vctx, err := h.c.Get(cctx, scenarioApp, op.Key, skute.ReadOptions{})
+	if err != nil {
+		return err
+	}
+	return h.c.Put(cctx, scenarioApp, op.Key, encodeSeq(op.Seq), vctx, skute.WriteOptions{})
+}
+
+func (h *memHarness) ReadSeq(ctx context.Context, key string) (uint64, bool, error) {
+	cctx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	values, _, err := h.c.Get(cctx, scenarioApp, key, skute.ReadOptions{})
+	if err != nil {
+		return 0, false, err
+	}
+	seq, ok := maxSeq(values)
+	return seq, ok, nil
+}
+
+func (h *memHarness) Supports(action string) bool { return !processOnlyActions[action] }
+
+func (h *memHarness) Apply(ctx context.Context, f Fault) error {
+	switch f.Action {
+	case ActionKill:
+		err := h.c.FailServer(f.Node)
+		if err == nil {
+			h.mu.Lock()
+			h.up[f.Node] = false
+			h.mu.Unlock()
+		}
+		return err
+	case ActionRestart:
+		err := h.c.ReviveServer(f.Node)
+		if err == nil {
+			h.mu.Lock()
+			h.up[f.Node] = true
+			h.mu.Unlock()
+		}
+		return err
+	case ActionLeave:
+		err := h.c.RemoveServer(ctx, f.Node)
+		if err == nil {
+			h.mu.Lock()
+			h.up[f.Node] = false
+			h.mu.Unlock()
+		}
+		return err
+	case ActionJoin:
+		h.mu.Lock()
+		seed := ""
+		for _, name := range h.names {
+			if h.up[name] {
+				seed = name
+				break
+			}
+		}
+		idx := h.next
+		h.next++
+		h.mu.Unlock()
+		if seed == "" {
+			return fmt.Errorf("scenario: no alive seed for join of %s", f.Node)
+		}
+		err := h.c.AddServer(ctx, skute.Server{
+			Name:        f.Node,
+			Location:    locPath(idx, f.Node),
+			MonthlyRent: 100,
+		}, seed)
+		if err == nil {
+			h.mu.Lock()
+			h.names = append(h.names, f.Node)
+			h.up[f.Node] = true
+			h.mu.Unlock()
+		}
+		return err
+	default:
+		return fmt.Errorf("scenario: action %q not supported in-process", f.Action)
+	}
+}
+
+func (h *memHarness) StatsOf(name string) (cluster.Stats, error) { return h.c.StatsOf(name) }
+
+func (h *memHarness) TraceOf(name string) ([]cluster.TraceEvent, error) { return h.c.TraceOf(name) }
+
+func (h *memHarness) Close() error { return h.c.Close() }

@@ -1,0 +1,493 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"skute/internal/cluster"
+	"skute/internal/ring"
+	"skute/internal/transport"
+	"skute/internal/workload"
+)
+
+// ProcConfig configures the real-process harness.
+type ProcConfig struct {
+	// SkutedPath is the skuted binary to launch.
+	SkutedPath string
+	// Dir receives descriptors, per-node WAL directories and log files
+	// (the CI artifacts on failure).
+	Dir string
+	// Logf receives supervisor progress (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// procNode is one supervised skuted process and its fault proxy.
+type procNode struct {
+	name      string
+	bindAddr  string // the process's real listener
+	proxyAddr string // what the cluster advertises (the proxy front)
+	adminAddr string
+	walDir    string
+	logPath   string
+	locPath   string
+	joined    bool // booted via -join rather than the descriptor
+
+	proxy *proxy
+	cmd   *exec.Cmd
+	logF  *os.File
+}
+
+// procHarness drives a fleet of real cmd/skuted processes over TCP,
+// each fronted by a fault-injection proxy, with WAL-backed storage so
+// kill -9 and restart exercise real recovery.
+type procHarness struct {
+	spec *Spec
+	pc   ProcConfig
+	tr   transport.Transport
+	ring ring.RingID
+
+	cfgPath string
+
+	mu        sync.Mutex
+	nodes     map[string]*procNode
+	order     []string
+	reachable map[string]bool // process up AND proxy forwarding
+
+	coord atomic.Uint64
+}
+
+// NewProcHarness boots the spec's topology as real processes and waits
+// for every admin endpoint to answer.
+func NewProcHarness(spec *Spec, pc ProcConfig) (Harness, error) {
+	if pc.Logf == nil {
+		pc.Logf = func(string, ...any) {}
+	}
+	if pc.SkutedPath == "" {
+		return nil, fmt.Errorf("scenario: proc harness needs the skuted binary path")
+	}
+	if pc.Dir == "" {
+		return nil, fmt.Errorf("scenario: proc harness needs a work dir")
+	}
+	h := &procHarness{
+		spec:      spec,
+		pc:        pc,
+		tr:        transport.NewTCP(),
+		ring:      ring.RingID{App: scenarioApp, Class: scenarioClass},
+		nodes:     make(map[string]*procNode),
+		reachable: make(map[string]bool),
+	}
+	t := spec.Topology
+	var cfg cluster.Config
+	cfg.Rings = []cluster.RingSpec{{App: scenarioApp, Class: scenarioClass, Partitions: t.Partitions, Replicas: t.Replicas}}
+	cfg.ReadQuorum, cfg.WriteQuorum = t.ReadQuorum, t.WriteQuorum
+	cfg.SuspectAfter, cfg.DeadAfter = t.SuspectAfter, t.DeadAfter
+	cfg.TransferChunkItems, cfg.TransferBytesPerSec = t.TransferChunk, t.TransferRate
+	for i, name := range t.NodeNames() {
+		pn, err := h.prepareNode(name, i)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		cfg.Nodes = append(cfg.Nodes, cluster.NodeInfo{
+			Name: name, Addr: pn.proxyAddr, LocPath: pn.locPath,
+			Confidence: 1, MonthlyRent: 100,
+			Capacity: 16 << 30, QueryCapacity: 1e9,
+		})
+	}
+	raw, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.cfgPath = filepath.Join(pc.Dir, "cluster.json")
+	if err := os.WriteFile(h.cfgPath, raw, 0o644); err != nil {
+		h.Close()
+		return nil, err
+	}
+	for _, name := range t.NodeNames() {
+		if err := h.launch(h.nodes[name], ""); err != nil {
+			h.Close()
+			return nil, err
+		}
+	}
+	for _, name := range t.NodeNames() {
+		if err := h.waitHealthy(h.nodes[name], 20*time.Second); err != nil {
+			h.Close()
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// prepareNode allocates addresses, proxy, WAL dir and log file.
+func (h *procHarness) prepareNode(name string, idx int) (*procNode, error) {
+	bindAddr, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	adminAddr, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	px, err := newProxy("127.0.0.1:0", bindAddr)
+	if err != nil {
+		return nil, err
+	}
+	walDir := filepath.Join(h.pc.Dir, name, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		px.Close()
+		return nil, err
+	}
+	pn := &procNode{
+		name:      name,
+		bindAddr:  bindAddr,
+		proxyAddr: px.Addr(),
+		adminAddr: adminAddr,
+		walDir:    walDir,
+		logPath:   filepath.Join(h.pc.Dir, name+".log"),
+		locPath:   locPath(idx, name),
+		proxy:     px,
+	}
+	h.mu.Lock()
+	h.nodes[name] = pn
+	h.order = append(h.order, name)
+	h.mu.Unlock()
+	return pn, nil
+}
+
+// launch starts (or restarts) one node's process. seedAddr non-empty
+// boots it through -join instead of the shared descriptor; nodes first
+// booted by join also rejoin on restart (their name is not in the
+// descriptor).
+func (h *procHarness) launch(pn *procNode, seedAddr string) error {
+	t := h.spec.Topology
+	args := []string{
+		"-name", pn.name,
+		"-wal", pn.walDir,
+		// Small segments so WAL rotation — where an unwritable
+		// directory actually bites — happens within a scenario.
+		"-wal-segment-bytes", "65536",
+		"-trace-events", "512",
+		"-admin", pn.adminAddr,
+		"-heartbeat", t.Heartbeat.String(),
+		"-reconcile", t.Reconcile.String(),
+		"-anti-entropy", t.AntiEntropy.String(),
+		"-epoch", t.Epoch.String(),
+		"-bind", pn.bindAddr,
+	}
+	if seedAddr != "" {
+		args = append(args,
+			"-join", seedAddr,
+			"-listen", pn.proxyAddr,
+			"-locpath", pn.locPath,
+			"-rent", "100",
+			"-query-capacity", "1000000000",
+		)
+		if t.TransferChunk > 0 {
+			args = append(args, "-transfer-chunk", strconv.Itoa(t.TransferChunk))
+		}
+		if t.TransferRate > 0 {
+			args = append(args, "-transfer-rate", strconv.FormatInt(t.TransferRate, 10))
+		}
+	} else {
+		args = append(args, "-config", h.cfgPath)
+	}
+	logF, err := os.OpenFile(pn.logPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(h.pc.SkutedPath, args...)
+	cmd.Stdout, cmd.Stderr = logF, logF
+	if err := cmd.Start(); err != nil {
+		logF.Close()
+		return fmt.Errorf("scenario: launch %s: %w", pn.name, err)
+	}
+	h.pc.Logf("scenario: %s up (pid %d, addr %s via proxy, admin %s)", pn.name, cmd.Process.Pid, pn.proxyAddr, pn.adminAddr)
+	h.mu.Lock()
+	pn.cmd, pn.logF = cmd, logF
+	pn.joined = seedAddr != ""
+	h.reachable[pn.name] = true
+	h.mu.Unlock()
+	go cmd.Wait() // reap; exit status lands in the log
+	return nil
+}
+
+// waitHealthy polls the node's admin /healthz.
+func (h *procHarness) waitHealthy(pn *procNode, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	url := "http://" + pn.adminAddr + "/healthz"
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scenario: node %s never became healthy on %s", pn.name, pn.adminAddr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+func (h *procHarness) Nodes() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.order...)
+}
+
+// coordinator rotates over reachable nodes' proxy addresses.
+func (h *procHarness) coordinator() (string, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.order) == 0 {
+		return "", fmt.Errorf("scenario: no nodes")
+	}
+	start := int(h.coord.Add(1)-1) % len(h.order)
+	for i := 0; i < len(h.order); i++ {
+		name := h.order[(start+i)%len(h.order)]
+		if h.reachable[name] {
+			return h.nodes[name].proxyAddr, nil
+		}
+	}
+	return "", fmt.Errorf("scenario: no reachable nodes")
+}
+
+func (h *procHarness) Do(ctx context.Context, op workload.Op) error {
+	addr, err := h.coordinator()
+	if err != nil {
+		return err
+	}
+	c := cluster.NewClient(h.tr, addr)
+	if op.Read {
+		_, _, err = c.Get(ctx, h.ring, op.Key, cluster.ReadOptions{Timeout: opTimeout})
+		return err
+	}
+	// Read-modify-write, as in memHarness.Do: the causal context makes
+	// each serialized write dominate the last instead of forking a
+	// concurrent sibling.
+	_, vctx, err := c.Get(ctx, h.ring, op.Key, cluster.ReadOptions{Timeout: opTimeout})
+	if err != nil {
+		return err
+	}
+	return c.Put(ctx, h.ring, op.Key, encodeSeq(op.Seq), vctx, cluster.WriteOptions{Timeout: opTimeout})
+}
+
+func (h *procHarness) ReadSeq(ctx context.Context, key string) (uint64, bool, error) {
+	addr, err := h.coordinator()
+	if err != nil {
+		return 0, false, err
+	}
+	values, _, err := cluster.NewClient(h.tr, addr).Get(ctx, h.ring, key, cluster.ReadOptions{Timeout: opTimeout})
+	if err != nil {
+		return 0, false, err
+	}
+	seq, ok := maxSeq(values)
+	return seq, ok, nil
+}
+
+func (h *procHarness) Supports(string) bool { return true }
+
+func (h *procHarness) Apply(ctx context.Context, f Fault) error {
+	h.mu.Lock()
+	pn := h.nodes[f.Node]
+	h.mu.Unlock()
+	if pn == nil && f.Action != ActionJoin {
+		return fmt.Errorf("scenario: unknown node %q", f.Node)
+	}
+	switch f.Action {
+	case ActionKill:
+		return h.kill(pn, syscall.SIGKILL)
+	case ActionLeave:
+		// Graceful shutdown: the process checkpoints and exits; peers
+		// notice through suspicion and evict — the paper's ordinary
+		// departure path for a node that stops paying rent.
+		return h.kill(pn, syscall.SIGTERM)
+	case ActionRestart:
+		if pn.cmd != nil && pn.cmd.ProcessState == nil {
+			return fmt.Errorf("scenario: restart of %s while still running", f.Node)
+		}
+		pn.proxy.SetMode("forward", 0)
+		seed := ""
+		if pn.joined {
+			var err error
+			if seed, err = h.seedAddr(f.Node); err != nil {
+				return err
+			}
+		}
+		if err := h.launch(pn, seed); err != nil {
+			return err
+		}
+		return h.waitHealthy(pn, 20*time.Second)
+	case ActionJoin:
+		seed, err := h.seedAddr(f.Node)
+		if err != nil {
+			return err
+		}
+		h.mu.Lock()
+		idx := len(h.order)
+		h.mu.Unlock()
+		newPN, err := h.prepareNode(f.Node, idx)
+		if err != nil {
+			return err
+		}
+		if err := h.launch(newPN, seed); err != nil {
+			return err
+		}
+		return h.waitHealthy(newPN, 20*time.Second)
+	case ActionSlow:
+		pn.proxy.SetMode("delay", f.Delay)
+		return nil
+	case ActionPartition:
+		pn.proxy.SetMode("drop", 0)
+		h.setReachable(f.Node, false)
+		// Sever the node's pooled outbound state too? No: the drop is
+		// deliberately asymmetric (see proxy.go) — inbound dies, the
+		// node's own dials still leave. SWIM must handle exactly that.
+		return nil
+	case ActionHeal:
+		pn.proxy.SetMode("forward", 0)
+		h.setReachable(f.Node, true)
+		return nil
+	case ActionDiskFull:
+		if os.Geteuid() == 0 {
+			h.pc.Logf("scenario: warning: running as root, chmod-based disk-full on %s will not block writes", f.Node)
+		}
+		return os.Chmod(pn.walDir, 0o555)
+	case ActionDiskHeal:
+		return os.Chmod(pn.walDir, 0o755)
+	default:
+		return fmt.Errorf("scenario: unknown action %q", f.Action)
+	}
+}
+
+func (h *procHarness) setReachable(name string, ok bool) {
+	h.mu.Lock()
+	h.reachable[name] = ok
+	h.mu.Unlock()
+}
+
+// seedAddr picks a reachable node other than `not` to join through.
+func (h *procHarness) seedAddr(not string) (string, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, name := range h.order {
+		if name != not && h.reachable[name] {
+			return h.nodes[name].proxyAddr, nil
+		}
+	}
+	return "", fmt.Errorf("scenario: no reachable seed")
+}
+
+// kill signals the process and waits for it to die.
+func (h *procHarness) kill(pn *procNode, sig syscall.Signal) error {
+	h.mu.Lock()
+	cmd := pn.cmd
+	h.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("scenario: %s not running", pn.name)
+	}
+	if err := cmd.Process.Signal(sig); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for cmd.ProcessState == nil && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	h.setReachable(pn.name, false)
+	// Sever in-flight sockets so peers see the death promptly rather
+	// than waiting out half-open connections.
+	pn.proxy.SetMode("forward", 0)
+	return nil
+}
+
+// StatsOf scrapes GET /stats from the node's admin endpoint.
+func (h *procHarness) StatsOf(name string) (cluster.Stats, error) {
+	h.mu.Lock()
+	pn := h.nodes[name]
+	h.mu.Unlock()
+	if pn == nil {
+		return cluster.Stats{}, fmt.Errorf("scenario: unknown node %q", name)
+	}
+	var s cluster.Stats
+	if err := getJSON("http://"+pn.adminAddr+"/stats", &s); err != nil {
+		return cluster.Stats{}, err
+	}
+	return s, nil
+}
+
+// TraceOf scrapes GET /trace.
+func (h *procHarness) TraceOf(name string) ([]cluster.TraceEvent, error) {
+	h.mu.Lock()
+	pn := h.nodes[name]
+	h.mu.Unlock()
+	if pn == nil {
+		return nil, fmt.Errorf("scenario: unknown node %q", name)
+	}
+	var evs []cluster.TraceEvent
+	if err := getJSON("http://"+pn.adminAddr+"/trace", &evs); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+func getJSON(url string, v any) error {
+	client := http.Client{Timeout: 3 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scenario: GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Close kills every process and proxy. The work dir (descriptors,
+// WALs, logs) is left for the caller — it is the failure artifact.
+func (h *procHarness) Close() error {
+	h.mu.Lock()
+	nodes := make([]*procNode, 0, len(h.nodes))
+	for _, pn := range h.nodes {
+		nodes = append(nodes, pn)
+	}
+	h.mu.Unlock()
+	for _, pn := range nodes {
+		if pn.cmd != nil && pn.cmd.Process != nil && pn.cmd.ProcessState == nil {
+			pn.cmd.Process.Kill()
+		}
+		if pn.proxy != nil {
+			pn.proxy.Close()
+		}
+		if pn.logF != nil {
+			pn.logF.Close()
+		}
+	}
+	if c, ok := h.tr.(interface{ Close() error }); ok {
+		c.Close()
+	}
+	return nil
+}

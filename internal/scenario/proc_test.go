@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var (
+	skutedOnce sync.Once
+	skutedPath string
+	skutedErr  error
+)
+
+// buildSkuted compiles cmd/skuted once for every process test.
+func buildSkuted(t *testing.T) string {
+	t.Helper()
+	skutedOnce.Do(func() {
+		goBin, err := exec.LookPath("go")
+		if err != nil {
+			skutedErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "skuted-bin-")
+		if err != nil {
+			skutedErr = err
+			return
+		}
+		skutedPath = filepath.Join(dir, "skuted")
+		cmd := exec.Command(goBin, "build", "-o", skutedPath, "skute/cmd/skuted")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			skutedErr = err
+			t.Logf("go build skuted:\n%s", out)
+		}
+	})
+	if skutedErr != nil {
+		t.Skipf("cannot build skuted: %v", skutedErr)
+	}
+	return skutedPath
+}
+
+// TestProcSuspicionRefute runs the process-only SWIM-refutation
+// scenario against real skuted processes behind fault proxies: the
+// blackholed node must be suspected, refute on heal, and nobody may be
+// evicted. Heavy soak: gated behind -short.
+func TestProcSuspicionRefute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real processes")
+	}
+	bin := buildSkuted(t)
+	raw, err := os.ReadFile(filepath.Join("..", "..", "scenarios", "suspicion-eviction-then-refute.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewProcHarness(spec, ProcConfig{SkutedPath: bin, Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	res := Run(h, spec, Options{Logf: t.Logf})
+	if res.Failed() {
+		t.Errorf("violations: %v", res.Violations)
+		t.Logf("correlated trace:\n%s", res.TraceDump())
+	}
+}
+
+// TestProcViolationTrace drives the deliberately violating testdata
+// scenario against real processes and asserts the failure contract:
+// violations reported, correlated multi-node trace attached. Heavy
+// soak: gated behind -short.
+func TestProcViolationTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real processes")
+	}
+	bin := buildSkuted(t)
+	raw, err := os.ReadFile(filepath.Join("testdata", "violation-lost-quorum.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewProcHarness(spec, ProcConfig{SkutedPath: bin, Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	res := Run(h, spec, Options{Logf: t.Logf})
+	if !res.Failed() {
+		t.Fatal("expected the lost-quorum scenario to violate its SLA")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("violation must carry a correlated trace")
+	}
+	// The dump must interleave events from more than one node — that's
+	// what "correlated" means.
+	nodes := map[string]bool{}
+	for _, e := range res.Trace {
+		nodes[e.Node] = true
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("trace covers %v, want multiple nodes", nodes)
+	}
+}

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// proxy is a TCP fault-injection forwarder fronting one skuted
+// process: peers and clients dial the proxy (the node's advertised
+// Addr) while the process listens on its private Bind address behind
+// it. Modes:
+//
+//	forward — pass bytes through untouched
+//	drop    — blackhole: refuse nothing, accept and discard (new
+//	          connections stall, established ones are severed on the
+//	          mode switch), modeling an asymmetric network partition
+//	          of the node's INBOUND traffic; its outbound dials still
+//	          flow, which is exactly the nasty half-open failure SWIM
+//	          suspicion has to handle
+//	delay   — per-connection latency added before each copied chunk
+//	          (a slow peer, not a dead one)
+type proxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	mode  string
+	delay time.Duration
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// newProxy listens on addr (e.g. "127.0.0.1:0") forwarding to target.
+func newProxy(addr, target string) (*proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &proxy{
+		ln:     ln,
+		target: target,
+		mode:   "forward",
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what the cluster advertises.
+func (p *proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetMode switches fault mode. Established connections are severed on
+// every switch: a partition must cut live sockets, not only future
+// dials, and a heal must force clean re-dials through the new mode.
+func (p *proxy) SetMode(mode string, delay time.Duration) {
+	p.mu.Lock()
+	p.mode = mode
+	p.delay = delay
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close stops the listener and severs everything.
+func (p *proxy) Close() error {
+	close(p.done)
+	err := p.ln.Close()
+	p.SetMode("closed", 0)
+	return err
+}
+
+func (p *proxy) accept() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.serve(conn)
+	}
+}
+
+func (p *proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mode == "closed" {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *proxy) serve(down net.Conn) {
+	if !p.track(down) {
+		down.Close()
+		return
+	}
+	defer func() { p.untrack(down); down.Close() }()
+
+	p.mu.Lock()
+	mode := p.mode
+	p.mu.Unlock()
+	if mode == "drop" {
+		// Blackhole: hold the connection open, deliver nothing. The
+		// dialer's own timeouts decide how long it waits — like a
+		// firewalled host, not a refused port.
+		io.Copy(io.Discard, down)
+		return
+	}
+
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	if !p.track(up) {
+		up.Close()
+		return
+	}
+	defer func() { p.untrack(up); up.Close() }()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.copy(up, down) }()
+	go func() { defer wg.Done(); p.copy(down, up) }()
+	wg.Wait()
+}
+
+// copy forwards bytes, injecting the configured delay per chunk.
+func (p *proxy) copy(dst, src net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			d := time.Duration(0)
+			if p.mode == "delay" {
+				d = p.delay
+			}
+			p.mu.Unlock()
+			if d > 0 {
+				select {
+				case <-p.done:
+					return
+				case <-time.After(d):
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			// Half-close propagates so framed RPCs finish cleanly.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}

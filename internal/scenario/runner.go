@@ -1,0 +1,402 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"skute/internal/cluster"
+	"skute/internal/workload"
+)
+
+// Options tune one scenario run.
+type Options struct {
+	// Logf receives progress lines (nil discards).
+	Logf func(format string, args ...any)
+	// Scale multiplies every phase duration, fault time and convergence
+	// deadline — testing.Short() runs the corpus at a fraction of the
+	// declared wall time (0 selects 1).
+	Scale float64
+	// Timeout aborts the whole run (0 selects 5 minutes).
+	Timeout time.Duration
+}
+
+// PhaseResult is one phase's workload outcome.
+type PhaseResult struct {
+	Name         string
+	Report       workload.Report
+	Availability float64
+}
+
+// Result is one scenario run's outcome. Violations empty = pass.
+type Result struct {
+	Scenario   string
+	Wall       time.Duration
+	Phases     []PhaseResult
+	Violations []string
+	// Trace is the correlated per-node decision dump, collected only
+	// when the run violated an invariant.
+	Trace []cluster.TraceEvent
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// TraceDump renders the correlated trace for artifacts and stderr.
+func (r *Result) TraceDump() string {
+	var b strings.Builder
+	for _, e := range r.Trace {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// runState is the runner's live bookkeeping, shared between the phase
+// loop and the fault timeline.
+type runState struct {
+	mu      sync.Mutex
+	up      map[string]bool // nodes expected alive and connected
+	joiners []string        // nodes added by join faults
+	acked   map[string]uint64
+	viols   []string
+	trace   *cluster.TraceRing // runner-side events, merged into the dump
+}
+
+func (st *runState) violate(format string, args ...any) {
+	st.mu.Lock()
+	st.viols = append(st.viols, fmt.Sprintf(format, args...))
+	st.mu.Unlock()
+	st.trace.Add("VIOLATION", format, args...)
+}
+
+func (st *runState) expectedUp() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []string
+	for n, ok := range st.up {
+		if ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one scenario against the harness and reports the
+// outcome; it never panics the harness and always returns a Result.
+func Run(h Harness, spec *Spec, opts Options) *Result {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Minute
+	}
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * opts.Scale)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+	defer cancel()
+
+	start := time.Now()
+	res := &Result{Scenario: spec.Name}
+	st := &runState{
+		up:    make(map[string]bool),
+		acked: make(map[string]uint64),
+		trace: cluster.NewTraceRing("runner", 512),
+	}
+	for _, n := range spec.Topology.NodeNames() {
+		st.up[n] = true
+	}
+
+	// Unsupported faults are a spec/harness mismatch, not a scenario
+	// failure mode worth a trace dump: fail fast and clearly.
+	for _, f := range spec.Faults {
+		if !h.Supports(f.Action) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("fault %q at %v: not supported by this harness (process-only)", f.Action, f.At))
+			res.Wall = time.Since(start)
+			return res
+		}
+	}
+
+	// Baseline: the freshly booted cluster must converge before any
+	// load or fault — otherwise every later check is noise.
+	convergeDeadline := scale(spec.Invariants.ConvergeWithin)
+	if msg := waitConverged(ctx, h, st.expectedUp(), convergeDeadline); msg != "" {
+		st.violate("baseline convergence: %s", msg)
+		return finish(h, st, res, start)
+	}
+	st.trace.Add("runner", "baseline converged on %v", st.expectedUp())
+	opts.Logf("%s: baseline converged (%d nodes)", spec.Name, len(st.expectedUp()))
+
+	// Fault timeline: fires relative to workload start, concurrent
+	// with the phases.
+	workloadStart := time.Now()
+	var faultWG sync.WaitGroup
+	for _, f := range spec.Faults {
+		faultWG.Add(1)
+		go func(f Fault) {
+			defer faultWG.Done()
+			at := scale(f.At)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Until(workloadStart.Add(at))):
+			}
+			st.trace.Add("fault", "%s %s", f.Action, f.Node)
+			opts.Logf("%s: fault %s %s (t=%v)", spec.Name, f.Action, f.Node, at)
+			if err := h.Apply(ctx, f); err != nil {
+				st.violate("fault %s %s failed: %v", f.Action, f.Node, err)
+				return
+			}
+			st.mu.Lock()
+			switch f.Action {
+			case ActionKill, ActionLeave, ActionPartition:
+				st.up[f.Node] = false
+			case ActionRestart, ActionHeal:
+				st.up[f.Node] = true
+			case ActionJoin:
+				st.up[f.Node] = true
+				st.joiners = append(st.joiners, f.Node)
+			}
+			st.mu.Unlock()
+		}(f)
+	}
+
+	// Phases run sequentially; each drives open-loop load.
+	for i, p := range spec.Phases {
+		rep := runPhase(ctx, h, spec, p, scale, int64(i))
+		pr := PhaseResult{Name: p.Name, Report: rep, Availability: rep.Availability()}
+		res.Phases = append(res.Phases, pr)
+		st.trace.Add("phase", "%s done: issued=%d acked=%d failed=%d dropped=%d avail=%.4f",
+			p.Name, rep.Issued, rep.Acked, rep.Failed, rep.Dropped, pr.Availability)
+		opts.Logf("%s: phase %s issued=%d acked=%d failed=%d avail=%.4f",
+			spec.Name, p.Name, rep.Issued, rep.Acked, rep.Failed, pr.Availability)
+		st.mu.Lock()
+		for k, seq := range rep.LastAcked {
+			if seq > st.acked[k] {
+				st.acked[k] = seq
+			}
+		}
+		st.mu.Unlock()
+		if p.MinAvailability > 0 && pr.Availability < p.MinAvailability {
+			st.violate("phase %s availability %.4f below SLA %.4f (issued=%d acked=%d failed=%d)",
+				p.Name, pr.Availability, p.MinAvailability, rep.Issued, rep.Acked, rep.Failed)
+		}
+	}
+
+	// Let straggler faults (scheduled past the workload end) fire.
+	faultWG.Wait()
+
+	// Teardown invariants.
+	if msg := waitConverged(ctx, h, st.expectedUp(), convergeDeadline); msg != "" {
+		st.violate("teardown convergence within %v: %s", convergeDeadline, msg)
+	} else {
+		st.trace.Add("runner", "teardown converged on %v", st.expectedUp())
+	}
+	if spec.Invariants.NoLostAckedWrites {
+		checkAckedWrites(ctx, h, st, convergeDeadline)
+	}
+	if spec.Invariants.JoinersHostVNodes {
+		checkJoiners(ctx, h, st, convergeDeadline)
+	}
+	return finish(h, st, res, start)
+}
+
+// runPhase drives one phase's open-loop workload.
+func runPhase(ctx context.Context, h Harness, spec *Spec, p Phase, scale func(time.Duration) time.Duration, salt int64) workload.Report {
+	keys := make([]string, p.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	var weights []float64
+	if p.Popularity != "uniform" {
+		rng := rand.New(rand.NewSource(spec.Seed))
+		weights, _ = workload.PaperPopularity().Weights(rng, p.Keys, 1000)
+	}
+	dur := scale(p.Duration)
+	rate := func(elapsed time.Duration) float64 { return p.Rate }
+	if p.Profile == "slashdot" {
+		// Compress the paper's spike into the phase: ramp over the
+		// first third, decay over the second, base for the rest.
+		s := workload.Slashdot{
+			Base: p.Rate, Peak: p.PeakRate,
+			StartEpoch: 0, RampEpochs: 100, DecayEpochs: 100,
+		}
+		third := float64(dur) / 3
+		rate = func(elapsed time.Duration) float64 {
+			epoch := int(float64(elapsed) / third * 100)
+			return s.Rate(epoch)
+		}
+	}
+	d := &workload.Driver{
+		Rate:         rate,
+		ReadFraction: p.ReadFraction,
+		Keys:         keys,
+		Weights:      weights,
+		Seed:         spec.Seed + salt,
+		MaxInFlight:  256,
+		Do:           h.Do,
+	}
+	return d.Run(ctx, dur)
+}
+
+// waitConverged polls until every expected-up node reports the same
+// placement digest, zero SLA violations, and exactly the expected-up
+// set alive. It returns "" on convergence or a description of the last
+// obstacle.
+func waitConverged(ctx context.Context, h Harness, up []string, within time.Duration) string {
+	if len(up) == 0 {
+		return "no nodes expected up"
+	}
+	deadline := time.Now().Add(within)
+	last := "not yet polled"
+	for {
+		last = convergenceObstacle(h, up)
+		if last == "" {
+			return ""
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return last
+		}
+		select {
+		case <-ctx.Done():
+			return last
+		case <-time.After(150 * time.Millisecond):
+		}
+	}
+}
+
+// convergenceObstacle checks the convergence predicate once.
+func convergenceObstacle(h Harness, up []string) string {
+	want := append([]string(nil), up...)
+	sort.Strings(want)
+	var digest uint64
+	for i, name := range up {
+		s, err := h.StatsOf(name)
+		if err != nil {
+			return fmt.Sprintf("node %s unreachable: %v", name, err)
+		}
+		if i == 0 {
+			digest = s.PlacementDigest
+		} else if s.PlacementDigest != digest {
+			return fmt.Sprintf("placement digests diverge: %s=%016x vs %s=%016x", up[0], digest, name, s.PlacementDigest)
+		}
+		for _, r := range s.Rings {
+			if r.Violations > 0 {
+				return fmt.Sprintf("node %s sees %d partitions below the %s/%s SLA (min avail %.3f)",
+					name, r.Violations, r.App, r.Class, r.MinAvail)
+			}
+		}
+		got := append([]string(nil), s.AlivePeers...)
+		sort.Strings(got)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			return fmt.Sprintf("node %s alive set %v, want %v", name, got, want)
+		}
+	}
+	return ""
+}
+
+// checkAckedWrites verifies the no-lost-acked-writes invariant: every
+// key must read back at or above its highest acknowledged sequence.
+// Keys are retried until the deadline — read repair and anti-entropy
+// are allowed to finish healing, losing data is not.
+func checkAckedWrites(ctx context.Context, h Harness, st *runState, within time.Duration) {
+	st.mu.Lock()
+	acked := make(map[string]uint64, len(st.acked))
+	for k, v := range st.acked {
+		acked[k] = v
+	}
+	st.mu.Unlock()
+	deadline := time.Now().Add(within)
+	pending := acked
+	for len(pending) > 0 {
+		still := map[string]uint64{}
+		for key, want := range pending {
+			got, found, err := h.ReadSeq(ctx, key)
+			if err != nil || !found || got < want {
+				still[key] = want
+			}
+		}
+		pending = still
+		if len(pending) == 0 || time.Now().After(deadline) || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	// Report the survivors precisely: what was acked, what reads back.
+	keys := make([]string, 0, len(pending))
+	for k := range pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		got, found, err := h.ReadSeq(ctx, key)
+		switch {
+		case err != nil:
+			st.violate("acked write lost: key %s acked seq %d, read error: %v", key, pending[key], err)
+		case !found:
+			st.violate("acked write lost: key %s acked seq %d, key missing", key, pending[key])
+		default:
+			st.violate("acked write lost: key %s acked seq %d, stored seq %d", key, pending[key], got)
+		}
+	}
+}
+
+// checkJoiners verifies every joined node ended up hosting replicas.
+func checkJoiners(ctx context.Context, h Harness, st *runState, within time.Duration) {
+	st.mu.Lock()
+	joiners := append([]string(nil), st.joiners...)
+	st.mu.Unlock()
+	deadline := time.Now().Add(within)
+	for _, name := range joiners {
+		for {
+			s, err := h.StatsOf(name)
+			if err == nil && s.Hosted > 0 {
+				break
+			}
+			if time.Now().After(deadline) || ctx.Err() != nil {
+				if err != nil {
+					st.violate("joiner %s hosts no vnodes: %v", name, err)
+				} else {
+					st.violate("joiner %s hosts no vnodes after %v", name, within)
+				}
+				break
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// finish seals the result: on violation it collects and correlates
+// every node's decision trace with the runner's own events.
+func finish(h Harness, st *runState, res *Result, start time.Time) *Result {
+	st.mu.Lock()
+	res.Violations = append(res.Violations, st.viols...)
+	st.mu.Unlock()
+	if res.Failed() {
+		traces := [][]cluster.TraceEvent{st.trace.Events()}
+		for _, name := range h.Nodes() {
+			if t, err := h.TraceOf(name); err == nil {
+				traces = append(traces, t)
+			}
+		}
+		res.Trace = cluster.MergeTraces(traces...)
+	}
+	res.Wall = time.Since(start)
+	return res
+}

@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// runMem parses src, boots the in-process harness and runs the scenario.
+func runMem(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	spec, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewMemHarness(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	return Run(h, spec, opts)
+}
+
+func TestRunnerSteadyState(t *testing.T) {
+	res := runMem(t, `
+name: steady-mini
+topology:
+  nodes: 3
+  partitions: 4
+  replicas: 2
+phases:
+  - name: load
+    duration: 1s
+    rate: 100
+    min-availability: 0.9
+`, Options{})
+	if res.Failed() {
+		t.Fatalf("violations: %v\ntrace:\n%s", res.Violations, res.TraceDump())
+	}
+	if len(res.Phases) != 1 || res.Phases[0].Report.Issued == 0 {
+		t.Fatalf("phases = %+v", res.Phases)
+	}
+}
+
+func TestRunnerKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fault schedule")
+	}
+	res := runMem(t, `
+name: kill-restart-mini
+topology:
+  nodes: 3
+  partitions: 4
+  replicas: 2
+phases:
+  - name: load
+    duration: 4s
+    rate: 100
+faults:
+  - at: 1s
+    action: kill
+    node: n2
+  - at: 2500ms
+    action: restart
+    node: n2
+invariants:
+  converge-within: 20s
+`, Options{})
+	if res.Failed() {
+		t.Fatalf("violations: %v\ntrace:\n%s", res.Violations, res.TraceDump())
+	}
+}
+
+func TestRunnerViolationDumpsTrace(t *testing.T) {
+	// Killing the quorum majority at t=0 with no restart guarantees the
+	// availability SLA fails; the result must carry the violation plus
+	// a correlated trace.
+	res := runMem(t, `
+name: doomed
+topology:
+  nodes: 3
+  partitions: 4
+  replicas: 2
+phases:
+  - name: load
+    duration: 800ms
+    rate: 100
+    min-availability: 0.9
+faults:
+  - at: 0s
+    action: kill
+    node: n1
+  - at: 0s
+    action: kill
+    node: n2
+invariants:
+  no-lost-acked-writes: false
+  converge-within: 3s
+`, Options{})
+	if !res.Failed() {
+		t.Fatal("expected a violation")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "availability") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("violation must carry a correlated trace")
+	}
+	dump := res.TraceDump()
+	if !strings.Contains(dump, "VIOLATION") {
+		t.Fatalf("dump missing the runner's violation event:\n%s", dump)
+	}
+}
+
+func TestRunnerRejectsProcessOnlyFaults(t *testing.T) {
+	res := runMem(t, `
+name: needs-procs
+topology:
+  nodes: 3
+  partitions: 4
+  replicas: 2
+phases:
+  - name: load
+    duration: 1s
+    rate: 50
+faults:
+  - at: 200ms
+    action: partition
+    node: n1
+  - at: 600ms
+    action: heal
+    node: n1
+`, Options{})
+	if !res.Failed() || !strings.Contains(res.Violations[0], "process-only") {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+}

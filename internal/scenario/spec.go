@@ -1,0 +1,473 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is one parsed scenario file.
+type Spec struct {
+	// Name identifies the scenario in output and reports.
+	Name string
+	// Seed makes workload draws reproducible (default 1).
+	Seed int64
+	// ProcessOnly marks scenarios that only make sense against real
+	// skuted processes (also implied by process-only fault actions);
+	// the in-process corpus test skips them.
+	ProcessOnly bool
+
+	Topology   Topology
+	Phases     []Phase
+	Faults     []Fault
+	Invariants Invariants
+}
+
+// Topology declares the cluster under test.
+type Topology struct {
+	// Nodes is the number of skuted processes (names n0..n{N-1}).
+	Nodes int
+	// Partitions and Replicas shape the single test ring (app "app",
+	// class "gold"): Replicas is the SLA target.
+	Partitions int
+	Replicas   int
+	// ReadQuorum/WriteQuorum override the majority defaults (0 = majority).
+	ReadQuorum  int
+	WriteQuorum int
+	// Loop intervals for every node's autonomous runtime.
+	Heartbeat   time.Duration
+	Reconcile   time.Duration
+	AntiEntropy time.Duration
+	Epoch       time.Duration
+	// Failure-detector windows.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Partition-transfer tuning (0 = defaults).
+	TransferChunk int
+	TransferRate  int64
+}
+
+// Phase is one workload period: open-loop load at an offered rate for
+// a duration, with an availability floor.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+	// Rate is the offered ops/sec (the base rate for profile slashdot).
+	Rate float64
+	// ReadFraction in [0,1] (default 0.5).
+	ReadFraction float64
+	// Keys is the working-set size (default 64).
+	Keys int
+	// Popularity is "pareto" (the paper's Pareto(1,50) skew, default)
+	// or "uniform".
+	Popularity string
+	// Profile is "constant" (default) or "slashdot": ramp linearly from
+	// Rate to PeakRate over the first third of the phase, decay back
+	// over the second third, hold Rate for the rest.
+	Profile  string
+	PeakRate float64
+	// MinAvailability is the phase SLA: acked/issued must not drop
+	// below it (0 disables the check).
+	MinAvailability float64
+}
+
+// Fault is one scheduled fault, At measured from workload start.
+type Fault struct {
+	At     time.Duration
+	Action string
+	// Node names the target, e.g. "n2" (join introduces a new name).
+	Node string
+	// Delay is the injected per-connection latency for action slow.
+	Delay time.Duration
+}
+
+// Invariants declare what the runner asserts.
+type Invariants struct {
+	// NoLostAckedWrites: after teardown convergence, every key's
+	// stored write sequence must be >= the highest acked sequence
+	// (default true).
+	NoLostAckedWrites bool
+	// ConvergeWithin bounds how long after the workload (and at
+	// baseline, after boot) the cluster may take to converge: equal
+	// placement digests on every expected-up node, zero SLA
+	// violations, full mutual liveness (default 30s).
+	ConvergeWithin time.Duration
+	// JoinersHostVNodes: every node added by a join fault must host at
+	// least one partition replica at teardown.
+	JoinersHostVNodes bool
+}
+
+// Fault actions.
+const (
+	ActionKill      = "kill"      // SIGKILL / FailServer
+	ActionRestart   = "restart"   // relaunch with the same descriptor and data dir
+	ActionJoin      = "join"      // boot a brand-new node through a seed
+	ActionLeave     = "leave"     // graceful leave
+	ActionSlow      = "slow"      // inject per-connection latency (proxy; process-only)
+	ActionPartition = "partition" // blackhole inbound traffic (proxy; process-only)
+	ActionHeal      = "heal"      // undo slow/partition
+	ActionDiskFull  = "disk-full" // make the WAL dir unwritable (process-only)
+	ActionDiskHeal  = "disk-heal" // undo disk-full (process-only)
+)
+
+// processOnlyActions require a real process behind a proxy or a real
+// WAL directory.
+var processOnlyActions = map[string]bool{
+	ActionSlow:      true,
+	ActionPartition: true,
+	ActionHeal:      true,
+	ActionDiskFull:  true,
+	ActionDiskHeal:  true,
+}
+
+var knownActions = map[string]bool{
+	ActionKill: true, ActionRestart: true, ActionJoin: true, ActionLeave: true,
+	ActionSlow: true, ActionPartition: true, ActionHeal: true,
+	ActionDiskFull: true, ActionDiskHeal: true,
+}
+
+// NodeNames lists the boot topology's node names: n0..n{N-1}.
+func (t Topology) NodeNames() []string {
+	names := make([]string, t.Nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	return names
+}
+
+// ParseSpec parses and validates one scenario document.
+func ParseSpec(src string) (*Spec, error) {
+	doc, err := parseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	root, ok := doc.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("scenario: document root must be a mapping")
+	}
+	d := &decoder{}
+	s := &Spec{
+		Seed: 1,
+		Topology: Topology{
+			Partitions:   16,
+			Heartbeat:    300 * time.Millisecond,
+			Reconcile:    500 * time.Millisecond,
+			AntiEntropy:  2 * time.Second,
+			Epoch:        time.Second,
+			SuspectAfter: 1200 * time.Millisecond,
+			DeadAfter:    3 * time.Second,
+		},
+		Invariants: Invariants{NoLostAckedWrites: true, ConvergeWithin: 30 * time.Second},
+	}
+	for key, v := range root {
+		switch key {
+		case "name":
+			s.Name = d.str(key, v)
+		case "seed":
+			s.Seed = d.i64(key, v)
+		case "process-only":
+			s.ProcessOnly = d.boolean(key, v)
+		case "topology":
+			d.topology(&s.Topology, v)
+		case "phases":
+			s.Phases = d.phases(v)
+		case "faults":
+			s.Faults = d.faults(v)
+		case "invariants":
+			d.invariants(&s.Invariants, v)
+		default:
+			return nil, fmt.Errorf("scenario: unknown top-level key %q", key)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(s.Faults, func(i, j int) bool { return s.Faults[i].At < s.Faults[j].At })
+	return s, nil
+}
+
+// Validate rejects unusable specs.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	t := s.Topology
+	if t.Nodes < 1 {
+		return fmt.Errorf("scenario %s: topology.nodes must be >= 1", s.Name)
+	}
+	if t.Replicas < 1 || t.Replicas > t.Nodes {
+		return fmt.Errorf("scenario %s: topology.replicas %d outside [1,%d]", s.Name, t.Replicas, t.Nodes)
+	}
+	if t.Partitions < 1 {
+		return fmt.Errorf("scenario %s: topology.partitions must be >= 1", s.Name)
+	}
+	if t.Heartbeat <= 0 || t.SuspectAfter <= 0 || t.DeadAfter <= 0 {
+		return fmt.Errorf("scenario %s: heartbeat/suspect-after/dead-after must be positive", s.Name)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("scenario %s: needs at least one phase", s.Name)
+	}
+	for i, p := range s.Phases {
+		if p.Duration <= 0 {
+			return fmt.Errorf("scenario %s: phase %d needs a positive duration", s.Name, i)
+		}
+		if p.Rate <= 0 {
+			return fmt.Errorf("scenario %s: phase %d needs a positive rate", s.Name, i)
+		}
+		if p.ReadFraction < 0 || p.ReadFraction > 1 {
+			return fmt.Errorf("scenario %s: phase %d read-fraction %v outside [0,1]", s.Name, i, p.ReadFraction)
+		}
+		switch p.Popularity {
+		case "", "pareto", "uniform":
+		default:
+			return fmt.Errorf("scenario %s: phase %d unknown popularity %q", s.Name, i, p.Popularity)
+		}
+		switch p.Profile {
+		case "", "constant":
+		case "slashdot":
+			if p.PeakRate <= p.Rate {
+				return fmt.Errorf("scenario %s: phase %d slashdot needs peak-rate above rate", s.Name, i)
+			}
+		default:
+			return fmt.Errorf("scenario %s: phase %d unknown profile %q", s.Name, i, p.Profile)
+		}
+		if p.MinAvailability < 0 || p.MinAvailability > 1 {
+			return fmt.Errorf("scenario %s: phase %d min-availability %v outside [0,1]", s.Name, i, p.MinAvailability)
+		}
+	}
+	known := map[string]bool{}
+	for _, n := range s.Topology.NodeNames() {
+		known[n] = true
+	}
+	for i, f := range s.Faults {
+		if !knownActions[f.Action] {
+			return fmt.Errorf("scenario %s: fault %d unknown action %q", s.Name, i, f.Action)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("scenario %s: fault %d negative at", s.Name, i)
+		}
+		if f.Node == "" {
+			return fmt.Errorf("scenario %s: fault %d (%s) needs a node", s.Name, i, f.Action)
+		}
+		if f.Action == ActionJoin {
+			if known[f.Node] {
+				return fmt.Errorf("scenario %s: fault %d joins already-known node %q", s.Name, i, f.Node)
+			}
+			known[f.Node] = true
+			continue
+		}
+		if !known[f.Node] {
+			return fmt.Errorf("scenario %s: fault %d (%s) targets unknown node %q", s.Name, i, f.Action, f.Node)
+		}
+		if f.Action == ActionSlow && f.Delay <= 0 {
+			return fmt.Errorf("scenario %s: fault %d slow needs a positive delay", s.Name, i)
+		}
+	}
+	if s.Invariants.ConvergeWithin <= 0 {
+		return fmt.Errorf("scenario %s: converge-within must be positive", s.Name)
+	}
+	return nil
+}
+
+// RequiresProcesses reports whether the spec can only run against real
+// skuted processes.
+func (s *Spec) RequiresProcesses() bool {
+	if s.ProcessOnly {
+		return true
+	}
+	for _, f := range s.Faults {
+		if processOnlyActions[f.Action] {
+			return true
+		}
+	}
+	return false
+}
+
+// decoder accumulates the first conversion error instead of threading
+// error returns through every field.
+type decoder struct{ err error }
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("scenario: "+format, args...)
+	}
+}
+
+func (d *decoder) str(key string, v any) string {
+	s, ok := v.(string)
+	if !ok {
+		d.fail("%s: expected a scalar", key)
+		return ""
+	}
+	return s
+}
+
+func (d *decoder) i64(key string, v any) int64 {
+	n, err := strconv.ParseInt(d.str(key, v), 10, 64)
+	if err != nil && d.err == nil {
+		d.fail("%s: %v", key, err)
+	}
+	return n
+}
+
+func (d *decoder) integer(key string, v any) int { return int(d.i64(key, v)) }
+
+func (d *decoder) f64(key string, v any) float64 {
+	f, err := strconv.ParseFloat(d.str(key, v), 64)
+	if err != nil && d.err == nil {
+		d.fail("%s: %v", key, err)
+	}
+	return f
+}
+
+func (d *decoder) boolean(key string, v any) bool {
+	switch strings.ToLower(d.str(key, v)) {
+	case "true", "yes", "on":
+		return true
+	case "false", "no", "off", "":
+		return false
+	default:
+		d.fail("%s: expected a boolean", key)
+		return false
+	}
+}
+
+func (d *decoder) dur(key string, v any) time.Duration {
+	t, err := time.ParseDuration(d.str(key, v))
+	if err != nil && d.err == nil {
+		d.fail("%s: %v", key, err)
+	}
+	return t
+}
+
+func (d *decoder) mapping(key string, v any) map[string]any {
+	m, ok := v.(map[string]any)
+	if !ok {
+		d.fail("%s: expected a mapping", key)
+		return nil
+	}
+	return m
+}
+
+func (d *decoder) sequence(key string, v any) []any {
+	l, ok := v.([]any)
+	if !ok {
+		d.fail("%s: expected a sequence", key)
+		return nil
+	}
+	return l
+}
+
+func (d *decoder) topology(t *Topology, v any) {
+	for key, val := range d.mapping("topology", v) {
+		switch key {
+		case "nodes":
+			t.Nodes = d.integer(key, val)
+		case "partitions":
+			t.Partitions = d.integer(key, val)
+		case "replicas":
+			t.Replicas = d.integer(key, val)
+		case "read-quorum":
+			t.ReadQuorum = d.integer(key, val)
+		case "write-quorum":
+			t.WriteQuorum = d.integer(key, val)
+		case "heartbeat":
+			t.Heartbeat = d.dur(key, val)
+		case "reconcile":
+			t.Reconcile = d.dur(key, val)
+		case "anti-entropy":
+			t.AntiEntropy = d.dur(key, val)
+		case "epoch":
+			t.Epoch = d.dur(key, val)
+		case "suspect-after":
+			t.SuspectAfter = d.dur(key, val)
+		case "dead-after":
+			t.DeadAfter = d.dur(key, val)
+		case "transfer-chunk":
+			t.TransferChunk = d.integer(key, val)
+		case "transfer-rate":
+			t.TransferRate = d.i64(key, val)
+		default:
+			d.fail("topology: unknown key %q", key)
+		}
+	}
+}
+
+func (d *decoder) phases(v any) []Phase {
+	var out []Phase
+	for i, item := range d.sequence("phases", v) {
+		p := Phase{ReadFraction: 0.5, Keys: 64}
+		for key, val := range d.mapping(fmt.Sprintf("phases[%d]", i), item) {
+			switch key {
+			case "name":
+				p.Name = d.str(key, val)
+			case "duration":
+				p.Duration = d.dur(key, val)
+			case "rate":
+				p.Rate = d.f64(key, val)
+			case "read-fraction":
+				p.ReadFraction = d.f64(key, val)
+			case "keys":
+				p.Keys = d.integer(key, val)
+			case "popularity":
+				p.Popularity = d.str(key, val)
+			case "profile":
+				p.Profile = d.str(key, val)
+			case "peak-rate":
+				p.PeakRate = d.f64(key, val)
+			case "min-availability":
+				p.MinAvailability = d.f64(key, val)
+			default:
+				d.fail("phases[%d]: unknown key %q", i, key)
+			}
+		}
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("phase%d", i)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func (d *decoder) faults(v any) []Fault {
+	var out []Fault
+	for i, item := range d.sequence("faults", v) {
+		var f Fault
+		for key, val := range d.mapping(fmt.Sprintf("faults[%d]", i), item) {
+			switch key {
+			case "at":
+				f.At = d.dur(key, val)
+			case "action":
+				f.Action = d.str(key, val)
+			case "node":
+				f.Node = d.str(key, val)
+			case "delay":
+				f.Delay = d.dur(key, val)
+			default:
+				d.fail("faults[%d]: unknown key %q", i, key)
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func (d *decoder) invariants(iv *Invariants, v any) {
+	for key, val := range d.mapping("invariants", v) {
+		switch key {
+		case "no-lost-acked-writes":
+			iv.NoLostAckedWrites = d.boolean(key, val)
+		case "converge-within":
+			iv.ConvergeWithin = d.dur(key, val)
+		case "joiners-host-vnodes":
+			iv.JoinersHostVNodes = d.boolean(key, val)
+		default:
+			d.fail("invariants: unknown key %q", key)
+		}
+	}
+}

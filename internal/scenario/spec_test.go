@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSpec = `
+name: rolling-restart
+seed: 7
+topology:
+  nodes: 5
+  partitions: 8
+  replicas: 3
+phases:
+  - name: steady
+    duration: 10s
+    rate: 200
+    read-fraction: 0.8
+    min-availability: 0.95
+faults:
+  - at: 6s
+    action: restart
+    node: n0
+  - at: 2s
+    action: kill
+    node: n0
+invariants:
+  converge-within: 20s
+`
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec(sampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "rolling-restart" || s.Seed != 7 {
+		t.Fatalf("header = %q seed %d", s.Name, s.Seed)
+	}
+	if s.Topology.Nodes != 5 || s.Topology.Partitions != 8 || s.Topology.Replicas != 3 {
+		t.Fatalf("topology = %+v", s.Topology)
+	}
+	// Defaults survive partial topology blocks.
+	if s.Topology.Heartbeat != 300*time.Millisecond || s.Topology.SuspectAfter != 1200*time.Millisecond {
+		t.Fatalf("defaults = %+v", s.Topology)
+	}
+	if len(s.Phases) != 1 {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+	p := s.Phases[0]
+	if p.Name != "steady" || p.Duration != 10*time.Second || p.Rate != 200 || p.ReadFraction != 0.8 || p.MinAvailability != 0.95 {
+		t.Fatalf("phase = %+v", p)
+	}
+	if p.Keys != 64 {
+		t.Fatalf("keys default = %d", p.Keys)
+	}
+	// Faults come back sorted by schedule time.
+	if len(s.Faults) != 2 || s.Faults[0].Action != ActionKill || s.Faults[1].Action != ActionRestart {
+		t.Fatalf("faults = %+v", s.Faults)
+	}
+	if s.Invariants.ConvergeWithin != 20*time.Second || !s.Invariants.NoLostAckedWrites {
+		t.Fatalf("invariants = %+v", s.Invariants)
+	}
+	if s.RequiresProcesses() {
+		t.Fatal("kill/restart should run in-process")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing name", "topology:\n  nodes: 3\n  replicas: 2\nphases:\n  - duration: 1s\n    rate: 10\n", "missing name"},
+		{"no phases", "name: x\ntopology:\n  nodes: 3\n  replicas: 2\n", "at least one phase"},
+		{"replicas exceed nodes", "name: x\ntopology:\n  nodes: 2\n  replicas: 3\nphases:\n  - duration: 1s\n    rate: 10\n", "replicas"},
+		{"unknown action", "name: x\ntopology:\n  nodes: 2\n  replicas: 2\nphases:\n  - duration: 1s\n    rate: 10\nfaults:\n  - at: 1s\n    action: explode\n    node: n0\n", "unknown action"},
+		{"unknown node", "name: x\ntopology:\n  nodes: 2\n  replicas: 2\nphases:\n  - duration: 1s\n    rate: 10\nfaults:\n  - at: 1s\n    action: kill\n    node: n9\n", "unknown node"},
+		{"join of existing node", "name: x\ntopology:\n  nodes: 2\n  replicas: 2\nphases:\n  - duration: 1s\n    rate: 10\nfaults:\n  - at: 1s\n    action: join\n    node: n0\n", "already-known"},
+		{"slow without delay", "name: x\ntopology:\n  nodes: 2\n  replicas: 2\nphases:\n  - duration: 1s\n    rate: 10\nfaults:\n  - at: 1s\n    action: slow\n    node: n0\n", "delay"},
+		{"slashdot without peak", "name: x\ntopology:\n  nodes: 2\n  replicas: 2\nphases:\n  - duration: 1s\n    rate: 10\n    profile: slashdot\n", "peak-rate"},
+		{"unknown top-level key", "name: x\nbogus: 1\n", "unknown top-level"},
+		{"unknown phase key", "name: x\ntopology:\n  nodes: 2\n  replicas: 2\nphases:\n  - duration: 1s\n    rate: 10\n    bogus: 1\n", "unknown key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestRequiresProcesses(t *testing.T) {
+	s, err := ParseSpec("name: x\ntopology:\n  nodes: 3\n  replicas: 2\nphases:\n  - duration: 1s\n    rate: 10\nfaults:\n  - at: 1s\n    action: partition\n    node: n0\n  - at: 2s\n    action: heal\n    node: n0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.RequiresProcesses() {
+		t.Fatal("partition fault must force the process harness")
+	}
+	s2, err := ParseSpec("name: x\nprocess-only: true\ntopology:\n  nodes: 3\n  replicas: 2\nphases:\n  - duration: 1s\n    rate: 10\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.RequiresProcesses() {
+		t.Fatal("process-only flag must force the process harness")
+	}
+}
+
+func TestNodeNames(t *testing.T) {
+	names := Topology{Nodes: 3}.NodeNames()
+	if len(names) != 3 || names[0] != "n0" || names[2] != "n2" {
+		t.Fatalf("names = %v", names)
+	}
+}

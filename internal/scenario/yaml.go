@@ -1,0 +1,233 @@
+// Package scenario is the declarative test harness of the prototype:
+// YAML files declare a cluster topology, workload phases and a fault
+// schedule; the runner executes them — against an in-process
+// skute.Cluster for tier-1 speed, or against real cmd/skuted processes
+// over TCP for cmd/skute-scenario and CI — and checks the declared
+// invariants (no acknowledged write lost, placement convergence within
+// a deadline, availability over the phase SLA). A violation produces a
+// correlated per-node decision trace, so a failed CI run is debuggable
+// from its artifacts alone.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The repo carries zero dependencies, so scenarios are parsed by a
+// hand-written subset of YAML sufficient for flat-ish config files:
+//
+//   - indentation-scoped mappings (`key: value`, nested blocks)
+//   - block sequences (`- item`), including sequences of mappings
+//     (`- key: value` with continuation lines indented past the dash)
+//   - scalars: everything is a string until the typed decode in
+//     spec.go; single/double quotes strip; `#` comments and blank
+//     lines skip
+//
+// Not supported (rejected or misparsed on purpose — scenarios should
+// stay simple): flow syntax ({a: 1}, [1, 2]), anchors, multi-line
+// scalars, tabs for indentation.
+
+// yamlValue is the parsed form: map[string]any, []any, or string.
+type yamlValue = any
+
+type yamlLine struct {
+	num    int // 1-based, for errors
+	indent int
+	text   string // content without indentation
+}
+
+// parseYAML parses a document into nested maps/slices/strings.
+func parseYAML(src string) (yamlValue, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed for indentation", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if trimmed == "" {
+			continue
+		}
+		lines = append(lines, yamlLine{num: i + 1, indent: len(text) - len(trimmed), text: strings.TrimRight(trimmed, " ")})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	v, rest, err := parseBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("yaml line %d: unexpected dedent past the document root", rest[0].num)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing comment outside quotes.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines at exactly `indent` (plus their
+// deeper children) into one value and returns the remaining lines.
+func parseBlock(lines []yamlLine, indent int) (yamlValue, []yamlLine, error) {
+	if len(lines) == 0 || lines[0].indent != indent {
+		return nil, lines, fmt.Errorf("yaml line %d: bad indentation", lines[0].num)
+	}
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseSequence(lines, indent)
+	}
+	return parseMapping(lines, indent)
+}
+
+// parseMapping parses `key: value` lines at `indent`.
+func parseMapping(lines []yamlLine, indent int) (yamlValue, []yamlLine, error) {
+	m := map[string]any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml line %d: unexpected indentation", ln.num)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, nil, fmt.Errorf("yaml line %d: sequence item inside a mapping", ln.num)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, nil, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, key)
+		}
+		lines = lines[1:]
+		if rest != "" {
+			m[key] = unquote(rest)
+			continue
+		}
+		// Block value: the following deeper lines; nothing deeper means
+		// an empty string.
+		if len(lines) == 0 || lines[0].indent <= indent {
+			m[key] = ""
+			continue
+		}
+		v, remaining, err := parseBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = v
+		lines = remaining
+	}
+	return m, lines, nil
+}
+
+// parseSequence parses `- item` lines at `indent`.
+func parseSequence(lines []yamlLine, indent int) (yamlValue, []yamlLine, error) {
+	var seq []any
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent != indent || (!strings.HasPrefix(ln.text, "- ") && ln.text != "-") {
+			if ln.indent > indent {
+				return nil, nil, fmt.Errorf("yaml line %d: unexpected indentation", ln.num)
+			}
+			break
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		lines = lines[1:]
+		itemIndent := indent + 2 // the dash and its space count as indentation
+		switch {
+		case rest == "":
+			// `-` alone: the item is the deeper block that follows.
+			if len(lines) == 0 || lines[0].indent <= indent {
+				seq = append(seq, "")
+				continue
+			}
+			v, remaining, err := parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			seq = append(seq, v)
+			lines = remaining
+		case isMappingStart(rest):
+			// `- key: value`: a mapping whose first entry shares the
+			// dash's line; continuation lines sit at itemIndent.
+			first := yamlLine{num: ln.num, indent: itemIndent, text: rest}
+			block := []yamlLine{first}
+			for len(lines) > 0 && lines[0].indent >= itemIndent {
+				block = append(block, lines[0])
+				lines = lines[1:]
+			}
+			v, remaining, err := parseMapping(block, itemIndent)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(remaining) > 0 {
+				return nil, nil, fmt.Errorf("yaml line %d: bad indentation in sequence item", remaining[0].num)
+			}
+			seq = append(seq, v)
+		default:
+			seq = append(seq, unquote(rest))
+		}
+	}
+	return seq, lines, nil
+}
+
+// isMappingStart reports whether an inline sequence item opens a
+// mapping (`key: ...` or `key:`), as opposed to a plain scalar. A
+// colon inside quotes does not count.
+func isMappingStart(s string) bool {
+	if s[0] == '\'' || s[0] == '"' {
+		return false
+	}
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return false
+	}
+	return i == len(s)-1 || s[i+1] == ' '
+}
+
+// splitKey splits `key: rest` (or `key:`), rejecting anything else.
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	i := strings.Index(ln.text, ":")
+	for i >= 0 && i != len(ln.text)-1 && ln.text[i+1] != ' ' {
+		j := strings.Index(ln.text[i+1:], ":")
+		if j < 0 {
+			i = -1
+			break
+		}
+		i += 1 + j
+	}
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml line %d: expected `key: value`, got %q", ln.num, ln.text)
+	}
+	key = strings.TrimSpace(ln.text[:i])
+	if key == "" {
+		return "", "", fmt.Errorf("yaml line %d: empty key", ln.num)
+	}
+	return key, strings.TrimSpace(ln.text[i+1:]), nil
+}
+
+// unquote strips one level of matching quotes.
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLMappingAndNesting(t *testing.T) {
+	doc, err := parseYAML(`
+name: steady
+topology:
+  nodes: 5
+  heartbeat: 300ms
+invariants:
+  no-lost-acked-writes: true
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.(map[string]any)
+	if root["name"] != "steady" {
+		t.Fatalf("name = %v", root["name"])
+	}
+	topo := root["topology"].(map[string]any)
+	if topo["nodes"] != "5" || topo["heartbeat"] != "300ms" {
+		t.Fatalf("topology = %v", topo)
+	}
+	if root["invariants"].(map[string]any)["no-lost-acked-writes"] != "true" {
+		t.Fatalf("invariants = %v", root["invariants"])
+	}
+}
+
+func TestYAMLSequenceOfMappings(t *testing.T) {
+	doc, err := parseYAML(`
+faults:
+  - at: 2s
+    action: kill
+    node: n1
+  - at: 6s
+    action: restart
+    node: n1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := doc.(map[string]any)["faults"].([]any)
+	if len(faults) != 2 {
+		t.Fatalf("got %d items", len(faults))
+	}
+	want := map[string]any{"at": "2s", "action": "kill", "node": "n1"}
+	if !reflect.DeepEqual(faults[0], want) {
+		t.Fatalf("faults[0] = %v, want %v", faults[0], want)
+	}
+}
+
+func TestYAMLScalarSequence(t *testing.T) {
+	doc, err := parseYAML("items:\n  - one\n  - two\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := doc.(map[string]any)["items"].([]any)
+	if !reflect.DeepEqual(items, []any{"one", "two"}) {
+		t.Fatalf("items = %v", items)
+	}
+}
+
+func TestYAMLCommentsAndQuotes(t *testing.T) {
+	doc, err := parseYAML(`
+# full-line comment
+name: "hello # not a comment"  # trailing comment
+note: 'single # quoted'
+plain: value # stripped
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.(map[string]any)
+	if root["name"] != "hello # not a comment" {
+		t.Fatalf("name = %q", root["name"])
+	}
+	if root["note"] != "single # quoted" {
+		t.Fatalf("note = %q", root["note"])
+	}
+	if root["plain"] != "value" {
+		t.Fatalf("plain = %q", root["plain"])
+	}
+}
+
+func TestYAMLEmptyValue(t *testing.T) {
+	doc, err := parseYAML("a:\nb: x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.(map[string]any)
+	if root["a"] != "" || root["b"] != "x" {
+		t.Fatalf("root = %v", root)
+	}
+}
+
+func TestYAMLRejectsTabs(t *testing.T) {
+	if _, err := parseYAML("a:\n\tb: 1\n"); err == nil || !strings.Contains(err.Error(), "tab") {
+		t.Fatalf("want tab error, got %v", err)
+	}
+}
+
+func TestYAMLRejectsDuplicateKeys(t *testing.T) {
+	if _, err := parseYAML("a: 1\na: 2\n"); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-key error, got %v", err)
+	}
+}
+
+func TestYAMLValueWithColon(t *testing.T) {
+	doc, err := parseYAML("addr: 127.0.0.1:7000\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.(map[string]any)["addr"]; got != "127.0.0.1:7000" {
+		t.Fatalf("addr = %q", got)
+	}
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Open-loop driver: offered load arrives on an exponential clock at a
+// caller-shaped rate, independent of how fast the system answers —
+// the arrival process does not slow down when the store does, which is
+// what makes an availability SLA measurable under stress (a closed
+// loop would self-throttle and hide the violation). The scenario
+// harness runs one Driver per workload phase over the real TCP client.
+
+// Op is one operation the driver asks the system under test to perform.
+type Op struct {
+	// Read distinguishes a read (Get) from a write (Put).
+	Read bool
+	// Key is the target key, drawn from the configured popularity.
+	Key string
+	// Seq is the per-key write sequence number (1-based, monotonically
+	// increasing per key; 0 for reads). Writers encode it into the
+	// stored value so the no-lost-acked-writes invariant can compare
+	// what the store returns against what was acknowledged. Writes to
+	// the same key are serialized (seq assigned when the write actually
+	// starts), because under last-write-wins a reordered lower sequence
+	// would overwrite an acknowledged higher one and fake a data loss.
+	Seq uint64
+}
+
+// Report summarizes one driver run.
+type Report struct {
+	Issued  int // ops handed to Do
+	Acked   int // Do returned nil
+	Failed  int // Do returned an error
+	Dropped int // arrivals shed because MaxInFlight was reached
+	Reads   int // read ops issued
+	Writes  int // write ops issued
+	// LastAcked maps each key to the highest write sequence number the
+	// system acknowledged — the floor a durable store must return at or
+	// above after the run.
+	LastAcked map[string]uint64
+}
+
+// Availability is the acked fraction of issued ops (1 when nothing
+// was issued). Dropped arrivals count against neither side: they
+// measure driver backpressure, not system failures.
+func (r Report) Availability() float64 {
+	if r.Issued == 0 {
+		return 1
+	}
+	return float64(r.Acked) / float64(r.Issued)
+}
+
+// Driver generates open-loop load. All fields must be set before Run;
+// the zero value is not usable.
+type Driver struct {
+	// Rate yields the offered ops/sec at the given elapsed time since
+	// Run started, so one driver can follow a Slashdot ramp by mapping
+	// elapsed time to profile epochs.
+	Rate func(elapsed time.Duration) float64
+	// ReadFraction in [0,1] is the probability an arrival is a read.
+	ReadFraction float64
+	// Keys and Weights define the popularity distribution (Weights need
+	// not be normalized; nil Weights means uniform).
+	Keys    []string
+	Weights []float64
+	// Seed makes the arrival process and key choices reproducible.
+	Seed int64
+	// MaxInFlight bounds concurrently outstanding ops; arrivals beyond
+	// it are dropped (<= 0 selects 64).
+	MaxInFlight int
+	// Do performs one op against the system under test.
+	Do func(ctx context.Context, op Op) error
+}
+
+// Run offers load for the given duration (or until ctx ends) and
+// reports what happened. It blocks until every in-flight op returns.
+func (d *Driver) Run(ctx context.Context, dur time.Duration) Report {
+	rng := rand.New(rand.NewSource(d.Seed))
+	maxInFlight := d.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 64
+	}
+	cum := cumulative(d.Weights, len(d.Keys))
+
+	rep := Report{LastAcked: make(map[string]uint64)}
+	// Per-key write serialization: holding the key's lock across Do
+	// keeps sequence order equal to store arrival order, so the highest
+	// acked sequence really is the last-write-wins survivor. Hot keys
+	// therefore queue their writes — that shows up as in-flight
+	// pressure (and eventually Dropped), never as reordering.
+	type keyState struct {
+		mu  sync.Mutex
+		seq uint64
+	}
+	writers := make(map[string]*keyState, len(d.Keys))
+	for _, k := range d.Keys {
+		writers[k] = &keyState{}
+	}
+	var mu sync.Mutex // guards rep.Acked/Failed/LastAcked after dispatch
+	var wg sync.WaitGroup
+	slots := make(chan struct{}, maxInFlight)
+
+	start := time.Now()
+	deadline := start.Add(dur)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	<-timer.C
+
+	// Arrivals follow a virtual schedule: each gap advances `next`
+	// regardless of how long dispatch took, and the loop only sleeps
+	// when ahead of it. Coarse timers therefore cost bursts, not
+	// offered load — the open-loop property the SLA checks rely on.
+	next := start
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		next = next.Add(Interarrival(rng, d.Rate(next.Sub(start))))
+		if next.After(deadline) {
+			break
+		}
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				goto drain
+			case <-timer.C:
+			}
+		}
+
+		op := Op{Read: rng.Float64() < d.ReadFraction}
+		op.Key = d.Keys[pick(cum, rng.Float64())]
+		select {
+		case slots <- struct{}{}:
+		default:
+			rep.Dropped++
+			continue
+		}
+		rep.Issued++
+		if op.Read {
+			rep.Reads++
+		} else {
+			rep.Writes++
+		}
+		wg.Add(1)
+		go func(op Op) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			if !op.Read {
+				ks := writers[op.Key]
+				ks.mu.Lock()
+				defer ks.mu.Unlock()
+				ks.seq++
+				op.Seq = ks.seq
+			}
+			err := d.Do(ctx, op)
+			mu.Lock()
+			if err != nil {
+				rep.Failed++
+			} else {
+				rep.Acked++
+				if !op.Read && op.Seq > rep.LastAcked[op.Key] {
+					rep.LastAcked[op.Key] = op.Seq
+				}
+			}
+			mu.Unlock()
+		}(op)
+	}
+drain:
+	wg.Wait()
+	return rep
+}
+
+// cumulative builds the cumulative weight table for n keys; nil or
+// mismatched weights degrade to uniform.
+func cumulative(weights []float64, n int) []float64 {
+	cum := make([]float64, n)
+	if len(weights) != n {
+		for i := range cum {
+			cum[i] = float64(i+1) / float64(n)
+		}
+		return cum
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 {
+		for i := range cum {
+			cum[i] = float64(i+1) / float64(n)
+		}
+		return cum
+	}
+	run := 0.0
+	for i, w := range weights {
+		run += w / sum
+		cum[i] = run
+	}
+	cum[n-1] = 1
+	return cum
+}
+
+// pick locates u in the cumulative table.
+func pick(cum []float64, u float64) int {
+	i := sort.SearchFloat64s(cum, u)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}

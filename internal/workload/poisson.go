@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Poisson draws a Poisson(lambda) variate. Small means use Knuth's
@@ -30,6 +31,22 @@ func Poisson(rng *rand.Rand, lambda float64) int {
 		}
 		return int(x)
 	}
+}
+
+// Interarrival draws the exponential gap to the next arrival of a
+// Poisson process with the given rate (events per second) — the
+// open-loop driver's clock. Non-positive rates yield a long pause (one
+// second) rather than blocking forever, so a profile that dips to zero
+// keeps polling for its next ramp.
+func Interarrival(rng *rand.Rand, rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Second
+	}
+	u := rng.Float64()
+	for u == 0 { // -log(0) = +Inf
+		u = rng.Float64()
+	}
+	return time.Duration(-math.Log(u) / rate * float64(time.Second))
 }
 
 // SplitPoisson draws per-class query counts for one epoch: the total load

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Statistical generator tests: fixed seeds, so the draws — and the
+// estimators below — are exactly reproducible; the tolerances are wide
+// enough that any correct implementation passes and narrow enough that
+// a wrong parameterization (shape/scale swapped, rate inverted, ramp
+// off by an epoch) fails.
+
+// TestParetoTailExponent recovers the tail index with the Hill
+// estimator: for the k largest of n samples, the mean of
+// log(x_(i)/x_(k+1)) estimates 1/alpha.
+func TestParetoTailExponent(t *testing.T) {
+	for _, shape := range []float64{1, 1.5, 2.5} {
+		rng := rand.New(rand.NewSource(11))
+		p := Pareto{Shape: shape, Scale: 50}
+		n := 50000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = p.Sample(rng)
+		}
+		sort.Float64s(xs) // ascending
+		k := 2000
+		ref := xs[n-k-1]
+		var sum float64
+		for i := n - k; i < n; i++ {
+			sum += math.Log(xs[i] / ref)
+		}
+		alphaHat := float64(k) / sum
+		if math.Abs(alphaHat-shape)/shape > 0.1 {
+			t.Errorf("shape %v: Hill estimate %v (>10%% off)", shape, alphaHat)
+		}
+	}
+}
+
+// TestInterarrivalMean checks the exponential clock: mean gap 1/rate
+// and the memoryless CDF at the median.
+func TestInterarrivalMean(t *testing.T) {
+	for _, rate := range []float64{50, 500, 5000} {
+		rng := rand.New(rand.NewSource(12))
+		n := 50000
+		var sum float64
+		median := math.Ln2 / rate
+		below := 0
+		for i := 0; i < n; i++ {
+			gap := Interarrival(rng, rate).Seconds()
+			if gap < 0 {
+				t.Fatalf("negative gap %v", gap)
+			}
+			sum += gap
+			if gap < median {
+				below++
+			}
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-1/rate)*rate > 0.03 {
+			t.Errorf("rate %v: mean gap %v, want ~%v", rate, mean, 1/rate)
+		}
+		if frac := float64(below) / float64(n); frac < 0.47 || frac > 0.53 {
+			t.Errorf("rate %v: fraction below median = %v, want ~0.5", rate, frac)
+		}
+	}
+}
+
+func TestInterarrivalZeroRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	if got := Interarrival(rng, 0); got != time.Second {
+		t.Errorf("zero-rate gap = %v, want 1s", got)
+	}
+	if got := Interarrival(rng, -5); got != time.Second {
+		t.Errorf("negative-rate gap = %v, want 1s", got)
+	}
+}
+
+// TestSlashdotSpikeShape pins the paper profile's geometry beyond the
+// monotonicity already covered: peak position, ramp linearity, and the
+// total excess load of the spike (the triangle area over the base).
+func TestSlashdotSpikeShape(t *testing.T) {
+	s := PaperSlashdot()
+	// Linearity: equal increments across the ramp.
+	inc := s.Rate(100) - s.Rate(99)
+	for e := 100; e < 124; e++ {
+		if d := s.Rate(e+1) - s.Rate(e); math.Abs(d-inc) > 1e-6 {
+			t.Fatalf("ramp increment at %d = %v, want %v", e, d, inc)
+		}
+	}
+	wantInc := (183000.0 - 3000.0) / 25
+	if math.Abs(inc-wantInc) > 1e-6 {
+		t.Errorf("ramp increment = %v, want %v", inc, wantInc)
+	}
+	// Excess area: sum over the spike of (rate - base) approximates the
+	// triangle (peak-base) * (ramp+decay) / 2.
+	var excess float64
+	for e := 90; e < 400; e++ {
+		excess += s.Rate(e) - s.Base
+	}
+	want := (s.Peak - s.Base) * float64(s.RampEpochs+s.DecayEpochs) / 2
+	if math.Abs(excess-want)/want > 0.02 {
+		t.Errorf("spike excess area = %v, want ~%v", excess, want)
+	}
+	// The peak epoch is exactly the end of the ramp.
+	for e := 95; e < 380; e++ {
+		if s.Rate(e) > s.Rate(124) {
+			t.Fatalf("epoch %d rate %v above the ramp-end rate", e, s.Rate(e))
+		}
+	}
+}
+
+func TestDriverOpenLoop(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]uint64{}
+	d := &Driver{
+		Rate:         func(time.Duration) float64 { return 2000 },
+		ReadFraction: 0.5,
+		Keys:         []string{"a", "b", "c"},
+		Weights:      []float64{8, 1, 1},
+		Seed:         21,
+		MaxInFlight:  32,
+		Do: func(ctx context.Context, op Op) error {
+			if !op.Read {
+				// Concurrent writes may land out of order; the invariant
+				// only needs the max acked sequence per key.
+				mu.Lock()
+				if op.Seq > got[op.Key] {
+					got[op.Key] = op.Seq
+				}
+				mu.Unlock()
+			}
+			return nil
+		},
+	}
+	rep := d.Run(context.Background(), 300*time.Millisecond)
+	if rep.Issued < 100 {
+		t.Fatalf("issued only %d ops at 2000/s over 300ms", rep.Issued)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("failed %d ops", rep.Failed)
+	}
+	if rep.Acked != rep.Issued {
+		t.Errorf("acked %d of %d", rep.Acked, rep.Issued)
+	}
+	if rep.Reads+rep.Writes != rep.Issued {
+		t.Errorf("reads+writes = %d+%d != issued %d", rep.Reads, rep.Writes, rep.Issued)
+	}
+	// Read fraction within loose binomial bounds.
+	if frac := float64(rep.Reads) / float64(rep.Issued); frac < 0.35 || frac > 0.65 {
+		t.Errorf("read fraction = %v, want ~0.5", frac)
+	}
+	// The acked floor matches what Do saw.
+	for k, seq := range rep.LastAcked {
+		if got[k] != seq {
+			t.Errorf("key %s: LastAcked %d but store saw %d", k, seq, got[k])
+		}
+	}
+	if rep.Availability() != 1 {
+		t.Errorf("availability = %v", rep.Availability())
+	}
+}
+
+// TestDriverPopularitySkew checks the weighted key choice: with weights
+// 8:1:1 the hot key should absorb roughly 80% of the traffic.
+func TestDriverPopularitySkew(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	d := &Driver{
+		Rate:         func(time.Duration) float64 { return 5000 },
+		ReadFraction: 1,
+		Keys:         []string{"hot", "cold1", "cold2"},
+		Weights:      []float64{8, 1, 1},
+		Seed:         22,
+		Do: func(ctx context.Context, op Op) error {
+			mu.Lock()
+			counts[op.Key]++
+			mu.Unlock()
+			return nil
+		},
+	}
+	rep := d.Run(context.Background(), 400*time.Millisecond)
+	if rep.Issued < 500 {
+		t.Fatalf("issued only %d", rep.Issued)
+	}
+	frac := float64(counts["hot"]) / float64(rep.Issued)
+	if frac < 0.7 || frac > 0.9 {
+		t.Errorf("hot-key fraction = %v, want ~0.8", frac)
+	}
+}
+
+// TestDriverShedsWhenSaturated: a Do that blocks past the phase forces
+// the in-flight cap to shed arrivals instead of queueing unboundedly.
+func TestDriverShedsWhenSaturated(t *testing.T) {
+	release := make(chan struct{})
+	d := &Driver{
+		Rate:        func(time.Duration) float64 { return 3000 },
+		Keys:        []string{"k"},
+		Seed:        23,
+		MaxInFlight: 4,
+		Do: func(ctx context.Context, op Op) error {
+			<-release
+			return errors.New("too slow")
+		},
+	}
+	done := make(chan Report, 1)
+	go func() { done <- d.Run(context.Background(), 200*time.Millisecond) }()
+	time.Sleep(250 * time.Millisecond)
+	close(release)
+	rep := <-done
+	if rep.Issued != 4 {
+		t.Errorf("issued %d, want exactly the in-flight cap 4", rep.Issued)
+	}
+	if rep.Dropped < 50 {
+		t.Errorf("dropped only %d arrivals while saturated", rep.Dropped)
+	}
+	if rep.Failed != 4 {
+		t.Errorf("failed %d, want 4", rep.Failed)
+	}
+	if rep.Availability() != 0 {
+		t.Errorf("availability = %v, want 0", rep.Availability())
+	}
+}
+
+func TestDriverContextCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	d := &Driver{
+		Rate: func(time.Duration) float64 { return 1000 },
+		Keys: []string{"k"},
+		Seed: 24,
+		Do:   func(ctx context.Context, op Op) error { return nil },
+	}
+	start := time.Now()
+	d.Run(ctx, 10*time.Second)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Run outlived its context by %v", elapsed)
+	}
+}

@@ -681,6 +681,35 @@ func (c *Cluster) ReviveServer(name string) error {
 // Servers lists the server names in descriptor order.
 func (c *Cluster) Servers() []string { return append([]string(nil), c.order...) }
 
+// NodeStats is one server's observability snapshot (what GET /stats
+// serves on a TCP deployment).
+type NodeStats = cluster.Stats
+
+// TraceEvent is one control-plane decision-trace entry (what GET /trace
+// serves on a TCP deployment).
+type TraceEvent = cluster.TraceEvent
+
+// StatsOf returns the named server's own observability snapshot — its
+// view, not a coordinator's, so scenario invariants can compare
+// placement digests across servers exactly like scraping each
+// process's admin endpoint.
+func (c *Cluster) StatsOf(name string) (NodeStats, error) {
+	n, ok := c.nodes[name]
+	if !ok {
+		return NodeStats{}, fmt.Errorf("skute: unknown server %q", name)
+	}
+	return n.Stats(), nil
+}
+
+// TraceOf returns the named server's decision trace, oldest first.
+func (c *Cluster) TraceOf(name string) ([]TraceEvent, error) {
+	n, ok := c.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("skute: unknown server %q", name)
+	}
+	return n.Trace().Events(), nil
+}
+
 // VNodesOn counts the partition replicas currently assigned to a server,
 // as seen from an alive coordinator's replica table.
 func (c *Cluster) VNodesOn(name string) (int, error) {

@@ -651,6 +651,9 @@ func TestAddRemoveServer(t *testing.T) {
 // set, the joiners holding vnodes — and no acknowledged write may be
 // lost.
 func TestJoinLeaveSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second membership soak")
+	}
 	c, err := NewCluster(Options{
 		Servers: []Server{
 			{Name: "s1", Location: "eu/ch/dc0/r0/k0/s1", MonthlyRent: 100},
