@@ -1,0 +1,285 @@
+// Command skute-load drives a running skuted cluster with OPEN-LOOP load:
+// requests are sent on a fixed arrival schedule computed before the run
+// starts, so a stalling cluster makes the latency numbers worse instead of
+// silently slowing the offered rate down. Latency is measured from each
+// request's scheduled send time (coordinated-omission corrected) with the
+// same telemetry histograms a live node serves on GET /metrics, and the
+// final report — offered vs achieved QPS and p50/p99/p999 per op — is
+// written as JSON (BENCH_load.json by convention).
+//
+// Usage:
+//
+//	skute-load -addrs 127.0.0.1:7000,127.0.0.1:7001 -rate 5000 -duration 10s
+//	skute-load -addrs 127.0.0.1:7000 -phases 1000:5s,2000:5s,4000:5s
+//	skute-load -addrs 127.0.0.1:7000 -rate 2000 -duration 10s -warmup 2s \
+//	    -read-fraction 0.9 -keys 5000 -value-bytes 256 -consistency quorum
+//	skute-load -addrs 127.0.0.1:7000 -rate 1000 -duration 5s \
+//	    -check BENCH_load.json -max-p99-ratio 4
+//
+// -rate/-duration run one steady phase; -phases runs a comma-separated
+// ramp of rate:duration segments back to back on one timeline (a stall in
+// one segment cannot push the next segment's arrivals later). -warmup
+// prepends a phase at the first rate whose samples are excluded from the
+// aggregates. Keys follow the paper's Pareto popularity
+// (workload.PaperPopularity) over -keys distinct keys; arrivals are
+// Poisson by default (-arrival uniform for evenly spaced).
+//
+// -check compares the new run against a previous report: if the new
+// combined p99 exceeds baseline p99 * -max-p99-ratio, or the target
+// failed to sustain the offered rate, the exit status is 1 — this is the
+// CI load-smoke hook.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"skute/internal/cluster"
+	"skute/internal/loadgen"
+	"skute/internal/ring"
+	"skute/internal/transport"
+	"skute/internal/workload"
+)
+
+func main() {
+	var (
+		addrs        = flag.String("addrs", "127.0.0.1:7000", "comma-separated node addresses; requests round-robin across them")
+		app          = flag.String("app", "app1", "application name")
+		class        = flag.String("class", "gold", "availability class")
+		rate         = flag.Float64("rate", 1000, "offered ops/sec for the single steady phase")
+		duration     = flag.Duration("duration", 10*time.Second, "steady-phase length")
+		phases       = flag.String("phases", "", "ramp spec rate:duration,rate:duration — overrides -rate/-duration")
+		warmup       = flag.Duration("warmup", 0, "warmup phase length at the first rate, excluded from aggregates")
+		readFraction = flag.Float64("read-fraction", 0.9, "fraction of arrivals that are reads")
+		keys         = flag.Int("keys", 1000, "distinct keys, Pareto-popular per the paper's workload")
+		valueBytes   = flag.Int("value-bytes", 128, "payload size of every write")
+		workers      = flag.Int("workers", 64, "concurrent senders (in-flight bound)")
+		arrival      = flag.String("arrival", "poisson", "arrival process: poisson or uniform")
+		seed         = flag.Int64("seed", 1, "seed for schedule, op mix and key popularity")
+		timeout      = flag.Duration("timeout", 2*time.Second, "per-request deadline")
+		consistency  = flag.String("consistency", "default", "replica acknowledgements: default, one, quorum, all, or a count")
+		slo          = flag.Duration("slo", 200*time.Millisecond, "p99 bound a phase must meet to count as sustained")
+		out          = flag.String("out", "BENCH_load.json", "report destination, - for stdout")
+		check        = flag.String("check", "", "baseline report to regress against (exit 1 on violation)")
+		maxP99Ratio  = flag.Float64("max-p99-ratio", 3, "fail -check when new p99 > baseline p99 * ratio")
+	)
+	flag.Parse()
+
+	level, err := parseConsistency(*consistency)
+	if err != nil {
+		fail(err)
+	}
+	phaseList, err := parsePhases(*phases, *rate, *duration, *warmup)
+	if err != nil {
+		fail(err)
+	}
+
+	keyNames := make([]string, *keys)
+	for i := range keyNames {
+		keyNames[i] = fmt.Sprintf("u%06d", i)
+	}
+	weights, err := workload.PaperPopularity().Weights(rand.New(rand.NewSource(*seed)), *keys, 1000)
+	if err != nil {
+		fail(err)
+	}
+
+	target, err := newClusterTarget(strings.Split(*addrs, ","), ring.RingID{App: *app, Class: *class}, level, *timeout)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "skute-load: %d phase(s), %d keys, %d workers, %s arrivals, consistency %s\n",
+		len(phaseList), *keys, *workers, *arrival, *consistency)
+	rep, err := loadgen.Run(ctx, loadgen.Options{
+		Phases:          phaseList,
+		Workers:         *workers,
+		ReadFraction:    *readFraction,
+		Keys:            keyNames,
+		Weights:         weights,
+		ValueBytes:      *valueBytes,
+		UniformArrivals: *arrival == "uniform",
+		Seed:            *seed,
+		SustainedSLO:    *slo,
+	}, target)
+	if err != nil {
+		fail(err)
+	}
+
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	body = append(body, '\n')
+	if *out == "-" {
+		os.Stdout.Write(body)
+	} else {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "skute-load: report written to %s\n", *out)
+	}
+	fmt.Fprintf(os.Stderr, "skute-load: get %s\nskute-load: put %s\nskute-load: max sustained %.0f qps\n",
+		summarize(rep.Get), summarize(rep.Put), rep.MaxSustainedQPS)
+
+	if *check != "" {
+		if err := regress(rep, *check, *maxP99Ratio); err != nil {
+			fmt.Fprintf(os.Stderr, "skute-load: CHECK FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "skute-load: check passed")
+	}
+}
+
+// clusterTarget fans requests out round-robin over one cluster.Client per
+// node, all sharing a single multiplexed TCP transport. Writes are blind
+// (nil causal context): coordinator dot-counter clocks make same-node
+// rewrites supersede each other, so sibling growth stays bounded by the
+// coordinator count rather than the write count — and the generator
+// measures the pure write path instead of a read-modify-write.
+type clusterTarget struct {
+	clients []*cluster.Client
+	next    atomic.Uint64
+	id      ring.RingID
+	read    cluster.ReadOptions
+	write   cluster.WriteOptions
+}
+
+func newClusterTarget(addrs []string, id ring.RingID, level cluster.Consistency, timeout time.Duration) (*clusterTarget, error) {
+	tr := transport.NewTCP()
+	t := &clusterTarget{
+		id:    id,
+		read:  cluster.ReadOptions{Consistency: level, Timeout: timeout},
+		write: cluster.WriteOptions{Consistency: level, Timeout: timeout},
+	}
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		t.clients = append(t.clients, cluster.NewClient(tr, a))
+	}
+	if len(t.clients) == 0 {
+		return nil, fmt.Errorf("skute-load: no addresses in -addrs")
+	}
+	return t, nil
+}
+
+func (t *clusterTarget) pick() *cluster.Client {
+	return t.clients[t.next.Add(1)%uint64(len(t.clients))]
+}
+
+func (t *clusterTarget) Read(ctx context.Context, key string) error {
+	_, _, err := t.pick().Get(ctx, t.id, key, t.read)
+	return err
+}
+
+func (t *clusterTarget) Write(ctx context.Context, key string, value []byte) error {
+	return t.pick().Put(ctx, t.id, key, value, nil, t.write)
+}
+
+// parsePhases turns "-phases 1000:5s,2000:5s" (or the -rate/-duration
+// pair when empty) into the loadgen phase list, prepending a warmup phase
+// at the first rate when requested.
+func parsePhases(spec string, rate float64, dur, warmup time.Duration) ([]loadgen.Phase, error) {
+	var list []loadgen.Phase
+	if spec == "" {
+		list = []loadgen.Phase{{Name: "steady", Rate: rate, Duration: dur}}
+	} else {
+		for i, part := range strings.Split(spec, ",") {
+			rd := strings.SplitN(strings.TrimSpace(part), ":", 2)
+			if len(rd) != 2 {
+				return nil, fmt.Errorf("skute-load: bad -phases segment %q (want rate:duration)", part)
+			}
+			r, err := strconv.ParseFloat(rd[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("skute-load: bad rate in %q: %v", part, err)
+			}
+			d, err := time.ParseDuration(rd[1])
+			if err != nil {
+				return nil, fmt.Errorf("skute-load: bad duration in %q: %v", part, err)
+			}
+			list = append(list, loadgen.Phase{Name: fmt.Sprintf("phase%d", i), Rate: r, Duration: d})
+		}
+	}
+	if warmup > 0 {
+		list = append([]loadgen.Phase{{Name: "warmup", Rate: list[0].Rate, Duration: warmup, Warmup: true}}, list...)
+	}
+	return list, nil
+}
+
+func summarize(s loadgen.OpStats) string {
+	return fmt.Sprintf("offered %.0f qps achieved %.0f qps issued %d errors %d p50 %s p99 %s p999 %s",
+		s.OfferedQPS, s.AchievedQPS, s.Issued, s.Errors,
+		time.Duration(s.Latency.P50NS), time.Duration(s.Latency.P99NS), time.Duration(s.Latency.P999NS))
+}
+
+// regress compares the new report with a stored baseline. The bar is
+// deliberately generous (default 3x p99): the job exists to catch a
+// broken hot path or a saturated cluster, not micro-regressions on a
+// noisy CI box.
+func regress(rep *loadgen.Report, baselinePath string, ratio float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base loadgen.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	if rep.MaxSustainedQPS <= 0 {
+		return fmt.Errorf("no phase sustained its offered rate (p99 over SLO or error storm)")
+	}
+	type pair struct {
+		name      string
+		now, then int64
+	}
+	for _, p := range []pair{
+		{"get p99", rep.Get.Latency.P99NS, base.Get.Latency.P99NS},
+		{"put p99", rep.Put.Latency.P99NS, base.Put.Latency.P99NS},
+	} {
+		if p.then <= 0 || p.now <= 0 {
+			continue // op kind absent from one of the runs
+		}
+		if float64(p.now) > float64(p.then)*ratio {
+			return fmt.Errorf("%s regressed: %s vs baseline %s (limit %.1fx)",
+				p.name, time.Duration(p.now), time.Duration(p.then), ratio)
+		}
+	}
+	return nil
+}
+
+func parseConsistency(s string) (cluster.Consistency, error) {
+	switch s {
+	case "", "default":
+		return cluster.ConsistencyDefault, nil
+	case "one":
+		return cluster.ConsistencyOne, nil
+	case "quorum":
+		return cluster.ConsistencyQuorum, nil
+	case "all":
+		return cluster.ConsistencyAll, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad -consistency %q (want default, one, quorum, all, or a count)", s)
+	}
+	return cluster.ConsistencyCount(n), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "skute-load:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"skute/internal/cluster"
+	"skute/internal/loadgen"
+	"skute/internal/ring"
+	"skute/internal/store"
+	"skute/internal/transport"
+)
+
+// fixedAddrTCP redirects Serve to a predetermined address so the config
+// (written before the nodes boot) stays accurate — same trick as the
+// cluster package's TCP tests.
+type fixedAddrTCP struct {
+	*transport.TCP
+	addr string
+}
+
+func (f *fixedAddrTCP) Serve(_ string, h transport.Handler) error {
+	return f.TCP.Serve(f.addr, h)
+}
+
+// bootTCPCluster starts a real 3-node cluster over loopback sockets and
+// returns its addresses.
+func bootTCPCluster(t *testing.T) []string {
+	t.Helper()
+	const servers = 3
+	addrs := make([]string, servers)
+	for i := range addrs {
+		probe := transport.NewTCP()
+		if err := probe.Serve("127.0.0.1:0", func(context.Context, transport.Envelope) (transport.Envelope, error) {
+			return transport.Envelope{}, fmt.Errorf("not ready")
+		}); err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = probe.Addrs()[0]
+		probe.Close()
+	}
+
+	cfg := cluster.Config{
+		Rings: []cluster.RingSpec{{App: "app1", Class: "gold", Partitions: 16, Replicas: 3}},
+	}
+	for i := 0; i < servers; i++ {
+		cfg.Nodes = append(cfg.Nodes, cluster.NodeInfo{
+			Name:          fmt.Sprintf("n%d", i),
+			Addr:          addrs[i],
+			LocPath:       fmt.Sprintf("eu/c%d/dc0/r0/k0/s%d", i, i),
+			Confidence:    1,
+			MonthlyRent:   100,
+			Capacity:      1 << 30,
+			QueryCapacity: 100000,
+		})
+	}
+	for i := 0; i < servers; i++ {
+		nt := transport.NewTCP()
+		t.Cleanup(func() { nt.Close() })
+		n, err := cluster.NewNode(cfg, fmt.Sprintf("n%d", i), &fixedAddrTCP{TCP: nt, addr: addrs[i]}, store.NewMemory())
+		if err != nil {
+			t.Fatalf("NewNode over TCP: %v", err)
+		}
+		n.ConfirmPeers()
+	}
+	return addrs
+}
+
+// TestLoadAgainstTCPCluster is the end-to-end smoke: the exact target the
+// binary uses, driving a real 3-node TCP cluster open-loop, and the
+// report must show the offered rate achieved with healthy latency.
+func TestLoadAgainstTCPCluster(t *testing.T) {
+	addrs := bootTCPCluster(t)
+	target, err := newClusterTarget(addrs, ring.RingID{App: "app1", Class: "gold"}, cluster.ConsistencyDefault, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phaseList, err := parsePhases("", 400, time.Second, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 50)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("u%06d", i)
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		Phases:       phaseList,
+		Workers:      16,
+		ReadFraction: 0.5,
+		Keys:         keys,
+		ValueBytes:   64,
+		Seed:         1,
+		SustainedSLO: 2 * time.Second, // generous: shared CI boxes stall
+	}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issued := rep.Get.Issued + rep.Put.Issued
+	if issued < 300 {
+		t.Fatalf("measured phase issued %d ops for ~400 offered", issued)
+	}
+	if errs := rep.Get.Errors + rep.Put.Errors; errs > issued/100 {
+		t.Fatalf("error rate over 1%%: %d of %d", errs, issued)
+	}
+	if rep.MaxSustainedQPS != 400 {
+		t.Fatalf("cluster did not sustain 400 qps: %+v %+v", rep.Get.Latency, rep.Put.Latency)
+	}
+	if rep.Put.Latency.P99NS <= 0 || rep.Get.Latency.P99NS <= 0 {
+		t.Fatalf("missing latency stats: get %+v put %+v", rep.Get.Latency, rep.Put.Latency)
+	}
+}
+
+func TestParsePhases(t *testing.T) {
+	got, err := parsePhases("1000:5s, 2000:10s", 0, 0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !got[0].Warmup || got[0].Rate != 1000 {
+		t.Fatalf("warmup phase wrong: %+v", got)
+	}
+	if got[1].Rate != 1000 || got[1].Duration != 5*time.Second ||
+		got[2].Rate != 2000 || got[2].Duration != 10*time.Second {
+		t.Fatalf("ramp wrong: %+v", got)
+	}
+	if _, err := parsePhases("nope", 0, 0, 0); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	single, err := parsePhases("", 500, time.Second, 0)
+	if err != nil || len(single) != 1 || single[0].Rate != 500 {
+		t.Fatalf("steady phase wrong: %+v %v", single, err)
+	}
+}
+
+func TestRegress(t *testing.T) {
+	ms := int64(time.Millisecond)
+	base := &loadgen.Report{MaxSustainedQPS: 1000}
+	base.Get.Latency.P99NS = 10 * ms
+	base.Put.Latency.P99NS = 20 * ms
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	raw, _ := json.Marshal(base)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ok := &loadgen.Report{MaxSustainedQPS: 1000}
+	ok.Get.Latency.P99NS = 25 * ms // 2.5x, under the 3x bar
+	ok.Put.Latency.P99NS = 20 * ms
+	if err := regress(ok, path, 3); err != nil {
+		t.Fatalf("within-bar run failed check: %v", err)
+	}
+
+	bad := &loadgen.Report{MaxSustainedQPS: 1000}
+	bad.Get.Latency.P99NS = 40 * ms // 4x
+	bad.Put.Latency.P99NS = 20 * ms
+	if err := regress(bad, path, 3); err == nil {
+		t.Fatal("4x p99 regression passed the check")
+	}
+
+	unsustained := &loadgen.Report{}
+	unsustained.Get.Latency.P99NS = ms
+	if err := regress(unsustained, path, 3); err == nil {
+		t.Fatal("unsustained run passed the check")
+	}
+}

@@ -218,9 +218,18 @@ func main() {
 		reg.Gauge("store_bytes", eng.Bytes)
 		reg.Gauge("store_keys", func() int64 { return int64(eng.Len()) })
 
+		// Latency histograms on GET /metrics: the node's coordinator
+		// per-op registry, plus the transport RTT and WAL fsync
+		// histograms their owners already record into.
+		tel := node.Telemetry()
+		tr.RegisterTelemetry(tel)
+		if fsync := eng.FsyncLatency(); fsync != nil {
+			tel.Register("wal_fsync_ns", fsync)
+		}
+
 		adminErrs := make(chan error, 1)
 		srv := httpadmin.Serve(*admin, httpadmin.StatsFunc(func() any { return node.Stats() }), reg,
-			httpadmin.TraceFunc(func() any { return node.Trace().Events() }), adminErrs)
+			httpadmin.TraceFunc(func() any { return node.Trace().Events() }), tel, adminErrs)
 		defer srv.Close()
 		go func() {
 			if err := <-adminErrs; err != nil {

@@ -86,7 +86,7 @@ func TestReadmeDocumentsEveryFlag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cmd := range []string{"skuted", "skutectl", "skute-sim", "skute-scenario"} {
+	for _, cmd := range []string{"skuted", "skutectl", "skute-sim", "skute-scenario", "skute-load"} {
 		flags := definedFlags(t, cmd)
 		if len(flags) == 0 {
 			t.Fatalf("no flags parsed from cmd/%s/main.go — regex rot?", cmd)
@@ -112,7 +112,7 @@ var flagTokenRe = regexp.MustCompile(`^-[a-z][a-z0-9-]*$`)
 // flag without fixing the docs fails CI.
 func TestDocFlagsAreReal(t *testing.T) {
 	real := map[string]bool{}
-	for _, cmd := range []string{"skuted", "skutectl", "skute-sim", "skute-scenario"} {
+	for _, cmd := range []string{"skuted", "skutectl", "skute-sim", "skute-scenario", "skute-load"} {
 		for _, f := range definedFlags(t, cmd) {
 			real["-"+f] = true
 		}

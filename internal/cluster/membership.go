@@ -12,6 +12,7 @@ import (
 	"skute/internal/placement"
 	"skute/internal/ring"
 	"skute/internal/store"
+	"skute/internal/telemetry"
 	"skute/internal/transport"
 )
 
@@ -320,7 +321,9 @@ func JoinNode(ctx context.Context, self NodeInfo, seedAddr string, opts JoinOpti
 		queries:      make(map[string]float64),
 		rents:        make(map[string]float64),
 		rng:          rand.New(rand.NewSource(int64(len(jr.Members)) + 1)),
+		tel:          telemetry.NewRegistry(),
 	}
+	n.opTel = &opHists{reg: n.tel}
 	if n.chunkItems <= 0 {
 		n.chunkItems = defaultChunkItems
 	}

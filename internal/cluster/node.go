@@ -15,6 +15,7 @@ import (
 	"skute/internal/placement"
 	"skute/internal/ring"
 	"skute/internal/store"
+	"skute/internal/telemetry"
 	"skute/internal/transport"
 )
 
@@ -309,6 +310,11 @@ type Node struct {
 	// admin endpoint's GET /trace (see trace.go).
 	trace *TraceRing
 
+	// tel is the latency registry (GET /metrics); opTel caches the
+	// coordinator per-op histograms off the registry lock (telemetry.go).
+	tel   *telemetry.Registry
+	opTel *opHists
+
 	// run tracks the autonomous runtime (Start/Stop); see runtime.go.
 	run runState
 
@@ -413,7 +419,9 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 		rents:        make(map[string]float64),
 		rng:          rand.New(rand.NewSource(int64(selfI) + 1)),
 		trace:        NewTraceRing(cfg.Nodes[selfI].Name, cfg.TraceEvents),
+		tel:          telemetry.NewRegistry(),
 	}
+	n.opTel = &opHists{reg: n.tel}
 	if n.chunkItems <= 0 {
 		n.chunkItems = defaultChunkItems
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"skute/internal/ring"
 	"skute/internal/store"
@@ -24,6 +25,11 @@ type GetResult struct {
 	// Replied is how many replicas answered.
 	Replied int
 }
+
+// tailSendTimeout bounds the detached post-quorum fan-out sends in
+// callAll: long enough to ride out a slow replica, short enough that a
+// dead one releases the goroutine and pooled connection promptly.
+const tailSendTimeout = 10 * time.Second
 
 // readQuorum resolves the effective per-request R for a ring.
 func (n *Node) readQuorum(id ring.RingID, c Consistency) (int, error) {
@@ -45,6 +51,37 @@ func (n *Node) writeQuorum(id ring.RingID, c Consistency) (int, error) {
 	return c.resolve(spec.Replicas, cfgW)
 }
 
+// quorumForGroup re-sizes a ring-resolved quorum for the replica set one
+// partition group actually carries. During churn a placement entry can
+// temporarily hold MORE replicas than the ring's spec target — a
+// transfer lists donor and adopter side by side until the handoff
+// completes — and a majority of the spec target does not overlap on such
+// an inflated set (2 of an entry's 5 replicas can ack a write that a
+// later 2-of-5 read never sees). The symbolic levels therefore
+// re-resolve against the live count: default and quorum take a majority
+// of it, all takes all of it. One and an explicit Count(n) keep their
+// fixed sizes — the caller asked for an absolute number, not an overlap
+// guarantee. Entries at or below the spec target keep the ring-resolved
+// quorum unchanged.
+func (n *Node) quorumForGroup(ringQ int, c Consistency, id ring.RingID, liveN int, write bool) int {
+	spec, ok := n.specs[id]
+	if !ok || liveN <= spec.Replicas || c == ConsistencyOne || c > 0 {
+		return ringQ
+	}
+	switch c {
+	case ConsistencyAll:
+		return liveN
+	case ConsistencyQuorum:
+		return liveN/2 + 1
+	default: // ConsistencyDefault
+		r, w := n.cfg.quorums(liveN)
+		if write {
+			return w
+		}
+		return r
+	}
+}
+
 // Get performs a quorum read of the key on its partition's replicas,
 // merges the versions under vector-clock causality, read-repairs stale
 // replicas and returns the surviving siblings. The context cancels or
@@ -52,6 +89,7 @@ func (n *Node) writeQuorum(id ring.RingID, c Consistency) (int, error) {
 // It shares the partition-group read with MultiGet but skips the batch
 // bookkeeping — single-key reads are the hot path.
 func (n *Node) Get(ctx context.Context, id ring.RingID, key string, opts ReadOptions) (GetResult, error) {
+	defer n.opTel.hist(opGet, opts.Consistency).RecordSince(time.Now())
 	readQ, err := n.readQuorum(id, opts.Consistency)
 	if err != nil {
 		return GetResult{}, err
@@ -68,6 +106,7 @@ func (n *Node) Get(ctx context.Context, id ring.RingID, key string, opts ReadOpt
 		g.replicas[i] = n.nodeName(rid)
 	}
 	n.mu.RUnlock()
+	readQ = n.quorumForGroup(readQ, opts.Consistency, id, len(g.replicas), false)
 	res, err := n.readPartitionGroup(ctx, id, g, readQ)
 	if err != nil {
 		return GetResult{}, err
@@ -82,6 +121,7 @@ func (n *Node) Get(ctx context.Context, id ring.RingID, key string, opts ReadOpt
 // key to its sibling values and causal context (a missing key maps to an
 // empty GetResult, matching single-key Get).
 func (n *Node) MultiGet(ctx context.Context, id ring.RingID, keys []string, opts ReadOptions) (map[string]GetResult, error) {
+	defer n.opTel.hist(opMGet, opts.Consistency).RecordSince(time.Now())
 	readQ, err := n.readQuorum(id, opts.Consistency)
 	if err != nil {
 		return nil, err
@@ -97,7 +137,8 @@ func (n *Node) MultiGet(ctx context.Context, id ring.RingID, keys []string, opts
 
 	groups := n.groupByPartition(id, keys)
 	if len(groups) == 1 { // single partition: no fan-out bookkeeping
-		return n.readPartitionGroup(ctx, id, groups[0], readQ)
+		g := groups[0]
+		return n.readPartitionGroup(ctx, id, g, n.quorumForGroup(readQ, opts.Consistency, id, len(g.replicas), false))
 	}
 	results := make(map[string]GetResult, len(keys))
 	var mu sync.Mutex
@@ -107,7 +148,7 @@ func (n *Node) MultiGet(ctx context.Context, id ring.RingID, keys []string, opts
 		wg.Add(1)
 		go func(g partGroup) {
 			defer wg.Done()
-			part, err := n.readPartitionGroup(ctx, id, g, readQ)
+			part, err := n.readPartitionGroup(ctx, id, g, n.quorumForGroup(readQ, opts.Consistency, id, len(g.replicas), false))
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -370,11 +411,13 @@ func (n *Node) stampClock(vctx vclock.VC) vclock.VC {
 // requiring the write quorum (or the per-request override) of live
 // replicas to acknowledge before the context deadline.
 func (n *Node) Put(ctx context.Context, id ring.RingID, key string, value []byte, vctx vclock.VC, opts WriteOptions) error {
+	defer n.opTel.hist(opPut, opts.Consistency).RecordSince(time.Now())
 	return n.write(ctx, id, key, store.Version{Value: value, Clock: n.stampClock(vctx)}, opts)
 }
 
 // Delete writes a tombstone derived from the read context.
 func (n *Node) Delete(ctx context.Context, id ring.RingID, key string, vctx vclock.VC, opts WriteOptions) error {
+	defer n.opTel.hist(opDel, opts.Consistency).RecordSince(time.Now())
 	return n.write(ctx, id, key, store.Version{Tombstone: true, Clock: n.stampClock(vctx)}, opts)
 }
 
@@ -395,6 +438,7 @@ func (n *Node) write(ctx context.Context, id ring.RingID, key string, v store.Ve
 	part := p.ID
 	n.mu.RUnlock()
 	replicas := n.replicasOf(p)
+	writeQ = n.quorumForGroup(writeQ, opts.Consistency, id, len(replicas), true)
 
 	n.countQueries(id, part, 1)
 
@@ -414,6 +458,7 @@ func (n *Node) write(ctx context.Context, id ring.RingID, key string, v store.Ve
 // Each partition group must reach the write quorum (or the per-request
 // override) independently; the first shortfall fails the batch.
 func (n *Node) MultiPut(ctx context.Context, id ring.RingID, entries []Entry, opts WriteOptions) error {
+	defer n.opTel.hist(opMPut, opts.Consistency).RecordSince(time.Now())
 	writeQ, err := n.writeQuorum(id, opts.Consistency)
 	if err != nil {
 		return err
@@ -446,7 +491,8 @@ func (n *Node) MultiPut(ctx context.Context, id ring.RingID, entries []Entry, op
 		wg.Add(1)
 		go func(i int, g partGroup) {
 			defer wg.Done()
-			errs[i] = n.writePartitionGroup(ctx, id, g, versions, writeQ)
+			q := n.quorumForGroup(writeQ, opts.Consistency, id, len(g.replicas), true)
+			errs[i] = n.writePartitionGroup(ctx, id, g, versions, q)
 		}(i, g)
 	}
 	wg.Wait()
@@ -550,15 +596,28 @@ func (n *Node) fanoutPut(ctx context.Context, id ring.RingID, key string, v stor
 // themselves, when need is already met — complete asynchronously into
 // the buffered channel, so nothing leaks and every peer still receives
 // the envelope.
+//
+// The sends run on a context detached from the caller's cancellation:
+// a write request that returns at its ack threshold immediately runs its
+// withTimeout cancel (or the client cancels its context), and aborting
+// the still-in-flight tail sends at that moment would strand the
+// remaining replicas stale until anti-entropy finds them. Only the
+// ack-wait loop below honors the caller's context; the sends get their
+// own bounded deadline so a dead peer cannot pin the goroutines forever.
 func (n *Node) callAll(ctx context.Context, peers []string, env transport.Envelope, need int) (int, error) {
+	sendCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), tailSendTimeout)
 	done := make(chan bool, len(peers))
+	var sends sync.WaitGroup
+	sends.Add(len(peers))
 	for _, name := range peers {
 		go func(name string) {
+			defer sends.Done()
 			info, _ := n.info(name)
-			_, err := n.tr.Call(ctx, info.Addr, env)
+			_, err := n.tr.Call(sendCtx, info.Addr, env)
 			done <- err == nil
 		}(name)
 	}
+	go func() { sends.Wait(); cancel() }()
 	acks := 0
 	for i := 0; i < len(peers) && acks < need; i++ {
 		select {

@@ -11,6 +11,10 @@
 //	GET /trace     the node's bounded control-plane decision trace as a
 //	               JSON array, oldest first — the scenario harness
 //	               scrapes and correlates it across nodes on failure
+//	GET /metrics   latency histograms (transport RTT, coordinator per-op
+//	               per-consistency, WAL fsync) from a telemetry.Registry;
+//	               JSON by default, aligned plain text with
+//	               ?format=text or an Accept: text/plain header
 //
 // cmd/skuted mounts it behind the -admin flag. The package deliberately
 // depends on interfaces, not cluster types, so tests can fake the node.
@@ -19,8 +23,10 @@ package httpadmin
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 
 	"skute/internal/metrics"
+	"skute/internal/telemetry"
 )
 
 // StatsSource abstracts the node so the package does not import cluster
@@ -50,8 +56,9 @@ func (f TraceFunc) TraceEvents() any { return f() }
 
 // Handler returns the admin mux. reg may be nil, in which case /counters
 // serves an empty object; trace may be nil, in which case /trace serves
-// an empty array.
-func Handler(src StatsSource, reg *metrics.Registry, trace TraceSource) http.Handler {
+// an empty array; tel may be nil, in which case /metrics serves an empty
+// snapshot.
+func Handler(src StatsSource, reg *metrics.Registry, trace TraceSource, tel *telemetry.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -77,6 +84,19 @@ func Handler(src StatsSource, reg *metrics.Registry, trace TraceSource) http.Han
 		}
 		writeJSON(w, evs)
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		var snap telemetry.SnapshotStats
+		if tel != nil {
+			snap = tel.Snapshot()
+		}
+		if r.URL.Query().Get("format") == "text" ||
+			strings.HasPrefix(r.Header.Get("Accept"), "text/plain") {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(snap.Text()))
+			return
+		}
+		writeJSON(w, snap.JSON())
+	})
 	return mux
 }
 
@@ -93,8 +113,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 // Serve starts the admin endpoint on addr in a goroutine and returns the
 // server for shutdown. Errors after startup are delivered to errs if
 // non-nil.
-func Serve(addr string, src StatsSource, reg *metrics.Registry, trace TraceSource, errs chan<- error) *http.Server {
-	srv := &http.Server{Addr: addr, Handler: Handler(src, reg, trace)}
+func Serve(addr string, src StatsSource, reg *metrics.Registry, trace TraceSource, tel *telemetry.Registry, errs chan<- error) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: Handler(src, reg, trace, tel)}
 	go func() {
 		err := srv.ListenAndServe()
 		if err != nil && err != http.ErrServerClosed && errs != nil {

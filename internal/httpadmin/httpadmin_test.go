@@ -5,9 +5,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"skute/internal/metrics"
+	"skute/internal/telemetry"
 )
 
 type snapshot struct {
@@ -22,7 +25,13 @@ func testHandler() http.Handler {
 	trace := TraceFunc(func() any {
 		return []map[string]string{{"node": "n0", "kind": "epoch", "detail": "repairs=1"}}
 	})
-	return Handler(StatsFunc(func() any { return snapshot{Name: "n0", Keys: 42} }), reg, trace)
+	tel := telemetry.NewRegistry()
+	h := tel.Histogram("cluster_get_default_ns")
+	for i := 1; i <= 100; i++ {
+		h.Record(int64(i) * int64(time.Millisecond))
+	}
+	tel.Counter("load_errors_total").Add(1)
+	return Handler(StatsFunc(func() any { return snapshot{Name: "n0", Keys: 42} }), reg, trace, tel)
 }
 
 func TestHealthz(t *testing.T) {
@@ -117,8 +126,68 @@ func TestTrace(t *testing.T) {
 	}
 }
 
+func TestMetricsJSON(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var got struct {
+		Histograms map[string]telemetry.Stats `json:"histograms"`
+		Counters   map[string]int64           `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := got.Histograms["cluster_get_default_ns"]
+	if !ok {
+		t.Fatalf("histogram missing: %v", got.Histograms)
+	}
+	if st.Count != 100 || st.P50NS <= 0 || st.P99NS < st.P50NS {
+		t.Errorf("stats = %+v", st)
+	}
+	if got.Counters["load_errors_total"] != 1 {
+		t.Errorf("counters = %v", got.Counters)
+	}
+}
+
+func TestMetricsText(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "cluster_get_default_ns") || !strings.Contains(string(body), "p99=") {
+		t.Errorf("text body = %q", body)
+	}
+}
+
+func TestMetricsNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(StatsFunc(func() any { return 1 }), nil, nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
 func TestTraceNilSource(t *testing.T) {
-	srv := httptest.NewServer(Handler(StatsFunc(func() any { return 1 }), nil, nil))
+	srv := httptest.NewServer(Handler(StatsFunc(func() any { return 1 }), nil, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/trace")
 	if err != nil {
@@ -135,7 +204,7 @@ func TestTraceNilSource(t *testing.T) {
 }
 
 func TestCountersNilRegistry(t *testing.T) {
-	srv := httptest.NewServer(Handler(StatsFunc(func() any { return 1 }), nil, nil))
+	srv := httptest.NewServer(Handler(StatsFunc(func() any { return 1 }), nil, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/counters")
 	if err != nil {
@@ -153,7 +222,7 @@ func TestCountersNilRegistry(t *testing.T) {
 
 func TestServeLifecycle(t *testing.T) {
 	errs := make(chan error, 1)
-	srv := Serve("127.0.0.1:0", StatsFunc(func() any { return 1 }), nil, nil, errs)
+	srv := Serve("127.0.0.1:0", StatsFunc(func() any { return 1 }), nil, nil, nil, errs)
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,350 @@
+// Package loadgen is the open-loop load engine behind cmd/skute-load:
+// it offers requests to a target at a FIXED arrival schedule computed up
+// front, so a stalling system makes latency numbers worse instead of
+// quietly slowing the arrival rate down (the coordinated-omission trap a
+// closed loop falls into). Latency is measured from each request's
+// scheduled send time, not from when a worker got around to sending it —
+// time spent queued behind a stalled system is the system's fault and is
+// charged to it.
+//
+// The engine shares its building blocks with the rest of the repo: key
+// popularity comes from workload.Picker (Pareto weights by default),
+// Poisson arrivals from workload.Interarrival, and every latency number
+// is a telemetry.Snapshot — the identical quantile machinery a live
+// node serves on GET /metrics, so BENCH_load.json and /metrics can be
+// compared number for number.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skute/internal/telemetry"
+	"skute/internal/workload"
+)
+
+// Target is the system under test. Implementations must be safe for
+// concurrent use by many workers.
+type Target interface {
+	// Read fetches one key.
+	Read(ctx context.Context, key string) error
+	// Write stores value under key.
+	Write(ctx context.Context, key string, value []byte) error
+}
+
+// Phase is one segment of the offered-rate timeline.
+type Phase struct {
+	// Name labels the phase in the report ("warmup", "ramp", "peak").
+	Name string
+	// Rate is the offered arrival rate in ops/sec.
+	Rate float64
+	// Duration is the phase's length on the shared timeline.
+	Duration time.Duration
+	// Warmup phases run full load but are excluded from every aggregate
+	// statistic (connection pools fill, caches warm, JITs settle).
+	Warmup bool
+}
+
+// Options configure one run.
+type Options struct {
+	// Phases is the offered-rate schedule, executed back to back on one
+	// timeline anchored at the run's start — no barriers between phases,
+	// so a stall in one phase cannot shift the arrival times of the
+	// next.
+	Phases []Phase
+	// Workers is the number of concurrent senders (and therefore the
+	// in-flight bound); <= 0 selects 64.
+	Workers int
+	// ReadFraction in [0,1] is the probability an arrival is a read.
+	ReadFraction float64
+	// Keys and Weights define the popularity distribution (nil Weights
+	// means uniform), exactly as in workload.Driver.
+	Keys    []string
+	Weights []float64
+	// ValueBytes sizes the payload of every write; <= 0 selects 128.
+	ValueBytes int
+	// UniformArrivals spaces arrivals evenly instead of drawing
+	// exponential (Poisson) gaps. Poisson is the default: real traffic
+	// is bursty, and evenly spaced arrivals understate tail latency.
+	UniformArrivals bool
+	// Seed makes the schedule, op mix and key choices reproducible.
+	Seed int64
+	// SustainedSLO is the p99 scheduled-time latency bound a phase must
+	// meet to count toward MaxSustainedQPS; <= 0 selects 200ms. Counts
+	// alone cannot detect saturation in an open loop — every arrival is
+	// eventually issued — so the divergence shows up only as latency.
+	SustainedSLO time.Duration
+}
+
+// OpStats aggregates one operation kind over the measured (non-warmup)
+// portion of a run.
+type OpStats struct {
+	// OfferedQPS is the scheduled arrival rate; AchievedQPS counts only
+	// acknowledged operations against the measured wall-clock span.
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	// Issued/Acked/Errors count operations; open-loop never drops an
+	// arrival, so Issued = Acked + Errors.
+	Issued int64 `json:"issued"`
+	Acked  int64 `json:"acked"`
+	Errors int64 `json:"errors"`
+	// Latency is measured from each op's SCHEDULED send time.
+	Latency telemetry.Stats `json:"latency"`
+}
+
+// PhaseReport is one phase's outcome.
+type PhaseReport struct {
+	Name        string  `json:"name"`
+	RateQPS     float64 `json:"rate_qps"`
+	DurationSec float64 `json:"duration_sec"`
+	Warmup      bool    `json:"warmup,omitempty"`
+	Get         OpStats `json:"get"`
+	Put         OpStats `json:"put"`
+}
+
+// Report is the run's outcome: per-phase and aggregate offered vs.
+// achieved QPS with latency quantiles, the shape BENCH_load.json stores.
+type Report struct {
+	DurationSec float64       `json:"duration_sec"`
+	Workers     int           `json:"workers"`
+	KeyCount    int           `json:"key_count"`
+	Phases      []PhaseReport `json:"phases"`
+	// Get/Put aggregate every measured phase.
+	Get OpStats `json:"get"`
+	Put OpStats `json:"put"`
+	// MaxSustainedQPS is the highest measured phase rate the target kept
+	// up with: p99 scheduled-time latency within the SLO and no error
+	// storm (< 1% of issued).
+	MaxSustainedQPS float64 `json:"max_sustained_qps"`
+}
+
+// arrival is one scheduled request: its offset on the run timeline, the
+// phase it belongs to, and the op it performs.
+type arrival struct {
+	at    time.Duration
+	phase int
+	read  bool
+	key   string
+}
+
+// phaseTelemetry accumulates one phase's histograms and counters.
+type phaseTelemetry struct {
+	getHist *telemetry.Histogram
+	putHist *telemetry.Histogram
+	getErrs atomic.Int64
+	putErrs atomic.Int64
+}
+
+// Run executes the schedule against the target and reports. The context
+// aborts the run early (workers stop taking arrivals); the report then
+// covers what was sent.
+func Run(ctx context.Context, opts Options, target Target) (*Report, error) {
+	if len(opts.Phases) == 0 {
+		return nil, fmt.Errorf("loadgen: no phases")
+	}
+	if len(opts.Keys) == 0 {
+		return nil, fmt.Errorf("loadgen: no keys")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	valueBytes := opts.ValueBytes
+	if valueBytes <= 0 {
+		valueBytes = 128
+	}
+
+	// The whole schedule is computed before the first byte moves: fixed
+	// arrival times are what make the load open-loop. Workers take
+	// arrivals round-robin so a single slow request delays only 1/Nth of
+	// the schedule behind it.
+	schedule, err := buildSchedule(opts)
+	if err != nil {
+		return nil, err
+	}
+	tels := make([]*phaseTelemetry, len(opts.Phases))
+	for i := range tels {
+		tels[i] = &phaseTelemetry{getHist: telemetry.NewHistogram(), putHist: telemetry.NewHistogram()}
+	}
+	value := make([]byte, valueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			timer := time.NewTimer(time.Hour)
+			defer timer.Stop()
+			for i := w; i < len(schedule); i += workers {
+				a := schedule[i]
+				sched := start.Add(a.at)
+				if wait := time.Until(sched); wait > 0 {
+					timer.Reset(wait)
+					select {
+					case <-ctx.Done():
+						return
+					case <-timer.C:
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				tel := tels[a.phase]
+				var err error
+				if a.read {
+					err = target.Read(ctx, a.key)
+				} else {
+					err = target.Write(ctx, a.key, value)
+				}
+				// Latency from the SCHEDULED time: lateness caused by a
+				// stalled earlier request on this worker is charged to
+				// the system, which is the point.
+				ns := time.Since(sched).Nanoseconds()
+				if a.read {
+					tel.getHist.Record(ns)
+					if err != nil {
+						tel.getErrs.Add(1)
+					}
+				} else {
+					tel.putHist.Record(ns)
+					if err != nil {
+						tel.putErrs.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return buildReport(opts, schedule, tels, workers, elapsed), nil
+}
+
+// buildSchedule lays every phase's arrivals on one timeline.
+func buildSchedule(opts Options) ([]arrival, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	picker := workload.NewPicker(opts.Keys, opts.Weights)
+	var schedule []arrival
+	base := time.Duration(0)
+	for pi, ph := range opts.Phases {
+		if ph.Rate <= 0 || ph.Duration <= 0 {
+			return nil, fmt.Errorf("loadgen: phase %q needs positive rate and duration", ph.Name)
+		}
+		emit := func(t time.Duration) {
+			schedule = append(schedule, arrival{
+				at:    base + t,
+				phase: pi,
+				read:  rng.Float64() < opts.ReadFraction,
+				key:   picker.Pick(rng.Float64()),
+			})
+		}
+		if opts.UniformArrivals {
+			gap := time.Duration(float64(time.Second) / ph.Rate)
+			if gap <= 0 {
+				gap = 1 // >1e9 qps: schedule at nanosecond granularity
+			}
+			for t := time.Duration(0); t < ph.Duration; t += gap {
+				emit(t)
+			}
+		} else {
+			// Poisson: exponential gaps at the phase rate. The first gap
+			// is drawn too — a Poisson process pins no arrival at t=0.
+			for t := workload.Interarrival(rng, ph.Rate); t < ph.Duration; t += workload.Interarrival(rng, ph.Rate) {
+				emit(t)
+			}
+		}
+		base += ph.Duration
+	}
+	return schedule, nil
+}
+
+// buildReport aggregates the per-phase telemetry.
+func buildReport(opts Options, schedule []arrival, tels []*phaseTelemetry, workers int, elapsed time.Duration) *Report {
+	rep := &Report{
+		DurationSec: elapsed.Seconds(),
+		Workers:     workers,
+		KeyCount:    len(opts.Keys),
+	}
+	totalGet := telemetry.NewHistogram().Snapshot()
+	totalPut := telemetry.NewHistogram().Snapshot()
+	var totGetErrs, totPutErrs int64
+	var measuredDur time.Duration
+	var measuredGetOffered, measuredPutOffered int64
+	for pi, ph := range opts.Phases {
+		var getOffered, putOffered int64
+		for _, a := range schedule {
+			if a.phase != pi {
+				continue
+			}
+			if a.read {
+				getOffered++
+			} else {
+				putOffered++
+			}
+		}
+		gs := tels[pi].getHist.Snapshot()
+		ps := tels[pi].putHist.Snapshot()
+		pr := PhaseReport{
+			Name:        ph.Name,
+			RateQPS:     ph.Rate,
+			DurationSec: ph.Duration.Seconds(),
+			Warmup:      ph.Warmup,
+			Get:         opStats(gs, getOffered, tels[pi].getErrs.Load(), ph.Duration),
+			Put:         opStats(ps, putOffered, tels[pi].putErrs.Load(), ph.Duration),
+		}
+		rep.Phases = append(rep.Phases, pr)
+		if ph.Warmup {
+			continue
+		}
+		totalGet = totalGet.Merge(gs)
+		totalPut = totalPut.Merge(ps)
+		totGetErrs += tels[pi].getErrs.Load()
+		totPutErrs += tels[pi].putErrs.Load()
+		measuredDur += ph.Duration
+		measuredGetOffered += getOffered
+		measuredPutOffered += putOffered
+
+		slo := opts.SustainedSLO
+		if slo <= 0 {
+			slo = 200 * time.Millisecond
+		}
+		p99 := pr.Get.Latency.P99NS
+		if pr.Put.Latency.P99NS > p99 {
+			p99 = pr.Put.Latency.P99NS
+		}
+		issued := pr.Get.Issued + pr.Put.Issued
+		errs := pr.Get.Errors + pr.Put.Errors
+		offered := getOffered + putOffered
+		if offered > 0 && issued >= offered*95/100 &&
+			float64(errs) < 0.01*float64(issued) &&
+			p99 <= int64(slo) &&
+			ph.Rate > rep.MaxSustainedQPS {
+			rep.MaxSustainedQPS = ph.Rate
+		}
+	}
+	if measuredDur > 0 {
+		rep.Get = opStats(totalGet, measuredGetOffered, totGetErrs, measuredDur)
+		rep.Put = opStats(totalPut, measuredPutOffered, totPutErrs, measuredDur)
+	}
+	return rep
+}
+
+func opStats(s *telemetry.Snapshot, offered, errs int64, dur time.Duration) OpStats {
+	st := OpStats{
+		Issued:  s.Count,
+		Acked:   s.Count - errs,
+		Errors:  errs,
+		Latency: s.Stats(),
+	}
+	if secs := dur.Seconds(); secs > 0 {
+		st.OfferedQPS = float64(offered) / secs
+		st.AchievedQPS = float64(st.Acked) / secs
+	}
+	return st
+}

@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeTarget answers instantly, optionally stalling every request for a
+// fixed time, and counts what it served.
+type fakeTarget struct {
+	stall  time.Duration
+	reads  atomic.Int64
+	writes atomic.Int64
+	fail   atomic.Bool
+}
+
+func (f *fakeTarget) Read(ctx context.Context, key string) error {
+	f.reads.Add(1)
+	return f.wait(ctx)
+}
+
+func (f *fakeTarget) Write(ctx context.Context, key string, value []byte) error {
+	f.writes.Add(1)
+	return f.wait(ctx)
+}
+
+func (f *fakeTarget) wait(ctx context.Context) error {
+	if f.stall > 0 {
+		select {
+		case <-time.After(f.stall):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if f.fail.Load() {
+		return fmt.Errorf("injected failure")
+	}
+	return nil
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("u%04d", i)
+	}
+	return keys
+}
+
+func TestScheduleIsOpenLoop(t *testing.T) {
+	opts := Options{
+		Phases:          []Phase{{Name: "p0", Rate: 1000, Duration: time.Second}, {Name: "p1", Rate: 2000, Duration: time.Second}},
+		Keys:            testKeys(100),
+		ReadFraction:    0.5,
+		Seed:            1,
+		UniformArrivals: true,
+	}
+	sched, err := buildSchedule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 + 2000 arrivals on one fixed timeline, strictly within the
+	// phases' spans, monotonically non-decreasing.
+	if len(sched) != 3000 {
+		t.Fatalf("schedule has %d arrivals, want 3000", len(sched))
+	}
+	for i, a := range sched {
+		if i > 0 && a.at < sched[i-1].at {
+			t.Fatalf("arrival %d at %v precedes %v", i, a.at, sched[i-1].at)
+		}
+		if a.phase == 0 && a.at >= time.Second {
+			t.Fatalf("phase-0 arrival at %v past the phase end", a.at)
+		}
+		if a.phase == 1 && (a.at < time.Second || a.at >= 2*time.Second) {
+			t.Fatalf("phase-1 arrival at %v outside its span", a.at)
+		}
+	}
+	// The schedule is a pure function of the options.
+	again, _ := buildSchedule(opts)
+	for i := range sched {
+		if sched[i] != again[i] {
+			t.Fatalf("schedule not reproducible at %d", i)
+		}
+	}
+}
+
+func TestPoissonScheduleRate(t *testing.T) {
+	opts := Options{
+		Phases: []Phase{{Name: "p", Rate: 5000, Duration: 2 * time.Second}},
+		Keys:   testKeys(10),
+		Seed:   7,
+	}
+	sched, err := buildSchedule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10k expected arrivals; Poisson fluctuation at this count is ~1%.
+	if n := len(sched); n < 9500 || n > 10500 {
+		t.Fatalf("%d arrivals for offered 10000", n)
+	}
+}
+
+func TestRunReportsOfferedAndAchieved(t *testing.T) {
+	target := &fakeTarget{}
+	rep, err := Run(context.Background(), Options{
+		Phases: []Phase{
+			{Name: "warmup", Rate: 500, Duration: 200 * time.Millisecond, Warmup: true},
+			{Name: "steady", Rate: 500, Duration: 400 * time.Millisecond},
+		},
+		Keys:            testKeys(50),
+		ReadFraction:    0.5,
+		Workers:         8,
+		Seed:            3,
+		UniformArrivals: true,
+	}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issued := rep.Get.Issued + rep.Put.Issued
+	// The measured phase offered 200 arrivals; warmup's 100 are excluded
+	// from the aggregates but still hit the target.
+	if issued != 200 {
+		t.Fatalf("measured issued = %d, want 200", issued)
+	}
+	if total := target.reads.Load() + target.writes.Load(); total != 300 {
+		t.Fatalf("target served %d, want 300 (incl. warmup)", total)
+	}
+	if rep.Get.Errors != 0 || rep.Put.Errors != 0 {
+		t.Fatalf("unexpected errors: %+v / %+v", rep.Get, rep.Put)
+	}
+	if rep.MaxSustainedQPS != 500 {
+		t.Fatalf("max sustained = %v, want 500", rep.MaxSustainedQPS)
+	}
+	if len(rep.Phases) != 2 || !rep.Phases[0].Warmup {
+		t.Fatalf("phase reports: %+v", rep.Phases)
+	}
+	// An instant target keeps scheduled-time latency in the millisecond
+	// range (timer slack), far under the stall test's floor below.
+	if p99 := rep.Get.Latency.P99NS; p99 > int64(100*time.Millisecond) {
+		t.Fatalf("instant target p99 = %v", time.Duration(p99))
+	}
+}
+
+// TestStallChargedToLatency pins the open-loop property: a target that
+// stalls every request cannot slow the offered rate down; the backlog
+// shows up as scheduled-time latency far above the stall itself.
+func TestStallChargedToLatency(t *testing.T) {
+	target := &fakeTarget{stall: 20 * time.Millisecond}
+	// 2 workers serving 200 offered/sec with a 20ms stall can achieve at
+	// most 100/sec: the schedule runs twice as fast as the target can
+	// serve, so the last arrivals wait ~half the phase behind schedule.
+	rep, err := Run(context.Background(), Options{
+		Phases:          []Phase{{Name: "sat", Rate: 200, Duration: 500 * time.Millisecond}},
+		Keys:            testKeys(10),
+		ReadFraction:    1,
+		Workers:         2,
+		Seed:            5,
+		UniformArrivals: true,
+	}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Get.Issued != 100 {
+		t.Fatalf("issued %d, want 100", rep.Get.Issued)
+	}
+	// Max latency must reflect schedule lag (hundreds of ms), not the
+	// 20ms per-request stall a closed loop would report.
+	if max := rep.Get.Latency.MaxNS; max < int64(100*time.Millisecond) {
+		t.Fatalf("max scheduled-time latency %v; coordinated omission not corrected", time.Duration(max))
+	}
+	if rep.MaxSustainedQPS != 0 {
+		t.Fatalf("saturated phase counted as sustained (%v qps)", rep.MaxSustainedQPS)
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	target := &fakeTarget{}
+	target.fail.Store(true)
+	rep, err := Run(context.Background(), Options{
+		Phases:          []Phase{{Name: "p", Rate: 300, Duration: 300 * time.Millisecond}},
+		Keys:            testKeys(10),
+		ReadFraction:    0,
+		Workers:         4,
+		Seed:            9,
+		UniformArrivals: true,
+	}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Put.Errors != rep.Put.Issued || rep.Put.Acked != 0 {
+		t.Fatalf("all ops failed but report says %+v", rep.Put)
+	}
+	if rep.MaxSustainedQPS != 0 {
+		t.Fatalf("error storm counted as sustained")
+	}
+}

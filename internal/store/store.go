@@ -31,6 +31,7 @@ import (
 	"skute/internal/merkle"
 	"skute/internal/parallel"
 	"skute/internal/snapshot"
+	"skute/internal/telemetry"
 	"skute/internal/vclock"
 	"skute/internal/wal"
 )
@@ -376,6 +377,15 @@ func (e *Engine) Durability() DurabilityStats {
 		d.WALSegments = e.log.Segments()
 	}
 	return d
+}
+
+// FsyncLatency exposes the WAL's commit-fsync histogram, or nil for a
+// purely in-memory engine (which has no durability stall to measure).
+func (e *Engine) FsyncLatency() *telemetry.Histogram {
+	if e.log == nil {
+		return nil
+	}
+	return e.log.FsyncLatency()
 }
 
 // Close closes the underlying log, if any.

@@ -1,0 +1,299 @@
+// Package telemetry is the latency-observability layer of the repository:
+// lock-cheap HDR-style histograms the hot paths record nanosecond
+// durations into, and a registry naming them for the admin endpoint's
+// GET /metrics.
+//
+// The histogram buckets values logarithmically with 32 linear sub-buckets
+// per octave, so the relative quantile error is bounded by ~3% across the
+// whole range (1ns .. ~290 years) with a fixed 976-bucket footprint and
+// no allocation on the record path. Recording is a handful of atomic adds
+// — cheap enough to leave enabled on every request of a production node,
+// which is the point: tail latency only means something when it is
+// measured on the real traffic, not on a sampled shadow.
+//
+// Distinct consumers:
+//
+//   - internal/transport records per-call RTTs, internal/cluster records
+//     coordinator-side per-operation latencies split by consistency
+//     level, internal/wal records fsync stalls.
+//   - internal/httpadmin serves every registered histogram on
+//     GET /metrics (JSON and plain text).
+//   - cmd/skute-load builds its offered-rate latency reports from the
+//     same Snapshot/quantile machinery, so the numbers in
+//     BENCH_load.json and on /metrics are computed identically.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits selects 2^subBits linear sub-buckets per power-of-two
+	// range; 5 bounds the relative error of any recorded value by
+	// 1/2^5 ≈ 3.1%.
+	subBits  = 5
+	subCount = 1 << subBits
+	// numBuckets covers the full non-negative int64 range: the first
+	// subCount values exactly, then half a sub-bucket block per octave
+	// (the top bit of the mantissa is implied). Non-negative int64s have
+	// at most 63 significant bits, so the highest octave is 63-subBits.
+	numBuckets = subCount + (63-subBits)*(subCount/2)
+)
+
+// bucketOf maps a non-negative value to its bucket index. Values below
+// subCount map exactly; larger values share a bucket with everything
+// carrying the same top subBits mantissa bits.
+func bucketOf(v int64) int {
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	exp := uint(bits.Len64(u)) - subBits // >= 1
+	return subCount + int(exp-1)*(subCount/2) + int((u>>exp)-(subCount/2))
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	j := i - subCount
+	exp := uint(j/(subCount/2)) + 1
+	rem := int64(j % (subCount / 2))
+	return (subCount/2 + rem) << exp
+}
+
+// bucketHigh returns the exclusive upper bound of bucket i, saturating
+// at MaxInt64 for the top bucket (whose bound would be 2^63).
+func bucketHigh(i int) int64 {
+	if i < subCount {
+		return int64(i) + 1
+	}
+	j := i - subCount
+	exp := uint(j/(subCount/2)) + 1
+	lo := bucketLow(i)
+	hi := lo + (1 << exp)
+	if hi < lo {
+		return math.MaxInt64
+	}
+	return hi
+}
+
+// bucketMid returns the representative value reported for bucket i: the
+// midpoint of its range, which keeps the worst-case quantile error at
+// half the bucket width.
+func bucketMid(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	lo, hi := bucketLow(i), bucketHigh(i)
+	return lo + (hi-lo)/2
+}
+
+// Histogram is a concurrent-safe latency histogram. Record is a few
+// atomic adds — no locks, no allocation — so it can sit on a node's
+// request hot path. The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Record adds one observation in nanoseconds; negatives clamp to zero.
+// A nil receiver is a no-op, so optional instrumentation points can
+// record unconditionally.
+func (h *Histogram) Record(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// RecordSince records the elapsed time since start.
+func (h *Histogram) RecordSince(start time.Time) { h.Record(time.Since(start).Nanoseconds()) }
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures a point-in-time copy. Concurrent recording keeps
+// going; the snapshot is internally consistent enough for quantiles (the
+// count is re-derived from the copied buckets, so a racing Record can at
+// worst be missed entirely, never half-counted).
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{Min: h.min.Load(), Max: h.max.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c != 0 {
+			s.Buckets[i] = c
+			s.Count += c
+		}
+	}
+	if s.Count == 0 {
+		s.Min, s.Max, s.Sum = 0, 0, 0
+	}
+	return s
+}
+
+// Snapshot is an immutable capture of a histogram, and the unit the
+// merge/quantile machinery works on.
+type Snapshot struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets [numBuckets]int64
+}
+
+// Merge returns a new snapshot combining s and o. Merge is commutative
+// and associative: merging per-worker or per-window snapshots in any
+// grouping yields identical quantiles.
+func (s *Snapshot) Merge(o *Snapshot) *Snapshot {
+	out := &Snapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+	switch {
+	case s.Count == 0:
+		out.Min, out.Max = o.Min, o.Max
+	case o.Count == 0:
+	default:
+		if o.Min < out.Min {
+			out.Min = o.Min
+		}
+		if o.Max > out.Max {
+			out.Max = o.Max
+		}
+	}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+	}
+	return out
+}
+
+// Quantile returns the value at quantile q in [0,1] by nearest rank over
+// the bucketed counts; the reported value is the containing bucket's
+// midpoint (exact for values < 32ns). An empty snapshot returns 0.
+func (s *Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range s.Buckets {
+		seen += s.Buckets[i]
+		if seen >= rank {
+			mid := bucketMid(i)
+			// The recorded extremes bound the bucket estimate: a p999 of
+			// a narrow distribution must not exceed the true max.
+			if mid > s.Max {
+				mid = s.Max
+			}
+			if mid < s.Min {
+				mid = s.Min
+			}
+			return mid
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the exact arithmetic mean (the sum is tracked, not
+// bucketed); 0 when empty.
+func (s *Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Stats flattens a snapshot into the fixed quantile set every consumer
+// reports (BENCH_load.json, GET /metrics, EXPERIMENTS.md).
+type Stats struct {
+	Count  int64   `json:"count"`
+	MinNS  int64   `json:"min_ns"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P90NS  int64   `json:"p90_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	P999NS int64   `json:"p999_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// Stats computes the standard quantile set.
+func (s *Snapshot) Stats() Stats {
+	return Stats{
+		Count:  s.Count,
+		MinNS:  s.Min,
+		MeanNS: s.Mean(),
+		P50NS:  s.Quantile(0.50),
+		P90NS:  s.Quantile(0.90),
+		P99NS:  s.Quantile(0.99),
+		P999NS: s.Quantile(0.999),
+		MaxNS:  s.Max,
+	}
+}
+
+// String renders the stats with human-scaled durations, the plain-text
+// line format of GET /metrics.
+func (st Stats) String() string {
+	return fmt.Sprintf("count=%d min=%s mean=%s p50=%s p90=%s p99=%s p999=%s max=%s",
+		st.Count, fmtNS(st.MinNS), fmtNS(int64(st.MeanNS)),
+		fmtNS(st.P50NS), fmtNS(st.P90NS), fmtNS(st.P99NS), fmtNS(st.P999NS), fmtNS(st.MaxNS))
+}
+
+// fmtNS renders nanoseconds with time.Duration's units, rounded to keep
+// the text endpoint readable.
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}

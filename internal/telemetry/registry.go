@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"skute/internal/metrics"
+)
+
+// Registry names the histograms and counters one process exports on
+// GET /metrics. Subsystems either create histograms through
+// Histogram(name) or attach ones they already own through Register —
+// both hand out the same *Histogram forever after, so hot paths resolve
+// their histogram once and record through the pointer, never through the
+// registry lock. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	names    []string // insertion order, for stable rendering
+	hists    map[string]*Histogram
+	counters map[string]*metrics.Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    make(map[string]*Histogram),
+		counters: make(map[string]*metrics.Counter),
+	}
+}
+
+// Histogram returns (creating on first use) the histogram with the name.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram()
+	r.hists[name] = h
+	r.names = append(r.names, name)
+	return h
+}
+
+// Register attaches a histogram a subsystem already owns (the transport's
+// RTT histogram, the WAL's fsync histogram). Registering a name twice
+// replaces the histogram.
+func (r *Registry) Register(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, seen := r.hists[name]; !seen {
+		r.names = append(r.names, name)
+	}
+	r.hists[name] = h
+}
+
+// Counter returns (creating on first use) the counter with the name.
+// Counters share the metrics package's type so existing instruments plug
+// in unchanged.
+func (r *Registry) Counter(name string) *metrics.Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &metrics.Counter{}
+	r.counters[name] = c
+	r.names = append(r.names, name)
+	return c
+}
+
+// HistogramStats is one named histogram's quantile set in a snapshot.
+type HistogramStats struct {
+	Name string
+	Stats
+}
+
+// SnapshotStats captures every registered histogram's stats and counter
+// value, in registration order — the payload of GET /metrics.
+type SnapshotStats struct {
+	Histograms []HistogramStats
+	Counters   map[string]int64
+}
+
+// Snapshot captures the stats of every registered instrument.
+func (r *Registry) Snapshot() SnapshotStats {
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	counters := make(map[string]*metrics.Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	r.mu.RUnlock()
+
+	out := SnapshotStats{Counters: make(map[string]int64, len(counters))}
+	for _, n := range names {
+		if h, ok := hists[n]; ok {
+			out.Histograms = append(out.Histograms, HistogramStats{Name: n, Stats: h.Snapshot().Stats()})
+		}
+		if c, ok := counters[n]; ok {
+			out.Counters[n] = c.Value()
+		}
+	}
+	return out
+}
+
+// JSON shapes the snapshot for the admin endpoint: histograms keyed by
+// name with the fixed quantile set, counters as a flat map.
+func (s SnapshotStats) JSON() map[string]any {
+	hists := make(map[string]Stats, len(s.Histograms))
+	for _, h := range s.Histograms {
+		hists[h.Name] = h.Stats
+	}
+	return map[string]any{
+		"histograms": hists,
+		"counters":   s.Counters,
+	}
+}
+
+// Text renders the snapshot as aligned plain text, one instrument per
+// line, histograms first.
+func (s SnapshotStats) Text() string {
+	var b strings.Builder
+	width := 0
+	for _, h := range s.Histograms {
+		if len(h.Name) > width {
+			width = len(h.Name)
+		}
+	}
+	counterNames := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		if len(n) > width {
+			width = len(n)
+		}
+		counterNames = append(counterNames, n)
+	}
+	sort.Strings(counterNames)
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%-*s %s\n", width, h.Name, h.Stats)
+	}
+	for _, n := range counterNames {
+		fmt.Fprintf(&b, "%-*s %d\n", width, n, s.Counters[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCreateAndRegister(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("op_a_ns")
+	if r.Histogram("op_a_ns") != h1 {
+		t.Fatalf("Histogram did not return the existing instrument")
+	}
+	own := NewHistogram()
+	own.Record(42)
+	r.Register("op_b_ns", own)
+	r.Counter("errs_total").Add(3)
+	h1.Record(1000)
+
+	s := r.Snapshot()
+	if len(s.Histograms) != 2 {
+		t.Fatalf("got %d histograms, want 2", len(s.Histograms))
+	}
+	// Registration order is preserved.
+	if s.Histograms[0].Name != "op_a_ns" || s.Histograms[1].Name != "op_b_ns" {
+		t.Fatalf("order %q, %q", s.Histograms[0].Name, s.Histograms[1].Name)
+	}
+	if s.Histograms[1].Count != 1 || s.Histograms[1].MaxNS != 42 {
+		t.Fatalf("attached histogram not sampled: %+v", s.Histograms[1])
+	}
+	if s.Counters["errs_total"] != 3 {
+		t.Fatalf("counter %d, want 3", s.Counters["errs_total"])
+	}
+}
+
+func TestSnapshotRenderings(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("get_ns").Record(1500)
+	r.Counter("ops_total").Inc()
+	s := r.Snapshot()
+
+	raw, err := json.Marshal(s.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+			P50NS int64 `json:"p50_ns"`
+			P99NS int64 `json:"p99_ns"`
+		} `json:"histograms"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	g, ok := decoded.Histograms["get_ns"]
+	if !ok || g.Count != 1 || g.P50NS == 0 || g.P99NS == 0 {
+		t.Fatalf("JSON histogram missing or empty: %+v", decoded)
+	}
+	if decoded.Counters["ops_total"] != 1 {
+		t.Fatalf("JSON counters: %+v", decoded.Counters)
+	}
+
+	text := s.Text()
+	for _, want := range []string{"get_ns", "count=1", "p99=", "ops_total"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+}

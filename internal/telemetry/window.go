@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Window is a decaying view over a histogram stream: observations land in
+// the current slot, Rotate retires the oldest slot, and Snapshot merges
+// the live slots — so quantiles reflect roughly the last slots×interval
+// of traffic instead of the whole process lifetime. Recording stays
+// lock-free (an atomic pointer load plus the histogram's own atomics);
+// only rotation takes the mutex.
+type Window struct {
+	cur      atomic.Pointer[Histogram]
+	interval time.Duration
+	maxSlots int
+
+	mu      sync.Mutex
+	slots   []*Histogram // retired slots, oldest first; cur is the newest
+	lastRot time.Time
+	now     func() time.Time // test clock
+}
+
+// NewWindow returns a window keeping the given number of retired slots
+// plus the live one, rotating every interval (lazily, on Snapshot).
+// slots < 1 keeps one; interval <= 0 disables time-driven rotation
+// (callers rotate explicitly).
+func NewWindow(slots int, interval time.Duration) *Window {
+	if slots < 1 {
+		slots = 1
+	}
+	w := &Window{
+		interval: interval,
+		maxSlots: slots,
+		now:      time.Now,
+	}
+	w.lastRot = w.now()
+	w.cur.Store(NewHistogram())
+	return w
+}
+
+// Record adds one observation in nanoseconds to the current slot.
+func (w *Window) Record(ns int64) { w.cur.Load().Record(ns) }
+
+// Rotate retires the current slot and starts a fresh one, dropping the
+// oldest retired slot beyond the window's capacity.
+func (w *Window) Rotate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked()
+	w.lastRot = w.now()
+}
+
+// rotateLocked swaps in a fresh current slot and retires the old one.
+func (w *Window) rotateLocked() {
+	old := w.cur.Swap(NewHistogram())
+	w.slots = append(w.slots, old)
+	if over := len(w.slots) - w.maxSlots; over > 0 {
+		w.slots = w.slots[over:]
+	}
+}
+
+// Snapshot merges the live slot with every retired slot still in the
+// window, first catching up on any rotations the interval clock owes —
+// an idle gap of n intervals retires n slots, so stale samples age out
+// even without traffic.
+func (w *Window) Snapshot() *Snapshot {
+	w.mu.Lock()
+	if w.interval > 0 {
+		for w.now().Sub(w.lastRot) >= w.interval {
+			w.rotateLocked()
+			w.lastRot = w.lastRot.Add(w.interval)
+			if w.cur.Load().Count() == 0 && allEmpty(w.slots) {
+				// Fully drained: skip to now instead of spinning through
+				// the remainder of a long idle gap one interval at a time.
+				w.lastRot = w.now()
+				break
+			}
+		}
+	}
+	s := w.cur.Load().Snapshot()
+	for _, h := range w.slots {
+		s = s.Merge(h.Snapshot())
+	}
+	w.mu.Unlock()
+	return s
+}
+
+func allEmpty(hs []*Histogram) bool {
+	for _, h := range hs {
+		if h.Count() != 0 {
+			return false
+		}
+	}
+	return true
+}

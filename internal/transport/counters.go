@@ -1,6 +1,9 @@
 package transport
 
-import "skute/internal/metrics"
+import (
+	"skute/internal/metrics"
+	"skute/internal/telemetry"
+)
 
 // Counters are the wire-path observability counters of a TCP transport:
 // how the pool behaves (dials vs. reuses vs. evictions) and how much
@@ -34,6 +37,19 @@ func (t *TCP) PoolSize() int {
 		return 0
 	}
 	return p.size()
+}
+
+// RTT exposes the per-call round-trip histogram (nil on a transport not
+// built with NewTCP).
+func (t *TCP) RTT() *telemetry.Histogram { return t.rtt }
+
+// RegisterTelemetry attaches the transport's latency histograms to a
+// telemetry registry; cmd/skuted serves them on GET /metrics.
+func (t *TCP) RegisterTelemetry(reg *telemetry.Registry) {
+	if t.rtt == nil {
+		t.rtt = telemetry.NewHistogram()
+	}
+	reg.Register("transport_call_ns", t.rtt)
 }
 
 // RegisterMetrics registers the wire counters on the registry under

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"skute/internal/telemetry"
 )
 
 // TCP is a Transport over real sockets. Connections are persistent,
@@ -54,6 +56,10 @@ type TCP struct {
 	DisablePooling bool
 
 	counters Counters
+	// rtt is the request-RTT histogram: every Call records its wall time
+	// (queueing in the pool, frame round trip, retries) regardless of
+	// outcome. RegisterTelemetry exposes it on GET /metrics.
+	rtt *telemetry.Histogram
 
 	mu          sync.Mutex
 	listeners   []net.Listener
@@ -64,7 +70,11 @@ type TCP struct {
 
 // NewTCP returns a TCP transport with default timeouts and pool policy.
 func NewTCP() *TCP {
-	return &TCP{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second}
+	return &TCP{
+		DialTimeout: 2 * time.Second,
+		CallTimeout: 10 * time.Second,
+		rtt:         telemetry.NewHistogram(),
+	}
 }
 
 func (t *TCP) dialTimeout() time.Duration {
@@ -263,6 +273,9 @@ func (t *TCP) dial(ctx context.Context, addr string) (net.Conn, error) {
 func (t *TCP) Call(ctx context.Context, addr string, req Envelope) (Envelope, error) {
 	if err := ctx.Err(); err != nil {
 		return Envelope{}, err
+	}
+	if t.rtt != nil { // nil only for a hand-rolled struct literal
+		defer t.rtt.RecordSince(time.Now())
 	}
 	if t.DisablePooling {
 		return t.callFreshDial(ctx, addr, req)

@@ -47,8 +47,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"skute/internal/fsutil"
+	"skute/internal/telemetry"
 )
 
 const magic uint32 = 0x534b5457
@@ -117,6 +119,9 @@ type Log struct {
 	// syncs counts fsyncs issued by commits; records/syncs is the group
 	// commit batching factor.
 	syncs int64
+	// fsync records the latency of each commit fsync — the floor under
+	// every acknowledged write's tail latency (see FsyncLatency).
+	fsync *telemetry.Histogram
 }
 
 // segName returns the file name of the segment whose first record has the
@@ -266,7 +271,7 @@ func OpenOptions(dir string, o Options, replay func(seq uint64, payload []byte) 
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, segBytes: segBytes}
+	l := &Log{dir: dir, segBytes: segBytes, fsync: telemetry.NewHistogram()}
 	l.idle.L = &l.mu
 
 	if len(segs) == 0 {
@@ -624,9 +629,11 @@ func (l *Log) commit(batch []*Ticket) error {
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("wal: write batch: %w", err)
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.fsync.RecordSince(start)
 	return nil
 }
 
@@ -644,6 +651,11 @@ func (l *Log) Syncs() int64 {
 	defer l.mu.Unlock()
 	return l.syncs
 }
+
+// FsyncLatency exposes the histogram of commit fsync durations. With
+// group commit one fsync covers a whole batch, so this is the latency
+// floor shared by every write acknowledged in that round.
+func (l *Log) FsyncLatency() *telemetry.Histogram { return l.fsync }
 
 // LastSeq returns the highest sequence number the log has assigned (0 on
 // a fresh log). It counts records enqueued but not yet flushed, so it can

@@ -85,7 +85,7 @@ func (d *Driver) Run(ctx context.Context, dur time.Duration) Report {
 	if maxInFlight <= 0 {
 		maxInFlight = 64
 	}
-	cum := cumulative(d.Weights, len(d.Keys))
+	picker := NewPicker(d.Keys, d.Weights)
 
 	rep := Report{LastAcked: make(map[string]uint64)}
 	// Per-key write serialization: holding the key's lock across Do
@@ -134,7 +134,7 @@ func (d *Driver) Run(ctx context.Context, dur time.Duration) Report {
 		}
 
 		op := Op{Read: rng.Float64() < d.ReadFraction}
-		op.Key = d.Keys[pick(cum, rng.Float64())]
+		op.Key = picker.Pick(rng.Float64())
 		select {
 		case slots <- struct{}{}:
 		default:
@@ -175,6 +175,25 @@ drain:
 	wg.Wait()
 	return rep
 }
+
+// Picker draws keys from a popularity distribution: the cumulative
+// weight table is built once, each draw is a binary search. It is the
+// exported form of the Driver's internal key choice, shared with
+// internal/loadgen so the load generator offers exactly the popularity
+// the scenario driver does.
+type Picker struct {
+	keys []string
+	cum  []float64
+}
+
+// NewPicker builds a picker over the keys; nil or mismatched weights
+// degrade to uniform (matching Driver semantics).
+func NewPicker(keys []string, weights []float64) *Picker {
+	return &Picker{keys: keys, cum: cumulative(weights, len(keys))}
+}
+
+// Pick maps u in [0,1) to a key by popularity.
+func (p *Picker) Pick(u float64) string { return p.keys[pick(p.cum, u)] }
 
 // cumulative builds the cumulative weight table for n keys; nil or
 // mismatched weights degrade to uniform.
