@@ -85,6 +85,9 @@ func main() {
 		xferChunk = flag.Int("transfer-chunk", 0, "partition-transfer chunk size in items (0 = default 128)")
 		xferRate  = flag.Int64("transfer-rate", 0, "partition-transfer donor bandwidth cap in bytes/sec (0 = unlimited)")
 
+		rcEntries = flag.Int("read-cache", 0, "coordinator hot-key read-cache entries serving ConsistencyOne reads (0 = default 4096)")
+		rcTTL     = flag.Duration("read-cache-ttl", 0, "read-cache staleness bound when no placement delta invalidates first (0 = default 500ms)")
+
 		bindAddr    = flag.String("bind", "", "listen address override: peers still dial this node's descriptor Addr (scenario harnesses front nodes with fault proxies this way; empty = listen on the advertised address)")
 		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 4 MiB; tests shrink it to exercise rotation and disk faults quickly)")
 		traceEvents = flag.Int("trace-events", 0, "decision-trace ring capacity served on GET /trace (0 = default 1024)")
@@ -132,6 +135,8 @@ func main() {
 			TransferChunkItems:  *xferChunk,
 			TransferBytesPerSec: *xferRate,
 			TraceEvents:         *traceEvents,
+			ReadCacheEntries:    *rcEntries,
+			ReadCacheTTL:        *rcTTL,
 		}, tr, eng)
 		if err != nil {
 			log.Fatalf("skuted: join via %s: %v", *joinAddr, err)
@@ -154,6 +159,12 @@ func main() {
 		}
 		if *traceEvents > 0 {
 			cfg.TraceEvents = *traceEvents
+		}
+		if *rcEntries > 0 {
+			cfg.ReadCacheEntries = *rcEntries
+		}
+		if *rcTTL > 0 {
+			cfg.ReadCacheTTL = *rcTTL
 		}
 		if *bindAddr != "" {
 			// Bind is node-local: it only makes sense on this node's own

@@ -21,6 +21,10 @@
 //     ReadOptions/WriteOptions trade consistency for latency (One,
 //     Quorum, All), and MGet/MPut batch multi-key operations into one
 //     envelope per replica per partition (see DESIGN.md, "The request
+//     path"). One-level reads ride a tiered fast path — leased local
+//     reads, a placement-stamped coordinator hot-key cache, and hedged
+//     quorum fan-out that sends one backup request only after a
+//     p99-tracked delay (DESIGN.md, "The read
 //     path"). Over TCP, every RPC rides persistent, pooled, multiplexed
 //     connections — length-prefixed frames with request IDs, typed
 //     error codes surviving the wire, and a 7-8x win over the old

@@ -9,6 +9,7 @@ import (
 
 	"skute/internal/ring"
 	"skute/internal/store"
+	"skute/internal/telemetry"
 	"skute/internal/transport"
 )
 
@@ -20,6 +21,13 @@ import (
 // the pre-pooling wire. With freshDial false, the same traffic rides
 // the pooled, multiplexed frame protocol.
 func benchTCPCluster(b *testing.B, freshDial bool) ([]*Node, *Client, ring.RingID) {
+	return benchTCPClusterWrapped(b, freshDial, nil)
+}
+
+// benchTCPClusterWrapped is benchTCPCluster with an optional wrapper
+// around the coordinator's (node 0's) outgoing transport — fault
+// injection for the hedged-read benchmark.
+func benchTCPClusterWrapped(b *testing.B, freshDial bool, wrap0 func(transport.Transport) transport.Transport) ([]*Node, *Client, ring.RingID) {
 	b.Helper()
 	if freshDial {
 		// The baseline reproduces the old hot path end to end: per-call
@@ -62,7 +70,11 @@ func benchTCPCluster(b *testing.B, freshDial bool) ([]*Node, *Client, ring.RingI
 		nt.DisablePooling = freshDial
 		b.Cleanup(func() { nt.Close() })
 		var err error
-		nodes[i], err = NewNode(cfg, fmt.Sprintf("n%d", i), &fixedAddrTCP{TCP: nt, addr: addrs[i]}, store.NewMemory())
+		var tr transport.Transport = &fixedAddrTCP{TCP: nt, addr: addrs[i]}
+		if i == 0 && wrap0 != nil {
+			tr = wrap0(tr)
+		}
+		nodes[i], err = NewNode(cfg, fmt.Sprintf("n%d", i), tr, store.NewMemory())
 		if err != nil {
 			b.Fatalf("NewNode over TCP: %v", err)
 		}
@@ -158,6 +170,133 @@ func BenchmarkTCPClusterMGet(b *testing.B) { benchTCPMGet(b, false) }
 // BenchmarkTCPClusterMGetFreshDial is the fresh-dial baseline for
 // BenchmarkTCPClusterMGet.
 func BenchmarkTCPClusterMGetFreshDial(b *testing.B) { benchTCPMGet(b, true) }
+
+// BenchmarkTCPClusterGetOne measures the coordinator's ConsistencyOne
+// fast path with the full TCP cluster standing: the key is replicated on
+// the coordinator, so the read is served from the local store under the
+// read lease — no envelope, no store round trip beyond the engine get
+// (see readpath.go). This is the per-read cost a client co-located with
+// a replica pays after its request frame lands.
+func BenchmarkTCPClusterGetOne(b *testing.B) {
+	nodes, client, id := benchTCPCluster(b, false)
+	// Seed keys and keep the ones the coordinator hosts.
+	var local []string
+	for i := 0; len(local) < 256 && i < 8192; i++ {
+		key := fmt.Sprintf("one-%d", i)
+		reps, err := nodes[0].Replicas(id, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reps {
+			if r == nodes[0].Name() {
+				if err := client.Put(ctx, id, key, make([]byte, 256), nil, WriteOptions{}); err != nil {
+					b.Fatal(err)
+				}
+				local = append(local, key)
+				break
+			}
+		}
+	}
+	if len(local) == 0 {
+		b.Fatal("no coordinator-hosted keys found")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := nodes[0].Get(ctx, id, local[i%len(local)], ReadOptions{Consistency: ConsistencyOne})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Values) != 1 {
+			b.Fatalf("lease-served read returned %d values", len(res.Values))
+		}
+	}
+}
+
+// slowReplicaTransport delays the coordinator's quorum-read envelopes to
+// one replica address — the single-slow-replica regime the hedged
+// backup request exists for.
+type slowReplicaTransport struct {
+	transport.Transport
+	victim string
+	delay  time.Duration
+}
+
+func (s *slowReplicaTransport) Call(ctx context.Context, addr string, req transport.Envelope) (transport.Envelope, error) {
+	if addr == s.victim && req.Kind == kindMultiGet {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return transport.Envelope{}, ctx.Err()
+		}
+	}
+	return s.Transport.Call(ctx, addr, req)
+}
+
+// BenchmarkTCPClusterGetHedged measures quorum reads while one replica
+// answers reads 5ms late. The hedged backup request bounds the tail near
+// p99(healthy) instead of the slow replica's 5ms: the reported p99-ns
+// should sit within ~2x of p50-ns, where the old unconditional wait
+// would pin p99 at the injected delay.
+func BenchmarkTCPClusterGetHedged(b *testing.B) {
+	var slow *slowReplicaTransport
+	nodes, client, id := benchTCPClusterWrapped(b, false, func(tr transport.Transport) transport.Transport {
+		slow = &slowReplicaTransport{Transport: tr, delay: 5 * time.Millisecond}
+		return slow
+	})
+	slow.victim = nodes[1].self.Addr
+	// Keep only keys whose INITIAL quorum pair includes the slow replica
+	// — the coordinator's own copy ordered to the front, then the first
+	// R=2 of the replica list — so every measured read faces the slow
+	// replica and must be rescued by the hedge. Keys that never touch it
+	// would only dilute the distribution the benchmark exists to pin.
+	var keys []string
+	for i := 0; len(keys) < 256 && i < 8192; i++ {
+		key := fmt.Sprintf("hedge-%d", i)
+		reps, err := nodes[0].Replicas(id, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, r := range reps {
+			if r == nodes[0].Name() && j > 0 {
+				reps[0], reps[j] = reps[j], reps[0]
+				break
+			}
+		}
+		if reps[0] != nodes[1].Name() && reps[1] != nodes[1].Name() {
+			continue
+		}
+		if err := client.Put(ctx, id, key, make([]byte, 256), nil, WriteOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	if len(keys) == 0 {
+		b.Fatal("no keys found with the slow replica in the initial quorum pair")
+	}
+	// Warm the hedge tracker past its refresh interval so the delay has
+	// converged from its 1ms default toward the cluster's healthy-read
+	// p99 before the measured window.
+	for start, i := time.Now(), 0; time.Since(start) < 1300*time.Millisecond; i++ {
+		if _, err := nodes[0].Get(ctx, id, keys[i%len(keys)], ReadOptions{Consistency: ConsistencyQuorum}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hist := telemetry.NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := nodes[0].Get(ctx, id, keys[i%len(keys)], ReadOptions{Consistency: ConsistencyQuorum}); err != nil {
+			b.Fatal(err)
+		}
+		hist.RecordSince(start)
+	}
+	b.StopTimer()
+	stats := hist.Snapshot()
+	b.ReportMetric(float64(stats.Quantile(0.50)), "p50-ns")
+	b.ReportMetric(float64(stats.Quantile(0.99)), "p99-ns")
+}
 
 // BenchmarkTCPMultiplexedHeartbeats measures a full heartbeat round
 // while the data plane keeps the same peer connections busy with quorum

@@ -39,8 +39,10 @@ func (c *Client) Get(ctx context.Context, id ring.RingID, key string, opts ReadO
 		return nil, nil, err
 	}
 	var r clientGetResp
-	if err := decode(resp.Payload, &r); err != nil {
-		return nil, nil, err
+	derr := decode(resp.Payload, &r)
+	transport.RecyclePayload(resp.Payload) // decode copied it out
+	if derr != nil {
+		return nil, nil, derr
 	}
 	return r.Values, r.Context, nil
 }
@@ -49,13 +51,14 @@ func (c *Client) Get(ctx context.Context, id ring.RingID, key string, opts ReadO
 func (c *Client) Put(ctx context.Context, id ring.RingID, key string, value []byte, vctx vclock.VC, opts WriteOptions) error {
 	cctx, cancel := withTimeout(ctx, opts.Timeout)
 	defer cancel()
-	_, err := c.tr.Call(cctx, c.addr, transport.Envelope{
+	resp, err := c.tr.Call(cctx, c.addr, transport.Envelope{
 		Kind: kindClientPut,
 		Payload: encode(clientPutReq{
 			Ring: id, Key: key, Value: value, Context: vctx,
 			Consistency: opts.Consistency, Timeout: opts.Timeout,
 		}),
 	})
+	transport.RecyclePayload(resp.Payload) // ack payload is never inspected
 	return err
 }
 
@@ -63,13 +66,14 @@ func (c *Client) Put(ctx context.Context, id ring.RingID, key string, value []by
 func (c *Client) Delete(ctx context.Context, id ring.RingID, key string, vctx vclock.VC, opts WriteOptions) error {
 	cctx, cancel := withTimeout(ctx, opts.Timeout)
 	defer cancel()
-	_, err := c.tr.Call(cctx, c.addr, transport.Envelope{
+	resp, err := c.tr.Call(cctx, c.addr, transport.Envelope{
 		Kind: kindClientDel,
 		Payload: encode(clientPutReq{
 			Ring: id, Key: key, Delete: true, Context: vctx,
 			Consistency: opts.Consistency, Timeout: opts.Timeout,
 		}),
 	})
+	transport.RecyclePayload(resp.Payload) // ack payload is never inspected
 	return err
 }
 
@@ -87,8 +91,10 @@ func (c *Client) MGet(ctx context.Context, id ring.RingID, keys []string, opts R
 		return nil, err
 	}
 	var r clientMGetResp
-	if err := decode(resp.Payload, &r); err != nil {
-		return nil, err
+	derr := decode(resp.Payload, &r)
+	transport.RecyclePayload(resp.Payload) // decode copied it out
+	if derr != nil {
+		return nil, derr
 	}
 	out := make(map[string]GetResult, len(r.Items))
 	for _, item := range r.Items {
@@ -102,10 +108,11 @@ func (c *Client) MGet(ctx context.Context, id ring.RingID, keys []string, opts R
 func (c *Client) MPut(ctx context.Context, id ring.RingID, entries []Entry, opts WriteOptions) error {
 	cctx, cancel := withTimeout(ctx, opts.Timeout)
 	defer cancel()
-	_, err := c.tr.Call(cctx, c.addr, transport.Envelope{
+	resp, err := c.tr.Call(cctx, c.addr, transport.Envelope{
 		Kind:    kindClientMPut,
 		Payload: encode(clientMPutReq{Ring: id, Entries: entries, Consistency: opts.Consistency, Timeout: opts.Timeout}),
 	})
+	transport.RecyclePayload(resp.Payload) // ack payload is never inspected
 	return err
 }
 

@@ -96,6 +96,15 @@ type Config struct {
 	// TraceEvents bounds the control-plane decision-trace ring served on
 	// GET /trace (0 selects the default 1024).
 	TraceEvents int
+	// ReadCacheEntries bounds the coordinator hot-key read cache (total
+	// entries across shards; 0 selects the default 4096). The cache
+	// serves only ConsistencyOne reads of keys the node does not host —
+	// see readpath.go.
+	ReadCacheEntries int
+	// ReadCacheTTL bounds how long a cached read may be served when no
+	// placement delta invalidates it first (0 selects the default
+	// 500ms).
+	ReadCacheTTL time.Duration
 }
 
 // Validate rejects unusable descriptors.
@@ -152,6 +161,9 @@ func (c Config) Validate() error {
 	}
 	if c.TraceEvents < 0 {
 		return fmt.Errorf("cluster: negative trace capacity")
+	}
+	if c.ReadCacheEntries < 0 || c.ReadCacheTTL < 0 {
+		return fmt.Errorf("cluster: negative read-cache tuning")
 	}
 	return nil
 }

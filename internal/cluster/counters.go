@@ -37,6 +37,15 @@ type ControlCounters struct {
 	MemberPulls         metrics.Counter // digest-triggered member list pulls
 	JoinsServed         metrics.Counter // join requests this node admitted
 
+	// Tiered read path (see readpath.go): how One-level reads were
+	// served and how often quorum reads needed the hedged backup.
+	ReadsLocal        metrics.Counter // lease-served from the local store
+	ReadsCacheHit     metrics.Counter // served from the coordinator cache
+	ReadsCacheMiss    metrics.Counter // eligible for the cache but fell through to fan-out
+	ReadsLeaseStale   metrics.Counter // lease not fresh; One-read fell back to fan-out
+	ReadsHedged       metrics.Counter // quorum reads that fired the backup request
+	ReadRepairSampled metrics.Counter // async repair reads sampled off local reads
+
 	// Partition transfer (chunked, throttled; see transfer.go).
 	TransferChunks       metrics.Counter // chunks pulled (adopter side)
 	TransferItems        metrics.Counter // keys pulled (adopter side)
@@ -75,6 +84,12 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry) {
 		{"member_evictions_total", &n.counters.MemberEvictions},
 		{"member_pulls_total", &n.counters.MemberPulls},
 		{"joins_served_total", &n.counters.JoinsServed},
+		{"reads_local_total", &n.counters.ReadsLocal},
+		{"reads_cache_hit_total", &n.counters.ReadsCacheHit},
+		{"reads_cache_miss_total", &n.counters.ReadsCacheMiss},
+		{"reads_lease_stale_total", &n.counters.ReadsLeaseStale},
+		{"reads_hedged_total", &n.counters.ReadsHedged},
+		{"read_repair_sampled_total", &n.counters.ReadRepairSampled},
 		{"transfer_chunks_total", &n.counters.TransferChunks},
 		{"transfer_items_total", &n.counters.TransferItems},
 		{"transfer_resumes_total", &n.counters.TransferResumes},

@@ -235,6 +235,10 @@ type JoinOptions struct {
 	TransferBytesPerSec int64
 	// TraceEvents bounds the decision-trace ring (see Config.TraceEvents).
 	TraceEvents int
+	// ReadCacheEntries / ReadCacheTTL tune the coordinator hot-key read
+	// cache (see the Config fields).
+	ReadCacheEntries int
+	ReadCacheTTL     time.Duration
 }
 
 // JoinNode boots a node into an existing cluster through any live seed:
@@ -296,6 +300,8 @@ func JoinNode(ctx context.Context, self NodeInfo, seedAddr string, opts JoinOpti
 		TransferChunkItems:  opts.TransferChunkItems,
 		TransferBytesPerSec: opts.TransferBytesPerSec,
 		TraceEvents:         opts.TraceEvents,
+		ReadCacheEntries:    opts.ReadCacheEntries,
+		ReadCacheTTL:        opts.ReadCacheTTL,
 	}
 	n := &Node{
 		cfg:          cfg,
@@ -327,6 +333,11 @@ func JoinNode(ctx context.Context, self NodeInfo, seedAddr string, opts JoinOpti
 	if n.chunkItems <= 0 {
 		n.chunkItems = defaultChunkItems
 	}
+	n.rcache = newReadCache(opts.ReadCacheEntries, opts.ReadCacheTTL)
+	n.hedge = newHedgeTracker(n.tel.Histogram("cluster_read_rtt_ns"))
+	// The answered join RPC below is contact evidence; seed the lease
+	// from the boot instant like NewNode does.
+	n.lastContact.Store(n.Now().UnixNano())
 	n.registerName(self.Name) // ServerID 0 == selfI
 	// The seed's member list includes this node's own record at the
 	// assigned incarnation; Apply's self path adopts it, so a rejoin

@@ -324,6 +324,18 @@ type Node struct {
 	// Seeded at boot past every own entry in the recovered store.
 	dot atomic.Uint64
 
+	// Tiered read path state (see readpath.go): lastContact is the unix
+	// nano timestamp of the last evidence a peer could reach this node —
+	// the coordinator read lease; rcache is the bounded hot-key cache;
+	// hedge tracks accepted read RTTs and derives the backup-request
+	// delay; repairTick/repairInflight sample async read repair on
+	// lease-served local reads.
+	lastContact    atomic.Int64
+	rcache         *readCache
+	hedge          *hedgeTracker
+	repairTick     atomic.Uint64
+	repairInflight atomic.Int32
+
 	// mu guards the ring layout, the placement map's materialization into
 	// it, ledgers and the board copy. The quorum read/write path only ever
 	// read-locks it, so data-plane traffic does not serialize behind
@@ -425,6 +437,13 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 	if n.chunkItems <= 0 {
 		n.chunkItems = defaultChunkItems
 	}
+	n.rcache = newReadCache(cfg.ReadCacheEntries, cfg.ReadCacheTTL)
+	n.hedge = newHedgeTracker(n.tel.Histogram("cluster_read_rtt_ns"))
+	// The boot instant counts as contact: a freshly started node serves
+	// lease reads until the suspicion window passes without hearing from
+	// any peer (matching how descriptor peers get that same grace before
+	// aging into suspicion).
+	n.lastContact.Store(n.Now().UnixNano())
 	// Seed the write dot past every own entry in the recovered store: a
 	// restarted coordinator whose counter restarted below its stored
 	// clocks could re-issue an own entry it already used, making a fresh
@@ -490,6 +509,7 @@ func (n *Node) ConfirmPeers() {
 	for _, m := range n.mt.Members() {
 		n.mt.Confirm(m.Info.Name, now)
 	}
+	n.touchContact()
 }
 
 // registerName returns the node-local ServerID of a name, assigning the
@@ -574,8 +594,10 @@ func (n *Node) SendHeartbeats(ctx context.Context) {
 			return
 		}
 		// The peer answered our beat: direct evidence it is up, which
-		// ends probation even before its own beat reaches us.
+		// ends probation even before its own beat reaches us — and
+		// evidence the cluster can reach US, renewing the read lease.
 		n.mt.Confirm(peers[i].Name, n.Now())
+		n.touchContact()
 		// The answer may echo the peer's record of US (an accusation we
 		// have not heard — e.g. this node restarted after being declared
 		// dead); applying it triggers the refutation path.
@@ -583,6 +605,7 @@ func (n *Node) SendHeartbeats(ctx context.Context) {
 		if len(resp.Payload) > 0 && decode(resp.Payload, &hr) == nil && hr.Member.Info.Name != "" {
 			n.applyMemberDeltas(ctx, hr.Member)
 		}
+		transport.RecyclePayload(resp.Payload) // decode copied it out
 	})
 	n.counters.HeartbeatRounds.Inc()
 }
@@ -603,6 +626,7 @@ func (n *Node) handle(ctx context.Context, req transport.Envelope) (transport.En
 		// bumped incarnation must land before liveness is judged.
 		n.applyMemberDeltas(ctx, hb.Member)
 		n.mt.Confirm(hb.From, n.Now())
+		n.touchContact()
 		// Digest mismatch: the sender's placement view differs from
 		// ours, so pull its deltas right away. Last-writer-wins keeps
 		// the merge safe in both directions; if WE hold the newer

@@ -88,6 +88,13 @@ func (n *Node) quorumForGroup(ringQ int, c Consistency, id ring.RingID, liveN in
 // bounds the whole operation; opts select the per-request R and timeout.
 // It shares the partition-group read with MultiGet but skips the batch
 // bookkeeping — single-key reads are the hot path.
+//
+// A ConsistencyOne read takes the tiered fast path first (readpath.go):
+// served from the local store when this node hosts a current replica
+// under a fresh read lease, or from the coordinator hot-key cache when
+// it does not — no synchronous remote envelope either way. Fast-path
+// misses fall through to the fan-out below, whose merged result refills
+// the cache.
 func (n *Node) Get(ctx context.Context, id ring.RingID, key string, opts ReadOptions) (GetResult, error) {
 	defer n.opTel.hist(opGet, opts.Consistency).RecordSince(time.Now())
 	readQ, err := n.readQuorum(id, opts.Consistency)
@@ -101,17 +108,107 @@ func (n *Node) Get(ctx context.Context, id ring.RingID, key string, opts ReadOpt
 	}
 	n.mu.RLock()
 	p := n.rings.Ring(id).Lookup(ring.HashKey(key))
+	part := p.ID
+	selfHosts := p.HasReplica(ring.ServerID(n.selfI))
 	g := partGroup{part: p.ID, keys: []string{key}, replicas: make([]string, len(p.Replicas))}
 	for i, rid := range p.Replicas {
 		g.replicas[i] = n.nodeName(rid)
 	}
 	n.mu.RUnlock()
+
+	one := opts.Consistency == ConsistencyOne
+	if one {
+		if res, ok := n.tryFastOne(id, part, key, selfHosts); ok {
+			return res, nil
+		}
+	}
 	readQ = n.quorumForGroup(readQ, opts.Consistency, id, len(g.replicas), false)
-	res, err := n.readPartitionGroup(ctx, id, g, readQ)
+	res, merged, err := n.readPartitionGroup(ctx, id, g, readQ)
 	if err != nil {
 		return GetResult{}, err
 	}
+	if one && !selfHosts {
+		pver, porigin := n.pmap.Stamp(id, part)
+		n.rcache.fill(cacheKey{ring: id, part: part, key: key}, merged[key], pver, porigin, n.Now())
+	}
 	return res[key], nil
+}
+
+// tryFastOne attempts the no-envelope tiers of a ConsistencyOne read.
+// Both tiers require a fresh read lease (contactFresh): a node that has
+// not heard from any peer within the suspicion window may hold an
+// arbitrarily stale placement view and must pay the fan-out, which
+// fails fast when the cluster is truly unreachable.
+func (n *Node) tryFastOne(id ring.RingID, part int, key string, selfHosts bool) (GetResult, bool) {
+	if !n.contactFresh() {
+		n.counters.ReadsLeaseStale.Inc()
+		return GetResult{}, false
+	}
+	if selfHosts {
+		// This node hosts a current replica (the materialized ring IS the
+		// latest accepted placement view — any delta that evicted us
+		// already rewrote it): serve the local copy and sample an async
+		// repair read so hot local keys still converge.
+		n.countQueries(id, part, 1)
+		n.counters.ReadsLocal.Inc()
+		res := resultOf(n.eng.Get(storageKey(id, key)))
+		n.maybeSampleRepair(id, key)
+		return res, true
+	}
+	pver, porigin := n.pmap.Stamp(id, part)
+	if vs, hit := n.rcache.get(cacheKey{ring: id, part: part, key: key}, pver, porigin, n.Now()); hit {
+		n.countQueries(id, part, 1)
+		n.counters.ReadsCacheHit.Inc()
+		return resultOf(vs), true
+	}
+	n.counters.ReadsCacheMiss.Inc()
+	return GetResult{}, false
+}
+
+// resultOf builds a GetResult from one replica-local (or cached)
+// sibling set. Values alias the input slices — copy-on-read: Engine.Get
+// hands out private copies already, and cache-served slices are shared
+// under the read-only contract documented on ReadOptions.
+func resultOf(vs []store.Version) GetResult {
+	res := GetResult{Replied: 1, Context: vclock.New()}
+	for _, v := range vs {
+		res.Context = vclock.Merge(res.Context, v.Clock)
+		if !v.Tombstone {
+			res.Values = append(res.Values, v.Value)
+		}
+	}
+	return res
+}
+
+// maybeSampleRepair triggers a background quorum read — and with it the
+// standard read-repair machinery — for roughly one in
+// readRepairSampleEvery lease-served local reads, bounded to
+// maxSampledRepairs in flight so a read burst cannot stack goroutines
+// faster than quorum reads drain.
+func (n *Node) maybeSampleRepair(id ring.RingID, key string) {
+	if n.repairTick.Add(1)%readRepairSampleEvery != 0 {
+		return
+	}
+	if n.repairInflight.Add(1) > maxSampledRepairs {
+		n.repairInflight.Add(-1)
+		return
+	}
+	n.counters.ReadRepairSampled.Inc()
+	go func() {
+		defer n.repairInflight.Add(-1)
+		ctx, cancel := context.WithTimeout(context.Background(), tailSendTimeout)
+		defer cancel()
+		readQ, err := n.readQuorum(id, ConsistencyQuorum)
+		if err != nil {
+			return
+		}
+		groups := n.groupByPartition(id, []string{key})
+		if len(groups) != 1 {
+			return
+		}
+		g := groups[0]
+		_, _, _ = n.readPartitionGroup(ctx, id, g, n.quorumForGroup(readQ, ConsistencyQuorum, id, len(g.replicas), false))
+	}()
 }
 
 // MultiGet reads a batch of keys in one coordinated operation: keys are
@@ -138,7 +235,8 @@ func (n *Node) MultiGet(ctx context.Context, id ring.RingID, keys []string, opts
 	groups := n.groupByPartition(id, keys)
 	if len(groups) == 1 { // single partition: no fan-out bookkeeping
 		g := groups[0]
-		return n.readPartitionGroup(ctx, id, g, n.quorumForGroup(readQ, opts.Consistency, id, len(g.replicas), false))
+		res, _, err := n.readPartitionGroup(ctx, id, g, n.quorumForGroup(readQ, opts.Consistency, id, len(g.replicas), false))
+		return res, err
 	}
 	results := make(map[string]GetResult, len(keys))
 	var mu sync.Mutex
@@ -148,7 +246,7 @@ func (n *Node) MultiGet(ctx context.Context, id ring.RingID, keys []string, opts
 		wg.Add(1)
 		go func(g partGroup) {
 			defer wg.Done()
-			part, err := n.readPartitionGroup(ctx, id, g, n.quorumForGroup(readQ, opts.Consistency, id, len(g.replicas), false))
+			part, _, err := n.readPartitionGroup(ctx, id, g, n.quorumForGroup(readQ, opts.Consistency, id, len(g.replicas), false))
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -212,16 +310,22 @@ func (n *Node) groupByPartition(id ring.RingID, keys []string) []partGroup {
 }
 
 // readPartitionGroup runs the quorum read of one partition's key group:
-// it contacts readQ+1 alive replicas — a hedge against one slow replica,
-// whose response also feeds read repair when it arrives in time — each
-// with ONE envelope covering every key of the group, launches a standby
-// replica per failure, and honors context cancellation while waiting.
-// It returns as soon as readQ replicas answered: a hung-but-not-yet-
-// suspected replica cannot pin the read to the transport timeout once
-// the quorum is met (late responses drain into the buffered channel and
-// are discarded). Siblings merge per key; each stale responder gets one
-// batched repair envelope.
-func (n *Node) readPartitionGroup(ctx context.Context, id ring.RingID, g partGroup, readQ int) (map[string]GetResult, error) {
+// it contacts exactly readQ alive replicas first — the coordinator's own
+// copy ordered to the front, since it answers inline for free — each
+// with ONE envelope covering every key of the group, and arms a single
+// HEDGED backup request that fires only if the quorum is still short
+// after the p99-tracked hedge delay (see hedgeTracker). Failures launch
+// a standby replica immediately, and context cancellation is honored
+// while waiting. It returns as soon as readQ replicas answered: a
+// hung-but-not-yet-suspected replica cannot pin the read to the
+// transport timeout once the quorum is met — remote calls run on a
+// child context cancelled at return, so stragglers and fired hedges are
+// abandoned at the transport layer instead of running to completion.
+// Siblings merge per key; each stale responder gets one batched repair
+// envelope (sent on the caller's context, not the cancelled child). The
+// second return value is the merged sibling set per key, which One-level
+// callers feed into the coordinator cache.
+func (n *Node) readPartitionGroup(ctx context.Context, id ring.RingID, g partGroup, readQ int) (map[string]GetResult, map[string][]store.Version, error) {
 	n.countQueries(id, g.part, len(g.keys))
 
 	alive := g.replicas[:0:0]
@@ -230,14 +334,23 @@ func (n *Node) readPartitionGroup(ctx context.Context, id ring.RingID, g partGro
 			alive = append(alive, name)
 		}
 	}
+	for i, name := range alive {
+		if name == n.self.Name && i > 0 {
+			alive[0], alive[i] = alive[i], alive[0]
+			break
+		}
+	}
 	type replicaResp struct {
-		name string
-		vs   map[string][]store.Version
-		ok   bool
+		name    string
+		vs      map[string][]store.Version
+		ok      bool
+		elapsed time.Duration // remote round trip; 0 for the local copy
 	}
 	resps := make(chan replicaResp, len(alive))
 	env := transport.Envelope{Kind: kindMultiGet, Payload: encode(multiGetReq{Ring: id, Keys: g.keys})}
-	target := readQ + 1
+	callCtx, cancelCalls := context.WithCancel(ctx)
+	defer cancelCalls()
+	target := readQ
 	if target > len(alive) {
 		target = len(alive)
 	}
@@ -255,14 +368,19 @@ func (n *Node) readPartitionGroup(ctx context.Context, id ring.RingID, g partGro
 			return
 		}
 		go func(name string) {
+			start := time.Now()
 			info, _ := n.info(name)
-			resp, err := n.tr.Call(ctx, info.Addr, env)
+			resp, err := n.tr.Call(callCtx, info.Addr, env)
 			if err != nil {
 				resps <- replicaResp{name: name}
 				return
 			}
 			var mr multiGetResp
-			if err := decode(resp.Payload, &mr); err != nil {
+			derr := decode(resp.Payload, &mr)
+			// decode copied every byte out (gob never aliases its input),
+			// so the frame's staging buffer can go back to the transport.
+			transport.RecyclePayload(resp.Payload)
+			if derr != nil {
 				resps <- replicaResp{name: name}
 				return
 			}
@@ -270,38 +388,59 @@ func (n *Node) readPartitionGroup(ctx context.Context, id ring.RingID, g partGro
 			for _, item := range mr.Items {
 				vs[item.Key] = item.Versions
 			}
-			resps <- replicaResp{name: name, vs: vs, ok: true}
+			resps <- replicaResp{name: name, vs: vs, ok: true, elapsed: time.Since(start)}
 		}(name)
 	}
 	for next < target {
 		startNext()
 	}
 
+	// The hedge arms only when a spare replica exists. It fires at most
+	// once: a firing clears the channel, and a quorum met before the
+	// delay never sends the backup at all — the common case pays zero
+	// extra envelopes for tail latency bounded near p99(healthy).
+	var hedgeC <-chan time.Time
+	if next < len(alive) {
+		timer := time.NewTimer(n.hedge.delay(n.Now()))
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
 	// Stragglers complete into the buffered channel and are discarded, so
 	// a cancelled caller leaks no goroutines; the sibling merge below is
-	// order-independent.
+	// order-independent. RTTs are recorded only for responses accepted
+	// toward the quorum — a slow replica that loses the race never feeds
+	// the hedge delay meant to route around it.
 	perResp := make(map[string]map[string][]store.Version)
 	var responders []string
 	for inflight > 0 && len(responders) < readQ {
-		var r replicaResp
 		select {
-		case r = <-resps:
+		case r := <-resps:
+			inflight--
+			if r.ok {
+				perResp[r.name] = r.vs
+				responders = append(responders, r.name)
+				if r.elapsed > 0 {
+					n.hedge.observe(r.elapsed)
+				}
+			} else if next < len(alive) {
+				startNext()
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(alive) {
+				n.counters.ReadsHedged.Inc()
+				startNext()
+			}
 		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-		inflight--
-		if r.ok {
-			perResp[r.name] = r.vs
-			responders = append(responders, r.name)
-		} else if next < len(alive) {
-			startNext()
+			return nil, nil, ctx.Err()
 		}
 	}
 	if len(responders) < readQ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return nil, fmt.Errorf("cluster: read quorum not met for %s partition %d: %d/%d replicas answered",
+		return nil, nil, fmt.Errorf("cluster: read quorum not met for %s partition %d: %d/%d replicas answered",
 			id, g.part, len(responders), readQ)
 	}
 
@@ -350,7 +489,7 @@ func (n *Node) readPartitionGroup(ctx context.Context, id ring.RingID, g partGro
 		repair := transport.Envelope{Kind: kindMultiPut, Payload: encode(multiPutReq{Ring: id, Items: stale})}
 		_, _ = n.tr.Call(ctx, info.Addr, repair) // best effort; anti-entropy heals stragglers
 	}
-	return results, nil
+	return results, merged, nil
 }
 
 // needsRepair reports whether a responder's version set for one key
@@ -449,7 +588,25 @@ func (n *Node) write(ctx context.Context, id ring.RingID, key string, v store.Ve
 	if acks < writeQ {
 		return fmt.Errorf("cluster: write quorum not met for %s/%s: %d/%d acks", id, key, acks, writeQ)
 	}
+	n.cacheWriteThrough(id, part, key, v, replicas)
 	return nil
+}
+
+// cacheWriteThrough upserts an acknowledged coordinated write into the
+// hot-key cache (see readCache.upsert for the coherence argument).
+// Partitions this node hosts are skipped — their One-reads are served
+// from the store under the lease, never from the cache — and so are
+// writes whose quorum was not met, since a failed write may exist on no
+// replica at all and a One-read must never observe a value no replica
+// holds.
+func (n *Node) cacheWriteThrough(id ring.RingID, part int, key string, v store.Version, replicas []string) {
+	for _, name := range replicas {
+		if name == n.self.Name {
+			return
+		}
+	}
+	pver, porigin := n.pmap.Stamp(id, part)
+	n.rcache.upsert(cacheKey{ring: id, part: part, key: key}, v, pver, porigin, n.Now())
 }
 
 // MultiPut writes a batch of entries in one coordinated operation: the
@@ -548,6 +705,9 @@ func (n *Node) writePartitionGroup(ctx context.Context, id ring.RingID, g partGr
 			return err
 		}
 		return fmt.Errorf("cluster: write quorum not met for %s partition %d: %d/%d acks", id, g.part, acks, writeQ)
+	}
+	for _, item := range items {
+		n.cacheWriteThrough(id, g.part, item.Key, item.Version, g.replicas)
 	}
 	return nil
 }

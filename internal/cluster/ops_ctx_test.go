@@ -191,15 +191,48 @@ func TestConsistencyOverridesContactCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// ConsistencyOne reads R+1 = 2 of the 3 replicas (the +1 hedge also
-	// feeds read repair); ConsistencyAll reads all 3. The read returns at
-	// R responders, so wait for the envelope count to settle.
+	// The ConsistencyAll write just write-through'd the key into the
+	// coordinator hot-key cache, so a One-level read of it is served
+	// with ZERO envelopes (see readpath.go).
 	ct.reset()
-	if _, err := nodes[0].Get(ctx, platRing, key, ReadOptions{Consistency: ConsistencyOne}); err != nil {
+	res, err := nodes[0].Get(ctx, platRing, key, ReadOptions{Consistency: ConsistencyOne})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if got := ct.settled(kindMultiGet, 2); got != 2 {
-		t.Errorf("ConsistencyOne contacted %d replicas, want 2", got)
+	if len(res.Values) != 1 || string(res.Values[0]) != "v" {
+		t.Fatalf("cache-served One read returned %q", res.Values)
+	}
+	if got := ct.settled(kindMultiGet, 0); got != 0 {
+		t.Errorf("cache-served ConsistencyOne read sent %d envelopes, want 0", got)
+	}
+
+	// A cold remote key misses the cache and contacts exactly R = 1
+	// replica: the hedged backup must not fire before its delay (pinned
+	// high here so a scheduling stall cannot flake the count).
+	nodes[0].hedge.delayNS.Store(int64(time.Minute))
+	cold := ""
+	for i := 0; i < 4096 && cold == ""; i++ {
+		k := fmt.Sprintf("cold-%d", i)
+		reps, err := nodes[0].Replicas(platRing, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		self := false
+		for _, r := range reps {
+			if r == nodes[0].Name() {
+				self = true
+			}
+		}
+		if len(reps) == 3 && !self {
+			cold = k
+		}
+	}
+	ct.reset()
+	if _, err := nodes[0].Get(ctx, platRing, cold, ReadOptions{Consistency: ConsistencyOne}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.settled(kindMultiGet, 1); got != 1 {
+		t.Errorf("ConsistencyOne cache miss contacted %d replicas, want 1", got)
 	}
 	ct.reset()
 	if _, err := nodes[0].Get(ctx, platRing, key, ReadOptions{Consistency: ConsistencyAll}); err != nil {

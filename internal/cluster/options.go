@@ -89,6 +89,12 @@ func (c Consistency) resolve(target, cfgDefault int) (int, error) {
 }
 
 // ReadOptions tune one read request.
+//
+// Read-only contract: the value slices a Get returns must not be
+// mutated by the caller. At Quorum and above every slice is a private
+// copy, but ConsistencyOne reads may be served from the coordinator's
+// hot-key cache, whose slices are shared across hits — writing into
+// one would corrupt what every later cache hit observes.
 type ReadOptions struct {
 	// Consistency is the per-request R override.
 	Consistency Consistency

@@ -1,0 +1,318 @@
+package cluster
+
+// Tests for the tiered read path (readpath.go): lease invalidation by
+// placement deltas and by contact staleness, the coordinator cache's
+// coherence under racing fills and write-throughs, and the
+// at-most-once contract of the hedged backup request.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skute/internal/placement"
+	"skute/internal/ring"
+	"skute/internal/store"
+	"skute/internal/transport"
+	"skute/internal/vclock"
+)
+
+// selfKey finds a key of the ring whose replica set includes the node —
+// the complement of remoteKey, for exercising the lease-served local
+// tier.
+func selfKey(t *testing.T, n *Node, id ring.RingID) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("self-probe-%d", i)
+		reps, err := n.Replicas(id, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reps {
+			if r == n.Name() {
+				return key
+			}
+		}
+	}
+	t.Fatal("no key found hosted by the node")
+	return ""
+}
+
+// TestLeaseInvalidationOnPlacementDelta: a One-level read is served from
+// the local store only while the materialized ring lists this node as a
+// replica. A placement delta that evicts the node must divert the very
+// next read to the fan-out (the local copy was dropped — serving it
+// would be a zombie read), and the fan-out's result then seeds the
+// coordinator cache.
+func TestLeaseInvalidationOnPlacementDelta(t *testing.T) {
+	_, nodes := testCluster(t)
+	n0 := nodes[0]
+	key := selfKey(t, n0, goldRing)
+	if err := n0.Put(ctx, goldRing, key, []byte("v"), nil, WriteOptions{Consistency: ConsistencyAll}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := n0.Get(ctx, goldRing, key, ReadOptions{Consistency: ConsistencyOne}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n0.counters.ReadsLocal.Value(); got != 1 {
+		t.Fatalf("lease-served reads = %d, want 1", got)
+	}
+
+	// Evict n0 from the key's partition via a versioned placement delta.
+	n0.mu.RLock()
+	part := n0.rings.Ring(goldRing).Lookup(ring.HashKey(key)).ID
+	n0.mu.RUnlock()
+	seed := entryOf(t, n0, goldRing, part)
+	var rest []string
+	for _, r := range seed.Replicas {
+		if r != n0.Name() {
+			rest = append(rest, r)
+		}
+	}
+	if len(rest) == len(seed.Replicas) {
+		t.Fatal("selfKey returned a key n0 does not host")
+	}
+	evict := placement.Delta{Ring: goldRing, Part: part, Replicas: rest, Version: seed.Version + 1, Origin: rest[0]}
+	if got := n0.applyDeltas([]placement.Delta{evict}); got != 1 {
+		t.Fatalf("evicting delta applied %d entries", got)
+	}
+
+	// The next One-read must NOT serve locally: it misses the cache, pays
+	// the fan-out to the surviving replicas, and still returns the value.
+	res, err := n0.Get(ctx, goldRing, key, ReadOptions{Consistency: ConsistencyOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || string(res.Values[0]) != "v" {
+		t.Fatalf("post-eviction One read = %q, want v", res.Values)
+	}
+	if got := n0.counters.ReadsLocal.Value(); got != 1 {
+		t.Errorf("evicted node served %d local reads, want the count pinned at 1", got)
+	}
+	if got := n0.counters.ReadsCacheMiss.Value(); got != 1 {
+		t.Errorf("cache misses = %d, want 1", got)
+	}
+
+	// The fan-out refilled the cache: a repeat One-read is a cache hit.
+	res, err = n0.Get(ctx, goldRing, key, ReadOptions{Consistency: ConsistencyOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || string(res.Values[0]) != "v" {
+		t.Fatalf("cache-served One read = %q, want v", res.Values)
+	}
+	if got := n0.counters.ReadsCacheHit.Value(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+}
+
+// TestLeaseStaleContactFallsBack: a coordinator that has heard from no
+// peer within the suspicion window may hold an arbitrarily stale
+// placement view, so its One-reads must pay the fan-out until contact
+// resumes — and go back to the local tier the moment it does.
+func TestLeaseStaleContactFallsBack(t *testing.T) {
+	mesh := transport.NewMemory()
+	cfg := testConfig()
+	cfg.SuspectAfter = time.Second
+	var nodes []*Node
+	for _, ni := range cfg.Nodes {
+		n, err := NewNode(cfg, ni.Name, mesh, store.NewMemory())
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", ni.Name, err)
+		}
+		nodes = append(nodes, n)
+	}
+	base := time.Now()
+	var offset atomic.Int64
+	now := func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	for _, n := range nodes {
+		n.Now = now
+		n.ConfirmPeers()
+	}
+	t.Cleanup(func() { mesh.Close() })
+
+	n0 := nodes[0]
+	key := selfKey(t, n0, goldRing)
+	if err := n0.Put(ctx, goldRing, key, []byte("v"), nil, WriteOptions{Consistency: ConsistencyAll}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n0.Get(ctx, goldRing, key, ReadOptions{Consistency: ConsistencyOne}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n0.counters.ReadsLocal.Value(); got != 1 {
+		t.Fatalf("lease-served reads = %d, want 1", got)
+	}
+
+	// Silence past the suspicion window: the lease is stale. The read
+	// still succeeds — n0 hosts a replica, so the fan-out's local leg
+	// answers — but it must travel the fan-out, not the lease tier.
+	offset.Store(int64(2 * time.Second))
+	res, err := n0.Get(ctx, goldRing, key, ReadOptions{Consistency: ConsistencyOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || string(res.Values[0]) != "v" {
+		t.Fatalf("stale-lease One read = %q, want v", res.Values)
+	}
+	if got := n0.counters.ReadsLeaseStale.Value(); got != 1 {
+		t.Errorf("stale-lease fallbacks = %d, want 1", got)
+	}
+	if got := n0.counters.ReadsLocal.Value(); got != 1 {
+		t.Errorf("local reads = %d, want the count pinned at 1 while the lease is stale", got)
+	}
+
+	// Fresh contact renews the lease; the local tier serves again.
+	n0.ConfirmPeers()
+	if _, err := n0.Get(ctx, goldRing, key, ReadOptions{Consistency: ConsistencyOne}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n0.counters.ReadsLocal.Value(); got != 2 {
+		t.Errorf("local reads after contact renewal = %d, want 2", got)
+	}
+}
+
+// TestReadCacheNoDominatedResurrection pins the cache's coherence rules:
+// whichever order a read fill and a concurrent write-through land in,
+// the dominated version never survives — fills MERGE into existing
+// entries and writes UPSERT even when absent, so neither can clobber
+// the other with stale data.
+func TestReadCacheNoDominatedResurrection(t *testing.T) {
+	id := ring.RingID{App: "a", Class: "c"}
+	k := cacheKey{ring: id, part: 3, key: "hot"}
+	old := store.Version{Value: []byte("old"), Clock: vclock.New().Tick("w")}
+	newer := store.Version{Value: []byte("new"), Clock: vclock.Merge(old.Clock, nil).Tick("w")}
+	t0 := time.Now()
+
+	// Write-through first, slow fill second: the fill carries pre-write
+	// data and must merge, not replace.
+	c := newReadCache(64, time.Minute)
+	c.upsert(k, newer, 7, "n1", t0)
+	c.fill(k, []store.Version{old}, 7, "n1", t0)
+	vs, ok := c.get(k, 7, "n1", t0)
+	if !ok || len(vs) != 1 || string(vs[0].Value) != "new" {
+		t.Fatalf("write-then-fill: cache = %+v, want only the dominating version", vs)
+	}
+
+	// Fill first, write-through second: the write must dominate the
+	// cached read snapshot.
+	c = newReadCache(64, time.Minute)
+	c.fill(k, []store.Version{old}, 7, "n1", t0)
+	c.upsert(k, newer, 7, "n1", t0)
+	vs, ok = c.get(k, 7, "n1", t0)
+	if !ok || len(vs) != 1 || string(vs[0].Value) != "new" {
+		t.Fatalf("fill-then-write: cache = %+v, want only the dominating version", vs)
+	}
+
+	// A placement stamp mismatch invalidates on sight.
+	if _, ok := c.get(k, 8, "n1", t0); ok {
+		t.Error("entry served under a stale placement stamp")
+	}
+
+	// The TTL bounds staleness when placement never changes.
+	c = newReadCache(64, 10*time.Millisecond)
+	c.fill(k, []store.Version{newer}, 7, "n1", t0)
+	if _, ok := c.get(k, 7, "n1", t0.Add(11*time.Millisecond)); ok {
+		t.Error("entry served past its TTL")
+	}
+
+	// Empty sibling sets are not cached (no negative caching).
+	c.fill(k, nil, 7, "n1", t0)
+	if got := c.len(); got != 0 {
+		t.Errorf("negative entry cached: len = %d", got)
+	}
+}
+
+// blockingCountTransport counts calls by kind and parks every
+// kindMultiGet until the caller's context fires — replicas that accept
+// a read and never answer, for pinning the hedge counter.
+type blockingCountTransport struct {
+	transport.Transport
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func (b *blockingCountTransport) Call(ctx context.Context, addr string, req transport.Envelope) (transport.Envelope, error) {
+	b.mu.Lock()
+	if b.calls == nil {
+		b.calls = make(map[string]int)
+	}
+	b.calls[req.Kind]++
+	b.mu.Unlock()
+	if req.Kind == kindMultiGet {
+		<-ctx.Done()
+		return transport.Envelope{}, ctx.Err()
+	}
+	return b.Transport.Call(ctx, addr, req)
+}
+
+func (b *blockingCountTransport) count(kind string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.calls[kind]
+}
+
+// TestHedgeFiresExactlyOnceUnderCancellation: with every replica hung, a
+// quorum read fires its backup request exactly once — never again while
+// the caller waits, and not at all when the caller cancels before the
+// hedge delay elapses.
+func TestHedgeFiresExactlyOnceUnderCancellation(t *testing.T) {
+	var bt *blockingCountTransport
+	nodes := instrumentedCluster(t, func(tr transport.Transport) transport.Transport {
+		bt = &blockingCountTransport{Transport: tr}
+		return bt
+	})
+	n0 := nodes[0]
+	key := remoteKey(t, n0, platRing, 3)
+
+	// Hedge quickly: every replica hangs, so the backup must fire.
+	n0.hedge.delayNS.Store(int64(5 * time.Millisecond))
+	cctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := n0.Get(cctx, platRing, key, ReadOptions{Consistency: ConsistencyQuorum})
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for n0.counters.ReadsHedged.Value() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := n0.counters.ReadsHedged.Value(); got != 1 {
+		t.Fatalf("hedged reads = %d, want 1", got)
+	}
+	// The hedge armed once and disarmed: give it room to misfire, then
+	// cancel and confirm the count and the envelope total never moved.
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("hung quorum read err = %v, want context.Canceled", err)
+	}
+	if got := n0.counters.ReadsHedged.Value(); got != 1 {
+		t.Errorf("hedged reads after cancellation = %d, want still 1", got)
+	}
+	// R=2 initial contacts + exactly one hedge.
+	if got := bt.count(kindMultiGet); got != 3 {
+		t.Errorf("read envelopes = %d, want 3 (quorum pair + one hedge)", got)
+	}
+
+	// Cancellation BEFORE the hedge delay: the backup never launches.
+	n0.hedge.delayNS.Store(int64(time.Minute))
+	cctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel2()
+	}()
+	if _, err := n0.Get(cctx2, platRing, key, ReadOptions{Consistency: ConsistencyQuorum}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := n0.counters.ReadsHedged.Value(); got != 1 {
+		t.Errorf("hedged reads = %d, want still 1 after pre-hedge cancellation", got)
+	}
+	if got := bt.count(kindMultiGet); got != 5 {
+		t.Errorf("read envelopes = %d, want 5 (no hedge on the cancelled read)", got)
+	}
+}

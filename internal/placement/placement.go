@@ -203,6 +203,23 @@ func (m *Map) Get(id ring.RingID, part int) (Entry, bool) {
 	return e, true
 }
 
+// Stamp returns just the version stamp of a partition's entry without
+// copying the replica slice. It is the freshness predicate of the
+// coordinator read lease: a cached read (or a lease-served local read)
+// is current exactly while the stamp it was minted under still matches,
+// so any accepted delta — an epoch decision, a membership eviction, a
+// join transfer — invalidates it in O(1) at the next comparison, with
+// no active scan of cached state. A partition with no accepted delta
+// yet is still on the deterministic initial placement every node
+// derives from the descriptor; its stamp is (0, ""), and the first
+// real delta (version >= 1) mismatches it like any other change.
+func (m *Map) Stamp(id ring.RingID, part int) (version uint64, origin string) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e := m.entries[Key{Ring: id, Part: part}]
+	return e.Version, e.Origin
+}
+
 // Propose stamps a new replica set for the partition: version is the
 // current entry's version plus one, origin is the proposing node. The
 // proposal is applied locally and returned as the delta to disseminate.

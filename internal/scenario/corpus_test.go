@@ -18,8 +18,8 @@ func TestCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 6 {
-		t.Fatalf("scenario corpus has %d files, want at least 6", len(files))
+	if len(files) < 7 {
+		t.Fatalf("scenario corpus has %d files, want at least 7", len(files))
 	}
 	for _, f := range files {
 		raw, err := os.ReadFile(f)

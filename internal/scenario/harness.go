@@ -36,8 +36,10 @@ type Harness interface {
 	// number; reads fetch the key.
 	Do(ctx context.Context, op workload.Op) error
 	// ReadSeq returns the highest write sequence stored under key (the
-	// max across siblings), and whether the key exists at all.
-	ReadSeq(ctx context.Context, key string) (uint64, bool, error)
+	// max across siblings), and whether the key exists at all. The
+	// consistency name follows Phase.Consistency ("" = default quorum);
+	// invariant checks use "one" to probe the leased/cached fast path.
+	ReadSeq(ctx context.Context, key, consistency string) (uint64, bool, error)
 	// Apply injects one fault.
 	Apply(ctx context.Context, f Fault) error
 	// Supports reports whether this harness can inject the action.
@@ -48,6 +50,21 @@ type Harness interface {
 	TraceOf(name string) ([]cluster.TraceEvent, error)
 	// Close tears the cluster down.
 	Close() error
+}
+
+// readConsistency maps a spec-level consistency name (already
+// validated by Spec.Validate) to the cluster's read level.
+func readConsistency(name string) cluster.Consistency {
+	switch name {
+	case "one":
+		return cluster.ConsistencyOne
+	case "quorum":
+		return cluster.ConsistencyQuorum
+	case "all":
+		return cluster.ConsistencyAll
+	default:
+		return cluster.ConsistencyDefault
+	}
 }
 
 // encodeSeq / decodeSeq turn a write sequence into the stored value.
@@ -151,13 +168,16 @@ func (h *memHarness) Do(ctx context.Context, op workload.Op) error {
 	cctx, cancel := context.WithTimeout(ctx, opTimeout)
 	defer cancel()
 	if op.Read {
-		_, _, err := h.c.Get(cctx, scenarioApp, op.Key, skute.ReadOptions{})
+		_, _, err := h.c.Get(cctx, scenarioApp, op.Key, skute.ReadOptions{Consistency: readConsistency(op.Consistency)})
 		return err
 	}
 	// Read-modify-write: the Get's causal context makes this write
 	// dominate every version it saw. A blind Put would be concurrent
 	// with its serialized predecessor under vector clocks, and sibling
 	// resolution could legitimately keep either — faking a data loss.
+	// The pre-read stays at the default quorum regardless of the
+	// phase's read consistency: a One-level causal context could miss
+	// the predecessor and fork a sibling, faking exactly that loss.
 	_, vctx, err := h.c.Get(cctx, scenarioApp, op.Key, skute.ReadOptions{})
 	if err != nil {
 		return err
@@ -165,10 +185,10 @@ func (h *memHarness) Do(ctx context.Context, op workload.Op) error {
 	return h.c.Put(cctx, scenarioApp, op.Key, encodeSeq(op.Seq), vctx, skute.WriteOptions{})
 }
 
-func (h *memHarness) ReadSeq(ctx context.Context, key string) (uint64, bool, error) {
+func (h *memHarness) ReadSeq(ctx context.Context, key, consistency string) (uint64, bool, error) {
 	cctx, cancel := context.WithTimeout(ctx, opTimeout)
 	defer cancel()
-	values, _, err := h.c.Get(cctx, scenarioApp, key, skute.ReadOptions{})
+	values, _, err := h.c.Get(cctx, scenarioApp, key, skute.ReadOptions{Consistency: readConsistency(consistency)})
 	if err != nil {
 		return 0, false, err
 	}

@@ -46,6 +46,23 @@ type procNode struct {
 	proxy *proxy
 	cmd   *exec.Cmd
 	logF  *os.File
+	// waitDone closes when the reaper goroutine's cmd.Wait returns —
+	// the only synchronization allowed with a running Wait (polling
+	// cmd.ProcessState races with Wait writing it).
+	waitDone chan struct{}
+}
+
+// exited reports whether the reaper observed the process exit.
+func exited(done chan struct{}) bool {
+	if done == nil {
+		return true
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // procHarness drives a fleet of real cmd/skuted processes over TCP,
@@ -214,12 +231,13 @@ func (h *procHarness) launch(pn *procNode, seedAddr string) error {
 		return fmt.Errorf("scenario: launch %s: %w", pn.name, err)
 	}
 	h.pc.Logf("scenario: %s up (pid %d, addr %s via proxy, admin %s)", pn.name, cmd.Process.Pid, pn.proxyAddr, pn.adminAddr)
+	waitDone := make(chan struct{})
 	h.mu.Lock()
-	pn.cmd, pn.logF = cmd, logF
+	pn.cmd, pn.logF, pn.waitDone = cmd, logF, waitDone
 	pn.joined = seedAddr != ""
 	h.reachable[pn.name] = true
 	h.mu.Unlock()
-	go cmd.Wait() // reap; exit status lands in the log
+	go func() { cmd.Wait(); close(waitDone) }() // reap; exit status lands in the log
 	return nil
 }
 
@@ -282,12 +300,13 @@ func (h *procHarness) Do(ctx context.Context, op workload.Op) error {
 	}
 	c := cluster.NewClient(h.tr, addr)
 	if op.Read {
-		_, _, err = c.Get(ctx, h.ring, op.Key, cluster.ReadOptions{Timeout: opTimeout})
+		_, _, err = c.Get(ctx, h.ring, op.Key, cluster.ReadOptions{Timeout: opTimeout, Consistency: readConsistency(op.Consistency)})
 		return err
 	}
 	// Read-modify-write, as in memHarness.Do: the causal context makes
 	// each serialized write dominate the last instead of forking a
-	// concurrent sibling.
+	// concurrent sibling. The pre-read stays at the default quorum (see
+	// memHarness.Do).
 	_, vctx, err := c.Get(ctx, h.ring, op.Key, cluster.ReadOptions{Timeout: opTimeout})
 	if err != nil {
 		return err
@@ -295,12 +314,12 @@ func (h *procHarness) Do(ctx context.Context, op workload.Op) error {
 	return c.Put(ctx, h.ring, op.Key, encodeSeq(op.Seq), vctx, cluster.WriteOptions{Timeout: opTimeout})
 }
 
-func (h *procHarness) ReadSeq(ctx context.Context, key string) (uint64, bool, error) {
+func (h *procHarness) ReadSeq(ctx context.Context, key, consistency string) (uint64, bool, error) {
 	addr, err := h.coordinator()
 	if err != nil {
 		return 0, false, err
 	}
-	values, _, err := cluster.NewClient(h.tr, addr).Get(ctx, h.ring, key, cluster.ReadOptions{Timeout: opTimeout})
+	values, _, err := cluster.NewClient(h.tr, addr).Get(ctx, h.ring, key, cluster.ReadOptions{Timeout: opTimeout, Consistency: readConsistency(consistency)})
 	if err != nil {
 		return 0, false, err
 	}
@@ -326,7 +345,7 @@ func (h *procHarness) Apply(ctx context.Context, f Fault) error {
 		// departure path for a node that stops paying rent.
 		return h.kill(pn, syscall.SIGTERM)
 	case ActionRestart:
-		if pn.cmd != nil && pn.cmd.ProcessState == nil {
+		if pn.cmd != nil && !exited(pn.waitDone) {
 			return fmt.Errorf("scenario: restart of %s while still running", f.Node)
 		}
 		pn.proxy.SetMode("forward", 0)
@@ -404,7 +423,7 @@ func (h *procHarness) seedAddr(not string) (string, error) {
 // kill signals the process and waits for it to die.
 func (h *procHarness) kill(pn *procNode, sig syscall.Signal) error {
 	h.mu.Lock()
-	cmd := pn.cmd
+	cmd, done := pn.cmd, pn.waitDone
 	h.mu.Unlock()
 	if cmd == nil || cmd.Process == nil {
 		return fmt.Errorf("scenario: %s not running", pn.name)
@@ -412,9 +431,9 @@ func (h *procHarness) kill(pn *procNode, sig syscall.Signal) error {
 	if err := cmd.Process.Signal(sig); err != nil {
 		return err
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for cmd.ProcessState == nil && time.Now().Before(deadline) {
-		time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
 	}
 	h.setReachable(pn.name, false)
 	// Sever in-flight sockets so peers see the death promptly rather
@@ -476,7 +495,7 @@ func (h *procHarness) Close() error {
 	}
 	h.mu.Unlock()
 	for _, pn := range nodes {
-		if pn.cmd != nil && pn.cmd.Process != nil && pn.cmd.ProcessState == nil {
+		if pn.cmd != nil && pn.cmd.Process != nil && !exited(pn.waitDone) {
 			pn.cmd.Process.Kill()
 		}
 		if pn.proxy != nil {

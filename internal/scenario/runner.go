@@ -171,9 +171,19 @@ func Run(h Harness, spec *Spec, opts Options) *Result {
 		}(f)
 	}
 
-	// Phases run sequentially; each drives open-loop load.
+	// Phases run sequentially; each drives open-loop load. Write
+	// sequences chain across phases: a fresh driver restarting every
+	// key at seq 1 would read-modify-write OVER the previous phase's
+	// higher values, and the acked floor below (a max across phases)
+	// would then report phantom data loss.
+	seqs := map[string]uint64{}
 	for i, p := range spec.Phases {
-		rep := runPhase(ctx, h, spec, p, scale, int64(i))
+		rep := runPhase(ctx, h, spec, p, scale, int64(i), seqs)
+		for k, s := range rep.LastSeqs {
+			if s > seqs[k] {
+				seqs[k] = s
+			}
+		}
 		pr := PhaseResult{Name: p.Name, Report: rep, Availability: rep.Availability()}
 		res.Phases = append(res.Phases, pr)
 		st.trace.Add("phase", "%s done: issued=%d acked=%d failed=%d dropped=%d avail=%.4f",
@@ -205,14 +215,18 @@ func Run(h Harness, spec *Spec, opts Options) *Result {
 	if spec.Invariants.NoLostAckedWrites {
 		checkAckedWrites(ctx, h, st, convergeDeadline)
 	}
+	if spec.Invariants.NoStaleOneReads {
+		checkStaleOneReads(ctx, h, st, convergeDeadline)
+	}
 	if spec.Invariants.JoinersHostVNodes {
 		checkJoiners(ctx, h, st, convergeDeadline)
 	}
 	return finish(h, st, res, start)
 }
 
-// runPhase drives one phase's open-loop workload.
-func runPhase(ctx context.Context, h Harness, spec *Spec, p Phase, scale func(time.Duration) time.Duration, salt int64) workload.Report {
+// runPhase drives one phase's open-loop workload. seqs seeds per-key
+// write sequences so they stay monotonic across the scenario's phases.
+func runPhase(ctx context.Context, h Harness, spec *Spec, p Phase, scale func(time.Duration) time.Duration, salt int64, seqs map[string]uint64) workload.Report {
 	keys := make([]string, p.Keys)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("key-%04d", i)
@@ -244,7 +258,11 @@ func runPhase(ctx context.Context, h Harness, spec *Spec, p Phase, scale func(ti
 		Weights:      weights,
 		Seed:         spec.Seed + salt,
 		MaxInFlight:  256,
-		Do:           h.Do,
+		StartSeqs:    seqs,
+		Do: func(ctx context.Context, op workload.Op) error {
+			op.Consistency = p.Consistency
+			return h.Do(ctx, op)
+		},
 	}
 	return d.Run(ctx, dur)
 }
@@ -310,6 +328,23 @@ func convergenceObstacle(h Harness, up []string) string {
 // Keys are retried until the deadline — read repair and anti-entropy
 // are allowed to finish healing, losing data is not.
 func checkAckedWrites(ctx context.Context, h Harness, st *runState, within time.Duration) {
+	checkAckedSeqs(ctx, h, st, within, "", "acked write lost")
+}
+
+// checkStaleOneReads verifies the no-stale-one-reads invariant with the
+// same sequence floor, probed through the One-consistency fast path.
+// One reads are allowed to be transiently stale by contract, but lease
+// invalidation and the read cache's placement stamp bound that
+// staleness: after the churned cluster converges, rotating-coordinator
+// One reads that still return a pre-churn value mean a revoked lease or
+// a stale cache entry kept serving — exactly the bug class this guards.
+func checkStaleOneReads(ctx context.Context, h Harness, st *runState, within time.Duration) {
+	checkAckedSeqs(ctx, h, st, within, "one", "stale one-read")
+}
+
+// checkAckedSeqs retries every acked key at the given consistency until
+// it reads back at or above its acked sequence, then reports survivors.
+func checkAckedSeqs(ctx context.Context, h Harness, st *runState, within time.Duration, consistency, label string) {
 	st.mu.Lock()
 	acked := make(map[string]uint64, len(st.acked))
 	for k, v := range st.acked {
@@ -321,7 +356,7 @@ func checkAckedWrites(ctx context.Context, h Harness, st *runState, within time.
 	for len(pending) > 0 {
 		still := map[string]uint64{}
 		for key, want := range pending {
-			got, found, err := h.ReadSeq(ctx, key)
+			got, found, err := h.ReadSeq(ctx, key, consistency)
 			if err != nil || !found || got < want {
 				still[key] = want
 			}
@@ -342,14 +377,14 @@ func checkAckedWrites(ctx context.Context, h Harness, st *runState, within time.
 	}
 	sort.Strings(keys)
 	for _, key := range keys {
-		got, found, err := h.ReadSeq(ctx, key)
+		got, found, err := h.ReadSeq(ctx, key, consistency)
 		switch {
 		case err != nil:
-			st.violate("acked write lost: key %s acked seq %d, read error: %v", key, pending[key], err)
+			st.violate("%s: key %s acked seq %d, read error: %v", label, key, pending[key], err)
 		case !found:
-			st.violate("acked write lost: key %s acked seq %d, key missing", key, pending[key])
+			st.violate("%s: key %s acked seq %d, key missing", label, key, pending[key])
 		default:
-			st.violate("acked write lost: key %s acked seq %d, stored seq %d", key, pending[key], got)
+			st.violate("%s: key %s acked seq %d, stored seq %d", label, key, pending[key], got)
 		}
 	}
 }

@@ -68,6 +68,13 @@ type Phase struct {
 	// over the second third, hold Rate for the rest.
 	Profile  string
 	PeakRate float64
+	// Consistency names the read consistency level for the phase's read
+	// operations: "one", "quorum", "all", or ""/"default" for the
+	// topology's configured read quorum. Writes always use the
+	// configured write quorum, so acked writes stay durable and the
+	// no-lost-acked-writes invariant keeps meaning the same thing
+	// across phases.
+	Consistency string
 	// MinAvailability is the phase SLA: acked/issued must not drop
 	// below it (0 disables the check).
 	MinAvailability float64
@@ -97,6 +104,14 @@ type Invariants struct {
 	// JoinersHostVNodes: every node added by a join fault must host at
 	// least one partition replica at teardown.
 	JoinersHostVNodes bool
+	// NoStaleOneReads: after teardown convergence, One-consistency
+	// reads of every acked key (rotating coordinators) must reach the
+	// highest acked sequence before the convergence deadline. One reads
+	// may be transiently stale by contract — but a leased local read or
+	// a cached entry that keeps serving an old value after the replica
+	// set churned means lease invalidation is broken, and this catches
+	// it.
+	NoStaleOneReads bool
 }
 
 // Fault actions.
@@ -235,6 +250,11 @@ func (s *Spec) Validate() error {
 			}
 		default:
 			return fmt.Errorf("scenario %s: phase %d unknown profile %q", s.Name, i, p.Profile)
+		}
+		switch p.Consistency {
+		case "", "default", "one", "quorum", "all":
+		default:
+			return fmt.Errorf("scenario %s: phase %d unknown consistency %q", s.Name, i, p.Consistency)
 		}
 		if p.MinAvailability < 0 || p.MinAvailability > 1 {
 			return fmt.Errorf("scenario %s: phase %d min-availability %v outside [0,1]", s.Name, i, p.MinAvailability)
@@ -420,6 +440,8 @@ func (d *decoder) phases(v any) []Phase {
 				p.Profile = d.str(key, val)
 			case "peak-rate":
 				p.PeakRate = d.f64(key, val)
+			case "consistency":
+				p.Consistency = d.str(key, val)
 			case "min-availability":
 				p.MinAvailability = d.f64(key, val)
 			default:
@@ -466,6 +488,8 @@ func (d *decoder) invariants(iv *Invariants, v any) {
 			iv.ConvergeWithin = d.dur(key, val)
 		case "joiners-host-vnodes":
 			iv.JoinersHostVNodes = d.boolean(key, val)
+		case "no-stale-one-reads":
+			iv.NoStaleOneReads = d.boolean(key, val)
 		default:
 			d.fail("invariants: unknown key %q", key)
 		}

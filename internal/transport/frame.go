@@ -36,7 +36,50 @@ const (
 	// keeps between frames: one huge anti-entropy transfer must not pin
 	// tens of MB on a long-lived pooled connection forever.
 	maxRetainedBufferBytes = 1 << 20
+	// maxPooledPayloadBytes caps the payload buffers the recycle pool
+	// retains — quorum-read and heartbeat payloads are well under this,
+	// while a bulk transfer chunk passes through unpooled rather than
+	// pinning its buffer for the pool's lifetime.
+	maxPooledPayloadBytes = 64 << 10
 )
+
+// payloadPool recycles the per-frame payload staging buffers between
+// readFrame (which must copy the payload out of the connection's reused
+// read buffer) and RecyclePayload. Buffers are stored as *[]byte so
+// repooling does not allocate an interface box per slice header.
+var payloadPool sync.Pool
+
+// newPayloadBuf hands out a payload buffer of length n, reusing a pooled
+// one when it fits. Fresh allocations round their capacity up to a power
+// of two (min 1 KiB) so a recycled buffer serves many payload sizes.
+func newPayloadBuf(n int) []byte {
+	if n > maxPooledPayloadBytes {
+		return make([]byte, n) // oversized: bypass the pool entirely
+	}
+	if bp, _ := payloadPool.Get().(*[]byte); bp != nil && cap(*bp) >= n {
+		return (*bp)[:n]
+	}
+	c := 1 << 10
+	for c < n {
+		c <<= 1
+	}
+	return make([]byte, n, c)
+}
+
+// RecyclePayload returns a payload buffer to the staging pool. The
+// transport calls it for every request payload once its handler returns;
+// clients that fully consume a response payload (the cluster layer's gob
+// decode copies every byte out) may call it too, turning the per-frame
+// payload copy into a pool hit. Callers must not touch the slice
+// afterwards. Recycling a slice the pool never produced is harmless —
+// oversized or zero-cap buffers are simply dropped.
+func RecyclePayload(p []byte) {
+	if cap(p) == 0 || cap(p) > maxPooledPayloadBytes {
+		return
+	}
+	p = p[:0]
+	payloadPool.Put(&p)
+}
 
 // frameSizeError reports a frame that failed validation BEFORE any byte
 // reached the socket: the connection is still healthy, so callers must
@@ -133,8 +176,10 @@ func (sc *streamCodec) writeFrame(f *frame, deadline time.Time) error {
 }
 
 // readFrame blocks for the next frame. The read buffer is reused across
-// frames; the decoded Kind/Err/Payload are fresh allocations safe to
-// retain.
+// frames; the decoded Kind/Err strings are fresh allocations safe to
+// retain. The Payload is staged in a buffer from payloadPool: ownership
+// passes to the frame's consumer, who may hand it back through
+// RecyclePayload once the payload is fully consumed.
 func (sc *streamCodec) readFrame(f *frame) error {
 	var lenb [4]byte
 	if _, err := io.ReadFull(sc.br, lenb[:]); err != nil {
@@ -166,7 +211,8 @@ func (sc *streamCodec) readFrame(f *frame) error {
 	off += errLen
 	payload := b[off:]
 	if len(payload) > 0 {
-		f.Payload = append([]byte(nil), payload...)
+		f.Payload = newPayloadBuf(len(payload))
+		copy(f.Payload, payload)
 	} else {
 		f.Payload = nil
 	}

@@ -71,6 +71,7 @@ func (mc *mconn) readLoop() {
 			return
 		}
 		if f.Flags&flagResponse == 0 {
+			RecyclePayload(f.Payload)
 			continue // not ours to handle; tolerate and keep the stream alive
 		}
 		mc.mu.Lock()
@@ -80,6 +81,10 @@ func (mc *mconn) readLoop() {
 		if ok {
 			fc := f
 			ch <- callResult{f: &fc} // buffered: never blocks the reader
+		} else {
+			// A late response whose caller already gave up: nobody will
+			// consume the payload, so return its staging buffer now.
+			RecyclePayload(f.Payload)
 		}
 	}
 }

@@ -228,6 +228,7 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 			return
 		}
 		if f.Flags&flagResponse != 0 {
+			RecyclePayload(f.Payload)
 			continue // a confused peer; ignore rather than kill the stream
 		}
 		if outstanding.Add(1) > int64(workers) && workers < maxServerFramesPerConn {
@@ -235,6 +236,11 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 			go func() {
 				for f := range work {
 					serve(f)
+					// The handler contract (see Handler) forbids retaining
+					// the request payload past return, and the response is
+					// already flushed — the staging buffer can go back to
+					// the pool even when the handler echoed it.
+					RecyclePayload(f.Payload)
 					outstanding.Add(-1)
 				}
 			}()

@@ -36,7 +36,11 @@ type Envelope struct {
 
 // Handler serves one request. The context is the caller's for in-memory
 // calls (cancellation propagates into nested quorum operations) and a
-// per-connection context for TCP.
+// per-connection context for TCP. The request payload is only valid for
+// the duration of the call: the TCP server returns its staging buffer to
+// a pool once the handler completes (see RecyclePayload), so handlers
+// must copy any payload bytes they need to retain — decoding with gob
+// does that inherently.
 type Handler func(ctx context.Context, req Envelope) (Envelope, error)
 
 // Transport connects named endpoints.

@@ -29,6 +29,11 @@ type Op struct {
 	// starts), because under last-write-wins a reordered lower sequence
 	// would overwrite an acknowledged higher one and fake a data loss.
 	Seq uint64
+	// Consistency optionally names the read consistency level for
+	// harnesses that support per-request overrides ("one", "quorum",
+	// "all"; "" = harness default). The driver never sets it — the
+	// scenario runner's Do wrapper stamps it from the phase spec.
+	Consistency string
 }
 
 // Report summarizes one driver run.
@@ -43,6 +48,14 @@ type Report struct {
 	// system acknowledged — the floor a durable store must return at or
 	// above after the run.
 	LastAcked map[string]uint64
+	// LastSeqs maps each key to the highest write sequence number
+	// ASSIGNED (acked or not). A caller running several drivers over
+	// one key space feeds these into the next driver's StartSeqs —
+	// sequences must stay monotonic across runs, or a later run's
+	// restarted seq 1 overwrites (via read-modify-write domination) a
+	// higher acked value while looking like data loss to an invariant
+	// that only remembers the maximum.
+	LastSeqs map[string]uint64
 }
 
 // Availability is the acked fraction of issued ops (1 when nothing
@@ -73,6 +86,10 @@ type Driver struct {
 	// MaxInFlight bounds concurrently outstanding ops; arrivals beyond
 	// it are dropped (<= 0 selects 64).
 	MaxInFlight int
+	// StartSeqs seeds each key's write sequence (the first write to key
+	// k gets StartSeqs[k]+1). Nil starts every key at 1. Chain drivers
+	// over the same keys by passing the previous Report.LastSeqs.
+	StartSeqs map[string]uint64
 	// Do performs one op against the system under test.
 	Do func(ctx context.Context, op Op) error
 }
@@ -99,7 +116,7 @@ func (d *Driver) Run(ctx context.Context, dur time.Duration) Report {
 	}
 	writers := make(map[string]*keyState, len(d.Keys))
 	for _, k := range d.Keys {
-		writers[k] = &keyState{}
+		writers[k] = &keyState{seq: d.StartSeqs[k]}
 	}
 	var mu sync.Mutex // guards rep.Acked/Failed/LastAcked after dispatch
 	var wg sync.WaitGroup
@@ -173,6 +190,12 @@ func (d *Driver) Run(ctx context.Context, dur time.Duration) Report {
 	}
 drain:
 	wg.Wait()
+	rep.LastSeqs = make(map[string]uint64, len(writers))
+	for k, ks := range writers {
+		if ks.seq > 0 {
+			rep.LastSeqs[k] = ks.seq
+		}
+	}
 	return rep
 }
 

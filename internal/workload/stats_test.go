@@ -243,3 +243,29 @@ func TestDriverContextCancel(t *testing.T) {
 		t.Errorf("Run outlived its context by %v", elapsed)
 	}
 }
+
+func TestDriverSeqsChainAcrossRuns(t *testing.T) {
+	run := func(start map[string]uint64) Report {
+		d := &Driver{
+			Rate:         func(time.Duration) float64 { return 1000 },
+			ReadFraction: 0, // writes only: every op consumes a sequence
+			Keys:         []string{"a", "b"},
+			Seed:         7,
+			MaxInFlight:  8,
+			StartSeqs:    start,
+			Do:           func(ctx context.Context, op Op) error { return nil },
+		}
+		return d.Run(context.Background(), 200*time.Millisecond)
+	}
+	first := run(nil)
+	if first.LastSeqs["a"] == 0 || first.LastSeqs["a"] != first.LastAcked["a"] {
+		t.Fatalf("first run seqs = %v, acked = %v", first.LastSeqs, first.LastAcked)
+	}
+	second := run(first.LastSeqs)
+	for _, k := range []string{"a", "b"} {
+		if second.LastAcked[k] <= first.LastAcked[k] {
+			t.Fatalf("key %s: second run acked %d, must continue above first run's %d",
+				k, second.LastAcked[k], first.LastAcked[k])
+		}
+	}
+}

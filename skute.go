@@ -125,8 +125,9 @@ type Cluster struct {
 	// first server.
 	coordIdx atomic.Uint64
 
-	// mu guards downed (FailServer/ReviveServer vs the request path) and
-	// the runtime state.
+	// mu guards downed (FailServer/ReviveServer vs the request path),
+	// nodes and order (AddServer grows both while requests pick
+	// coordinators), and the runtime state.
 	mu     sync.RWMutex
 	downed map[string]bool
 	// rt is non-nil while the cluster runs autonomously (Start/Stop);
@@ -234,10 +235,10 @@ func NewCluster(opts Options) (*Cluster, error) {
 // and the data arrives via throttled chunked transfer. If the cluster
 // runs autonomously, the new server's loops start immediately.
 func (c *Cluster) AddServer(ctx context.Context, s Server, seed string) error {
-	if _, exists := c.nodes[s.Name]; exists {
+	if _, exists := c.nodeOf(s.Name); exists {
 		return fmt.Errorf("skute: server %q already present", s.Name)
 	}
-	if _, ok := c.nodes[seed]; !ok || !c.alive(seed) {
+	if !c.alive(seed) {
 		return fmt.Errorf("skute: seed server %q unknown or down", seed)
 	}
 	conf := s.Confidence
@@ -275,9 +276,11 @@ func (c *Cluster) AddServer(ctx context.Context, s Server, seed string) error {
 	// join handler already spread the join record over the synchronous
 	// mesh, so every alive peer knows the name).
 	n.ConfirmPeers()
-	for _, peerName := range c.order {
+	for _, peerName := range c.serverOrder() {
 		if peerName != s.Name && c.alive(peerName) {
-			c.nodes[peerName].Membership().Confirm(s.Name, c.nodes[peerName].Now())
+			if peer, ok := c.nodeOf(peerName); ok {
+				peer.Membership().Confirm(s.Name, peer.Now())
+			}
 		}
 	}
 	if rt != nil && rt.ctx.Err() == nil {
@@ -294,25 +297,28 @@ func (c *Cluster) AddServer(ctx context.Context, s Server, seed string) error {
 // economic epochs, copying from the surviving replicas. The name stays
 // known to the cluster (Left is a terminal member state).
 func (c *Cluster) RemoveServer(ctx context.Context, name string) error {
-	leaving, ok := c.nodes[name]
+	leaving, ok := c.nodeOf(name)
 	if !ok {
 		return fmt.Errorf("skute: unknown server %q", name)
 	}
 	d := leaving.Membership().Leave()
-	for _, peerName := range c.order {
+	for _, peerName := range c.serverOrder() {
 		if peerName == name || !c.alive(peerName) {
 			continue
 		}
-		peer := c.nodes[peerName]
-		peer.Membership().Apply(d, peer.Now())
+		if peer, ok := c.nodeOf(peerName); ok {
+			peer.Membership().Apply(d, peer.Now())
+		}
 	}
 	// Evict promptly instead of waiting for each peer's next heartbeat
 	// round: every remaining host proposes the removal deltas now.
-	for _, peerName := range c.order {
+	for _, peerName := range c.serverOrder() {
 		if peerName == name || !c.alive(peerName) {
 			continue
 		}
-		c.nodes[peerName].RunMembershipRound(ctx)
+		if peer, ok := c.nodeOf(peerName); ok {
+			peer.RunMembershipRound(ctx)
+		}
 	}
 	leaving.Stop()
 	c.mesh.SetDown("mem://"+name, true)
@@ -433,11 +439,15 @@ func (c *Cluster) ringOf(app string) (ring.RingID, error) {
 // round-robin so no single server becomes the funnel for every
 // embedded-API request.
 func (c *Cluster) coordinator() (*cluster.Node, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	start := int(c.coordIdx.Add(1)-1) % len(c.order)
 	for i := 0; i < len(c.order); i++ {
 		name := c.order[(start+i)%len(c.order)]
-		if c.alive(name) {
-			return c.nodes[name], nil
+		if !c.downed[name] {
+			if n, ok := c.nodes[name]; ok {
+				return n, nil
+			}
 		}
 	}
 	return nil, fmt.Errorf("skute: no alive servers")
@@ -445,12 +455,28 @@ func (c *Cluster) coordinator() (*cluster.Node, error) {
 
 // alive consults the failure injection map and the node map.
 func (c *Cluster) alive(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if _, ok := c.nodes[name]; !ok {
 		return false
 	}
+	return !c.downed[name]
+}
+
+// nodeOf looks a server up under the membership lock — AddServer grows
+// the node map while requests are in flight.
+func (c *Cluster) nodeOf(name string) (*cluster.Node, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return !c.downed[name]
+	n, ok := c.nodes[name]
+	return n, ok
+}
+
+// serverOrder snapshots the server list under the membership lock.
+func (c *Cluster) serverOrder() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
 }
 
 // Get reads a key: the remaining concurrent values (one, normally) plus
@@ -582,19 +608,28 @@ func (c *Cluster) Availability(ctx context.Context, app string) (map[int]float64
 // of the epoch (rent announcements, adopts, placement delta pushes).
 func (c *Cluster) RunEpoch(ctx context.Context) (EpochOps, error) {
 	var ops EpochOps
-	for _, name := range c.order {
+	order := c.serverOrder()
+	for _, name := range order {
 		if !c.alive(name) {
 			continue
 		}
-		if _, _, err := c.nodes[name].AnnounceRent(ctx, c.rentParams); err != nil {
+		n, ok := c.nodeOf(name)
+		if !ok {
+			continue
+		}
+		if _, _, err := n.AnnounceRent(ctx, c.rentParams); err != nil {
 			return ops, err
 		}
 	}
-	for _, name := range c.order {
+	for _, name := range order {
 		if !c.alive(name) {
 			continue
 		}
-		rep, err := c.nodes[name].RunEconomicEpoch(ctx, c.agentParams, c.rentParams)
+		n, ok := c.nodeOf(name)
+		if !ok {
+			continue
+		}
+		rep, err := n.RunEconomicEpoch(ctx, c.agentParams, c.rentParams)
 		if err != nil {
 			return ops, err
 		}
@@ -618,7 +653,7 @@ type EpochOps struct {
 // heartbeat timeouts does this, and the next membership round evicts
 // its replicas).
 func (c *Cluster) FailServer(name string) error {
-	failed, ok := c.nodes[name]
+	failed, ok := c.nodeOf(name)
 	if !ok {
 		return fmt.Errorf("skute: unknown server %q", name)
 	}
@@ -629,8 +664,10 @@ func (c *Cluster) FailServer(name string) error {
 	// A dead process sends nothing: halt the failed server's autonomous
 	// loops (no-op when the runtime is not active).
 	failed.Stop()
-	for _, peer := range c.nodes {
-		peer.Membership().Fail(name)
+	for _, peerName := range c.serverOrder() {
+		if peer, ok := c.nodeOf(peerName); ok {
+			peer.Membership().Fail(name)
+		}
 	}
 	return nil
 }
@@ -641,7 +678,7 @@ func (c *Cluster) FailServer(name string) error {
 // detector immediately considers it alive. Fail/revive pairs script
 // churn scenarios without rebuilding the cluster.
 func (c *Cluster) ReviveServer(name string) error {
-	revived, ok := c.nodes[name]
+	revived, ok := c.nodeOf(name)
 	if !ok {
 		return fmt.Errorf("skute: unknown server %q", name)
 	}
@@ -653,10 +690,14 @@ func (c *Cluster) ReviveServer(name string) error {
 	// a fresh incarnation (superseding the death record wherever it
 	// gossiped), and the revived server re-confirms every peer still
 	// alive.
-	for _, peer := range c.nodes {
+	for _, peerName := range c.serverOrder() {
+		peer, ok := c.nodeOf(peerName)
+		if !ok {
+			continue
+		}
 		peer.Membership().Revive(name, peer.Now())
-		if c.alive(peer.Name()) {
-			revived.Membership().Revive(peer.Name(), revived.Now())
+		if c.alive(peerName) {
+			revived.Membership().Revive(peerName, revived.Now())
 		}
 	}
 	// The reborn process resumes its autonomous loops; the gossip digest
@@ -678,8 +719,8 @@ func (c *Cluster) ReviveServer(name string) error {
 	return revived.Start(c.rt.ctx, c.rt.rc)
 }
 
-// Servers lists the server names in descriptor order.
-func (c *Cluster) Servers() []string { return append([]string(nil), c.order...) }
+// Servers lists the server names in descriptor order (joiners appended).
+func (c *Cluster) Servers() []string { return c.serverOrder() }
 
 // NodeStats is one server's observability snapshot (what GET /stats
 // serves on a TCP deployment).
@@ -694,7 +735,7 @@ type TraceEvent = cluster.TraceEvent
 // placement digests across servers exactly like scraping each
 // process's admin endpoint.
 func (c *Cluster) StatsOf(name string) (NodeStats, error) {
-	n, ok := c.nodes[name]
+	n, ok := c.nodeOf(name)
 	if !ok {
 		return NodeStats{}, fmt.Errorf("skute: unknown server %q", name)
 	}
@@ -703,7 +744,7 @@ func (c *Cluster) StatsOf(name string) (NodeStats, error) {
 
 // TraceOf returns the named server's decision trace, oldest first.
 func (c *Cluster) TraceOf(name string) ([]TraceEvent, error) {
-	n, ok := c.nodes[name]
+	n, ok := c.nodeOf(name)
 	if !ok {
 		return nil, fmt.Errorf("skute: unknown server %q", name)
 	}
