@@ -24,15 +24,27 @@
 // (workload.PaperPopularity) over -keys distinct keys; arrivals are
 // Poisson by default (-arrival uniform for evenly spaced).
 //
+// -overload rate:duration appends a phase at a deliberately
+// unsustainable rate. It is excluded from the aggregates and the
+// sustained-rate search; instead the report's overload section scores
+// graceful degradation — goodput as a fraction of the sustainable rate,
+// and whether the excess FAILED FAST as explicit admission sheds
+// (counted separately as "overloaded") or burned its deadline (counted
+// as "timeouts", the collapse signature). An op shed by one coordinator
+// is re-routed once to the next node in the rotation, spent from a
+// token-bucket retry budget so a cluster-wide overload is not amplified.
+//
 // -check compares the new run against a previous report: if the new
-// combined p99 exceeds baseline p99 * -max-p99-ratio, or the target
-// failed to sustain the offered rate, the exit status is 1 — this is the
-// CI load-smoke hook.
+// combined p99 exceeds baseline p99 * -max-p99-ratio, the target failed
+// to sustain the offered rate, or the overload phase's goodput ratio
+// fell below baseline * -min-goodput-ratio (or its failures were mostly
+// timeouts), the exit status is 1 — this is the CI load-smoke hook.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -46,6 +58,7 @@ import (
 
 	"skute/internal/cluster"
 	"skute/internal/loadgen"
+	"skute/internal/resilience"
 	"skute/internal/ring"
 	"skute/internal/transport"
 	"skute/internal/workload"
@@ -60,6 +73,7 @@ func main() {
 		duration     = flag.Duration("duration", 10*time.Second, "steady-phase length")
 		phases       = flag.String("phases", "", "ramp spec rate:duration,rate:duration — overrides -rate/-duration")
 		warmup       = flag.Duration("warmup", 0, "warmup phase length at the first rate, excluded from aggregates")
+		overload     = flag.String("overload", "", "rate:duration phase appended at a deliberately unsustainable rate, excluded from aggregates and scored in the report's overload section")
 		readFraction = flag.Float64("read-fraction", 0.9, "fraction of arrivals that are reads")
 		keys         = flag.Int("keys", 1000, "distinct keys, Pareto-popular per the paper's workload")
 		valueBytes   = flag.Int("value-bytes", 128, "payload size of every write")
@@ -72,6 +86,7 @@ func main() {
 		out          = flag.String("out", "BENCH_load.json", "report destination, - for stdout")
 		check        = flag.String("check", "", "baseline report to regress against (exit 1 on violation)")
 		maxP99Ratio  = flag.Float64("max-p99-ratio", 3, "fail -check when new p99 > baseline p99 * ratio")
+		minGoodput   = flag.Float64("min-goodput-ratio", 0.7, "fail -check when the overload goodput ratio < baseline's ratio * this (0 disables)")
 	)
 	flag.Parse()
 
@@ -82,6 +97,13 @@ func main() {
 	phaseList, err := parsePhases(*phases, *rate, *duration, *warmup)
 	if err != nil {
 		fail(err)
+	}
+	if *overload != "" {
+		r, d, err := parseRateDur(*overload)
+		if err != nil {
+			fail(err)
+		}
+		phaseList = append(phaseList, loadgen.Phase{Name: "overload", Rate: r, Duration: d, Overload: true})
 	}
 
 	keyNames := make([]string, *keys)
@@ -133,9 +155,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "skute-load: get %s\nskute-load: put %s\nskute-load: max sustained %.0f qps\n",
 		summarize(rep.Get), summarize(rep.Put), rep.MaxSustainedQPS)
+	if ov := rep.Overload; ov != nil {
+		fmt.Fprintf(os.Stderr, "skute-load: overload offered %.0f qps goodput %.0f qps (%.0f%% of sustainable), failures %.0f%% shed cleanly / %.0f%% collapsed into timeouts\n",
+			ov.OfferedQPS, ov.GoodputQPS, 100*ov.GoodputRatio, 100*ov.ShedFraction, 100*ov.TimeoutFraction)
+	}
 
 	if *check != "" {
-		if err := regress(rep, *check, *maxP99Ratio); err != nil {
+		if err := regress(rep, *check, *maxP99Ratio, *minGoodput); err != nil {
 			fmt.Fprintf(os.Stderr, "skute-load: CHECK FAILED: %v\n", err)
 			os.Exit(1)
 		}
@@ -155,14 +181,19 @@ type clusterTarget struct {
 	id      ring.RingID
 	read    cluster.ReadOptions
 	write   cluster.WriteOptions
+	// budget caps ErrOverloaded re-routes at 10% of the offered rate
+	// (plus a small burst): shedding is the cluster protecting itself,
+	// and an unbounded retry storm would take that protection away.
+	budget *resilience.RetryBudget
 }
 
 func newClusterTarget(addrs []string, id ring.RingID, level cluster.Consistency, timeout time.Duration) (*clusterTarget, error) {
 	tr := transport.NewTCP()
 	t := &clusterTarget{
-		id:    id,
-		read:  cluster.ReadOptions{Consistency: level, Timeout: timeout},
-		write: cluster.WriteOptions{Consistency: level, Timeout: timeout},
+		id:     id,
+		read:   cluster.ReadOptions{Consistency: level, Timeout: timeout},
+		write:  cluster.WriteOptions{Consistency: level, Timeout: timeout},
+		budget: resilience.NewRetryBudget(0, 0),
 	}
 	for _, a := range addrs {
 		a = strings.TrimSpace(a)
@@ -182,12 +213,30 @@ func (t *clusterTarget) pick() *cluster.Client {
 }
 
 func (t *clusterTarget) Read(ctx context.Context, key string) error {
+	t.budget.OnAttempt()
 	_, _, err := t.pick().Get(ctx, t.id, key, t.read)
+	if t.reroute(err) {
+		_, _, err = t.pick().Get(ctx, t.id, key, t.read)
+	}
 	return err
 }
 
 func (t *clusterTarget) Write(ctx context.Context, key string, value []byte) error {
-	return t.pick().Put(ctx, t.id, key, value, nil, t.write)
+	t.budget.OnAttempt()
+	err := t.pick().Put(ctx, t.id, key, value, nil, t.write)
+	if t.reroute(err) {
+		err = t.pick().Put(ctx, t.id, key, value, nil, t.write)
+	}
+	return err
+}
+
+// reroute reports whether a failed op is worth one more attempt against
+// the NEXT node in the rotation: only an explicit admission shed
+// qualifies (another coordinator may have headroom, while retrying the
+// same node would just rejoin the queue it was shed from), only when
+// there is another node, and only within the retry budget.
+func (t *clusterTarget) reroute(err error) bool {
+	return errors.Is(err, cluster.ErrOverloaded) && len(t.clients) > 1 && t.budget.Allow()
 }
 
 // parsePhases turns "-phases 1000:5s,2000:5s" (or the -rate/-duration
@@ -199,17 +248,9 @@ func parsePhases(spec string, rate float64, dur, warmup time.Duration) ([]loadge
 		list = []loadgen.Phase{{Name: "steady", Rate: rate, Duration: dur}}
 	} else {
 		for i, part := range strings.Split(spec, ",") {
-			rd := strings.SplitN(strings.TrimSpace(part), ":", 2)
-			if len(rd) != 2 {
-				return nil, fmt.Errorf("skute-load: bad -phases segment %q (want rate:duration)", part)
-			}
-			r, err := strconv.ParseFloat(rd[0], 64)
+			r, d, err := parseRateDur(part)
 			if err != nil {
-				return nil, fmt.Errorf("skute-load: bad rate in %q: %v", part, err)
-			}
-			d, err := time.ParseDuration(rd[1])
-			if err != nil {
-				return nil, fmt.Errorf("skute-load: bad duration in %q: %v", part, err)
+				return nil, err
 			}
 			list = append(list, loadgen.Phase{Name: fmt.Sprintf("phase%d", i), Rate: r, Duration: d})
 		}
@@ -220,9 +261,26 @@ func parsePhases(spec string, rate float64, dur, warmup time.Duration) ([]loadge
 	return list, nil
 }
 
+// parseRateDur parses one "rate:duration" segment.
+func parseRateDur(part string) (float64, time.Duration, error) {
+	rd := strings.SplitN(strings.TrimSpace(part), ":", 2)
+	if len(rd) != 2 {
+		return 0, 0, fmt.Errorf("skute-load: bad segment %q (want rate:duration)", part)
+	}
+	r, err := strconv.ParseFloat(rd[0], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("skute-load: bad rate in %q: %v", part, err)
+	}
+	d, err := time.ParseDuration(rd[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("skute-load: bad duration in %q: %v", part, err)
+	}
+	return r, d, nil
+}
+
 func summarize(s loadgen.OpStats) string {
-	return fmt.Sprintf("offered %.0f qps achieved %.0f qps issued %d errors %d p50 %s p99 %s p999 %s",
-		s.OfferedQPS, s.AchievedQPS, s.Issued, s.Errors,
+	return fmt.Sprintf("offered %.0f qps achieved %.0f qps issued %d errors %d (shed %d, timeout %d) p50 %s p99 %s p999 %s",
+		s.OfferedQPS, s.AchievedQPS, s.Issued, s.Errors, s.Overloaded, s.Timeouts,
 		time.Duration(s.Latency.P50NS), time.Duration(s.Latency.P99NS), time.Duration(s.Latency.P999NS))
 }
 
@@ -230,7 +288,7 @@ func summarize(s loadgen.OpStats) string {
 // deliberately generous (default 3x p99): the job exists to catch a
 // broken hot path or a saturated cluster, not micro-regressions on a
 // noisy CI box.
-func regress(rep *loadgen.Report, baselinePath string, ratio float64) error {
+func regress(rep *loadgen.Report, baselinePath string, ratio, minGoodput float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -256,6 +314,26 @@ func regress(rep *loadgen.Report, baselinePath string, ratio float64) error {
 		if float64(p.now) > float64(p.then)*ratio {
 			return fmt.Errorf("%s regressed: %s vs baseline %s (limit %.1fx)",
 				p.name, time.Duration(p.now), time.Duration(p.then), ratio)
+		}
+	}
+	// Graceful-degradation gate: the p99 comparison above excludes
+	// overload phases by design, so a broken admission path would stay
+	// green there. When the run had an overload phase, require it to
+	// hold its goodput relative to the baseline's, and require its
+	// failures to be mostly fast sheds — a majority of burned deadlines
+	// means the cluster queued the excess instead of refusing it.
+	if ov := rep.Overload; ov != nil {
+		if base.Overload != nil && minGoodput > 0 &&
+			ov.GoodputRatio < base.Overload.GoodputRatio*minGoodput {
+			return fmt.Errorf("overload goodput ratio %.2f below baseline %.2f * %.2f — shedding regressed",
+				ov.GoodputRatio, base.Overload.GoodputRatio, minGoodput)
+		}
+		// A stalling CI box produces a handful of organic timeouts even
+		// with healthy shedding, so the collapse verdict needs a real
+		// error storm (>1% of the overload ops), not three stragglers.
+		if ov.TimeoutFraction > 0.5 && ov.Failed > ov.Issued/100 {
+			return fmt.Errorf("overload phase collapsed: %.0f%% of %d failures burned their deadline instead of shedding fast",
+				100*ov.TimeoutFraction, ov.Failed)
 		}
 	}
 	return nil

@@ -150,20 +150,75 @@ func TestRegress(t *testing.T) {
 	ok := &loadgen.Report{MaxSustainedQPS: 1000}
 	ok.Get.Latency.P99NS = 25 * ms // 2.5x, under the 3x bar
 	ok.Put.Latency.P99NS = 20 * ms
-	if err := regress(ok, path, 3); err != nil {
+	if err := regress(ok, path, 3, 0.7); err != nil {
 		t.Fatalf("within-bar run failed check: %v", err)
 	}
 
 	bad := &loadgen.Report{MaxSustainedQPS: 1000}
 	bad.Get.Latency.P99NS = 40 * ms // 4x
 	bad.Put.Latency.P99NS = 20 * ms
-	if err := regress(bad, path, 3); err == nil {
+	if err := regress(bad, path, 3, 0.7); err == nil {
 		t.Fatal("4x p99 regression passed the check")
 	}
 
 	unsustained := &loadgen.Report{}
 	unsustained.Get.Latency.P99NS = ms
-	if err := regress(unsustained, path, 3); err == nil {
+	if err := regress(unsustained, path, 3, 0.7); err == nil {
 		t.Fatal("unsustained run passed the check")
+	}
+}
+
+// TestRegressOverload covers the graceful-degradation gates: goodput
+// relative to the baseline's overload run, and the shed-vs-collapse
+// split of the failures.
+func TestRegressOverload(t *testing.T) {
+	ms := int64(time.Millisecond)
+	base := &loadgen.Report{
+		MaxSustainedQPS: 1000,
+		Overload:        &loadgen.OverloadStats{GoodputRatio: 1.0, ShedFraction: 0.9},
+	}
+	base.Get.Latency.P99NS = 10 * ms
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	raw, _ := json.Marshal(base)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	report := func(ratio, timeoutFrac float64) *loadgen.Report {
+		r := &loadgen.Report{
+			MaxSustainedQPS: 1000,
+			Overload: &loadgen.OverloadStats{
+				GoodputRatio: ratio, ShedFraction: 1 - timeoutFrac, TimeoutFraction: timeoutFrac,
+				Issued: 10000, Failed: 2000,
+			},
+		}
+		r.Get.Latency.P99NS = 10 * ms
+		return r
+	}
+	if err := regress(report(0.8, 0.1), path, 3, 0.7); err != nil {
+		t.Fatalf("healthy shedding run failed check: %v", err)
+	}
+	if err := regress(report(0.4, 0.1), path, 3, 0.7); err == nil {
+		t.Fatal("goodput collapse (0.4 vs baseline 1.0*0.7) passed the check")
+	}
+	if err := regress(report(0.8, 0.9), path, 3, 0.7); err == nil {
+		t.Fatal("timeout-dominated overload failures passed the check")
+	}
+	// A few organic timeouts on a stalling box are not a collapse: the
+	// verdict needs more than 1% of the overload ops to have failed.
+	few := report(0.8, 0.9)
+	few.Overload.Failed = 50
+	if err := regress(few, path, 3, 0.7); err != nil {
+		t.Fatalf("a handful of timeouts flagged as collapse: %v", err)
+	}
+	// 0 disables the goodput gate but never the collapse gate.
+	if err := regress(report(0.4, 0.1), path, 3, 0); err != nil {
+		t.Fatalf("disabled goodput gate still failed: %v", err)
+	}
+	// A run without an overload phase is not gated at all.
+	plain := &loadgen.Report{MaxSustainedQPS: 1000}
+	plain.Get.Latency.P99NS = 10 * ms
+	if err := regress(plain, path, 3, 0.7); err != nil {
+		t.Fatalf("overload-free run failed check: %v", err)
 	}
 }

@@ -88,6 +88,12 @@ func main() {
 		rcEntries = flag.Int("read-cache", 0, "coordinator hot-key read-cache entries serving ConsistencyOne reads (0 = default 4096)")
 		rcTTL     = flag.Duration("read-cache-ttl", 0, "read-cache staleness bound when no placement delta invalidates first (0 = default 500ms)")
 
+		maxInflight  = flag.Int("max-inflight", 0, "admission gate: concurrent requests accepted before shedding with the overloaded error (0 = default 256)")
+		shed         = flag.Bool("shed", true, "enable overload shedding; false disables the admission gate and requests queue until their deadline")
+		brkFailures  = flag.Int("breaker-failures", 0, "consecutive failures that open a peer's circuit breaker (0 = default 5)")
+		brkOpenFor   = flag.Duration("breaker-open-for", 0, "how long an opened breaker refuses a peer before half-open probing (0 = default 2s)")
+		brkSlowAfter = flag.Duration("breaker-slow-after", 0, "count successful calls slower than this as breaker failures, routing traffic around up-but-sick peers (0 disables latency tripping)")
+
 		bindAddr    = flag.String("bind", "", "listen address override: peers still dial this node's descriptor Addr (scenario harnesses front nodes with fault proxies this way; empty = listen on the advertised address)")
 		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 4 MiB; tests shrink it to exercise rotation and disk faults quickly)")
 		traceEvents = flag.Int("trace-events", 0, "decision-trace ring capacity served on GET /trace (0 = default 1024)")
@@ -137,6 +143,11 @@ func main() {
 			TraceEvents:         *traceEvents,
 			ReadCacheEntries:    *rcEntries,
 			ReadCacheTTL:        *rcTTL,
+			MaxInflight:         *maxInflight,
+			DisableAdmission:    !*shed,
+			BreakerFailures:     *brkFailures,
+			BreakerOpenFor:      *brkOpenFor,
+			BreakerSlowAfter:    *brkSlowAfter,
 		}, tr, eng)
 		if err != nil {
 			log.Fatalf("skuted: join via %s: %v", *joinAddr, err)
@@ -165,6 +176,21 @@ func main() {
 		}
 		if *rcTTL > 0 {
 			cfg.ReadCacheTTL = *rcTTL
+		}
+		if *maxInflight > 0 {
+			cfg.MaxInflight = *maxInflight
+		}
+		if !*shed {
+			cfg.DisableAdmission = true
+		}
+		if *brkFailures > 0 {
+			cfg.BreakerFailures = *brkFailures
+		}
+		if *brkOpenFor > 0 {
+			cfg.BreakerOpenFor = *brkOpenFor
+		}
+		if *brkSlowAfter > 0 {
+			cfg.BreakerSlowAfter = *brkSlowAfter
 		}
 		if *bindAddr != "" {
 			// Bind is node-local: it only makes sense on this node's own

@@ -30,7 +30,13 @@
 //     error codes surviving the wire, and a 7-8x win over the old
 //     dial-per-call wire (DESIGN.md, "The wire"). Replica placement
 //     travels as versioned, gossip-carried
-//     deltas (DESIGN.md, "Control plane"), and Start/Stop switch the
+//     deltas (DESIGN.md, "Control plane"). Under saturation the node
+//     degrades gracefully rather than collapsing: a priority-classed
+//     admission gate sheds excess load fast with a retryable
+//     ErrOverloaded, retries are jittered and budget-bounded, and
+//     per-peer circuit breakers route reads around slow or failing
+//     replicas (internal/resilience; DESIGN.md, "Overload and graceful
+//     degradation"). Start/Stop switch the
 //     cluster into autonomous mode: per-server heartbeat,
 //     gossip-reconcile, anti-entropy and economic-epoch loops on
 //     jittered intervals, with RunEpoch still available for

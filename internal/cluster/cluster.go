@@ -105,7 +105,36 @@ type Config struct {
 	// placement delta invalidates it first (0 selects the default
 	// 500ms).
 	ReadCacheTTL time.Duration
+	// MaxInflight bounds the node's admission gate: the concurrent
+	// requests (client ops plus background traffic; membership
+	// heartbeats are exempt) admitted before the node sheds with
+	// ErrOverloaded. Background anti-entropy/transfer/epoch traffic
+	// sheds at half this bound, reads at 90%, writes at the full bound.
+	// 0 selects the default (256); set DisableAdmission to turn
+	// shedding off entirely.
+	MaxInflight int
+	// DisableAdmission turns the admission gate off: every request is
+	// admitted no matter the load, restoring the pre-resilience
+	// queue-until-timeout behavior (the -shed=false daemon flag).
+	DisableAdmission bool
+	// BreakerFailures is the consecutive-failure count that opens a
+	// peer's circuit breaker (0 selects the default 5).
+	BreakerFailures int
+	// BreakerOpenFor is how long an opened breaker refuses the peer
+	// before half-open probing (0 selects the default 2s).
+	BreakerOpenFor time.Duration
+	// BreakerSlowAfter, when positive, additionally counts successful
+	// calls slower than this as breaker failures — the signal that
+	// routes hedged reads and quorum fan-out around a peer that is up
+	// but sick. 0 disables latency-based tripping.
+	BreakerSlowAfter time.Duration
 }
+
+// defaultMaxInflight is the admission-gate bound when Config.MaxInflight
+// is zero: generous enough that a healthy node never sheds, small enough
+// that a saturated node fast-fails instead of queueing every request
+// into its deadline.
+const defaultMaxInflight = 256
 
 // Validate rejects unusable descriptors.
 func (c Config) Validate() error {
@@ -164,6 +193,12 @@ func (c Config) Validate() error {
 	}
 	if c.ReadCacheEntries < 0 || c.ReadCacheTTL < 0 {
 		return fmt.Errorf("cluster: negative read-cache tuning")
+	}
+	if c.MaxInflight < 0 {
+		return fmt.Errorf("cluster: negative admission gate")
+	}
+	if c.BreakerFailures < 0 || c.BreakerOpenFor < 0 || c.BreakerSlowAfter < 0 {
+		return fmt.Errorf("cluster: negative breaker tuning")
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package cluster
 
-import "skute/internal/metrics"
+import (
+	"skute/internal/metrics"
+	"skute/internal/resilience"
+)
 
 // ControlCounters are a node's control-plane observability counters:
 // what the economic epochs decided, how placement deltas fared under
@@ -52,6 +55,11 @@ type ControlCounters struct {
 	TransferResumes      metrics.Counter // pulls resumed from a saved cursor
 	TransferChunksServed metrics.Counter // chunks served (donor side)
 	TransferBytesOut     metrics.Counter // value bytes served (donor side)
+
+	// Overload robustness (see internal/resilience): per-peer breaker
+	// lifecycle events on this node's outbound paths.
+	BreakerTransitions metrics.Counter // every breaker state change
+	BreakerOpens       metrics.Counter // transitions into open (peer cut off)
 }
 
 // Counters exposes the node's control-plane counters.
@@ -95,7 +103,28 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry) {
 		{"transfer_resumes_total", &n.counters.TransferResumes},
 		{"transfer_chunks_served_total", &n.counters.TransferChunksServed},
 		{"transfer_bytes_out_total", &n.counters.TransferBytesOut},
+		{"breaker_transitions_total", &n.counters.BreakerTransitions},
+		{"breaker_opens_total", &n.counters.BreakerOpens},
 	} {
 		reg.Gauge(g.name, g.c.Value)
 	}
+	// Admission gate: live in-flight plus per-class admitted/shed
+	// outcomes. All zero (and the gauges still registered) when the gate
+	// is disabled, so dashboards keep a stable schema.
+	reg.Gauge("admission_inflight", n.gate.Inflight)
+	reg.Gauge("admission_shed_deadline_total", n.gate.ShedLate)
+	for _, p := range []resilience.Priority{
+		resilience.Background, resilience.Read, resilience.Write, resilience.Critical,
+	} {
+		p := p
+		reg.Gauge("admission_"+p.String()+"_admitted_total", func() int64 { return n.gate.Admitted(p) })
+		reg.Gauge("admission_"+p.String()+"_shed_total", func() int64 { return n.gate.Shed(p) })
+	}
 }
+
+// Breakers exposes the node's per-peer circuit breakers (admin surfaces
+// and tests).
+func (n *Node) Breakers() *resilience.BreakerSet { return n.breakers }
+
+// Gate exposes the node's admission gate (nil when disabled).
+func (n *Node) Gate() *resilience.Gate { return n.gate }

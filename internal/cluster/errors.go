@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 
+	"skute/internal/resilience"
 	"skute/internal/transport"
 )
 
@@ -15,8 +16,17 @@ var (
 	// descriptor does not declare — the store's not-found error for a
 	// whole keyspace.
 	ErrUnknownRing = errors.New("cluster: unknown ring")
+
+	// ErrOverloaded is resilience.ErrOverloaded re-exported at the
+	// cluster surface: the node's admission gate refused the request
+	// before any work started. It is retryable — against a DIFFERENT
+	// coordinator or replica, never the same node immediately — and it
+	// crosses the TCP wire as its own code so clients can tell a shed
+	// from a timeout.
+	ErrOverloaded = resilience.ErrOverloaded
 )
 
 func init() {
 	transport.RegisterErrorCode(transport.CodeAppBase, ErrUnknownRing)
+	transport.RegisterErrorCode(transport.CodeAppBase+1, ErrOverloaded)
 }

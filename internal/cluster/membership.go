@@ -239,6 +239,15 @@ type JoinOptions struct {
 	// cache (see the Config fields).
 	ReadCacheEntries int
 	ReadCacheTTL     time.Duration
+	// MaxInflight / DisableAdmission tune the joiner's admission gate,
+	// and BreakerFailures / BreakerOpenFor / BreakerSlowAfter its
+	// per-peer circuit breakers (see the Config fields). These are
+	// node-local robustness knobs, so the seed does not dictate them.
+	MaxInflight      int
+	DisableAdmission bool
+	BreakerFailures  int
+	BreakerOpenFor   time.Duration
+	BreakerSlowAfter time.Duration
 }
 
 // JoinNode boots a node into an existing cluster through any live seed:
@@ -302,6 +311,11 @@ func JoinNode(ctx context.Context, self NodeInfo, seedAddr string, opts JoinOpti
 		TraceEvents:         opts.TraceEvents,
 		ReadCacheEntries:    opts.ReadCacheEntries,
 		ReadCacheTTL:        opts.ReadCacheTTL,
+		MaxInflight:         opts.MaxInflight,
+		DisableAdmission:    opts.DisableAdmission,
+		BreakerFailures:     opts.BreakerFailures,
+		BreakerOpenFor:      opts.BreakerOpenFor,
+		BreakerSlowAfter:    opts.BreakerSlowAfter,
 	}
 	n := &Node{
 		cfg:          cfg,
@@ -333,6 +347,7 @@ func JoinNode(ctx context.Context, self NodeInfo, seedAddr string, opts JoinOpti
 	if n.chunkItems <= 0 {
 		n.chunkItems = defaultChunkItems
 	}
+	n.initResilience(cfg)
 	n.rcache = newReadCache(opts.ReadCacheEntries, opts.ReadCacheTTL)
 	n.hedge = newHedgeTracker(n.tel.Histogram("cluster_read_rtt_ns"))
 	// The answered join RPC below is contact evidence; seed the lease

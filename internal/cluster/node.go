@@ -13,6 +13,7 @@ import (
 	"skute/internal/merkle"
 	"skute/internal/parallel"
 	"skute/internal/placement"
+	"skute/internal/resilience"
 	"skute/internal/ring"
 	"skute/internal/store"
 	"skute/internal/telemetry"
@@ -315,6 +316,16 @@ type Node struct {
 	tel   *telemetry.Registry
 	opTel *opHists
 
+	// gate is the admission gate (nil when Config.DisableAdmission):
+	// coordinator client ops and background traffic enter it, and a full
+	// node sheds with ErrOverloaded instead of queueing work into its
+	// deadline. breakers holds one circuit breaker per peer, fed by
+	// remote call outcomes on the read and write paths; the read fan-out
+	// orders replicas with open breakers last so a sick peer is probed,
+	// not hammered.
+	gate     *resilience.Gate
+	breakers *resilience.BreakerSet
+
 	// run tracks the autonomous runtime (Start/Stop); see runtime.go.
 	run runState
 
@@ -437,6 +448,7 @@ func NewNode(cfg Config, name string, tr transport.Transport, eng *store.Engine)
 	if n.chunkItems <= 0 {
 		n.chunkItems = defaultChunkItems
 	}
+	n.initResilience(cfg)
 	n.rcache = newReadCache(cfg.ReadCacheEntries, cfg.ReadCacheTTL)
 	n.hedge = newHedgeTracker(n.tel.Histogram("cluster_read_rtt_ns"))
 	// The boot instant counts as contact: a freshly started node serves
@@ -610,11 +622,75 @@ func (n *Node) SendHeartbeats(ctx context.Context) {
 	n.counters.HeartbeatRounds.Inc()
 }
 
+// kindPriority classifies an incoming request kind for admission.
+// Membership traffic (heartbeats, joins, member gossip) is Critical:
+// shedding it under load would turn an overload into a false-suspicion
+// cascade. Replica-level data ops (kindGet/kindPut/...) are Critical
+// too — the coordinator that fanned them out already paid admission at
+// the client edge, so shedding them mid-quorum would fail work the
+// cluster has committed to. Background covers anti-entropy, partition
+// transfer, epoch/economy and placement gossip — everything that
+// retries on its own schedule. Client kinds return gated=false: the
+// coordinator op they invoke runs the gate itself (so the embedded
+// in-process path is covered identically and nothing is gated twice).
+// initResilience builds the node's admission gate and per-peer circuit
+// breakers from the overload knobs of its config. NewNode and JoinNode
+// both run it — a joiner faces the same saturation a descriptor-booted
+// node does.
+func (n *Node) initResilience(cfg Config) {
+	if !cfg.DisableAdmission {
+		maxInflight := cfg.MaxInflight
+		if maxInflight == 0 {
+			maxInflight = defaultMaxInflight
+		}
+		// The clock indirects through n.Now so tests that override the
+		// node clock drive the gate's deadline math too.
+		n.gate = resilience.NewGate(maxInflight, func() time.Time { return n.Now() })
+		n.gate.RegisterTelemetry(n.tel)
+	}
+	n.breakers = resilience.NewBreakerSet(resilience.BreakerConfig{
+		Failures:  cfg.BreakerFailures,
+		OpenFor:   cfg.BreakerOpenFor,
+		SlowAfter: cfg.BreakerSlowAfter,
+		Now:       func() time.Time { return n.Now() },
+		OnTransition: func(peer string, from, to resilience.BreakerState) {
+			n.counters.BreakerTransitions.Inc()
+			if to == resilience.BreakerOpen {
+				n.counters.BreakerOpens.Inc()
+			}
+			n.trace.Add("breaker", "%s: %s -> %s", peer, from, to)
+		},
+	})
+}
+
+func kindPriority(kind string) (pri resilience.Priority, gated bool) {
+	switch kind {
+	case kindHeartbeat, kindJoin, kindMemberPull, kindMemberDelta,
+		kindGet, kindPut, kindMultiGet, kindMultiPut:
+		return resilience.Critical, true
+	case kindLeaves, kindFetchChunk, kindAdopt, kindDelta, kindDeltaPull,
+		kindAnnounce, kindRents:
+		return resilience.Background, true
+	default:
+		return 0, false
+	}
+}
+
 // handle dispatches one incoming request. The context comes from the
 // transport (the caller's own context for in-memory calls, the
 // connection's lifetime for TCP) and flows into any nested quorum
-// coordination this request triggers.
+// coordination this request triggers. Gated kinds pass the admission
+// gate first: a node past its in-flight bound sheds background work
+// with ErrOverloaded instead of queueing it (client kinds are admitted
+// inside the coordinator ops, see kindPriority).
 func (n *Node) handle(ctx context.Context, req transport.Envelope) (transport.Envelope, error) {
+	if pri, gated := kindPriority(req.Kind); gated {
+		release, err := n.gate.Enter(ctx, pri)
+		if err != nil {
+			return transport.Envelope{}, err
+		}
+		defer release()
+	}
 	switch req.Kind {
 	case kindHeartbeat:
 		var hb heartbeatReq

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"skute/internal/resilience"
 	"skute/internal/ring"
 	"skute/internal/store"
 	"skute/internal/transport"
@@ -106,6 +107,11 @@ func (n *Node) Get(ctx context.Context, id ring.RingID, key string, opts ReadOpt
 	if err := ctx.Err(); err != nil {
 		return GetResult{}, err
 	}
+	release, err := n.gate.Enter(ctx, resilience.Read)
+	if err != nil {
+		return GetResult{}, err
+	}
+	defer release()
 	n.mu.RLock()
 	p := n.rings.Ring(id).Lookup(ring.HashKey(key))
 	part := p.ID
@@ -228,6 +234,11 @@ func (n *Node) MultiGet(ctx context.Context, id ring.RingID, keys []string, opts
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	release, err := n.gate.Enter(ctx, resilience.Read)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if len(keys) == 0 {
 		return map[string]GetResult{}, nil
 	}
@@ -334,12 +345,23 @@ func (n *Node) readPartitionGroup(ctx context.Context, id ring.RingID, g partGro
 			alive = append(alive, name)
 		}
 	}
-	for i, name := range alive {
-		if name == n.self.Name && i > 0 {
-			alive[0], alive[i] = alive[i], alive[0]
-			break
+	// Order the contact list: the local copy first (it answers inline for
+	// free), peers whose circuit breaker is open last. Open-breaker peers
+	// are demoted rather than skipped — a small quorum may still need
+	// them — but they serve only as standbys, so a peer that is up but
+	// sick stops taxing every read and stops absorbing the hedged backup.
+	// The demoted slot doubles as the breaker's half-open probe path.
+	rank := func(name string) int {
+		switch {
+		case name == n.self.Name:
+			return 0
+		case n.breakers.State(name) == resilience.BreakerOpen:
+			return 2
+		default:
+			return 1
 		}
 	}
+	sort.SliceStable(alive, func(i, j int) bool { return rank(alive[i]) < rank(alive[j]) })
 	type replicaResp struct {
 		name    string
 		vs      map[string][]store.Version
@@ -371,6 +393,7 @@ func (n *Node) readPartitionGroup(ctx context.Context, id ring.RingID, g partGro
 			start := time.Now()
 			info, _ := n.info(name)
 			resp, err := n.tr.Call(callCtx, info.Addr, env)
+			n.breakers.Record(name, err, time.Since(start))
 			if err != nil {
 				resps <- replicaResp{name: name}
 				return
@@ -571,6 +594,11 @@ func (n *Node) write(ctx context.Context, id ring.RingID, key string, v store.Ve
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	release, err := n.gate.Enter(ctx, resilience.Write)
+	if err != nil {
+		return err
+	}
+	defer release()
 	n.mu.RLock()
 	r := n.rings.Ring(id)
 	p := r.Lookup(ring.HashKey(key))
@@ -625,6 +653,11 @@ func (n *Node) MultiPut(ctx context.Context, id ring.RingID, entries []Entry, op
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	release, err := n.gate.Enter(ctx, resilience.Write)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if len(entries) == 0 {
 		return nil
 	}
@@ -739,7 +772,10 @@ func (n *Node) fanoutPut(ctx context.Context, id ring.RingID, key string, v stor
 	env := transport.Envelope{Kind: kindPut, Payload: encode(putReq{Ring: id, Key: key, Version: v})}
 	if len(remotes) == 1 && acks < need { // skip the pool for the common R=2 local-write case
 		info, _ := n.info(remotes[0])
-		if _, err := n.tr.Call(ctx, info.Addr, env); err == nil {
+		start := time.Now()
+		_, err := n.tr.Call(ctx, info.Addr, env)
+		n.breakers.Record(remotes[0], err, time.Since(start))
+		if err == nil {
 			acks++
 		} else if ctxErr := ctx.Err(); ctxErr != nil {
 			return acks, ctxErr
@@ -773,7 +809,9 @@ func (n *Node) callAll(ctx context.Context, peers []string, env transport.Envelo
 		go func(name string) {
 			defer sends.Done()
 			info, _ := n.info(name)
+			start := time.Now()
 			_, err := n.tr.Call(sendCtx, info.Addr, env)
+			n.breakers.Record(name, err, time.Since(start))
 			done <- err == nil
 		}(name)
 	}

@@ -17,12 +17,14 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"skute/internal/resilience"
 	"skute/internal/telemetry"
 	"skute/internal/workload"
 )
@@ -47,6 +49,13 @@ type Phase struct {
 	// Warmup phases run full load but are excluded from every aggregate
 	// statistic (connection pools fill, caches warm, JITs settle).
 	Warmup bool
+	// Overload phases run at a rate chosen to EXCEED the target's
+	// capacity. Like Warmup they are excluded from the aggregates and
+	// from MaxSustainedQPS (an overload phase misses its SLO by design);
+	// their outcome is scored separately in Report.Overload — goodput
+	// held, and whether the excess was shed fast or queued into its
+	// deadline.
+	Overload bool
 }
 
 // Options configure one run.
@@ -92,6 +101,14 @@ type OpStats struct {
 	Issued int64 `json:"issued"`
 	Acked  int64 `json:"acked"`
 	Errors int64 `json:"errors"`
+	// Overloaded and Timeouts split Errors by how the operation failed:
+	// Overloaded counts explicit admission-gate sheds
+	// (resilience.ErrOverloaded) that failed FAST, Timeouts counts
+	// operations that burned their whole deadline — the collapse
+	// signature. A healthy saturated target sheds; a collapsing one
+	// times out.
+	Overloaded int64 `json:"overloaded,omitempty"`
+	Timeouts   int64 `json:"timeouts,omitempty"`
 	// Latency is measured from each op's SCHEDULED send time.
 	Latency telemetry.Stats `json:"latency"`
 }
@@ -120,6 +137,34 @@ type Report struct {
 	// up with: p99 scheduled-time latency within the SLO and no error
 	// storm (< 1% of issued).
 	MaxSustainedQPS float64 `json:"max_sustained_qps"`
+	// Overload scores the overload-marked phases; absent when the run
+	// had none.
+	Overload *OverloadStats `json:"overload,omitempty"`
+}
+
+// OverloadStats is the graceful-degradation scorecard for the
+// overload-marked phases. A robust target holds GoodputRatio near 1 by
+// shedding the excess fast (ShedFraction dominates); a collapsing
+// target queues everything into its deadline, inverting the fractions
+// and dragging goodput down with them.
+type OverloadStats struct {
+	// OfferedQPS and GoodputQPS are the offered and the acknowledged
+	// rates across the overload phases; Issued and Failed are the raw
+	// op counts behind them.
+	OfferedQPS float64 `json:"offered_qps"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	Issued     int64   `json:"issued"`
+	Failed     int64   `json:"failed"`
+	// GoodputRatio is GoodputQPS over the best measured (non-warmup,
+	// non-overload) phase's acknowledged rate: "goodput at Nx the
+	// sustainable rate" as a fraction of the sustainable goodput.
+	GoodputRatio float64 `json:"goodput_ratio"`
+	// ShedFraction and TimeoutFraction split the overload-phase
+	// failures: shed fast with ErrOverloaded vs burned the full
+	// deadline. They need not sum to 1 — other failures (quorum loss,
+	// connection errors) count in neither bucket.
+	ShedFraction    float64 `json:"shed_fraction"`
+	TimeoutFraction float64 `json:"timeout_fraction"`
 }
 
 // arrival is one scheduled request: its offset on the run timeline, the
@@ -133,10 +178,34 @@ type arrival struct {
 
 // phaseTelemetry accumulates one phase's histograms and counters.
 type phaseTelemetry struct {
-	getHist *telemetry.Histogram
-	putHist *telemetry.Histogram
-	getErrs atomic.Int64
-	putErrs atomic.Int64
+	getHist    *telemetry.Histogram
+	putHist    *telemetry.Histogram
+	getErrs    atomic.Int64
+	putErrs    atomic.Int64
+	getShed    atomic.Int64
+	putShed    atomic.Int64
+	getTimeout atomic.Int64
+	putTimeout atomic.Int64
+}
+
+// record charges one completed operation to the phase, classifying a
+// failure as a fast admission shed, a burned deadline, or neither.
+func (t *phaseTelemetry) record(read bool, ns int64, err error) {
+	hist, errs, shed, timeout := t.putHist, &t.putErrs, &t.putShed, &t.putTimeout
+	if read {
+		hist, errs, shed, timeout = t.getHist, &t.getErrs, &t.getShed, &t.getTimeout
+	}
+	hist.Record(ns)
+	if err == nil {
+		return
+	}
+	errs.Add(1)
+	switch {
+	case errors.Is(err, resilience.ErrOverloaded):
+		shed.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		timeout.Add(1)
+	}
 }
 
 // Run executes the schedule against the target and reports. The context
@@ -206,18 +275,7 @@ func Run(ctx context.Context, opts Options, target Target) (*Report, error) {
 				// Latency from the SCHEDULED time: lateness caused by a
 				// stalled earlier request on this worker is charged to
 				// the system, which is the point.
-				ns := time.Since(sched).Nanoseconds()
-				if a.read {
-					tel.getHist.Record(ns)
-					if err != nil {
-						tel.getErrs.Add(1)
-					}
-				} else {
-					tel.putHist.Record(ns)
-					if err != nil {
-						tel.putErrs.Add(1)
-					}
-				}
+				tel.record(a.read, time.Since(sched).Nanoseconds(), err)
 			}
 		}(w)
 	}
@@ -274,8 +332,12 @@ func buildReport(opts Options, schedule []arrival, tels []*phaseTelemetry, worke
 	totalGet := telemetry.NewHistogram().Snapshot()
 	totalPut := telemetry.NewHistogram().Snapshot()
 	var totGetErrs, totPutErrs int64
+	var totGetShed, totPutShed, totGetTimeout, totPutTimeout int64
 	var measuredDur time.Duration
 	var measuredGetOffered, measuredPutOffered int64
+	var bestGoodput float64
+	var ovDur time.Duration
+	var ovOffered, ovAcked, ovErrs, ovShed, ovTimeout int64
 	for pi, ph := range opts.Phases {
 		var getOffered, putOffered int64
 		for _, a := range schedule {
@@ -290,25 +352,45 @@ func buildReport(opts Options, schedule []arrival, tels []*phaseTelemetry, worke
 		}
 		gs := tels[pi].getHist.Snapshot()
 		ps := tels[pi].putHist.Snapshot()
+		tel := tels[pi]
 		pr := PhaseReport{
 			Name:        ph.Name,
 			RateQPS:     ph.Rate,
 			DurationSec: ph.Duration.Seconds(),
 			Warmup:      ph.Warmup,
-			Get:         opStats(gs, getOffered, tels[pi].getErrs.Load(), ph.Duration),
-			Put:         opStats(ps, putOffered, tels[pi].putErrs.Load(), ph.Duration),
+			Get:         opStats(gs, getOffered, tel.getErrs.Load(), tel.getShed.Load(), tel.getTimeout.Load(), ph.Duration),
+			Put:         opStats(ps, putOffered, tel.putErrs.Load(), tel.putShed.Load(), tel.putTimeout.Load(), ph.Duration),
 		}
 		rep.Phases = append(rep.Phases, pr)
 		if ph.Warmup {
 			continue
 		}
+		if ph.Overload {
+			// Overload phases are scored on their own: folding them
+			// into the aggregates would report deliberate saturation as
+			// a latency regression.
+			ovDur += ph.Duration
+			ovOffered += getOffered + putOffered
+			ovAcked += pr.Get.Acked + pr.Put.Acked
+			ovErrs += pr.Get.Errors + pr.Put.Errors
+			ovShed += pr.Get.Overloaded + pr.Put.Overloaded
+			ovTimeout += pr.Get.Timeouts + pr.Put.Timeouts
+			continue
+		}
 		totalGet = totalGet.Merge(gs)
 		totalPut = totalPut.Merge(ps)
-		totGetErrs += tels[pi].getErrs.Load()
-		totPutErrs += tels[pi].putErrs.Load()
+		totGetErrs += tel.getErrs.Load()
+		totPutErrs += tel.putErrs.Load()
+		totGetShed += tel.getShed.Load()
+		totPutShed += tel.putShed.Load()
+		totGetTimeout += tel.getTimeout.Load()
+		totPutTimeout += tel.putTimeout.Load()
 		measuredDur += ph.Duration
 		measuredGetOffered += getOffered
 		measuredPutOffered += putOffered
+		if g := float64(pr.Get.Acked+pr.Put.Acked) / ph.Duration.Seconds(); g > bestGoodput {
+			bestGoodput = g
+		}
 
 		slo := opts.SustainedSLO
 		if slo <= 0 {
@@ -329,18 +411,36 @@ func buildReport(opts Options, schedule []arrival, tels []*phaseTelemetry, worke
 		}
 	}
 	if measuredDur > 0 {
-		rep.Get = opStats(totalGet, measuredGetOffered, totGetErrs, measuredDur)
-		rep.Put = opStats(totalPut, measuredPutOffered, totPutErrs, measuredDur)
+		rep.Get = opStats(totalGet, measuredGetOffered, totGetErrs, totGetShed, totGetTimeout, measuredDur)
+		rep.Put = opStats(totalPut, measuredPutOffered, totPutErrs, totPutShed, totPutTimeout, measuredDur)
+	}
+	if ovDur > 0 {
+		ov := &OverloadStats{
+			OfferedQPS: float64(ovOffered) / ovDur.Seconds(),
+			GoodputQPS: float64(ovAcked) / ovDur.Seconds(),
+			Issued:     ovAcked + ovErrs,
+			Failed:     ovErrs,
+		}
+		if bestGoodput > 0 {
+			ov.GoodputRatio = ov.GoodputQPS / bestGoodput
+		}
+		if ovErrs > 0 {
+			ov.ShedFraction = float64(ovShed) / float64(ovErrs)
+			ov.TimeoutFraction = float64(ovTimeout) / float64(ovErrs)
+		}
+		rep.Overload = ov
 	}
 	return rep
 }
 
-func opStats(s *telemetry.Snapshot, offered, errs int64, dur time.Duration) OpStats {
+func opStats(s *telemetry.Snapshot, offered, errs, shed, timeouts int64, dur time.Duration) OpStats {
 	st := OpStats{
-		Issued:  s.Count,
-		Acked:   s.Count - errs,
-		Errors:  errs,
-		Latency: s.Stats(),
+		Issued:     s.Count,
+		Acked:      s.Count - errs,
+		Errors:     errs,
+		Overloaded: shed,
+		Timeouts:   timeouts,
+		Latency:    s.Stats(),
 	}
 	if secs := dur.Seconds(); secs > 0 {
 		st.OfferedQPS = float64(offered) / secs

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"skute/internal/resilience"
 )
 
 // fakeTarget answers instantly, optionally stalling every request for a
@@ -172,6 +174,90 @@ func TestStallChargedToLatency(t *testing.T) {
 	}
 	if rep.MaxSustainedQPS != 0 {
 		t.Fatalf("saturated phase counted as sustained (%v qps)", rep.MaxSustainedQPS)
+	}
+}
+
+// sheddingTarget serves everything instantly until the offered
+// concurrency passes its admission limit, then fails the excess fast
+// with ErrOverloaded — a miniature of a gated cluster.
+type sheddingTarget struct {
+	limit    int64
+	inflight atomic.Int64
+}
+
+func (s *sheddingTarget) op(ctx context.Context) error {
+	if n := s.inflight.Add(1); n > s.limit {
+		s.inflight.Add(-1)
+		return fmt.Errorf("gated: %w", resilience.ErrOverloaded)
+	}
+	defer s.inflight.Add(-1)
+	select {
+	case <-time.After(5 * time.Millisecond):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *sheddingTarget) Read(ctx context.Context, key string) error { return s.op(ctx) }
+func (s *sheddingTarget) Write(ctx context.Context, key string, value []byte) error {
+	return s.op(ctx)
+}
+
+// TestOverloadScorecard pins the overload accounting: an overload-marked
+// phase driven past a shedding target's capacity must be excluded from
+// the aggregates and MaxSustainedQPS, its rejections must land in the
+// Overloaded bucket (not Timeouts), and the report's overload section
+// must score goodput against the sustainable phase.
+func TestOverloadScorecard(t *testing.T) {
+	// Capacity = limit / service = 8 / 5ms = 1600/s. The measured phase
+	// offers 150/s (demand concurrency ~0.75 against a gate of 8); the
+	// overload phase offers 6000/s (demand concurrency 30).
+	target := &sheddingTarget{limit: 8}
+	rep, err := Run(context.Background(), Options{
+		Phases: []Phase{
+			{Name: "steady", Rate: 150, Duration: time.Second},
+			{Name: "spike", Rate: 6000, Duration: 400 * time.Millisecond, Overload: true},
+		},
+		Keys:            testKeys(20),
+		ReadFraction:    0.5,
+		Workers:         64,
+		Seed:            11,
+		UniformArrivals: true,
+	}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregates cover only the steady phase's ~150 arrivals, none of
+	// the spike's 2400.
+	if issued := rep.Get.Issued + rep.Put.Issued; issued < 140 || issued > 160 {
+		t.Fatalf("aggregate issued %d, want the steady phase's ~150", issued)
+	}
+	// The spike rate must never count as sustained, no matter how the
+	// steady phase fared on a stalling test box.
+	if rep.MaxSustainedQPS > 150 {
+		t.Fatalf("max sustained %v includes the overload phase", rep.MaxSustainedQPS)
+	}
+	ov := rep.Overload
+	if ov == nil {
+		t.Fatal("report has no overload section")
+	}
+	spike := rep.Phases[1]
+	shed := spike.Get.Overloaded + spike.Put.Overloaded
+	if shed == 0 {
+		t.Fatalf("overload phase shed nothing: %+v %+v", spike.Get, spike.Put)
+	}
+	if timeouts := spike.Get.Timeouts + spike.Put.Timeouts; timeouts != 0 {
+		t.Fatalf("fast sheds misclassified as timeouts: %d", timeouts)
+	}
+	if ov.ShedFraction != 1 || ov.TimeoutFraction != 0 {
+		t.Fatalf("failure split wrong: shed %v timeout %v", ov.ShedFraction, ov.TimeoutFraction)
+	}
+	if ov.GoodputQPS <= 0 || ov.GoodputRatio <= 0 {
+		t.Fatalf("goodput not scored: %+v", ov)
+	}
+	if ov.OfferedQPS < 1000 {
+		t.Fatalf("overload offered rate %v, want ~1500", ov.OfferedQPS)
 	}
 }
 

@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGatePriorityThresholds(t *testing.T) {
+	g := NewGate(10, nil)
+	ctx := context.Background()
+
+	// Fill to 5 (the background limit) with writes.
+	var releases []func()
+	for i := 0; i < 5; i++ {
+		rel, err := g.Enter(ctx, Write)
+		if err != nil {
+			t.Fatalf("write %d rejected below the gate: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if _, err := g.Enter(ctx, Background); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("background admitted at 50%% of the gate (err=%v)", err)
+	}
+	// Reads still fit until 90%.
+	for i := 0; i < 4; i++ {
+		rel, err := g.Enter(ctx, Read)
+		if err != nil {
+			t.Fatalf("read %d rejected below 90%%: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if _, err := g.Enter(ctx, Read); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("read admitted at 90%% of the gate (err=%v)", err)
+	}
+	// The last slot belongs to writes.
+	rel, err := g.Enter(ctx, Write)
+	if err != nil {
+		t.Fatalf("write rejected with a slot free: %v", err)
+	}
+	releases = append(releases, rel)
+	if _, err := g.Enter(ctx, Write); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("write admitted past the gate (err=%v)", err)
+	}
+	// Critical traffic ignores the gate entirely.
+	rel, err = g.Enter(ctx, Critical)
+	if err != nil {
+		t.Fatalf("critical rejected: %v", err)
+	}
+	releases = append(releases, rel)
+
+	for _, rel := range releases {
+		rel()
+	}
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("inflight after all releases = %d, want 0", got)
+	}
+	if g.Shed(Background) != 1 || g.Shed(Read) != 1 || g.Shed(Write) != 1 {
+		t.Fatalf("shed counters = bg:%d read:%d write:%d, want 1 each",
+			g.Shed(Background), g.Shed(Read), g.Shed(Write))
+	}
+	// Releasing twice must not underflow the gate.
+	releases[0]()
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("inflight after double release = %d, want 0", got)
+	}
+}
+
+func TestGateDeadlineAwareRejection(t *testing.T) {
+	clk := newFakeClock()
+	g := NewGate(100, clk.Now)
+
+	// Teach the gate that writes take ~10ms.
+	ctx := context.Background()
+	for i := 0; i < estimateMinSamples; i++ {
+		rel, err := g.Enter(ctx, Write)
+		if err != nil {
+			t.Fatalf("training write rejected: %v", err)
+		}
+		clk.Advance(10 * time.Millisecond)
+		rel()
+	}
+	clk.Advance(estimateRefresh) // let the estimate cache refresh
+	// Prime the estimate (first call past the refresh recomputes it).
+	dl, cancel := context.WithDeadline(ctx, clk.Now().Add(time.Hour))
+	rel, err := g.Enter(dl, Write)
+	if err != nil {
+		t.Fatalf("write with generous deadline rejected: %v", err)
+	}
+	rel()
+	cancel()
+
+	// 1ms of budget cannot cover a 10ms median service time.
+	dl, cancel = context.WithDeadline(ctx, clk.Now().Add(time.Millisecond))
+	defer cancel()
+	if _, err := g.Enter(dl, Write); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("doomed write admitted (err=%v)", err)
+	}
+	if g.ShedLate() != 1 {
+		t.Fatalf("ShedLate = %d, want 1", g.ShedLate())
+	}
+	// A request with budget to spare is admitted.
+	dl2, cancel2 := context.WithDeadline(ctx, clk.Now().Add(time.Second))
+	defer cancel2()
+	rel, err = g.Enter(dl2, Write)
+	if err != nil {
+		t.Fatalf("write with 1s budget rejected: %v", err)
+	}
+	rel()
+	// Critical ignores the deadline check too.
+	rel, err = g.Enter(dl, Critical)
+	if err != nil {
+		t.Fatalf("critical rejected on deadline: %v", err)
+	}
+	rel()
+}
+
+func TestGateNilAdmitsEverything(t *testing.T) {
+	var g *Gate
+	rel, err := g.Enter(context.Background(), Background)
+	if err != nil {
+		t.Fatalf("nil gate rejected: %v", err)
+	}
+	rel()
+	if NewGate(0, nil) != nil {
+		t.Fatal("NewGate(0) should return the nil (disabled) gate")
+	}
+}
+
+func TestGateConcurrent(t *testing.T) {
+	g := NewGate(8, nil)
+	var wg sync.WaitGroup
+	var admitted, shed sync.Map
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				rel, err := g.Enter(context.Background(), Priority(i%3))
+				if err != nil {
+					shed.Store(id*1000+i, true)
+					continue
+				}
+				admitted.Store(id*1000+i, true)
+				if got := g.Inflight(); got < 1 || got > 8 {
+					t.Errorf("inflight = %d outside [1,8]", got)
+				}
+				rel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", got)
+	}
+}

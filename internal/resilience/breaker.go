@@ -1,0 +1,252 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the classic circuit-breaker states.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses traffic until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state for counters and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker or BreakerSet. The zero value is usable:
+// every field has a sensible default.
+type BreakerConfig struct {
+	// Failures is how many consecutive failures open the breaker
+	// (default 5).
+	Failures int
+	// OpenFor is how long an opened breaker refuses traffic before
+	// letting a half-open probe through (default 2s).
+	OpenFor time.Duration
+	// SlowAfter, when positive, makes a successful call slower than
+	// this count as a failure — the signal that routes around a peer
+	// that is up but sick. Zero disables latency-based tripping.
+	SlowAfter time.Duration
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+	// OnTransition, when set, observes every state change. It runs with
+	// the breaker lock held, so it must be cheap (bump a counter).
+	OnTransition func(peer string, from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a single peer's circuit breaker. All methods are safe for
+// concurrent use. A nil *Breaker always allows and ignores outcomes, so
+// optional wiring can call through unconditionally.
+type Breaker struct {
+	cfg  BreakerConfig
+	peer string
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+// NewBreaker builds a closed breaker for one peer.
+func NewBreaker(peer string, cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), peer: peer}
+}
+
+// Allow reports whether a call to the peer should proceed. Open breakers
+// refuse until OpenFor has elapsed, then admit exactly one half-open
+// probe at a time; everything else queues behind the probe's outcome.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Before(b.openUntil) {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record feeds one call outcome. err == context.Canceled does not count
+// against the peer (the caller gave up, the peer may be fine); any other
+// error does, as does a successful call slower than SlowAfter. rtt may
+// be zero when unknown.
+func (b *Breaker) Record(err error, rtt time.Duration) {
+	if b == nil {
+		return
+	}
+	failure := err != nil && !errors.Is(err, context.Canceled)
+	if !failure && b.cfg.SlowAfter > 0 && rtt > b.cfg.SlowAfter {
+		failure = true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if !failure {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.Failures {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if failure {
+			b.open()
+			return
+		}
+		b.fails = 0
+		b.transition(BreakerClosed)
+	case BreakerOpen:
+		// Stragglers from calls admitted before the trip; the open
+		// window already expresses the verdict.
+	}
+}
+
+// open moves to BreakerOpen and arms the re-probe window. Caller holds
+// the lock.
+func (b *Breaker) open() {
+	b.openUntil = b.cfg.Now().Add(b.cfg.OpenFor)
+	b.probing = false
+	b.transition(BreakerOpen)
+}
+
+// transition applies a state change and notifies the hook. Caller holds
+// the lock.
+func (b *Breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(b.peer, from, to)
+	}
+}
+
+// State reports the current state, advancing Open to HalfOpen eligibility
+// lazily (the state only changes inside Allow, so State is read-only).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSet is a lazily-populated breaker per peer, sharing one config.
+// A nil *BreakerSet allows everything, so callers wire it
+// unconditionally.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.RWMutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerSet builds an empty set.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg.withDefaults(), m: make(map[string]*Breaker)}
+}
+
+// For returns (creating on first use) the peer's breaker.
+func (s *BreakerSet) For(peer string) *Breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	b := s.m[peer]
+	s.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b = s.m[peer]; b == nil {
+		b = NewBreaker(peer, s.cfg)
+		s.m[peer] = b
+	}
+	return b
+}
+
+// Allow reports whether a call to the peer should proceed.
+func (s *BreakerSet) Allow(peer string) bool { return s.For(peer).Allow() }
+
+// Record feeds one call outcome for the peer.
+func (s *BreakerSet) Record(peer string, err error, rtt time.Duration) {
+	s.For(peer).Record(err, rtt)
+}
+
+// State reports the peer's current state (closed for unknown peers).
+func (s *BreakerSet) State(peer string) BreakerState {
+	if s == nil {
+		return BreakerClosed
+	}
+	s.mu.RLock()
+	b := s.m[peer]
+	s.mu.RUnlock()
+	return b.State()
+}
+
+// Snapshot returns the current state per known peer, for admin surfaces.
+func (s *BreakerSet) Snapshot() map[string]BreakerState {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]BreakerState, len(s.m))
+	for peer, b := range s.m {
+		out[peer] = b.State()
+	}
+	return out
+}

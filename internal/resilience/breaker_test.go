@@ -1,0 +1,251 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errPeer = errors.New("peer exploded")
+
+// fakeClock is a manually-advanced clock for deterministic breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker("n1", BreakerConfig{Failures: 3, OpenFor: time.Second, Now: clk.Now})
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("new breaker state = %v, want closed", b.State())
+	}
+	// Failures below the threshold keep it closed; a success resets.
+	b.Record(errPeer, 0)
+	b.Record(errPeer, 0)
+	b.Record(nil, 0)
+	b.Record(errPeer, 0)
+	b.Record(errPeer, 0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after interleaved success = %v, want closed", b.State())
+	}
+	b.Record(errPeer, 0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call inside the open window")
+	}
+	// After OpenFor, exactly one probe goes through.
+	clk.Advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after the open window")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker allowed a second concurrent half-open probe")
+	}
+	// Failed probe re-opens for a full window.
+	b.Record(errPeer, 0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a call immediately")
+	}
+	clk.Advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.Record(nil, 0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+}
+
+func TestBreakerSlowCallsTrip(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker("n1", BreakerConfig{Failures: 2, OpenFor: time.Second, SlowAfter: 10 * time.Millisecond, Now: clk.Now})
+	b.Record(nil, 50*time.Millisecond)
+	b.Record(nil, 50*time.Millisecond)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 2 slow successes = %v, want open (SlowAfter=10ms, rtt=50ms)", b.State())
+	}
+}
+
+func TestBreakerCanceledCallsDoNotCount(t *testing.T) {
+	b := NewBreaker("n1", BreakerConfig{Failures: 1})
+	for i := 0; i < 10; i++ {
+		b.Record(context.Canceled, 0)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after canceled calls = %v, want closed", b.State())
+	}
+}
+
+// TestBreakerPropertyMatchesModel drives the breaker with a random
+// outcome/clock schedule and cross-checks every observable against an
+// independent reference model of the closed→open→half-open machine.
+func TestBreakerPropertyMatchesModel(t *testing.T) {
+	const (
+		failures = 3
+		openFor  = 100 * time.Millisecond
+		rounds   = 5000
+	)
+	rng := rand.New(rand.NewSource(7))
+	clk := newFakeClock()
+	b := NewBreaker("n1", BreakerConfig{Failures: failures, OpenFor: openFor, Now: clk.Now})
+
+	// Reference model.
+	state := BreakerClosed
+	fails := 0
+	var openUntil time.Time
+	probing := false
+
+	for i := 0; i < rounds; i++ {
+		switch rng.Intn(3) {
+		case 0: // advance the clock
+			clk.Advance(time.Duration(rng.Intn(int(openFor) * 2)))
+		case 1: // attempt a call
+			got := b.Allow()
+			want := false
+			switch state {
+			case BreakerClosed:
+				want = true
+			case BreakerOpen:
+				if !clk.Now().Before(openUntil) {
+					state, probing, want = BreakerHalfOpen, true, true
+				}
+			case BreakerHalfOpen:
+				if !probing {
+					probing, want = true, true
+				}
+			}
+			if got != want {
+				t.Fatalf("round %d: Allow() = %v, model says %v (state %v)", i, got, want, state)
+			}
+		case 2: // record an outcome
+			var err error
+			if rng.Intn(2) == 0 {
+				err = errPeer
+			}
+			b.Record(err, 0)
+			switch state {
+			case BreakerClosed:
+				if err == nil {
+					fails = 0
+				} else if fails++; fails >= failures {
+					state, openUntil, probing = BreakerOpen, clk.Now().Add(openFor), false
+				}
+			case BreakerHalfOpen:
+				probing = false
+				if err != nil {
+					state, openUntil = BreakerOpen, clk.Now().Add(openFor)
+				} else {
+					state, fails = BreakerClosed, 0
+				}
+			}
+		}
+		if got := b.State(); got != state {
+			t.Fatalf("round %d: State() = %v, model says %v", i, got, state)
+		}
+	}
+}
+
+// TestBreakerSetConcurrent hammers one set from many goroutines so the
+// race detector can inspect the locking.
+func TestBreakerSetConcurrent(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{Failures: 3, OpenFor: time.Millisecond})
+	peers := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				peer := peers[rng.Intn(len(peers))]
+				if s.Allow(peer) {
+					var err error
+					if rng.Intn(3) == 0 {
+						err = errPeer
+					}
+					s.Record(peer, err, time.Duration(rng.Intn(1000)))
+				}
+				s.State(peer)
+				if i%500 == 0 {
+					s.Snapshot()
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if snap := s.Snapshot(); len(snap) != len(peers) {
+		t.Fatalf("snapshot covers %d peers, want %d", len(snap), len(peers))
+	}
+}
+
+func TestBreakerSetTransitionHook(t *testing.T) {
+	var mu sync.Mutex
+	transitions := 0
+	s := NewBreakerSet(BreakerConfig{
+		Failures: 1,
+		OpenFor:  time.Hour,
+		OnTransition: func(peer string, from, to BreakerState) {
+			mu.Lock()
+			transitions++
+			mu.Unlock()
+			if peer != "a" {
+				t.Errorf("transition for peer %q, want a", peer)
+			}
+		},
+	})
+	s.Record("a", errPeer, 0)
+	mu.Lock()
+	defer mu.Unlock()
+	if transitions != 1 {
+		t.Fatalf("observed %d transitions, want 1 (closed→open)", transitions)
+	}
+}
+
+func TestNilBreakerIsNoop(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker refused")
+	}
+	b.Record(errPeer, 0)
+	if b.State() != BreakerClosed {
+		t.Fatal("nil breaker not closed")
+	}
+	var s *BreakerSet
+	if !s.Allow("x") {
+		t.Fatal("nil set refused")
+	}
+	s.Record("x", errPeer, 0)
+	if s.Snapshot() != nil {
+		t.Fatal("nil set snapshot not nil")
+	}
+}

@@ -1,0 +1,34 @@
+// Package resilience is the overload-protection layer of the repository:
+// the mechanisms that keep a saturated node shedding work fast instead of
+// queueing it into timeout collapse, and keep clients from amplifying an
+// overload with retries.
+//
+// Three cooperating pieces, each usable on its own:
+//
+//   - Gate — server-side admission control. A bounded in-flight gate with
+//     priority classes (background anti-entropy/transfer/epoch traffic
+//     sheds first, then reads, then writes; membership heartbeats are
+//     never shed) and deadline-aware rejection: work whose remaining
+//     context budget cannot cover the observed service time of its class
+//     (tracked in internal/telemetry histograms) is refused immediately
+//     with ErrOverloaded rather than admitted to time out.
+//
+//   - Breaker / BreakerSet — per-peer circuit breakers with the classic
+//     closed → open → half-open lifecycle, fed by call outcomes (errors
+//     and, when SlowAfter is set, successful-but-slow RTTs). The cluster
+//     read path consults them to order replica fan-out and hedged-read
+//     backups away from sick peers; coordinator selection skips open
+//     peers entirely.
+//
+//   - RetryPolicy / RetryBudget — client-side retries with exponential
+//     backoff and full jitter, spent from a token-bucket budget that
+//     deposits a fraction of a token per first attempt. When every
+//     replica is overloaded the budget caps total wire calls at
+//     (1+ratio)·requests plus a small burst, so retries can never turn
+//     an overload into a storm.
+//
+// ErrOverloaded is the package's retryable sentinel; internal/cluster
+// registers it on the wire-code registry so it round-trips the TCP
+// transport and clients can re-route to another replica instead of
+// retrying the same saturated node.
+package resilience

@@ -1,0 +1,139 @@
+package resilience
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// RetryBudget is a token bucket that bounds how many retries a client
+// may spend relative to the first attempts it makes: every first attempt
+// deposits Ratio tokens (capped at Burst), every retry withdraws one
+// whole token. With ratio r, total wire calls over any window are at
+// most (1+r)·firstAttempts + Burst — an overloaded cluster sees load
+// shrink toward the offered rate instead of multiplying by the retry
+// count. All methods are nil-safe; a nil budget always allows.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+}
+
+// NewRetryBudget builds a budget depositing ratio tokens per first
+// attempt with the given burst cap. ratio <= 0 defaults to 0.1 (one
+// retry per ten requests), burst <= 0 defaults to 10. The bucket starts
+// full so cold-start blips can still retry.
+func NewRetryBudget(ratio, burst float64) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return &RetryBudget{tokens: burst, ratio: ratio, burst: burst}
+}
+
+// OnAttempt credits the budget for one first attempt.
+func (b *RetryBudget) OnAttempt() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens += b.ratio; b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Allow withdraws one token for a retry, reporting whether the budget
+// could afford it.
+func (b *RetryBudget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RetryPolicy is exponential backoff with full jitter, spent from an
+// optional shared RetryBudget. The zero value retries like the old
+// transport loop (up to 3 attempts) but with jittered, deadline-aware
+// pacing instead of an immediate tight loop.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 1ms); the delay
+	// before retry n is uniform in [0, min(MaxDelay, BaseDelay·2^(n-1))].
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling (default 100ms).
+	MaxDelay time.Duration
+	// Budget, when set, is the shared token bucket retries spend from.
+	Budget *RetryBudget
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the full-jitter backoff before retry number retry
+// (1-based: the delay between the first failure and the second attempt
+// is Delay(1)).
+func (p RetryPolicy) Delay(retry int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	ceil := p.MaxDelay
+	if ceil <= 0 {
+		ceil = 100 * time.Millisecond
+	}
+	for i := 1; i < retry && base < ceil; i++ {
+		base *= 2
+	}
+	if base > ceil {
+		base = ceil
+	}
+	return time.Duration(rand.Int64N(int64(base) + 1))
+}
+
+// Retry decides whether a failed attempt (attempt 1-based attempts made
+// so far) should be retried, and if so sleeps the jittered backoff
+// first. It returns false — give up, surface the error — when attempts
+// are exhausted, the budget has no token, the context is done, or the
+// context's deadline cannot cover the backoff sleep. The jittered sleep
+// is what prevents a mass connection break from re-converging into a
+// synchronized retry burst.
+func (p RetryPolicy) Retry(ctx context.Context, attempt int) bool {
+	if attempt >= p.maxAttempts() || ctx.Err() != nil {
+		return false
+	}
+	if !p.Budget.Allow() {
+		return false
+	}
+	d := p.Delay(attempt)
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return false
+	}
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

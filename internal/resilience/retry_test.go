@@ -1,0 +1,124 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRetryBudgetBounds(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	// Starts at the burst cap: 2 retries available.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("fresh budget refused its burst")
+	}
+	if b.Allow() {
+		t.Fatal("empty budget allowed a retry")
+	}
+	// Two first attempts deposit 0.5 each — one whole token.
+	b.OnAttempt()
+	if b.Allow() {
+		t.Fatal("half a token bought a retry")
+	}
+	b.OnAttempt()
+	if !b.Allow() {
+		t.Fatal("a whole deposited token refused a retry")
+	}
+}
+
+func TestRetryDelayJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 4 * time.Millisecond, MaxDelay: 16 * time.Millisecond}
+	for retry := 1; retry <= 6; retry++ {
+		ceil := 4 * time.Millisecond << (retry - 1)
+		if ceil > 16*time.Millisecond {
+			ceil = 16 * time.Millisecond
+		}
+		for i := 0; i < 200; i++ {
+			if d := p.Delay(retry); d < 0 || d > ceil {
+				t.Fatalf("Delay(%d) = %v outside [0, %v]", retry, d, ceil)
+			}
+		}
+	}
+}
+
+func TestRetryRespectsDeadline(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if p.Retry(ctx, 1) {
+		t.Fatal("Retry slept past an expired deadline")
+	}
+	canceled, stop := context.WithCancel(context.Background())
+	stop()
+	if p.Retry(canceled, 1) {
+		t.Fatal("Retry proceeded on a canceled context")
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	ctx := context.Background()
+	attempts := 1
+	for p.Retry(ctx, attempts) {
+		attempts++
+	}
+	if attempts != 3 {
+		t.Fatalf("made %d attempts, want 3", attempts)
+	}
+}
+
+// TestRetryAmplificationBounded is the no-retry-storm guarantee: when
+// every call fails retryably (all replicas overloaded), total wire calls
+// stay within the budget's (1+ratio)·requests + burst envelope instead
+// of multiplying by MaxAttempts.
+func TestRetryAmplificationBounded(t *testing.T) {
+	const (
+		requests = 400
+		ratio    = 0.1
+		burst    = 10
+		workers  = 8
+	)
+	budget := NewRetryBudget(ratio, burst)
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Budget: budget}
+
+	var mu sync.Mutex
+	wireCalls := 0
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	per := requests / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < per; r++ {
+				budget.OnAttempt()
+				for attempt := 1; ; attempt++ {
+					mu.Lock()
+					wireCalls++
+					mu.Unlock()
+					// The call always fails retryably.
+					if !p.Retry(ctx, attempt) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	limit := requests + int(float64(requests)*ratio) + burst
+	if wireCalls > limit {
+		t.Fatalf("retry storm: %d wire calls for %d requests (budget limit %d)", wireCalls, requests, limit)
+	}
+	if wireCalls < requests {
+		t.Fatalf("wire calls %d below request count %d — first attempts went missing", wireCalls, requests)
+	}
+	// Without a budget the same loop would make MaxAttempts·requests
+	// calls; make sure the bound is meaningfully below that.
+	if worst := requests * 4; limit >= worst {
+		t.Fatalf("test misconfigured: budget limit %d not below unbudgeted worst case %d", limit, worst)
+	}
+}

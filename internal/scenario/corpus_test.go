@@ -18,8 +18,8 @@ func TestCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 7 {
-		t.Fatalf("scenario corpus has %d files, want at least 7", len(files))
+	if len(files) < 9 {
+		t.Fatalf("scenario corpus has %d files, want at least 9", len(files))
 	}
 	for _, f := range files {
 		raw, err := os.ReadFile(f)

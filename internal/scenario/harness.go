@@ -105,9 +105,10 @@ func locPath(i int, name string) string {
 }
 
 // memHarness runs the scenario against an embedded skute.Cluster: the
-// same node logic as skuted over the in-memory mesh. Proxy- and
-// disk-shaped faults don't exist here; specs using them are
-// process-only.
+// same node logic as skuted over the in-memory mesh. Partition- and
+// disk-shaped faults don't exist here (specs using them are
+// process-only), but slow/heal do — the mesh injects per-node delivery
+// latency, so breaker scenarios run in-process and under -race.
 type memHarness struct {
 	c *skute.Cluster
 
@@ -122,8 +123,12 @@ type memHarness struct {
 func NewMemHarness(spec *Spec) (Harness, error) {
 	t := spec.Topology
 	opts := skute.Options{
-		ReadQuorum:  t.ReadQuorum,
-		WriteQuorum: t.WriteQuorum,
+		ReadQuorum:       t.ReadQuorum,
+		WriteQuorum:      t.WriteQuorum,
+		MaxInflight:      t.MaxInflight,
+		BreakerFailures:  t.BreakerFailures,
+		BreakerOpenFor:   t.BreakerOpenFor,
+		BreakerSlowAfter: t.BreakerSlowAfter,
 		Apps: []skute.App{{
 			Name:       scenarioApp,
 			SLA:        skute.SLA{Class: scenarioClass, Replicas: t.Replicas},
@@ -251,6 +256,10 @@ func (h *memHarness) Apply(ctx context.Context, f Fault) error {
 			h.mu.Unlock()
 		}
 		return err
+	case ActionSlow:
+		return h.c.SlowServer(f.Node, f.Delay)
+	case ActionHeal:
+		return h.c.SlowServer(f.Node, 0)
 	default:
 		return fmt.Errorf("scenario: action %q not supported in-process", f.Action)
 	}

@@ -110,6 +110,9 @@ func NewProcHarness(spec *Spec, pc ProcConfig) (Harness, error) {
 	cfg.ReadQuorum, cfg.WriteQuorum = t.ReadQuorum, t.WriteQuorum
 	cfg.SuspectAfter, cfg.DeadAfter = t.SuspectAfter, t.DeadAfter
 	cfg.TransferChunkItems, cfg.TransferBytesPerSec = t.TransferChunk, t.TransferRate
+	cfg.MaxInflight = t.MaxInflight
+	cfg.BreakerFailures = t.BreakerFailures
+	cfg.BreakerOpenFor, cfg.BreakerSlowAfter = t.BreakerOpenFor, t.BreakerSlowAfter
 	for i, name := range t.NodeNames() {
 		pn, err := h.prepareNode(name, i)
 		if err != nil {
@@ -216,6 +219,18 @@ func (h *procHarness) launch(pn *procNode, seedAddr string) error {
 		}
 		if t.TransferRate > 0 {
 			args = append(args, "-transfer-rate", strconv.FormatInt(t.TransferRate, 10))
+		}
+		if t.MaxInflight > 0 {
+			args = append(args, "-max-inflight", strconv.Itoa(t.MaxInflight))
+		}
+		if t.BreakerFailures > 0 {
+			args = append(args, "-breaker-failures", strconv.Itoa(t.BreakerFailures))
+		}
+		if t.BreakerOpenFor > 0 {
+			args = append(args, "-breaker-open-for", t.BreakerOpenFor.String())
+		}
+		if t.BreakerSlowAfter > 0 {
+			args = append(args, "-breaker-slow-after", t.BreakerSlowAfter.String())
 		}
 	} else {
 		args = append(args, "-config", h.cfgPath)

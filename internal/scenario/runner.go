@@ -186,8 +186,8 @@ func Run(h Harness, spec *Spec, opts Options) *Result {
 		}
 		pr := PhaseResult{Name: p.Name, Report: rep, Availability: rep.Availability()}
 		res.Phases = append(res.Phases, pr)
-		st.trace.Add("phase", "%s done: issued=%d acked=%d failed=%d dropped=%d avail=%.4f",
-			p.Name, rep.Issued, rep.Acked, rep.Failed, rep.Dropped, pr.Availability)
+		st.trace.Add("phase", "%s done: issued=%d acked=%d failed=%d (shed=%d timeouts=%d) dropped=%d avail=%.4f",
+			p.Name, rep.Issued, rep.Acked, rep.Failed, rep.Overloaded, rep.Timeouts, rep.Dropped, pr.Availability)
 		opts.Logf("%s: phase %s issued=%d acked=%d failed=%d avail=%.4f",
 			spec.Name, p.Name, rep.Issued, rep.Acked, rep.Failed, pr.Availability)
 		st.mu.Lock()
@@ -205,6 +205,8 @@ func Run(h Harness, spec *Spec, opts Options) *Result {
 
 	// Let straggler faults (scheduled past the workload end) fire.
 	faultWG.Wait()
+
+	checkOverloadInvariants(spec, res, st, scale)
 
 	// Teardown invariants.
 	if msg := waitConverged(ctx, h, st.expectedUp(), convergeDeadline); msg != "" {
@@ -265,6 +267,56 @@ func runPhase(ctx context.Context, h Harness, spec *Spec, p Phase, scale func(ti
 		},
 	}
 	return d.Run(ctx, dur)
+}
+
+// checkOverloadInvariants asserts graceful degradation over the phase
+// results: every phase marked overload must keep acked throughput at or
+// above the configured fraction of the best non-overload phase
+// (goodput-under-overload), and its failures must be fast-fail
+// admission sheds rather than burned deadlines (max-timeout-fraction) —
+// the difference between a cluster that degrades and one that
+// collapses.
+func checkOverloadInvariants(spec *Spec, res *Result, st *runState, scale func(time.Duration) time.Duration) {
+	iv := spec.Invariants
+	if iv.GoodputUnderOverload <= 0 && iv.MaxTimeoutFraction < 0 {
+		return
+	}
+	goodput := func(i int) float64 {
+		d := scale(spec.Phases[i].Duration).Seconds()
+		if d <= 0 {
+			return 0
+		}
+		return float64(res.Phases[i].Report.Acked) / d
+	}
+	baseline := 0.0
+	for i, p := range spec.Phases {
+		if i >= len(res.Phases) { // run aborted before this phase
+			break
+		}
+		if !p.Overload {
+			if g := goodput(i); g > baseline {
+				baseline = g
+			}
+		}
+	}
+	for i, p := range spec.Phases {
+		if i >= len(res.Phases) || !p.Overload {
+			continue
+		}
+		rep := res.Phases[i].Report
+		if iv.GoodputUnderOverload > 0 && baseline > 0 {
+			if g := goodput(i); g < iv.GoodputUnderOverload*baseline {
+				st.violate("phase %s goodput %.1f/s below %.0f%% of baseline %.1f/s (acked=%d shed=%d timeouts=%d)",
+					p.Name, g, iv.GoodputUnderOverload*100, baseline, rep.Acked, rep.Overloaded, rep.Timeouts)
+			}
+		}
+		if iv.MaxTimeoutFraction >= 0 && rep.Failed > 0 {
+			if frac := float64(rep.Timeouts) / float64(rep.Failed); frac > iv.MaxTimeoutFraction {
+				st.violate("phase %s: %.0f%% of failures burned their deadline, max %.0f%% — collapsed instead of shedding (failed=%d timeouts=%d shed=%d)",
+					p.Name, frac*100, iv.MaxTimeoutFraction*100, rep.Failed, rep.Timeouts, rep.Overloaded)
+			}
+		}
+	}
 }
 
 // waitConverged polls until every expected-up node reports the same

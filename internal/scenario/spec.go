@@ -47,6 +47,18 @@ type Topology struct {
 	// Partition-transfer tuning (0 = defaults).
 	TransferChunk int
 	TransferRate  int64
+	// MaxInflight bounds each node's admission gate (0 = the cluster
+	// default, 256). Overload scenarios shrink it so saturation — and
+	// the fast-fail shedding it must trigger — happens at harness-scale
+	// rates.
+	MaxInflight int
+	// Circuit-breaker tuning (0 = cluster defaults). BreakerSlowAfter
+	// additionally trips breakers on successful-but-slow calls, the
+	// signal that routes quorum fan-out around a node degraded with the
+	// `slow` fault.
+	BreakerFailures  int
+	BreakerOpenFor   time.Duration
+	BreakerSlowAfter time.Duration
 }
 
 // Phase is one workload period: open-loop load at an offered rate for
@@ -78,6 +90,12 @@ type Phase struct {
 	// MinAvailability is the phase SLA: acked/issued must not drop
 	// below it (0 disables the check).
 	MinAvailability float64
+	// Overload marks a phase whose offered rate deliberately exceeds
+	// what the cluster sustains. The goodput-under-overload invariant
+	// compares these phases' acked throughput against the best
+	// non-overload phase, and availability SLAs obviously don't apply —
+	// shedding IS the correct behavior here.
+	Overload bool
 }
 
 // Fault is one scheduled fault, At measured from workload start.
@@ -112,6 +130,21 @@ type Invariants struct {
 	// set churned means lease invalidation is broken, and this catches
 	// it.
 	NoStaleOneReads bool
+	// GoodputUnderOverload asserts graceful degradation: every phase
+	// marked overload must ack at least this fraction of the best
+	// non-overload phase's acked ops/sec (0 disables). A saturated
+	// cluster that sheds excess load cleanly keeps goodput near the
+	// sustainable rate; one that queues everything into its deadlines
+	// collapses — admitted and shed work alike time out.
+	GoodputUnderOverload float64
+	// MaxTimeoutFraction bounds, per overload phase, the fraction of
+	// failures that burned a full deadline instead of failing fast with
+	// the overloaded error (negative disables; zero with an overload
+	// phase present means "no timeout tolerance"). It distinguishes
+	// "shed cleanly" from "collapsed" — the exact property admission
+	// control buys. Only meaningful alongside overload phases; parsed
+	// default is -1 (disabled).
+	MaxTimeoutFraction float64
 }
 
 // Fault actions.
@@ -128,11 +161,13 @@ const (
 )
 
 // processOnlyActions require a real process behind a proxy or a real
-// WAL directory.
+// WAL directory. slow and heal are NOT process-only: the in-memory
+// mesh injects per-node delivery latency directly (Memory.SetDelay),
+// so breaker scenarios run in-process — and under -race in tier-1 CI.
+// heal of a partition never arises in-process because partition itself
+// forces the process harness.
 var processOnlyActions = map[string]bool{
-	ActionSlow:      true,
 	ActionPartition: true,
-	ActionHeal:      true,
 	ActionDiskFull:  true,
 	ActionDiskHeal:  true,
 }
@@ -174,7 +209,7 @@ func ParseSpec(src string) (*Spec, error) {
 			SuspectAfter: 1200 * time.Millisecond,
 			DeadAfter:    3 * time.Second,
 		},
-		Invariants: Invariants{NoLostAckedWrites: true, ConvergeWithin: 30 * time.Second},
+		Invariants: Invariants{NoLostAckedWrites: true, ConvergeWithin: 30 * time.Second, MaxTimeoutFraction: -1},
 	}
 	for key, v := range root {
 		switch key {
@@ -290,6 +325,29 @@ func (s *Spec) Validate() error {
 	}
 	if s.Invariants.ConvergeWithin <= 0 {
 		return fmt.Errorf("scenario %s: converge-within must be positive", s.Name)
+	}
+	if t.MaxInflight < 0 || t.BreakerFailures < 0 || t.BreakerOpenFor < 0 || t.BreakerSlowAfter < 0 {
+		return fmt.Errorf("scenario %s: negative overload tuning", s.Name)
+	}
+	if g := s.Invariants.GoodputUnderOverload; g < 0 || g > 1 {
+		return fmt.Errorf("scenario %s: goodput-under-overload %v outside [0,1]", s.Name, g)
+	}
+	if s.Invariants.MaxTimeoutFraction > 1 {
+		return fmt.Errorf("scenario %s: max-timeout-fraction %v above 1", s.Name, s.Invariants.MaxTimeoutFraction)
+	}
+	overloads, baselines := 0, 0
+	for _, p := range s.Phases {
+		if p.Overload {
+			overloads++
+		} else {
+			baselines++
+		}
+	}
+	if (s.Invariants.GoodputUnderOverload > 0 || s.Invariants.MaxTimeoutFraction >= 0) && overloads == 0 {
+		return fmt.Errorf("scenario %s: overload invariants need at least one phase marked overload", s.Name)
+	}
+	if s.Invariants.GoodputUnderOverload > 0 && baselines == 0 {
+		return fmt.Errorf("scenario %s: goodput-under-overload needs a non-overload baseline phase", s.Name)
 	}
 	return nil
 }
@@ -412,6 +470,14 @@ func (d *decoder) topology(t *Topology, v any) {
 			t.TransferChunk = d.integer(key, val)
 		case "transfer-rate":
 			t.TransferRate = d.i64(key, val)
+		case "max-inflight":
+			t.MaxInflight = d.integer(key, val)
+		case "breaker-failures":
+			t.BreakerFailures = d.integer(key, val)
+		case "breaker-open-for":
+			t.BreakerOpenFor = d.dur(key, val)
+		case "breaker-slow-after":
+			t.BreakerSlowAfter = d.dur(key, val)
 		default:
 			d.fail("topology: unknown key %q", key)
 		}
@@ -444,6 +510,8 @@ func (d *decoder) phases(v any) []Phase {
 				p.Consistency = d.str(key, val)
 			case "min-availability":
 				p.MinAvailability = d.f64(key, val)
+			case "overload":
+				p.Overload = d.boolean(key, val)
 			default:
 				d.fail("phases[%d]: unknown key %q", i, key)
 			}
@@ -490,6 +558,10 @@ func (d *decoder) invariants(iv *Invariants, v any) {
 			iv.JoinersHostVNodes = d.boolean(key, val)
 		case "no-stale-one-reads":
 			iv.NoStaleOneReads = d.boolean(key, val)
+		case "goodput-under-overload":
+			iv.GoodputUnderOverload = d.f64(key, val)
+		case "max-timeout-fraction":
+			iv.MaxTimeoutFraction = d.f64(key, val)
 		default:
 			d.fail("invariants: unknown key %q", key)
 		}

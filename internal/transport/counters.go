@@ -23,6 +23,13 @@ type Counters struct {
 	// all pooled connections (incremented on send, decremented on
 	// response, abandonment or failure).
 	InFlight metrics.Counter
+	// Retries counts calls re-sent after their pooled connection broke
+	// mid-exchange — each one paid a jittered backoff and a retry-budget
+	// token first.
+	Retries metrics.Counter
+	// RetriesDenied counts broken-connection failures that surfaced to
+	// the caller because the retry budget or deadline refused the retry.
+	RetriesDenied metrics.Counter
 }
 
 // Counters exposes the transport's wire counters.
@@ -61,4 +68,6 @@ func (t *TCP) RegisterMetrics(reg *metrics.Registry) {
 	reg.Gauge("transport_conn_evictions_total", t.counters.Evictions.Value)
 	reg.Gauge("transport_inflight_frames", t.counters.InFlight.Value)
 	reg.Gauge("transport_pool_conns", func() int64 { return int64(t.PoolSize()) })
+	reg.Gauge("transport_call_retries_total", t.counters.Retries.Value)
+	reg.Gauge("transport_call_retries_denied_total", t.counters.RetriesDenied.Value)
 }

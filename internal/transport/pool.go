@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
+
+	"skute/internal/resilience"
 )
 
 // Pool policy defaults (overridable per TCP instance).
@@ -20,6 +23,17 @@ const (
 	// over multiplexing more calls onto an already loaded one.
 	busyInflightThreshold = 8
 )
+
+// dialBackoff paces re-dials after a lost coalesced dial (the winner's
+// dial failed). Attempts are unbounded — the caller's context, not a
+// count, decides when to give up — and there is no budget: the dials
+// themselves are already coalesced, the jitter only de-synchronizes the
+// waiters.
+var dialBackoff = resilience.RetryPolicy{
+	MaxAttempts: math.MaxInt,
+	BaseDelay:   2 * time.Millisecond,
+	MaxDelay:    250 * time.Millisecond,
+}
 
 // callResult is what a waiting caller receives: a response frame, or
 // the connection-level failure that voided the exchange.
@@ -228,6 +242,12 @@ func newPool(t *TCP) *pool {
 // connection break sends every in-flight call here at once — no dial
 // storm.
 func (p *pool) get(ctx context.Context, addr string) (mc *mconn, reused bool, err error) {
+	// waited counts coalesced dials this call already lost (woke up and
+	// found no usable connection — the winner's dial failed). Before
+	// such a call starts its own dial it sleeps a jittered backoff, so
+	// the waiters of a failed dial fan out over time instead of
+	// re-dialing the dead peer in lockstep.
+	waited := 0
 	for {
 		p.mu.Lock()
 		if p.closed {
@@ -253,10 +273,26 @@ func (p *pool) get(ctx context.Context, addr string) (mc *mconn, reused bool, er
 			p.mu.Unlock()
 			select {
 			case <-ch: // coalesced: reuse the winner's connection
+				waited++
 			case <-ctx.Done():
 				return nil, false, ctx.Err()
 			}
 			continue
+		}
+		if waited > 0 {
+			// The dial this call coalesced onto failed. Back off with
+			// full jitter before dialing ourselves; deadline-aware, so a
+			// caller with no remaining budget fails now instead of
+			// sleeping into its timeout.
+			p.mu.Unlock()
+			if !dialBackoff.Retry(ctx, waited) {
+				if err := ctxError(ctx); err != nil {
+					return nil, false, err
+				}
+				return nil, false, fmt.Errorf("%w: %s: dial failed", ErrUnreachable, addr)
+			}
+			waited = 0
+			continue // re-check the pool: the backoff may have outlived a recovery
 		}
 		ch := make(chan struct{})
 		p.dialing[addr] = ch

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skute/internal/resilience"
 	"skute/internal/telemetry"
 )
 
@@ -54,6 +55,14 @@ type TCP struct {
 	// one frame and close — the pre-pooling behavior, kept as the
 	// measured baseline for the wire-path benchmarks.
 	DisablePooling bool
+	// Retry paces the re-send of calls whose pooled connection broke
+	// mid-exchange: exponential backoff with full jitter (so a mass
+	// connection break cannot re-converge into a synchronized retry
+	// burst) spent from a token-bucket budget (so retries cannot amplify
+	// an overload). The zero value keeps the historical 3-attempt bound
+	// but with jittered pacing and no budget; NewTCP installs a shared
+	// budget.
+	Retry resilience.RetryPolicy
 
 	counters Counters
 	// rtt is the request-RTT histogram: every Call records its wall time
@@ -68,11 +77,15 @@ type TCP struct {
 	closed      bool
 }
 
-// NewTCP returns a TCP transport with default timeouts and pool policy.
+// NewTCP returns a TCP transport with default timeouts, pool policy and
+// a budgeted retry: one retry token per ten calls (burst 10), so even
+// with every peer's connections breaking the wire sees at most ~10%
+// extra traffic from retries.
 func NewTCP() *TCP {
 	return &TCP{
 		DialTimeout: 2 * time.Second,
 		CallTimeout: 10 * time.Second,
+		Retry:       resilience.RetryPolicy{Budget: resilience.NewRetryBudget(0.1, 10)},
 		rtt:         telemetry.NewHistogram(),
 	}
 }
@@ -290,11 +303,13 @@ func (t *TCP) Call(ctx context.Context, addr string, req Envelope) (Envelope, er
 	if err != nil {
 		return Envelope{}, err
 	}
-	// Two retries tolerate the mass-break case where the first retry
-	// lands on another pooled connection whose death the reader has not
-	// observed yet.
-	const maxAttempts = 3
-	for attempt := 0; ; attempt++ {
+	// Up to two retries tolerate the mass-break case where the first
+	// retry lands on another pooled connection whose death the reader
+	// has not observed yet — but each retry must clear the budget and
+	// sleep a jittered backoff, so a mass break drains into staggered,
+	// bounded re-sends instead of an immediate synchronized burst.
+	t.Retry.Budget.OnAttempt()
+	for attempt := 1; ; attempt++ {
 		mc, reused, err := p.get(ctx, addr)
 		if err != nil {
 			return Envelope{}, err
@@ -303,8 +318,12 @@ func (t *TCP) Call(ctx context.Context, addr string, req Envelope) (Envelope, er
 		p.put(mc)
 		var broken *brokenConnError
 		if err != nil && errors.As(err, &broken) {
-			if reused && attempt+1 < maxAttempts && ctx.Err() == nil {
+			if reused && t.Retry.Retry(ctx, attempt) {
+				t.counters.Retries.Inc()
 				continue
+			}
+			if reused {
+				t.counters.RetriesDenied.Inc()
 			}
 			return Envelope{}, broken.err
 		}

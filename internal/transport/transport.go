@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Envelope is the unit of exchange: a kind tag and an opaque payload the
@@ -66,12 +67,17 @@ type Memory struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	down     map[string]bool
+	delay    map[string]time.Duration
 	closed   bool
 }
 
 // NewMemory returns an empty in-memory mesh.
 func NewMemory() *Memory {
-	return &Memory{handlers: make(map[string]Handler), down: make(map[string]bool)}
+	return &Memory{
+		handlers: make(map[string]Handler),
+		down:     make(map[string]bool),
+		delay:    make(map[string]time.Duration),
+	}
 }
 
 // Serve implements Transport.
@@ -96,9 +102,19 @@ func (m *Memory) Call(ctx context.Context, addr string, req Envelope) (Envelope,
 	m.mu.RLock()
 	h, ok := m.handlers[addr]
 	down := m.down[addr] || m.closed
+	delay := m.delay[addr]
 	m.mu.RUnlock()
 	if !ok || down {
 		return Envelope{}, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return Envelope{}, ctx.Err()
+		}
 	}
 	return h(ctx, req)
 }
@@ -109,6 +125,22 @@ func (m *Memory) SetDown(addr string, down bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.down[addr] = down
+}
+
+// SetDelay injects d of latency in front of every call to the address
+// (0 heals it) — the in-process analogue of the scenario harness's TCP
+// slow proxy, so slow-peer behaviour (hedging, circuit breakers) is
+// testable under the race detector without real processes. The delay
+// respects the caller's context: a call whose deadline expires mid-delay
+// fails with ctx.Err() without invoking the handler.
+func (m *Memory) SetDelay(addr string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		delete(m.delay, addr)
+		return
+	}
+	m.delay[addr] = d
 }
 
 // Close implements Transport.

@@ -2,10 +2,13 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"sync"
 	"time"
+
+	"skute/internal/resilience"
 )
 
 // Open-loop driver: offered load arrives on an exponential clock at a
@@ -44,6 +47,13 @@ type Report struct {
 	Dropped int // arrivals shed because MaxInFlight was reached
 	Reads   int // read ops issued
 	Writes  int // write ops issued
+	// Overloaded counts failures that were explicit admission-gate sheds
+	// (resilience.ErrOverloaded): the system failing FAST and cleanly.
+	// Timeouts counts failures that burned their full deadline instead —
+	// the collapse signature overload shedding exists to prevent. Both
+	// are subsets of Failed.
+	Overloaded int
+	Timeouts   int
 	// LastAcked maps each key to the highest write sequence number the
 	// system acknowledged — the floor a durable store must return at or
 	// above after the run.
@@ -179,6 +189,12 @@ func (d *Driver) Run(ctx context.Context, dur time.Duration) Report {
 			mu.Lock()
 			if err != nil {
 				rep.Failed++
+				switch {
+				case errors.Is(err, resilience.ErrOverloaded):
+					rep.Overloaded++
+				case errors.Is(err, context.DeadlineExceeded):
+					rep.Timeouts++
+				}
 			} else {
 				rep.Acked++
 				if !op.Read && op.Seq > rep.LastAcked[op.Key] {

@@ -2,6 +2,7 @@ package skute
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -61,7 +62,29 @@ type Options struct {
 	// ReadOptions/WriteOptions.
 	ReadQuorum  int
 	WriteQuorum int
+	// MaxInflight bounds each server's admission gate: the concurrent
+	// requests a server accepts before shedding with ErrOverloaded
+	// (0 selects the cluster default, 256). Shed requests fail fast —
+	// the embedded API re-routes them once to another coordinator.
+	MaxInflight int
+	// DisableAdmission turns overload shedding off entirely: requests
+	// queue until their deadline no matter the load.
+	DisableAdmission bool
+	// BreakerFailures, BreakerOpenFor and BreakerSlowAfter tune each
+	// server's per-peer circuit breakers (zero values select the
+	// cluster defaults; see cluster.Config). BreakerSlowAfter also
+	// counts successful-but-slow calls as failures, so a degraded peer
+	// injected with SlowServer trips its breakers without erroring.
+	BreakerFailures  int
+	BreakerOpenFor   time.Duration
+	BreakerSlowAfter time.Duration
 }
+
+// ErrOverloaded reports a request shed by a server's admission gate
+// before any work started. It is cluster.ErrOverloaded re-exported at
+// the embedded surface; errors.Is-match it to tell a clean fast-fail
+// shed from a deadline timeout.
+var ErrOverloaded = cluster.ErrOverloaded
 
 // Context carries the causal version context from a Get into a dependent
 // Put or Delete.
@@ -157,7 +180,15 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if len(opts.Apps) == 0 {
 		return nil, fmt.Errorf("skute: need at least one app")
 	}
-	cfg := cluster.Config{ReadQuorum: opts.ReadQuorum, WriteQuorum: opts.WriteQuorum}
+	cfg := cluster.Config{
+		ReadQuorum:       opts.ReadQuorum,
+		WriteQuorum:      opts.WriteQuorum,
+		MaxInflight:      opts.MaxInflight,
+		DisableAdmission: opts.DisableAdmission,
+		BreakerFailures:  opts.BreakerFailures,
+		BreakerOpenFor:   opts.BreakerOpenFor,
+		BreakerSlowAfter: opts.BreakerSlowAfter,
+	}
 	for _, s := range opts.Servers {
 		conf := s.Confidence
 		if conf == 0 {
@@ -453,6 +484,27 @@ func (c *Cluster) coordinator() (*cluster.Node, error) {
 	return nil, fmt.Errorf("skute: no alive servers")
 }
 
+// withCoordinator runs one embedded-API operation against a rotated
+// coordinator, re-routing ONCE to the next coordinator when the first
+// shed it with ErrOverloaded: a shed is an explicit "try someone else"
+// — another node may have admission capacity — and hammering the
+// shedding node again is exactly what the fast-fail exists to prevent.
+// A second shed propagates to the caller, who owns backoff.
+func (c *Cluster) withCoordinator(do func(n *cluster.Node) error) error {
+	n, err := c.coordinator()
+	if err != nil {
+		return err
+	}
+	if err = do(n); !errors.Is(err, ErrOverloaded) {
+		return err
+	}
+	n2, cerr := c.coordinator()
+	if cerr != nil || n2 == n {
+		return err
+	}
+	return do(n2)
+}
+
 // alive consults the failure injection map and the node map.
 func (c *Cluster) alive(name string) bool {
 	c.mu.RLock()
@@ -487,11 +539,12 @@ func (c *Cluster) Get(ctx context.Context, app, key string, opts ReadOptions) ([
 	if err != nil {
 		return nil, nil, err
 	}
-	n, err := c.coordinator()
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := n.Get(ctx, id, key, opts)
+	var res GetResult
+	err = c.withCoordinator(func(n *cluster.Node) error {
+		var err error
+		res, err = n.Get(ctx, id, key, opts)
+		return err
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -506,11 +559,9 @@ func (c *Cluster) Put(ctx context.Context, app, key string, value []byte, vctx C
 	if err != nil {
 		return err
 	}
-	n, err := c.coordinator()
-	if err != nil {
-		return err
-	}
-	return n.Put(ctx, id, key, value, vctx, opts)
+	return c.withCoordinator(func(n *cluster.Node) error {
+		return n.Put(ctx, id, key, value, vctx, opts)
+	})
 }
 
 // Delete tombstones a key.
@@ -519,11 +570,9 @@ func (c *Cluster) Delete(ctx context.Context, app, key string, vctx Context, opt
 	if err != nil {
 		return err
 	}
-	n, err := c.coordinator()
-	if err != nil {
-		return err
-	}
-	return n.Delete(ctx, id, key, vctx, opts)
+	return c.withCoordinator(func(n *cluster.Node) error {
+		return n.Delete(ctx, id, key, vctx, opts)
+	})
 }
 
 // MGet reads a batch of keys in one coordinated operation. The
@@ -536,11 +585,16 @@ func (c *Cluster) MGet(ctx context.Context, app string, keys []string, opts Read
 	if err != nil {
 		return nil, err
 	}
-	n, err := c.coordinator()
+	var out map[string]GetResult
+	err = c.withCoordinator(func(n *cluster.Node) error {
+		var err error
+		out, err = n.MultiGet(ctx, id, keys, opts)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return n.MultiGet(ctx, id, keys, opts)
+	return out, nil
 }
 
 // MPut writes a batch of entries in one coordinated operation, grouped
@@ -552,11 +606,9 @@ func (c *Cluster) MPut(ctx context.Context, app string, entries []Entry, opts Wr
 	if err != nil {
 		return err
 	}
-	n, err := c.coordinator()
-	if err != nil {
-		return err
-	}
-	return n.MultiPut(ctx, id, entries, opts)
+	return c.withCoordinator(func(n *cluster.Node) error {
+		return n.MultiPut(ctx, id, entries, opts)
+	})
 }
 
 // Replicas reports which servers hold the partition of a key.
@@ -669,6 +721,20 @@ func (c *Cluster) FailServer(name string) error {
 			peer.Membership().Fail(name)
 		}
 	}
+	return nil
+}
+
+// SlowServer injects d of extra latency in front of every request the
+// named server receives over the in-memory mesh; d <= 0 heals it. It
+// models a degraded-but-alive process — calls still succeed, just
+// slowly — which is exactly the signal BreakerSlowAfter and the hedged
+// read path exist to route around. The embedded counterpart of the
+// scenario harness's process-level `slow` fault.
+func (c *Cluster) SlowServer(name string, d time.Duration) error {
+	if _, ok := c.nodeOf(name); !ok {
+		return fmt.Errorf("skute: unknown server %q", name)
+	}
+	c.mesh.SetDelay("mem://"+name, d)
 	return nil
 }
 
